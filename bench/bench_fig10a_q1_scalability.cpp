@@ -1,0 +1,63 @@
+// E2 — Fig. 10(a): Q1 on the NYSE-like stream. Throughput vs the ratio of
+// pattern size to window size (q / 8000) for k ∈ {1,2,4,8,16,32} operator
+// instances, on the simulated paper machine (20 cores + HT).
+//
+// Paper reference points (§4.2.1): at ratio 0.005 near-linear scaling
+// (10.8k → 154k @16 → 218k @32 eps); at ratio 0.08 (p≈56%) scaling saturates
+// at 8 instances; at ratio 0.32 (p≈13%) scaling recovers (15.2× @16).
+#include <cstdio>
+
+#include "bench_workloads.hpp"
+#include "queries/paper_queries.hpp"
+#include "sequential/seq_engine.hpp"
+
+using namespace spectre;
+
+int main() {
+    harness::print_header("E2 / Fig. 10(a)", "Q1 scalability vs pattern-size ratio (NYSE)");
+
+    const std::uint64_t events = bench::scaled(16'000);
+    const std::uint64_t ws = 8000;
+    const int qs[] = {40, 80, 160, 320, 640, 1280, 2560};
+    const int ks[] = {1, 2, 4, 8, 16, 32};
+    const std::uint64_t seeds[] = {42, 43};
+
+    harness::Table table({"ratio", "q", "p_complete", "k", "throughput (candlestick, 2 seeds)",
+                          "scaling"});
+
+    for (const int q_size : qs) {
+        const auto vocab = bench::fresh_vocab();
+        const auto query = queries::make_q1(
+            vocab, queries::Q1Params{.q = q_size, .ws = ws});
+        const auto cq = detect::CompiledQuery::compile(query);
+
+        // Ground-truth completion probability + calibration from seed 0.
+        const auto cal_store = bench::nyse_store(vocab, events, seeds[0]);
+        const auto cal = harness::calibrate(cq, cal_store, 1);
+        const auto seq = sequential::SequentialEngine(&cq).run(cal_store);
+        const double p = seq.stats.completion_probability();
+
+        double base = 0.0;
+        for (const int k : ks) {
+            std::vector<double> samples;
+            for (const auto seed : seeds) {
+                const auto store = bench::nyse_store(vocab, events, seed);
+                samples.push_back(harness::run_sim_throughput(
+                    store, cq, harness::paper_machine_sim(cal, k),
+                    [&] { return harness::paper_markov(cq.min_length()); }));
+            }
+            const double median = util::percentile(samples, 50);
+            if (k == 1) base = median;
+            table.row({harness::fmt_double(static_cast<double>(q_size) /
+                                           static_cast<double>(ws), 3),
+                       std::to_string(q_size), harness::fmt_double(p, 2),
+                       std::to_string(k), harness::fmt_candle(samples),
+                       harness::fmt_double(base > 0 ? median / base : 0.0, 1) + "x"});
+        }
+    }
+    table.print();
+    std::printf(
+        "\npaper shape: near-linear scaling at p≈1 (20.2x @32), saturation at ~8\n"
+        "instances around p≈0.5, recovery at low p (15.2x @16).\n");
+    return 0;
+}

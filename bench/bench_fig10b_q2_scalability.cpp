@@ -1,0 +1,77 @@
+// E3 — Fig. 10(b): Q2 on the (mean-reverting) NYSE-like stream. The average
+// pattern size — and with it the completion probability — is controlled
+// indirectly through the lower/upper price limits, exactly as in the paper
+// ("we influence the average pattern size ... by changing the upper and
+// lower limit parameters", §4.2.1), plus one setting where the pattern can
+// never complete ("0 cplx": the upper limit is unreachable).
+#include <cstdio>
+
+#include "bench_workloads.hpp"
+#include "queries/paper_queries.hpp"
+#include "sequential/seq_engine.hpp"
+
+using namespace spectre;
+
+int main() {
+    harness::print_header("E3 / Fig. 10(b)", "Q2 scalability vs average pattern size");
+
+    const std::uint64_t events = bench::scaled(16'000);
+    const std::uint64_t ws = 8000, slide = 1000;
+    const int ks[] = {1, 2, 4, 8, 16, 32};
+    const std::uint64_t seeds[] = {42, 43};
+
+    // Band widths sweep the average pattern size; the last entry can never
+    // complete (C requires close > 1e9).
+    struct Limits {
+        double lower, upper;
+        const char* label;
+    };
+    const Limits limit_grid[] = {
+        {97, 103, "narrow"},    {95, 105, "medium"},   {92, 108, "wide"},
+        {88, 112, "wider"},     {80, 120, "widest"},   {95, 1e9, "0 cplx"},
+    };
+
+    harness::Table table({"limits", "avg_pattern", "p_complete", "k",
+                          "throughput (candlestick, 2 seeds)", "scaling"});
+
+    for (const auto& lim : limit_grid) {
+        const auto vocab = bench::fresh_vocab();
+        const auto cq = detect::CompiledQuery::compile(queries::make_q2(
+            vocab,
+            queries::Q2Params{.lower = lim.lower, .upper = lim.upper, .ws = ws,
+                              .slide = slide}));
+
+        const auto cal_store = bench::nyse_store_reverting(vocab, events, seeds[0]);
+        const auto cal = harness::calibrate(cq, cal_store, 1);
+        const auto seq = sequential::SequentialEngine(&cq).run(cal_store);
+        const double p = seq.stats.completion_probability();
+        double avg_pattern = 0.0;
+        if (!seq.complex_events.empty()) {
+            for (const auto& ce : seq.complex_events)
+                avg_pattern += static_cast<double>(ce.constituents.size());
+            avg_pattern /= static_cast<double>(seq.complex_events.size());
+        }
+
+        double base = 0.0;
+        for (const int k : ks) {
+            std::vector<double> samples;
+            for (const auto seed : seeds) {
+                const auto store = bench::nyse_store_reverting(vocab, events, seed);
+                samples.push_back(harness::run_sim_throughput(
+                    store, cq, harness::paper_machine_sim(cal, k),
+                    [&] { return harness::paper_markov(cq.min_length()); }));
+            }
+            const double median = util::percentile(samples, 50);
+            if (k == 1) base = median;
+            table.row({lim.label, harness::fmt_double(avg_pattern, 0),
+                       harness::fmt_double(p, 2), std::to_string(k),
+                       harness::fmt_candle(samples),
+                       harness::fmt_double(base > 0 ? median / base : 0.0, 1) + "x"});
+        }
+    }
+    table.print();
+    std::printf(
+        "\npaper shape: near-linear scaling at p≈1 (19.5x @32), saturation at ~8\n"
+        "instances around p≈0.5, good scaling again when nothing completes (16.8x @32).\n");
+    return 0;
+}

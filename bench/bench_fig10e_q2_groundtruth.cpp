@@ -1,0 +1,45 @@
+// E6 — Fig. 10(e): ground-truth completion probability of Q2 vs the average
+// pattern size (controlled through the price limits), sequential pass.
+#include <cstdio>
+
+#include "bench_workloads.hpp"
+#include "queries/paper_queries.hpp"
+#include "sequential/seq_engine.hpp"
+
+using namespace spectre;
+
+int main() {
+    harness::print_header("E6 / Fig. 10(e)", "Q2 ground-truth completion probability");
+
+    const std::uint64_t events = bench::scaled(30'000);
+    struct Limits {
+        double lower, upper;
+        const char* label;
+    };
+    const Limits limit_grid[] = {
+        {97, 103, "narrow"},    {95, 105, "medium"},   {92, 108, "wide"},
+        {88, 112, "wider"},     {80, 120, "widest"},   {95, 1e9, "0 cplx"},
+    };
+
+    harness::Table table({"limits", "avg_pattern", "groups", "completed", "p_complete"});
+    for (const auto& lim : limit_grid) {
+        const auto vocab = bench::fresh_vocab();
+        const auto cq = detect::CompiledQuery::compile(queries::make_q2(
+            vocab, queries::Q2Params{.lower = lim.lower, .upper = lim.upper,
+                                     .ws = 8000, .slide = 1000}));
+        const auto store = bench::nyse_store_reverting(vocab, events, 42);
+        const auto r = sequential::SequentialEngine(&cq).run(store);
+        double avg = 0.0;
+        for (const auto& ce : r.complex_events)
+            avg += static_cast<double>(ce.constituents.size());
+        if (!r.complex_events.empty()) avg /= static_cast<double>(r.complex_events.size());
+        table.row({lim.label, harness::fmt_double(avg, 0),
+                   std::to_string(r.stats.groups_created),
+                   std::to_string(r.stats.groups_completed),
+                   harness::fmt_double(r.stats.completion_probability(), 3)});
+    }
+    table.print();
+    std::printf("\npaper shape: 100%% for small patterns, 50%% around size 560, 0%% when\n"
+                "the pattern cannot complete.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+// E8/E9 — Fig. 11: the Markov completion model vs fixed-probability models,
+// query Q3 on the RAND stream, k = 32 instances, ws = 1000, slide = 100.
+//   (a) ratio 0.002 — pattern size 2, completion probability ≈ 100%
+//   (b) ratio 0.1   — pattern size 100, lower completion probability
+// The paper's finding: the best fixed probability depends on the workload
+// (100% wins in (a), 20% wins in (b)); the learned Markov model comes within
+// a few percent of the per-workload best in both.
+#include <cstdio>
+
+#include "bench_workloads.hpp"
+#include "model/fixed_model.hpp"
+#include "queries/paper_queries.hpp"
+#include "sequential/seq_engine.hpp"
+
+using namespace spectre;
+
+namespace {
+
+void run_variant(const char* label, int n, std::uint64_t events) {
+    const auto vocab = bench::fresh_vocab();
+    const auto cq = detect::CompiledQuery::compile(queries::make_q3(
+        vocab, queries::Q3Params{.n = n, .ws = 1000, .slide = 100}));
+    const auto store = bench::rand_store(vocab, events, 7);
+    const auto cal = harness::calibrate(cq, store, 1);
+    const auto seq = sequential::SequentialEngine(&cq).run(store);
+
+    std::printf("\n%s: pattern size %d / window 1000, ground-truth p = %.2f\n", label,
+                n + 1, seq.stats.completion_probability());
+    harness::Table table({"CG probability model", "throughput", "vs best fixed"});
+
+    double best_fixed = 0.0;
+    std::vector<std::pair<std::string, double>> rows;
+    for (const double p : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+        const double eps = harness::run_sim_throughput(
+            store, cq, harness::paper_machine_sim(cal, 32),
+            [&] { return std::make_unique<model::FixedModel>(p); });
+        best_fixed = std::max(best_fixed, eps);
+        rows.emplace_back(harness::fmt_double(p * 100, 0) + "%", eps);
+    }
+    const double markov_eps = harness::run_sim_throughput(
+        store, cq, harness::paper_machine_sim(cal, 32),
+        [&] { return harness::paper_markov(cq.min_length()); });
+    rows.emplace_back("Markov", markov_eps);
+
+    for (const auto& [name, eps] : rows)
+        table.row({name, harness::fmt_eps(eps),
+                   harness::fmt_double(best_fixed > 0 ? 100.0 * eps / best_fixed : 0, 0) +
+                       "%"});
+    table.print();
+}
+
+}  // namespace
+
+int main() {
+    harness::print_header("E8+E9 / Fig. 11", "Markov model vs fixed completion probabilities");
+    run_variant("(a) ratio 0.002", /*n=*/1, bench::scaled(30'000));
+    run_variant("(b) ratio 0.1", /*n=*/99, bench::scaled(15'000));
+    std::printf(
+        "\npaper shape: (a) fixed-100%% best, Markov within ~1%% of it; (b) fixed-20%%\n"
+        "best, Markov within ~8%%; wrong fixed probabilities cost large factors.\n");
+    return 0;
+}

@@ -1,0 +1,136 @@
+// A3 — microbenchmarks (google-benchmark) for the data structures on
+// SPECTRE's hot paths: dependency-tree maintenance, top-k selection, Markov
+// prediction, and the detector's per-event step.
+#include <benchmark/benchmark.h>
+
+#include "bench_workloads.hpp"
+#include "model/fixed_model.hpp"
+#include "model/markov_model.hpp"
+#include "queries/paper_queries.hpp"
+#include "spectre/dependency_tree.hpp"
+
+using namespace spectre;
+
+namespace {
+
+struct TreeBench {
+    data::StockVocab vocab = bench::fresh_vocab();
+    detect::CompiledQuery cq = detect::CompiledQuery::compile(
+        queries::make_q1(vocab, queries::Q1Params{.q = 8, .ws = 64}));
+    std::uint64_t next_id = 1;
+    core::DependencyTree tree;
+
+    TreeBench()
+        : tree([this](const query::WindowInfo& w, std::vector<core::CgPtr> suppressed) {
+              return std::make_shared<core::WindowVersion>(next_id++, w, &cq,
+                                                           std::move(suppressed));
+          }) {}
+
+    query::WindowInfo win(std::uint64_t id) {
+        return query::WindowInfo{id, id * 4, id * 4 + 63};
+    }
+};
+
+void BM_TreeOpenWindow(benchmark::State& state) {
+    for (auto _ : state) {
+        state.PauseTiming();
+        TreeBench t;
+        state.ResumeTiming();
+        for (std::uint64_t i = 0; i < 64; ++i) t.tree.open_window(t.win(i));
+        benchmark::DoNotOptimize(t.tree.live_versions());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_TreeOpenWindow);
+
+void BM_TreeGroupCreateResolve(benchmark::State& state) {
+    const auto depth = static_cast<std::uint64_t>(state.range(0));
+    model::FixedModel half(0.5);
+    for (auto _ : state) {
+        state.PauseTiming();
+        TreeBench t;
+        for (std::uint64_t i = 0; i < depth; ++i) t.tree.open_window(t.win(i));
+        const auto root = t.tree.top_k(1, half).at(0);
+        auto cg = std::make_shared<core::ConsumptionGroup>(1, 0, root->version_id(), 2);
+        cg->add_event(1);
+        state.ResumeTiming();
+        t.tree.on_group_created(cg);
+        t.tree.on_group_resolved(cg, true);
+        benchmark::DoNotOptimize(t.tree.live_versions());
+    }
+}
+BENCHMARK(BM_TreeGroupCreateResolve)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TreeTopK(benchmark::State& state) {
+    const auto k = static_cast<std::size_t>(state.range(0));
+    TreeBench t;
+    model::FixedModel half(0.5);
+    // Build a tree with pending groups so top-k actually branches.
+    for (std::uint64_t i = 0; i < 32; ++i) t.tree.open_window(t.win(i));
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const auto versions = t.tree.top_k(32, half);
+        const auto& owner = versions[i % versions.size()];
+        auto cg = std::make_shared<core::ConsumptionGroup>(100 + i, owner->window().id,
+                                                           owner->version_id(), 2);
+        cg->add_event(owner->window().first);
+        t.tree.on_group_created(cg);
+    }
+    for (auto _ : state) {
+        auto top = t.tree.top_k(k, half);
+        benchmark::DoNotOptimize(top);
+    }
+}
+BENCHMARK(BM_TreeTopK)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_MarkovPredict(benchmark::State& state) {
+    model::MarkovParams params;
+    model::MarkovModel model(64, params);
+    for (int i = 0; i < 5000; ++i) model.observe(8, (i % 2) ? 7 : 8);
+    model.refresh();
+    std::uint64_t n = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.completion_probability(8, n));
+        n = (n % 4096) + 1;
+    }
+}
+BENCHMARK(BM_MarkovPredict);
+
+void BM_MarkovRefresh(benchmark::State& state) {
+    model::MarkovParams params;
+    params.refresh_every = UINT64_MAX;
+    model::MarkovModel model(static_cast<int>(state.range(0)), params);
+    for (int i = 0; i < 2000; ++i) model.observe(5, 4);
+    for (auto _ : state) {
+        model.observe(5, 4);
+        model.refresh();
+        benchmark::DoNotOptimize(model.completion_probability(5, 100));
+    }
+}
+BENCHMARK(BM_MarkovRefresh)->Arg(8)->Arg(64)->Arg(2560);
+
+void BM_DetectorStep(benchmark::State& state) {
+    const auto vocab = bench::fresh_vocab();
+    const auto cq = detect::CompiledQuery::compile(
+        queries::make_q1(vocab, queries::Q1Params{.q = 80, .ws = 8000}));
+    const auto store = bench::nyse_store(vocab, 20'000, 42);
+    detect::Detector det(&cq);
+    detect::Feedback fb;
+    query::WindowInfo w{0, 0, store.size() - 1};
+    det.begin_window(w);
+    event::Seq pos = 0;
+    for (auto _ : state) {
+        fb.clear();
+        det.on_event(store.at(pos), fb);
+        benchmark::DoNotOptimize(fb);
+        if (++pos >= store.size()) {
+            pos = 0;
+            det.begin_window(w);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// E10 — §4.2.3: comparison against the T-REX-style general-purpose engine on
+// Q1. The baseline interprets a translated automaton (string-keyed attribute
+// maps, virtual-dispatch predicates) on a single thread and is measured in
+// real time on this machine; SPECTRE runs the UDF-compiled fast path on the
+// simulated paper machine. The paper reports ~1,000 eps for T-REX vs >10k eps
+// for SPECTRE at one instance, scaling with cores; the *ratio and shape*
+// (order-of-magnitude gap, multiplied by multi-core scaling) are what this
+// bench reproduces.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_workloads.hpp"
+#include "queries/paper_queries.hpp"
+#include "sequential/seq_engine.hpp"
+#include "trex/trex_engine.hpp"
+
+using namespace spectre;
+
+int main() {
+    harness::print_header("E10 / §4.2.3", "T-REX-style baseline vs SPECTRE on Q1");
+
+    const std::uint64_t events = bench::scaled(15'000);
+    const auto vocab = bench::fresh_vocab();
+    const auto cq = detect::CompiledQuery::compile(
+        queries::make_q1(vocab, queries::Q1Params{.q = 80, .ws = 8000}));
+    const auto store = bench::nyse_store(vocab, events, 42);
+    const auto cal = harness::calibrate(cq, store, 1);
+
+    harness::Table table({"engine", "threads", "throughput (eps)", "complex events"});
+
+    // Baseline: real single-threaded run of the generic engine.
+    {
+        trex::TrexEngine engine(&cq);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto r = engine.run(store);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+        table.row({"T-REX-style (generic, measured)", "1",
+                   harness::fmt_eps(static_cast<double>(store.size()) / secs),
+                   std::to_string(r.complex_events.size())});
+    }
+    // Reference: the UDF-compiled sequential engine, also measured.
+    {
+        sequential::SequentialEngine engine(&cq);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto r = engine.run(store);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+        table.row({"SPECTRE UDF path (sequential, measured)", "1",
+                   harness::fmt_eps(static_cast<double>(store.size()) / secs),
+                   std::to_string(r.complex_events.size())});
+    }
+    // SPECTRE on the simulated paper machine at increasing k.
+    for (const int k : {1, 8, 16, 32}) {
+        core::SimRuntime sim(&store, &cq, harness::paper_machine_sim(cal, k),
+                             harness::paper_markov(cq.min_length()));
+        const auto r = sim.run();
+        table.row({"SPECTRE (simulated paper machine)", std::to_string(k),
+                   harness::fmt_eps(r.throughput_eps),
+                   std::to_string(r.output.size())});
+    }
+    table.print();
+    std::printf("\npaper: T-REX ≈ 1,000 eps; SPECTRE competitive at one instance and\n"
+                "scaling with cores. Both engines emit identical complex events.\n");
+    return 0;
+}

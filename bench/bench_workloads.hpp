@@ -1,0 +1,74 @@
+// Shared workload definitions for the figure benches: the NYSE-like and RAND
+// datasets at bench scale, and the paper's query parameter grids.
+//
+// Scale: the paper streams 24M (NYSE) / 3M (RAND) events into a 20-core
+// machine; the benches default to a few tens of thousands of events so the
+// whole `bench/` directory finishes in minutes on one core. Set
+// SPECTRE_BENCH_SCALE (float, default 1.0) to grow or shrink every dataset.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "data/nyse_synth.hpp"
+#include "data/rand_stream.hpp"
+#include "harness/bench_util.hpp"
+
+namespace spectre::bench {
+
+inline double bench_scale() {
+    if (const char* s = std::getenv("SPECTRE_BENCH_SCALE")) return std::atof(s);
+    return 1.0;
+}
+
+inline std::uint64_t scaled(std::uint64_t n) {
+    return static_cast<std::uint64_t>(static_cast<double>(n) * bench_scale());
+}
+
+// NYSE-like stream for Q1: 3000 symbols, 1-quote-per-minute round robin,
+// pure random walk (rising probability 0.5).
+inline event::EventStore nyse_store(const data::StockVocab& vocab, std::uint64_t events,
+                                    std::uint64_t seed) {
+    data::NyseSynthConfig cfg;
+    cfg.events = events;
+    cfg.symbols = 3000;
+    cfg.up_prob = 0.5;
+    cfg.seed = seed;
+    event::EventStore store;
+    data::generate_nyse(vocab, cfg, store);
+    return store;
+}
+
+// NYSE-like stream for Q2: mean-reverting prices oscillating around 100 so
+// the band predicates keep firing.
+inline event::EventStore nyse_store_reverting(const data::StockVocab& vocab,
+                                              std::uint64_t events, std::uint64_t seed) {
+    data::NyseSynthConfig cfg;
+    cfg.events = events;
+    cfg.symbols = 100;
+    cfg.up_prob = 0.5;
+    cfg.tick = 1.5;
+    cfg.mean_reversion = 0.05;
+    cfg.seed = seed;
+    event::EventStore store;
+    data::generate_nyse(vocab, cfg, store);
+    return store;
+}
+
+// RAND stream for Q3: 300 uniform symbols (§4.1).
+inline event::EventStore rand_store(const data::StockVocab& vocab, std::uint64_t events,
+                                    std::uint64_t seed) {
+    data::RandStreamConfig cfg;
+    cfg.events = events;
+    cfg.symbols = 300;
+    cfg.seed = seed;
+    event::EventStore store;
+    data::generate_rand(vocab, cfg, store);
+    return store;
+}
+
+inline data::StockVocab fresh_vocab() {
+    return data::StockVocab::create(std::make_shared<event::Schema>());
+}
+
+}  // namespace spectre::bench

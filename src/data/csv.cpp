@@ -1,0 +1,63 @@
+#include "data/csv.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace spectre::data {
+
+void write_csv(std::ostream& os, const StockVocab& vocab,
+               const std::vector<event::Event>& events) {
+    // Full round-trip precision for the price attributes.
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "ts,symbol,open,close,volume\n";
+    for (const auto& e : events) {
+        os << e.ts << ',' << vocab.schema->subject_name(e.subject) << ','
+           << e.attr(vocab.open_slot) << ',' << e.attr(vocab.close_slot) << ','
+           << e.attr(vocab.volume_slot) << '\n';
+    }
+}
+
+void write_csv_file(const std::string& path, const StockVocab& vocab,
+                    const std::vector<event::Event>& events) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open for writing: " + path);
+    write_csv(os, vocab, events);
+}
+
+std::vector<event::Event> read_csv(std::istream& is, const StockVocab& vocab) {
+    std::vector<event::Event> out;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty()) continue;
+        if (lineno == 1 && line.rfind("ts,", 0) == 0) continue;  // header
+        std::istringstream row(line);
+        std::string ts_s, sym, open_s, close_s, vol_s;
+        if (!std::getline(row, ts_s, ',') || !std::getline(row, sym, ',') ||
+            !std::getline(row, open_s, ',') || !std::getline(row, close_s, ',') ||
+            !std::getline(row, vol_s, ','))
+            throw std::runtime_error("malformed CSV row at line " + std::to_string(lineno));
+        try {
+            out.push_back(make_quote(vocab, static_cast<event::Timestamp>(std::stoll(ts_s)),
+                                     vocab.schema->intern_subject(sym), std::stod(open_s),
+                                     std::stod(close_s), std::stod(vol_s)));
+        } catch (const std::exception&) {
+            throw std::runtime_error("malformed CSV value at line " + std::to_string(lineno));
+        }
+    }
+    return out;
+}
+
+std::vector<event::Event> read_csv_file(const std::string& path, const StockVocab& vocab) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open for reading: " + path);
+    return read_csv(is, vocab);
+}
+
+}  // namespace spectre::data

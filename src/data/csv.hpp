@@ -1,0 +1,26 @@
+// CSV persistence for quote streams.
+//
+// Format: ts,symbol,open,close,volume — one event per line, header included.
+// Lets users run the engines and benches over their own recorded quote data
+// (e.g. a real NYSE extract) instead of the synthetic generators.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/stock.hpp"
+#include "event/stream.hpp"
+
+namespace spectre::data {
+
+void write_csv(std::ostream& os, const StockVocab& vocab,
+               const std::vector<event::Event>& events);
+void write_csv_file(const std::string& path, const StockVocab& vocab,
+                    const std::vector<event::Event>& events);
+
+// Parses events; symbols are interned into the vocab's schema. Throws
+// std::runtime_error on malformed rows.
+std::vector<event::Event> read_csv(std::istream& is, const StockVocab& vocab);
+std::vector<event::Event> read_csv_file(const std::string& path, const StockVocab& vocab);
+
+}  // namespace spectre::data

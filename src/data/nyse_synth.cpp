@@ -1,0 +1,60 @@
+#include "data/nyse_synth.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace spectre::data {
+
+std::vector<event::Event> generate_nyse(const StockVocab& vocab, const NyseSynthConfig& cfg) {
+    SPECTRE_REQUIRE(cfg.symbols >= 1, "need at least one symbol");
+    SPECTRE_REQUIRE(cfg.up_prob >= 0.0 && cfg.up_prob <= 1.0, "up_prob out of [0,1]");
+
+    // Symbol universe: the 16 leaders plus synthetic tickers.
+    std::vector<event::SubjectId> symbols = vocab.leaders;
+    if (static_cast<int>(symbols.size()) > cfg.symbols)
+        symbols.resize(static_cast<std::size_t>(cfg.symbols));
+    for (int i = static_cast<int>(symbols.size()); i < cfg.symbols; ++i)
+        symbols.push_back(vocab.schema->intern_subject("SYM" + std::to_string(i)));
+
+    std::vector<double> price(symbols.size(), cfg.start_price);
+    util::Rng rng(cfg.seed);
+
+    // Arrival order within each minute: identity or a fresh shuffle per
+    // minute (deterministic given the seed).
+    std::vector<std::size_t> order(symbols.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+    std::vector<event::Event> out;
+    out.reserve(cfg.events);
+    // One quote per symbol per minute — the NYSE dataset's 1-minute
+    // resolution across ~3000 symbols.
+    for (std::uint64_t i = 0; i < cfg.events; ++i) {
+        const std::size_t pos_in_minute = static_cast<std::size_t>(i % symbols.size());
+        if (pos_in_minute == 0 && cfg.shuffle_within_minute)
+            std::shuffle(order.begin(), order.end(), rng.engine());
+        const std::size_t s = order[pos_in_minute];
+        const auto minute = static_cast<event::Timestamp>(i / symbols.size());
+        const double open = price[s];
+        double close = open;
+        if (!rng.flip(cfg.flat_prob)) {
+            const bool up = rng.flip(cfg.up_prob);
+            const double magnitude = cfg.tick * (0.5 + rng.uniform());
+            close = up ? open + magnitude : open - magnitude;
+            close += cfg.mean_reversion * (cfg.start_price - open);
+        }
+        close = std::clamp(close, cfg.min_price, cfg.max_price);
+        price[s] = close;
+        const double volume = 100.0 + rng.uniform(0.0, 900.0);
+        out.push_back(make_quote(vocab, minute, symbols[s], open, close, volume));
+    }
+    return out;
+}
+
+void generate_nyse(const StockVocab& vocab, const NyseSynthConfig& cfg,
+                   event::EventStore& store) {
+    for (auto& e : generate_nyse(vocab, cfg)) store.append(e);
+}
+
+}  // namespace spectre::data

@@ -1,0 +1,49 @@
+// Synthetic NYSE-like intra-day quote stream.
+//
+// The paper's NYSE dataset (24M real quotes, ~3000 symbols, 1 quote/minute,
+// collected from Google Finance) is not redistributable, so we substitute a
+// generator with the same shape (DESIGN.md §4.2): a configurable number of
+// symbols (16 of which are the Q1 leaders), round-robin interleaved at
+// 1-minute resolution, prices following a bounded geometric random walk.
+// `up_prob` controls the probability that a quote closes above its open —
+// the knob that sets Q1/Q2 pattern-completion probabilities, which is the
+// independent variable of Fig. 10.
+#pragma once
+
+#include <cstdint>
+
+#include "data/stock.hpp"
+#include "event/stream.hpp"
+#include "util/rng.hpp"
+
+namespace spectre::data {
+
+struct NyseSynthConfig {
+    std::uint64_t events = 100'000;
+    int symbols = 3000;        // total symbols, leaders included
+    double up_prob = 0.5;      // P(close > open) among non-flat quotes
+    double flat_prob = 0.0;    // P(close == open): 1-minute bars are often flat
+    double start_price = 100.0;
+    double tick = 0.25;        // magnitude scale of one quote's move
+    // Pull toward start_price per quote (0 = pure random walk). Q2's band
+    // patterns need prices that keep oscillating through [lower, upper]
+    // instead of drifting away.
+    double mean_reversion = 0.0;
+    double min_price = 1.0;
+    double max_price = 10'000.0;
+    // Shuffle the symbol order within each minute (quote arrival order on a
+    // real feed is not alphabetical; without this, all 16 leaders cluster at
+    // each minute boundary and one Q1 match consumes the whole cluster).
+    bool shuffle_within_minute = true;
+    std::uint64_t seed = 42;
+};
+
+// Generates the whole stream into a fresh vector (events are in timestamp
+// order; seq is assigned on EventStore append).
+std::vector<event::Event> generate_nyse(const StockVocab& vocab, const NyseSynthConfig& cfg);
+
+// Convenience: generate and append into a store.
+void generate_nyse(const StockVocab& vocab, const NyseSynthConfig& cfg,
+                   event::EventStore& store);
+
+}  // namespace spectre::data

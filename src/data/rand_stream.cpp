@@ -1,0 +1,43 @@
+#include "data/rand_stream.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace spectre::data {
+
+std::vector<event::Event> generate_rand(const StockVocab& vocab, const RandStreamConfig& cfg) {
+    SPECTRE_REQUIRE(cfg.symbols >= 1, "need at least one symbol");
+
+    std::vector<event::SubjectId> symbols = vocab.leaders;
+    if (static_cast<int>(symbols.size()) > cfg.symbols)
+        symbols.resize(static_cast<std::size_t>(cfg.symbols));
+    for (int i = static_cast<int>(symbols.size()); i < cfg.symbols; ++i)
+        symbols.push_back(vocab.schema->intern_subject("RSYM" + std::to_string(i)));
+
+    std::vector<double> price(symbols.size(), cfg.start_price);
+    util::Rng rng(cfg.seed);
+
+    std::vector<event::Event> out;
+    out.reserve(cfg.events);
+    for (std::uint64_t i = 0; i < cfg.events; ++i) {
+        const auto s = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(symbols.size()) - 1));
+        const double open = price[s];
+        const double magnitude = cfg.tick * (0.5 + rng.uniform());
+        double close = rng.flip(cfg.up_prob) ? open + magnitude : open - magnitude;
+        close = std::max(close, 1.0);
+        price[s] = close;
+        out.push_back(make_quote(vocab, static_cast<event::Timestamp>(i), symbols[s], open,
+                                 close, 100.0));
+    }
+    return out;
+}
+
+void generate_rand(const StockVocab& vocab, const RandStreamConfig& cfg,
+                   event::EventStore& store) {
+    for (auto& e : generate_rand(vocab, cfg)) store.append(e);
+}
+
+}  // namespace spectre::data

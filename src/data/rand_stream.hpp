@@ -1,0 +1,30 @@
+// RAND dataset: the paper's synthetic stream (§4.1) — "a random sequence of
+// 3 million events consisting of 300 different stock symbols; the
+// probability of each stock symbol is equally distributed". Prices follow
+// the same bounded walk as the NYSE generator so price predicates stay
+// meaningful; symbols are drawn i.i.d. uniform instead of round-robin.
+#pragma once
+
+#include <cstdint>
+
+#include "data/stock.hpp"
+#include "event/stream.hpp"
+#include "util/rng.hpp"
+
+namespace spectre::data {
+
+struct RandStreamConfig {
+    std::uint64_t events = 3'000'000;
+    int symbols = 300;
+    double up_prob = 0.5;
+    double start_price = 100.0;
+    double tick = 0.25;
+    std::uint64_t seed = 7;
+};
+
+std::vector<event::Event> generate_rand(const StockVocab& vocab, const RandStreamConfig& cfg);
+
+void generate_rand(const StockVocab& vocab, const RandStreamConfig& cfg,
+                   event::EventStore& store);
+
+}  // namespace spectre::data

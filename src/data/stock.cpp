@@ -1,0 +1,40 @@
+#include "data/stock.hpp"
+
+#include "util/assert.hpp"
+
+namespace spectre::data {
+
+const std::vector<std::string>& leader_symbol_names() {
+    static const std::vector<std::string> names = {
+        "AAPL", "MSFT", "GOOG", "AMZN", "IBM",  "INTC", "ORCL", "CSCO",
+        "HPQ",  "TXN",  "QCOM", "ADBE", "NVDA", "AMAT", "MU",   "EBAY",
+    };
+    return names;
+}
+
+StockVocab StockVocab::create(std::shared_ptr<event::Schema> schema) {
+    SPECTRE_REQUIRE(schema != nullptr, "StockVocab needs a schema");
+    StockVocab v;
+    v.schema = std::move(schema);
+    v.quote_type = v.schema->intern_type("QUOTE");
+    v.open_slot = v.schema->intern_attr("open");
+    v.close_slot = v.schema->intern_attr("close");
+    v.volume_slot = v.schema->intern_attr("volume");
+    for (const auto& name : leader_symbol_names())
+        v.leaders.push_back(v.schema->intern_subject(name));
+    return v;
+}
+
+event::Event make_quote(const StockVocab& v, event::Timestamp ts, event::SubjectId symbol,
+                        double open, double close, double volume) {
+    event::Event e;
+    e.ts = ts;
+    e.type = v.quote_type;
+    e.subject = symbol;
+    e.set_attr(v.open_slot, open);
+    e.set_attr(v.close_slot, close);
+    e.set_attr(v.volume_slot, volume);
+    return e;
+}
+
+}  // namespace spectre::data

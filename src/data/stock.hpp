@@ -1,0 +1,36 @@
+// Shared stock-event vocabulary for the algorithmic-trading datasets.
+//
+// Both datasets (§4.1) carry intra-day quotes: a symbol plus open/close
+// prices (and a volume attribute for realism). StockVocab interns the
+// attribute and type names into a Schema once so that queries and generators
+// agree on slots, and defines the 16 "technology blue chip" leading symbols
+// Q1's MLE element selects on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "event/event.hpp"
+
+namespace spectre::data {
+
+struct StockVocab {
+    std::shared_ptr<event::Schema> schema;
+    event::TypeId quote_type;      // every quote event has this type
+    event::AttrSlot open_slot;     // "open"
+    event::AttrSlot close_slot;    // "close"
+    event::AttrSlot volume_slot;   // "volume"
+    std::vector<event::SubjectId> leaders;  // the 16 blue-chip symbols
+
+    static StockVocab create(std::shared_ptr<event::Schema> schema);
+};
+
+// The leader symbol names (used by Q1's MLE and by the generators).
+const std::vector<std::string>& leader_symbol_names();
+
+// Builds a quote event (seq is assigned by the EventStore on append).
+event::Event make_quote(const StockVocab& v, event::Timestamp ts, event::SubjectId symbol,
+                        double open, double close, double volume);
+
+}  // namespace spectre::data

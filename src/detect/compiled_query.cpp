@@ -1,0 +1,65 @@
+#include "detect/compiled_query.hpp"
+
+#include "util/assert.hpp"
+
+namespace spectre::detect {
+
+CompiledQuery CompiledQuery::compile(query::Query q) {
+    q.validate();
+    CompiledQuery cq;
+    cq.q_ = std::move(q);
+
+    const auto& pattern = cq.q_.pattern;
+    const auto& policy = cq.q_.consumption;
+    cq.consume_element_.assign(pattern.elements.size(), 0);
+    cq.consume_member_.resize(pattern.elements.size());
+    for (std::size_t i = 0; i < pattern.elements.size(); ++i)
+        cq.consume_member_[i].assign(pattern.elements[i].members.size(), 0);
+
+    switch (policy.kind) {
+        case query::ConsumptionPolicy::Kind::None:
+            break;
+        case query::ConsumptionPolicy::Kind::All:
+            for (std::size_t i = 0; i < pattern.elements.size(); ++i) {
+                cq.consume_element_[i] = 1;
+                for (auto& m : cq.consume_member_[i]) m = 1;
+            }
+            break;
+        case query::ConsumptionPolicy::Kind::Subset:
+            for (const auto& name : policy.elements) {
+                for (std::size_t i = 0; i < pattern.elements.size(); ++i) {
+                    const auto& el = pattern.elements[i];
+                    if (el.name == name) {
+                        // Naming an element consumes the whole element,
+                        // including every SET member under it.
+                        cq.consume_element_[i] = 1;
+                        for (auto& m : cq.consume_member_[i]) m = 1;
+                    }
+                    for (std::size_t j = 0; j < el.members.size(); ++j)
+                        if (el.members[j].name == name) cq.consume_member_[i][j] = 1;
+                }
+            }
+            break;
+    }
+
+    for (std::size_t i = 0; i < cq.consume_element_.size(); ++i) {
+        if (cq.consume_element_[i]) cq.consumes_anything_ = true;
+        for (const auto m : cq.consume_member_[i])
+            if (m) cq.consumes_anything_ = true;
+    }
+
+    cq.min_length_ = pattern.min_length();
+    cq.binding_count_ = pattern.binding_count();
+    return cq;
+}
+
+bool CompiledQuery::consumes(std::size_t elem, int member) const {
+    SPECTRE_REQUIRE(elem < consume_element_.size(), "element index out of range");
+    if (member < 0) return consume_element_[elem] != 0;
+    const auto& members = consume_member_[elem];
+    SPECTRE_REQUIRE(static_cast<std::size_t>(member) < members.size(),
+                    "member index out of range");
+    return consume_element_[elem] != 0 || members[static_cast<std::size_t>(member)] != 0;
+}
+
+}  // namespace spectre::detect

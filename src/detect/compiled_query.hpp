@@ -1,0 +1,44 @@
+// CompiledQuery: a Query post-processed for the hot matching path.
+//
+// Compilation resolves the consumption policy into per-element / per-member
+// flags (is a binding to this element consumed when the match completes?)
+// and precomputes the pattern's minimum length (the initial δ of the Markov
+// model). A CompiledQuery is immutable after construction and shared by all
+// operator-instance threads of an engine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "query/query.hpp"
+
+namespace spectre::detect {
+
+class CompiledQuery {
+public:
+    static CompiledQuery compile(query::Query q);
+
+    const query::Query& query() const noexcept { return q_; }
+    const query::Pattern& pattern() const noexcept { return q_.pattern; }
+
+    // Is an event bound to element `elem` (member `member`, or -1 for the
+    // element itself / a Plus absorption) consumed on match completion?
+    bool consumes(std::size_t elem, int member) const;
+
+    int min_length() const noexcept { return min_length_; }
+    int binding_count() const noexcept { return binding_count_; }
+
+    // True if any binding can be consumed at all; engines without pending
+    // consumption can skip the dependency machinery entirely.
+    bool consumes_anything() const noexcept { return consumes_anything_; }
+
+private:
+    query::Query q_;
+    std::vector<char> consume_element_;               // per element
+    std::vector<std::vector<char>> consume_member_;   // per element, per member
+    int min_length_ = 0;
+    int binding_count_ = 0;
+    bool consumes_anything_ = false;
+};
+
+}  // namespace spectre::detect

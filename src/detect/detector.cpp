@@ -1,0 +1,321 @@
+#include "detect/detector.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace spectre::detect {
+
+void Feedback::clear() {
+    created.clear();
+    bound.clear();
+    completed.clear();
+    abandoned.clear();
+    transitions.clear();
+}
+
+bool Feedback::empty() const {
+    return created.empty() && bound.empty() && completed.empty() && abandoned.empty() &&
+           transitions.empty();
+}
+
+Detector::Detector(const CompiledQuery* cq) : cq_(cq) {
+    SPECTRE_REQUIRE(cq != nullptr, "Detector needs a compiled query");
+}
+
+void Detector::begin_window(const query::WindowInfo& w) {
+    win_ = w;
+    matches_.clear();
+    local_consumed_.clear();
+    matches_started_ = 0;
+    // MatchIds keep increasing across begin_window calls so a rolled-back
+    // window version never reuses an id — engines map ids to consumption
+    // groups and must be able to tell re-created matches apart.
+}
+
+int Detector::min_delta() const {
+    int best = -1;
+    for (const auto& m : matches_) {
+        const int d = delta_of(m);
+        if (best < 0 || d < best) best = d;
+    }
+    return best;
+}
+
+int Detector::delta_of(const PartialMatch& m) const {
+    const auto& elements = cq_->pattern().elements;
+    int delta = 0;
+    for (std::size_t i = m.elem; i < elements.size(); ++i) {
+        const auto& el = elements[i];
+        switch (el.kind) {
+            case query::ElementKind::Single:
+                delta += 1;
+                break;
+            case query::ElementKind::Plus:
+                // A Plus that already absorbed an event needs nothing more
+                // (it can exit via the next element).
+                delta += (i == m.elem && m.plus_entered) ? 0 : 1;
+                break;
+            case query::ElementKind::Set: {
+                const auto total = static_cast<int>(el.members.size());
+                if (i == m.elem)
+                    delta += total - m.set_count();
+                else
+                    delta += total;
+                break;
+            }
+        }
+    }
+    return delta;
+}
+
+bool Detector::match_done(const PartialMatch& m) const {
+    const auto& els = cq_->pattern().elements;
+    if (m.elem >= els.size()) return true;
+    // A trailing Plus completes on its first absorption (min-match).
+    return m.elem == els.size() - 1 && els[m.elem].kind == query::ElementKind::Plus &&
+           m.plus_entered;
+}
+
+query::EvalContext Detector::ctx(const PartialMatch& m, const event::Event* current) const {
+    query::EvalContext c;
+    c.current = current;
+    c.bound = m.slots;
+    return c;
+}
+
+bool Detector::match_limit_reached() const {
+    const int limit = cq_->query().max_matches_per_window;
+    return limit > 0 && matches_started_ >= limit;
+}
+
+void Detector::bind(PartialMatch& m, std::size_t elem, int member, int slot,
+                    const event::Event& e, Feedback& fb) {
+    m.bound.push_back(BoundEvent{e.seq, static_cast<std::uint16_t>(elem),
+                                 static_cast<std::int16_t>(member)});
+    const auto uslot = static_cast<std::size_t>(slot);
+    if (m.slots[uslot] == nullptr) m.slots[uslot] = &e;
+    // An element's own slot additionally tracks its first event even when the
+    // binding came through a SET member.
+    if (member >= 0) {
+        const auto eslot = static_cast<std::size_t>(cq_->pattern().element_slot(elem));
+        if (m.slots[eslot] == nullptr) m.slots[eslot] = &e;
+    }
+    fb.bound.push_back(Feedback::Bound{m.id, e.seq, cq_->consumes(elem, member), delta_of(m)});
+}
+
+bool Detector::try_enter(PartialMatch& m, std::size_t elem, const event::Event& e,
+                         Feedback& fb) {
+    const auto& el = cq_->pattern().elements[elem];
+    switch (el.kind) {
+        case query::ElementKind::Single:
+            if (!query::eval_bool(el.pred, ctx(m, &e))) return false;
+            m.elem = elem;
+            bind(m, elem, -1, cq_->pattern().element_slot(elem), e, fb);
+            m.elem = elem + 1;
+            m.plus_entered = false;
+            m.set_mask.clear();
+            return true;
+        case query::ElementKind::Plus:
+            if (!query::eval_bool(el.pred, ctx(m, &e))) return false;
+            m.elem = elem;
+            bind(m, elem, -1, cq_->pattern().element_slot(elem), e, fb);
+            m.plus_entered = true;
+            m.set_mask.clear();
+            return true;
+        case query::ElementKind::Set: {
+            for (std::size_t j = 0; j < el.members.size(); ++j) {
+                if (elem == m.elem && m.set_bit(j)) continue;
+                if (!query::eval_bool(el.members[j].pred, ctx(m, &e))) continue;
+                if (elem != m.elem) m.set_mask.clear();
+                m.elem = elem;
+                m.mark_bit(j, el.members.size());
+                bind(m, elem, static_cast<int>(j),
+                     cq_->pattern().member_slot(elem, j), e, fb);
+                if (m.set_count() == static_cast<int>(el.members.size())) {
+                    m.elem = elem + 1;
+                    m.set_mask.clear();
+                    m.plus_entered = false;
+                }
+                return true;
+            }
+            return false;
+        }
+    }
+    return false;
+}
+
+Detector::StepResult Detector::step(PartialMatch& m, const event::Event& e, Feedback& fb) {
+    const auto& elements = cq_->pattern().elements;
+    SPECTRE_CHECK(m.elem < elements.size(), "stepping a completed match");
+    const auto& cur = elements[m.elem];
+
+    if (cur.guard && query::eval_bool(cur.guard, ctx(m, &e))) return StepResult::GuardAbandoned;
+
+    // Advance-first: an entered Plus prefers handing the event to the next
+    // element over absorbing it (DESIGN.md §5).
+    if (cur.kind == query::ElementKind::Plus && m.plus_entered &&
+        m.elem + 1 < elements.size()) {
+        if (try_enter(m, m.elem + 1, e, fb))
+            return match_done(m) ? StepResult::Completed : StepResult::Bound;
+    }
+
+    const std::size_t elem_before = m.elem;
+    if (try_enter(m, elem_before, e, fb))
+        return match_done(m) ? StepResult::Completed : StepResult::Bound;
+    return StepResult::NoMatch;
+}
+
+void Detector::spawn_sticky_successor(const PartialMatch& m, Feedback& fb,
+                                      std::vector<PartialMatch>& spawned) {
+    const auto& elements = cq_->pattern().elements;
+    std::size_t prefix = 0;
+    while (prefix < elements.size() && elements[prefix].sticky) ++prefix;
+    if (prefix == 0) return;
+
+    PartialMatch s;
+    s.id = next_id_;
+    s.elem = prefix;
+    s.slots.assign(static_cast<std::size_t>(cq_->binding_count()), nullptr);
+    for (std::size_t i = 0; i < prefix; ++i) {
+        const auto slot = static_cast<std::size_t>(cq_->pattern().element_slot(i));
+        const event::Event* e = m.slots[slot];
+        SPECTRE_CHECK(e != nullptr, "sticky element unbound in a completed match");
+        // A consumed sticky event cannot be correlated again.
+        if (local_consumed_.count(e->seq)) return;
+        s.slots[slot] = e;
+        s.bound.push_back(BoundEvent{e->seq, static_cast<std::uint16_t>(i), -1});
+    }
+    ++next_id_;  // successors do not count against max_matches_per_window
+    fb.created.push_back(Feedback::Created{s.id, delta_of(s), cq_->consumes_anything()});
+    for (const auto& b : s.bound)
+        fb.bound.push_back(
+            Feedback::Bound{s.id, b.seq, cq_->consumes(b.elem, b.member), delta_of(s)});
+    spawned.push_back(std::move(s));
+}
+
+void Detector::complete_match(PartialMatch& m, Feedback& fb,
+                              std::vector<PartialMatch>& spawned) {
+    m.complete = true;
+
+    event::ComplexEvent ce;
+    ce.window_id = win_.id;
+    ce.constituents.reserve(m.bound.size());
+    for (const auto& b : m.bound) ce.constituents.push_back(b.seq);
+    std::sort(ce.constituents.begin(), ce.constituents.end());
+
+    for (const auto& def : cq_->query().payload) {
+        bool ok = true;
+        const double v = query::eval(*def.expr, ctx(m, nullptr), ok);
+        ce.payload.emplace_back(def.name, ok ? v : 0.0);
+    }
+
+    std::vector<event::Seq> consumed;
+    for (const auto& b : m.bound)
+        if (cq_->consumes(b.elem, b.member)) consumed.push_back(b.seq);
+    std::sort(consumed.begin(), consumed.end());
+    consumed.erase(std::unique(consumed.begin(), consumed.end()), consumed.end());
+    for (const auto seq : consumed) local_consumed_.insert(seq);
+
+    fb.completed.push_back(Feedback::Completed{m.id, std::move(ce), std::move(consumed)});
+    spawn_sticky_successor(m, fb, spawned);
+}
+
+void Detector::on_event(const event::Event& e, Feedback& fb) {
+    SPECTRE_REQUIRE(e.seq >= win_.first && e.seq <= win_.last,
+                    "event outside the current window");
+    // Events consumed by an earlier completed match in this window are
+    // invisible to further matching (§2.1).
+    if (local_consumed_.count(e.seq)) return;
+
+    // Events consumed by completions earlier in this very pass. Matches are
+    // visited in creation order, so older matches win contended events —
+    // deterministically, the way a sequential engine would resolve it.
+    std::vector<event::Seq> newly_consumed;
+    const auto is_newly_consumed = [&](event::Seq s) {
+        return std::find(newly_consumed.begin(), newly_consumed.end(), s) !=
+               newly_consumed.end();
+    };
+    std::vector<PartialMatch> spawned;  // sticky successors, appended after the loop
+
+    for (auto& m : matches_) {
+        if (m.complete) continue;
+        if (!newly_consumed.empty()) {
+            // A completion earlier in this pass consumed an event this match
+            // had bound: the match can no longer become a distinct instance.
+            const bool hit = std::any_of(
+                m.bound.begin(), m.bound.end(),
+                [&](const BoundEvent& b) { return is_newly_consumed(b.seq); });
+            if (hit) {
+                fb.abandoned.push_back(
+                    Feedback::Abandoned{m.id, AbandonReason::ConsumedElsewhere});
+                m.complete = true;
+                m.bound.clear();
+                continue;
+            }
+            if (is_newly_consumed(e.seq)) {
+                // The event itself was just consumed; this match sees nothing.
+                const int d = delta_of(m);
+                fb.transitions.push_back(DeltaTransition{d, d});
+                continue;
+            }
+        }
+        const int d_before = delta_of(m);
+        const StepResult r = step(m, e, fb);
+        switch (r) {
+            case StepResult::GuardAbandoned:
+                fb.abandoned.push_back(Feedback::Abandoned{m.id, AbandonReason::Guard});
+                m.complete = true;  // mark for removal below
+                m.bound.clear();
+                fb.transitions.push_back(DeltaTransition{d_before, d_before});
+                break;
+            case StepResult::Completed: {
+                fb.transitions.push_back(DeltaTransition{d_before, 0});
+                complete_match(m, fb, spawned);
+                for (const auto& c : fb.completed.back().consumed)
+                    newly_consumed.push_back(c);
+                break;
+            }
+            case StepResult::Bound:
+            case StepResult::NoMatch:
+                fb.transitions.push_back(DeltaTransition{d_before, delta_of(m)});
+                break;
+        }
+    }
+
+    std::erase_if(matches_, [](const PartialMatch& m) { return m.complete; });
+    for (auto& s : spawned) matches_.push_back(std::move(s));
+    spawned.clear();
+
+    // Try to start a new match with this event (selection policy permitting).
+    if (!match_limit_reached() && !local_consumed_.count(e.seq)) {
+        PartialMatch trial;
+        trial.id = next_id_;
+        trial.slots.assign(static_cast<std::size_t>(cq_->binding_count()), nullptr);
+        Feedback trial_fb;
+        if (try_enter(trial, 0, e, trial_fb)) {
+            ++next_id_;
+            ++matches_started_;
+            fb.created.push_back(
+                Feedback::Created{trial.id, delta_of(trial), cq_->consumes_anything()});
+            fb.transitions.push_back(DeltaTransition{cq_->min_length(), delta_of(trial)});
+            for (auto& b : trial_fb.bound) fb.bound.push_back(b);
+
+            if (match_done(trial)) {
+                complete_match(trial, fb, spawned);
+                for (auto& s : spawned) matches_.push_back(std::move(s));
+            } else {
+                matches_.push_back(std::move(trial));
+            }
+        }
+    }
+}
+
+void Detector::end_window(Feedback& fb) {
+    for (auto& m : matches_)
+        fb.abandoned.push_back(Feedback::Abandoned{m.id, AbandonReason::WindowEnd});
+    matches_.clear();
+}
+
+}  // namespace spectre::detect

@@ -1,0 +1,162 @@
+// Detector: incremental pattern matching over one window.
+//
+// The detector is the "operator logic" of Fig. 8 line 14: the caller feeds it
+// the window's events one at a time (already filtered — suppressed events are
+// never fed, see §3.3) and receives Feedback describing exactly the four
+// actions the paper enumerates: (1) partial matches completed → complex
+// events + completed consumption groups, (2) abandoned groups, (3) newly
+// created groups, (4) events added to existing groups. The detector itself is
+// engine-agnostic: the sequential engine, SPECTRE's operator instances and
+// the statistics gatherer all drive the same class.
+//
+// Matching semantics (DESIGN.md §5): skip-till-next-match over the element
+// sequence; Plus is advance-first Kleene+ (a trailing Plus completes on its
+// first absorption — min-match); Set binds its members in any order; an
+// element's negation guard abandons the partial match if a guard-matching
+// event arrives while the element is current. Window end abandons all open
+// matches. Events consumed by a completed match are excluded from later
+// binding within the same window, and concurrently active matches that had
+// bound a now-consumed event are abandoned — an event participates in at
+// most one pattern instance.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "detect/compiled_query.hpp"
+
+namespace spectre::detect {
+
+using MatchId = std::uint64_t;
+
+// Why a partial match went away (maps to consumptionGroupAbandoned reasons in
+// §3.1: end of window, or a negation guard firing; ConsumedElsewhere is the
+// intra-window flavor of consumption).
+enum class AbandonReason { WindowEnd, Guard, ConsumedElsewhere };
+
+// δ transition observed while processing one event (input to the Markov
+// transition statistics, §3.2.1). Emitted for every active match on every
+// processed event — including δ_to == δ_from ("no progress"), which is what
+// lets the chain learn how often events fail to advance a pattern.
+struct DeltaTransition {
+    int from = 0;
+    int to = 0;
+};
+
+struct Feedback {
+    struct Created {
+        MatchId id;
+        int delta;          // δ right after creation (first event already bound)
+        bool consumable;    // pattern can consume anything → engines open a CG
+    };
+    struct Bound {
+        MatchId id;
+        event::Seq seq;
+        bool consumable;    // event would be consumed on completion → CG member
+        int delta_after;
+    };
+    struct Completed {
+        MatchId id;
+        event::ComplexEvent complex_event;
+        std::vector<event::Seq> consumed;  // ascending
+    };
+    struct Abandoned {
+        MatchId id;
+        AbandonReason reason;
+    };
+
+    std::vector<Created> created;
+    std::vector<Bound> bound;
+    std::vector<Completed> completed;
+    std::vector<Abandoned> abandoned;
+    std::vector<DeltaTransition> transitions;
+
+    void clear();
+    bool empty() const;
+};
+
+class Detector {
+public:
+    explicit Detector(const CompiledQuery* cq);
+
+    // Starts (or restarts) processing of window `w`. Resets all state; this
+    // is also the rollback path (§3.3: "rolled back to the start").
+    void begin_window(const query::WindowInfo& w);
+
+    // Feeds the next event of the window. `e` must live in the engine's
+    // EventStore (the detector keeps pointers for payload evaluation) and
+    // must not be a suppressed/consumed event — filtering is the caller's
+    // job, per Fig. 8 line 13.
+    void on_event(const event::Event& e, Feedback& fb);
+
+    // Closes the window: abandons all still-open matches (Fig. 4 abandonment
+    // reason 1, "termination of the corresponding window version").
+    void end_window(Feedback& fb);
+
+    const query::WindowInfo& window() const noexcept { return win_; }
+    std::size_t active_matches() const noexcept { return matches_.size(); }
+
+    // Smallest δ over active matches, or -1 if none (diagnostics only).
+    int min_delta() const;
+
+private:
+    struct BoundEvent {
+        event::Seq seq;
+        std::uint16_t elem;
+        std::int16_t member;  // -1 unless a SET member binding
+    };
+
+    struct PartialMatch {
+        MatchId id = 0;
+        std::size_t elem = 0;          // current element index
+        bool plus_entered = false;     // current Plus absorbed >= 1 event
+        // Matched members of the current Set element, one bit per member
+        // (multi-word: Q3-style sets can exceed 64 members).
+        std::vector<std::uint64_t> set_mask;
+        bool complete = false;
+        std::vector<BoundEvent> bound;
+        std::vector<const event::Event*> slots;  // binding slot -> first event
+
+        bool set_bit(std::size_t j) const {
+            const std::size_t w = j / 64;
+            return w < set_mask.size() && ((set_mask[w] >> (j % 64)) & 1u);
+        }
+        void mark_bit(std::size_t j, std::size_t total) {
+            set_mask.resize((total + 63) / 64, 0);
+            set_mask[j / 64] |= 1ull << (j % 64);
+        }
+        int set_count() const {
+            int n = 0;
+            for (const auto w : set_mask) n += std::popcount(w);
+            return n;
+        }
+    };
+
+    enum class StepResult { NoMatch, Bound, Completed, GuardAbandoned };
+
+    int delta_of(const PartialMatch& m) const;
+    bool match_done(const PartialMatch& m) const;
+    bool try_enter(PartialMatch& m, std::size_t elem, const event::Event& e,
+                   Feedback& fb);
+    StepResult step(PartialMatch& m, const event::Event& e, Feedback& fb);
+    void bind(PartialMatch& m, std::size_t elem, int member, int slot,
+              const event::Event& e, Feedback& fb);
+    void complete_match(PartialMatch& m, Feedback& fb,
+                        std::vector<PartialMatch>& spawned);
+    // Builds the successor match carrying the sticky prefix of `m`, if the
+    // pattern has one and none of its events were consumed.
+    void spawn_sticky_successor(const PartialMatch& m, Feedback& fb,
+                                std::vector<PartialMatch>& spawned);
+    query::EvalContext ctx(const PartialMatch& m, const event::Event* current) const;
+    bool match_limit_reached() const;
+
+    const CompiledQuery* cq_;
+    query::WindowInfo win_{};
+    std::vector<PartialMatch> matches_;
+    std::unordered_set<event::Seq> local_consumed_;
+    MatchId next_id_ = 1;
+    int matches_started_ = 0;
+};
+
+}  // namespace spectre::detect

@@ -1,0 +1,34 @@
+#include "event/event.hpp"
+
+#include <sstream>
+
+namespace spectre::event {
+
+std::string to_string(const Event& e, const Schema& schema) {
+    std::ostringstream os;
+    os << '#' << e.seq << ' ';
+    os << (e.type == util::kInvalidIntern ? "?" : schema.type_name(e.type));
+    if (e.subject != util::kInvalidIntern) os << '(' << schema.subject_name(e.subject) << ')';
+    os << "@" << e.ts << " {";
+    for (std::size_t s = 0; s < schema.attr_count(); ++s) {
+        if (s) os << ", ";
+        os << schema.attr_name(s) << '=' << e.attrs[s];
+    }
+    os << '}';
+    return os.str();
+}
+
+std::string to_string(const ComplexEvent& e) {
+    std::ostringstream os;
+    os << "cplx{w" << e.window_id << ", events=[";
+    for (std::size_t i = 0; i < e.constituents.size(); ++i) {
+        if (i) os << ',';
+        os << e.constituents[i];
+    }
+    os << ']';
+    for (const auto& [k, v] : e.payload) os << ", " << k << '=' << v;
+    os << '}';
+    return os.str();
+}
+
+}  // namespace spectre::event

@@ -1,0 +1,51 @@
+// Event: the unit every engine in this repository processes.
+//
+// Events carry meta-data (global sequence number, logical timestamp, type,
+// subject) plus up to kMaxAttrs numeric payload attributes addressed by
+// schema slot. `seq` is the well-defined global order the paper assumes
+// (§2.1: "events ... have a well-defined global ordering"); all engines and
+// the consumption bookkeeping identify events by seq.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "event/schema.hpp"
+
+namespace spectre::event {
+
+using Seq = std::uint64_t;
+using Timestamp = std::int64_t;
+
+struct Event {
+    Seq seq = 0;
+    Timestamp ts = 0;
+    TypeId type = util::kInvalidIntern;
+    SubjectId subject = util::kInvalidIntern;
+    std::array<double, kMaxAttrs> attrs{};
+
+    double attr(AttrSlot slot) const noexcept { return attrs[slot]; }
+    void set_attr(AttrSlot slot, double v) noexcept { attrs[slot] = v; }
+
+    bool operator==(const Event&) const = default;
+};
+
+// Renders an event for logs/tests, resolving interned names via `schema`.
+std::string to_string(const Event& e, const Schema& schema);
+
+// A complex (derived) event produced on a pattern match: which window it came
+// from, which input events constitute it, and computed payload attributes.
+struct ComplexEvent {
+    std::uint64_t window_id = 0;
+    std::vector<Seq> constituents;            // sorted ascending by seq
+    std::vector<std::pair<std::string, double>> payload;
+
+    bool operator==(const ComplexEvent&) const = default;
+};
+
+std::string to_string(const ComplexEvent& e);
+
+}  // namespace spectre::event

@@ -1,0 +1,33 @@
+#include "event/merge.hpp"
+
+namespace spectre::event {
+
+MergedStream::MergedStream(std::vector<std::unique_ptr<EventStream>> sources) {
+    heads_.reserve(sources.size());
+    for (auto& s : sources) {
+        Head h;
+        h.source = std::move(s);
+        heads_.push_back(std::move(h));
+    }
+    for (std::size_t i = 0; i < heads_.size(); ++i) refill(i);
+}
+
+void MergedStream::refill(std::size_t i) { heads_[i].event = heads_[i].source->next(); }
+
+std::optional<Event> MergedStream::next() {
+    std::size_t best = heads_.size();
+    for (std::size_t i = 0; i < heads_.size(); ++i) {
+        if (!heads_[i].event) continue;
+        // Ties (equal timestamps) resolve to the lowest source index, which
+        // is what makes the merged order — and thus every downstream result —
+        // deterministic.
+        if (best == heads_.size() || heads_[i].event->ts < heads_[best].event->ts) best = i;
+    }
+    if (best == heads_.size()) return std::nullopt;
+    Event out = *heads_[best].event;
+    out.seq = next_seq_++;
+    refill(best);
+    return out;
+}
+
+}  // namespace spectre::event

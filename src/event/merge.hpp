@@ -1,0 +1,35 @@
+// Deterministic k-way merge of event streams.
+//
+// Operators receive several incoming streams; the paper assumes a
+// well-defined global order "by timestamps and tie-breaker rules" (§2.1).
+// MergedStream implements exactly that: order by timestamp, break ties by
+// source index (lower index wins), and stamp fresh global sequence numbers
+// on the way out.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "event/stream.hpp"
+
+namespace spectre::event {
+
+class MergedStream final : public EventStream {
+public:
+    explicit MergedStream(std::vector<std::unique_ptr<EventStream>> sources);
+
+    std::optional<Event> next() override;
+
+private:
+    struct Head {
+        std::optional<Event> event;
+        std::unique_ptr<EventStream> source;
+    };
+
+    void refill(std::size_t i);
+
+    std::vector<Head> heads_;
+    Seq next_seq_ = 0;
+};
+
+}  // namespace spectre::event

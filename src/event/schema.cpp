@@ -1,0 +1,23 @@
+#include "event/schema.hpp"
+
+#include "util/assert.hpp"
+
+namespace spectre::event {
+
+AttrSlot Schema::intern_attr(std::string_view name) {
+    const auto existing = attrs_.lookup(name);
+    if (existing != util::kInvalidIntern) return existing;
+    SPECTRE_REQUIRE(attrs_.size() < kMaxAttrs, "too many attributes for event layout");
+    return attrs_.intern(name);
+}
+
+AttrSlot Schema::lookup_attr(std::string_view name) const {
+    const auto id = attrs_.lookup(name);
+    return id == util::kInvalidIntern ? kMaxAttrs : static_cast<AttrSlot>(id);
+}
+
+const std::string& Schema::attr_name(AttrSlot slot) const {
+    return attrs_.name(static_cast<util::InternId>(slot));
+}
+
+}  // namespace spectre::event

@@ -1,0 +1,54 @@
+// Schema: the naming side of the event model.
+//
+// A Schema interns event-type names, subject names (e.g. stock symbols) and
+// attribute names. Attributes map to fixed slots in Event::attrs so that the
+// matching hot path performs no hashing — predicates are compiled against
+// slot indices (DESIGN.md §2, item 2). One Schema instance is shared by a
+// query, its input streams and every engine processing them; it is frozen
+// (no more interning) before parallel processing begins.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/intern.hpp"
+
+namespace spectre::event {
+
+using TypeId = util::InternId;
+using SubjectId = util::InternId;
+using AttrSlot = std::size_t;
+
+// Maximum number of numeric attributes per event. Stock events use
+// {open, close, volume}; the spare slot keeps queries like QE's `change`
+// expressible without a layout change.
+inline constexpr std::size_t kMaxAttrs = 4;
+
+class Schema {
+public:
+    TypeId intern_type(std::string_view name) { return types_.intern(name); }
+    TypeId lookup_type(std::string_view name) const { return types_.lookup(name); }
+    const std::string& type_name(TypeId id) const { return types_.name(id); }
+    std::size_t type_count() const noexcept { return types_.size(); }
+
+    SubjectId intern_subject(std::string_view name) { return subjects_.intern(name); }
+    SubjectId lookup_subject(std::string_view name) const { return subjects_.lookup(name); }
+    const std::string& subject_name(SubjectId id) const { return subjects_.name(id); }
+    std::size_t subject_count() const noexcept { return subjects_.size(); }
+
+    // Returns the slot for `name`, assigning the next free one if unseen.
+    // Throws once more than kMaxAttrs distinct attribute names are requested.
+    AttrSlot intern_attr(std::string_view name);
+    // Returns the slot or kMaxAttrs if the attribute was never interned.
+    AttrSlot lookup_attr(std::string_view name) const;
+    const std::string& attr_name(AttrSlot slot) const;
+    std::size_t attr_count() const noexcept { return attrs_.size(); }
+
+private:
+    util::InternTable types_;
+    util::InternTable subjects_;
+    util::InternTable attrs_;
+};
+
+}  // namespace spectre::event

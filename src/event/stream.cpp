@@ -1,0 +1,35 @@
+#include "event/stream.hpp"
+
+#include "util/assert.hpp"
+
+namespace spectre::event {
+
+VectorStream::VectorStream(std::vector<Event> events) : events_(std::move(events)) {}
+
+std::optional<Event> VectorStream::next() {
+    if (pos_ >= events_.size()) return std::nullopt;
+    return events_[pos_++];
+}
+
+Seq EventStore::append(Event e) {
+    const Seq seq = events_.size();
+    e.seq = seq;
+    events_.push_back(e);
+    return seq;
+}
+
+void EventStore::append_all(EventStream& stream) {
+    while (auto e = stream.next()) append(*e);
+}
+
+const Event& EventStore::at(Seq seq) const {
+    SPECTRE_REQUIRE(seq < events_.size(), "event seq out of range");
+    return events_[seq];
+}
+
+std::span<const Event> EventStore::range(Seq first, Seq last) const {
+    SPECTRE_REQUIRE(first <= last && last < events_.size(), "invalid event range");
+    return std::span<const Event>(events_).subspan(first, last - first + 1);
+}
+
+}  // namespace spectre::event

@@ -1,0 +1,60 @@
+// Event stream abstractions.
+//
+// EventStream is a pull interface (next() until nullopt). The engines in this
+// repository materialize streams into an EventStore first: windows are ranges
+// over the store, operator instances address events by position, and the
+// consumption bookkeeping addresses them by seq — exactly the shared-memory
+// layout sketched in Fig. 2 ("events / windows" both live in shared memory).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "event/event.hpp"
+
+namespace spectre::event {
+
+class EventStream {
+public:
+    virtual ~EventStream() = default;
+    // Returns the next event in stream order, or nullopt at end-of-stream.
+    virtual std::optional<Event> next() = 0;
+};
+
+// Stream over a pre-built vector (datasets, tests).
+class VectorStream final : public EventStream {
+public:
+    explicit VectorStream(std::vector<Event> events);
+    std::optional<Event> next() override;
+
+private:
+    std::vector<Event> events_;
+    std::size_t pos_ = 0;
+};
+
+// Append-only store of the operator's in-order input; shared (read-only) by
+// all operator instances. Position in the store == index; Event::seq is
+// assigned densely on append, so store[e.seq] == e.
+class EventStore {
+public:
+    // Appends, overwriting `e.seq` with the store position. Returns the seq.
+    Seq append(Event e);
+
+    // Drains an entire stream into the store.
+    void append_all(EventStream& stream);
+
+    const Event& at(Seq seq) const;
+    std::size_t size() const noexcept { return events_.size(); }
+    bool empty() const noexcept { return events_.empty(); }
+
+    // Contiguous range [first, last] inclusive; used for window extents.
+    std::span<const Event> range(Seq first, Seq last) const;
+    std::span<const Event> all() const noexcept { return events_; }
+
+private:
+    std::vector<Event> events_;
+};
+
+}  // namespace spectre::event

@@ -1,0 +1,112 @@
+#include "harness/bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "sequential/seq_engine.hpp"
+#include "util/assert.hpp"
+
+namespace spectre::harness {
+
+Calibration calibrate(const detect::CompiledQuery& cq, const event::EventStore& store,
+                      int reps) {
+    SPECTRE_REQUIRE(!store.empty(), "calibration needs events");
+    sequential::SequentialEngine engine(&cq);
+    std::vector<double> ns_samples;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto result = engine.run(store);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+        const auto steps = result.stats.events_processed + result.stats.events_suppressed;
+        if (steps > 0) ns_samples.push_back(ns / static_cast<double>(steps));
+    }
+    Calibration cal;
+    if (!ns_samples.empty()) cal.ns_per_event = util::percentile(ns_samples, 50);
+    // A maintenance+scheduling cycle costs on the order of a few event steps
+    // (it walks a handful of tree vertices and drains a queue batch).
+    cal.splitter_cycle_ns = 4.0 * cal.ns_per_event;
+    return cal;
+}
+
+core::SimConfig paper_machine_sim(const Calibration& cal, int k) {
+    core::SimConfig cfg;
+    cfg.splitter.instances = k;
+    cfg.ns_per_event = cal.ns_per_event;
+    cfg.splitter_cycle_ns = cal.splitter_cycle_ns;
+    cfg.idle_poll_ns = cal.splitter_cycle_ns;
+    cfg.physical_cores = 20;   // 2x10-core Xeon E5-2687W v3
+    cfg.ht_efficiency = 0.25;  // hyper-threading gain beyond 20 threads
+    cfg.model_contention = true;
+    return cfg;
+}
+
+double run_sim_throughput(const event::EventStore& store, const detect::CompiledQuery& cq,
+                          core::SimConfig cfg,
+                          std::function<std::unique_ptr<model::CompletionModel>()> model) {
+    core::SimRuntime sim(&store, &cq, cfg, model());
+    return sim.run().throughput_eps;
+}
+
+std::unique_ptr<model::CompletionModel> paper_markov(int max_delta) {
+    model::MarkovParams params;  // α = 0.7, ℓ = 10 (§4.2)
+    return std::make_unique<model::MarkovModel>(max_delta, params);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+void Table::print() const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+        for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    const auto print_row = [&](const std::vector<std::string>& cells) {
+        std::printf("  ");
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            std::printf("%-*s  ", static_cast<int>(width[c]), cells[c].c_str());
+        std::printf("\n");
+    };
+    print_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        rule += std::string(width[c], '-') + "  ";
+    std::printf("  %s\n", rule.c_str());
+    for (const auto& r : rows_) print_row(r);
+}
+
+std::string fmt_eps(double eps) {
+    char buf[64];
+    if (eps >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", eps / 1e6);
+    else if (eps >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fk", eps / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", eps);
+    return buf;
+}
+
+std::string fmt_double(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string fmt_candle(const std::vector<double>& samples) {
+    const auto c = util::candlestick(samples);
+    std::ostringstream os;
+    os << fmt_eps(c.min) << " [" << fmt_eps(c.p25) << ' ' << fmt_eps(c.median) << ' '
+       << fmt_eps(c.p75) << "] " << fmt_eps(c.max);
+    return os.str();
+}
+
+void print_header(const std::string& experiment_id, const std::string& description) {
+    std::printf("\n=== %s — %s ===\n", experiment_id.c_str(), description.c_str());
+}
+
+}  // namespace spectre::harness

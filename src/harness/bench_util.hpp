@@ -1,0 +1,70 @@
+// Benchmark harness shared by all `bench/` binaries.
+//
+// Responsibilities:
+//   * cost calibration — measure this machine's per-event detector cost and
+//     the splitter's per-cycle cost, so the simulated multicore executor
+//     (DESIGN.md substitution 1) runs with realistic constants;
+//   * repetition — the paper repeats every experiment 10× and plots
+//     candlesticks; we repeat across dataset seeds (the simulator itself is
+//     deterministic) and report the same five-number summary;
+//   * table printing — every bench prints rows next to the paper's reference
+//     series so EXPERIMENTS.md can record paper-vs-measured directly.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "detect/compiled_query.hpp"
+#include "event/stream.hpp"
+#include "model/markov_model.hpp"
+#include "spectre/sim_runtime.hpp"
+#include "util/stats.hpp"
+
+namespace spectre::harness {
+
+struct Calibration {
+    double ns_per_event = 1000.0;     // detector step cost
+    double splitter_cycle_ns = 2000.0;  // maintenance + scheduling cycle cost
+};
+
+// Measures the sequential per-event processing cost of `cq` over `store`
+// (median of `reps` timed passes) and derives the splitter cycle cost.
+Calibration calibrate(const detect::CompiledQuery& cq, const event::EventStore& store,
+                      int reps = 3);
+
+// Builds a SimConfig mirroring the paper's machine (2x10 cores, HT) with the
+// calibrated costs and `k` operator instances.
+core::SimConfig paper_machine_sim(const Calibration& cal, int k);
+
+// One simulated run; returns throughput in events/second (virtual time).
+double run_sim_throughput(const event::EventStore& store, const detect::CompiledQuery& cq,
+                          core::SimConfig cfg,
+                          std::function<std::unique_ptr<model::CompletionModel>()> model);
+
+// Markov model with the paper's parameters (α=0.7, ℓ=10).
+std::unique_ptr<model::CompletionModel> paper_markov(int max_delta);
+
+// --- output ---------------------------------------------------------------
+
+// Fixed-width table printer.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+    void row(const std::vector<std::string>& cells);
+    void print() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_eps(double events_per_second);  // "154.0k", "1.2M"
+std::string fmt_double(double v, int precision = 2);
+
+// Candlestick over repetition samples, rendered the way the paper plots it.
+std::string fmt_candle(const std::vector<double>& samples);
+
+void print_header(const std::string& experiment_id, const std::string& description);
+
+}  // namespace spectre::harness

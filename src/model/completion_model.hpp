@@ -1,0 +1,34 @@
+// CompletionModel: predicts the probability that a consumption group's
+// underlying partial match completes (§3.2.1).
+//
+// The splitter queries the model for every pending consumption group at every
+// scheduling cycle; window-version survival probabilities — and therefore the
+// entire top-k schedule — derive from these predictions. Two implementations:
+//   MarkovModel — the paper's discrete-time Markov chain learned at run time,
+//   FixedModel  — assigns every group the same constant probability (the
+//                 comparison baseline of Fig. 11).
+#pragma once
+
+#include <cstdint>
+
+namespace spectre::model {
+
+class CompletionModel {
+public:
+    virtual ~CompletionModel() = default;
+
+    // Probability that a partial match needing at least `delta` more events
+    // completes within the next `events_left` events of its window.
+    virtual double completion_probability(int delta, std::uint64_t events_left) const = 0;
+
+    // Feeds one observed δ transition (from processing a single event).
+    // Engines only report transitions observed in independent (root) windows,
+    // per §3.2.1 ("window versions of independent windows gather statistics").
+    virtual void observe(int /*delta_from*/, int /*delta_to*/) {}
+
+    // Gives the model a chance to rebuild derived tables; called by the
+    // splitter between scheduling cycles.
+    virtual void refresh() {}
+};
+
+}  // namespace spectre::model

@@ -1,0 +1,4 @@
+#include "model/fixed_model.hpp"
+
+// Header-only; this translation unit exists so the target has a home for the
+// class and future non-inline additions.

@@ -1,0 +1,27 @@
+// Fixed-probability completion model: every consumption group gets the same
+// constant completion probability, regardless of its δ or the remaining
+// window length. This is the baseline the paper sweeps from 0% to 100% in
+// Fig. 11 to show that (a) the right constant is workload-dependent and
+// (b) the Markov model finds it automatically.
+#pragma once
+
+#include "model/completion_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace spectre::model {
+
+class FixedModel final : public CompletionModel {
+public:
+    explicit FixedModel(double probability) : p_(probability) {
+        SPECTRE_REQUIRE(probability >= 0.0 && probability <= 1.0,
+                        "completion probability out of [0,1]");
+    }
+
+    double completion_probability(int, std::uint64_t) const override { return p_; }
+
+private:
+    double p_;
+};
+
+}  // namespace spectre::model

@@ -1,0 +1,84 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace spectre::net {
+
+namespace {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+    // Serialize little-endian regardless of host order.
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(T));
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        out.push_back(static_cast<std::uint8_t>((bits >> (8 * i)) & 0xff));
+}
+
+void put_double(std::vector<std::uint8_t>& out, double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    put(out, bits);
+}
+
+template <typename T>
+T get(const std::vector<std::uint8_t>& buf, std::size_t& off) {
+    std::uint64_t bits = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        bits |= static_cast<std::uint64_t>(buf[off + i]) << (8 * i);
+    off += sizeof(T);
+    T value;
+    std::memcpy(&value, &bits, sizeof(T));
+    return value;
+}
+
+}  // namespace
+
+void encode(const WireQuote& q, std::vector<std::uint8_t>& out) {
+    SPECTRE_REQUIRE(q.symbol.size() <= kMaxSymbolLength, "symbol name too long");
+    put(out, static_cast<std::uint64_t>(q.ts));
+    put_double(out, q.open);
+    put_double(out, q.close);
+    put_double(out, q.volume);
+    put(out, static_cast<std::uint32_t>(q.symbol.size()));
+    out.insert(out.end(), q.symbol.begin(), q.symbol.end());
+}
+
+std::optional<WireQuote> decode(const std::vector<std::uint8_t>& buffer,
+                                std::size_t& offset) {
+    constexpr std::size_t kHeader = 8 + 8 + 8 + 8 + 4;
+    if (buffer.size() - offset < kHeader) return std::nullopt;
+    std::size_t off = offset;
+    WireQuote q;
+    q.ts = static_cast<std::int64_t>(get<std::uint64_t>(buffer, off));
+    q.open = get<double>(buffer, off);
+    q.close = get<double>(buffer, off);
+    q.volume = get<double>(buffer, off);
+    const auto len = get<std::uint32_t>(buffer, off);
+    if (len > kMaxSymbolLength) throw std::runtime_error("corrupt frame: symbol too long");
+    if (buffer.size() - off < len) return std::nullopt;
+    q.symbol.assign(buffer.begin() + static_cast<std::ptrdiff_t>(off),
+                    buffer.begin() + static_cast<std::ptrdiff_t>(off + len));
+    offset = off + len;
+    return q;
+}
+
+WireQuote to_wire(const event::Event& e, const data::StockVocab& vocab) {
+    WireQuote q;
+    q.ts = e.ts;
+    q.open = e.attr(vocab.open_slot);
+    q.close = e.attr(vocab.close_slot);
+    q.volume = e.attr(vocab.volume_slot);
+    q.symbol = vocab.schema->subject_name(e.subject);
+    return q;
+}
+
+event::Event from_wire(const WireQuote& q, const data::StockVocab& vocab) {
+    return data::make_quote(vocab, q.ts, vocab.schema->intern_subject(q.symbol), q.open,
+                            q.close, q.volume);
+}
+
+}  // namespace spectre::net

@@ -1,0 +1,45 @@
+// Wire framing for quote events.
+//
+// The paper's deployment feeds SPECTRE from "a client program that reads
+// events from a source file and sends them to SPECTRE over a TCP connection"
+// (§4.1). This module defines the byte format both ends speak: a fixed
+// little-endian header per event (timestamp, prices, volume, symbol length)
+// followed by the symbol name. Length-prefixed strings keep the protocol
+// self-describing; encode/decode are pure functions so they are unit-testable
+// without sockets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/stock.hpp"
+
+namespace spectre::net {
+
+// A decoded wire event (schema-independent; symbols travel by name).
+struct WireQuote {
+    std::int64_t ts = 0;
+    double open = 0, close = 0, volume = 0;
+    std::string symbol;
+
+    bool operator==(const WireQuote&) const = default;
+};
+
+// Appends the encoding of `q` to `out`.
+void encode(const WireQuote& q, std::vector<std::uint8_t>& out);
+
+// Attempts to decode one event starting at `offset`. On success returns the
+// event and advances `offset` past it; returns nullopt if the buffer holds an
+// incomplete frame (read more). Throws std::runtime_error on a corrupt frame
+// (symbol length exceeding kMaxSymbolLength).
+std::optional<WireQuote> decode(const std::vector<std::uint8_t>& buffer, std::size_t& offset);
+
+inline constexpr std::size_t kMaxSymbolLength = 64;
+
+// Conversions to/from the engine representation.
+WireQuote to_wire(const event::Event& e, const data::StockVocab& vocab);
+event::Event from_wire(const WireQuote& q, const data::StockVocab& vocab);
+
+}  // namespace spectre::net

@@ -1,0 +1,113 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace spectre::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+TcpSource::TcpSource(std::uint16_t port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) fail("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+        fail("bind");
+    if (::listen(listen_fd_, 1) < 0) fail("listen");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+        fail("getsockname");
+    port_ = ntohs(addr.sin_port);
+}
+
+TcpSource::~TcpSource() {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::size_t TcpSource::receive_into(event::EventStore& store,
+                                    const data::StockVocab& vocab) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) fail("accept");
+
+    std::vector<std::uint8_t> buffer;
+    std::size_t offset = 0;
+    std::size_t received = 0;
+    std::uint8_t chunk[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            ::close(fd);
+            fail("read");
+        }
+        if (n == 0) break;  // client closed
+        buffer.insert(buffer.end(), chunk, chunk + n);
+        while (auto q = decode(buffer, offset)) {
+            store.append(from_wire(*q, vocab));
+            ++received;
+        }
+        // Compact consumed bytes occasionally so the buffer stays small.
+        if (offset > 1 << 16) {
+            buffer.erase(buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+            offset = 0;
+        }
+    }
+    ::close(fd);
+    return received;
+}
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) fail("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw std::runtime_error("bad host address: " + host);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) fail("connect");
+}
+
+TcpClient::~TcpClient() { close(); }
+
+void TcpClient::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void TcpClient::send(const WireQuote& q) {
+    std::vector<std::uint8_t> out;
+    encode(q, out);
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t n = ::write(fd_, out.data() + sent, out.size() - sent);
+        if (n <= 0) fail("write");
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void TcpClient::send_all(const std::vector<event::Event>& events,
+                         const data::StockVocab& vocab) {
+    for (const auto& e : events) send(to_wire(e, vocab));
+}
+
+}  // namespace spectre::net

@@ -1,0 +1,59 @@
+// Minimal TCP transport for quote streams (POSIX sockets), mirroring the
+// paper's deployment: a client streams events from a file / generator to the
+// engine over a TCP connection (§4.1).
+//
+//   TcpSource — listens on a port, accepts one client, and drains its framed
+//               events into an EventStore.
+//   TcpClient — connects and sends events.
+//
+// Blocking one-connection design: ingestion is materialize-then-process in
+// this repository (DESIGN.md §5), so the source simply reads to end-of-stream
+// before the engines start.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "event/stream.hpp"
+#include "net/frame.hpp"
+
+namespace spectre::net {
+
+class TcpSource {
+public:
+    // Binds and listens on 127.0.0.1:`port` (port 0 = ephemeral).
+    explicit TcpSource(std::uint16_t port);
+    ~TcpSource();
+
+    TcpSource(const TcpSource&) = delete;
+    TcpSource& operator=(const TcpSource&) = delete;
+
+    std::uint16_t port() const noexcept { return port_; }
+
+    // Accepts one client and appends every received event to `store` until
+    // the client closes. Returns the number of events received.
+    std::size_t receive_into(event::EventStore& store, const data::StockVocab& vocab);
+
+private:
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+class TcpClient {
+public:
+    TcpClient(const std::string& host, std::uint16_t port);
+    ~TcpClient();
+
+    TcpClient(const TcpClient&) = delete;
+    TcpClient& operator=(const TcpClient&) = delete;
+
+    void send(const WireQuote& q);
+    void send_all(const std::vector<event::Event>& events, const data::StockVocab& vocab);
+    void close();
+
+private:
+    int fd_ = -1;
+};
+
+}  // namespace spectre::net

@@ -1,0 +1,56 @@
+// The paper's evaluation queries (Fig. 9) plus the running example QE
+// (§2.1), as builder factories over the stock vocabulary.
+//
+// Q1 — a leading blue-chip quote (MLE) followed by the first q rising (or
+//      falling) quotes of any symbol, within ws events of the MLE; all
+//      constituents consumed. Fixed pattern length q+1: every matching event
+//      advances the completion stage.
+// Q2 — the 13-element chart pattern A B+ C D+ … M from Balkesen & Tatbul's
+//      Query 9, over price bands [lower, upper]; variable effective length
+//      (Kleene+), window ws sliding by s; all constituents consumed.
+// Q3 — a designated symbol A followed by a SET of n specific symbols in any
+//      order within ws events sliding by s; all constituents consumed.
+// QE — "Influence(Factor)": B and A within 1 min from B … expressed in our
+//      window model as: a window opens at each A quote, the first A
+//      correlates with every B (sticky A), Factor = B.change / A.change;
+//      consumption policy either none (Fig. 1a) or selected-B (Fig. 1b).
+#pragma once
+
+#include "data/stock.hpp"
+#include "query/query.hpp"
+
+namespace spectre::queries {
+
+struct Q1Params {
+    int q = 80;                  // pattern size (number of RE elements)
+    std::uint64_t ws = 8000;     // window size in events, opened FROM MLE
+    bool rising = true;          // rising (close > open) or falling variant
+};
+query::Query make_q1(const data::StockVocab& vocab, const Q1Params& params);
+
+struct Q2Params {
+    double lower = 95.0;         // lower price limit
+    double upper = 105.0;        // upper price limit
+    std::uint64_t ws = 8000;
+    std::uint64_t slide = 1000;
+};
+query::Query make_q2(const data::StockVocab& vocab, const Q2Params& params);
+
+struct Q3Params {
+    int n = 10;                  // SET size (distinct symbols after A)
+    std::uint64_t ws = 1000;
+    std::uint64_t slide = 100;
+};
+query::Query make_q3(const data::StockVocab& vocab, const Q3Params& params);
+
+struct QeParams {
+    std::string a_symbol = "AAPL";
+    std::string b_symbol = "MSFT";
+    // Window span in timestamp units ("within 1 min from" the A quote; use
+    // second-resolution timestamps and 60 to reproduce Fig. 1 exactly).
+    event::Timestamp window_span = 60;
+    bool consume_b = true;                // Fig. 1(b) vs Fig. 1(a)
+};
+query::Query make_qe(const data::StockVocab& vocab, const QeParams& params);
+
+}  // namespace spectre::queries

@@ -1,0 +1,512 @@
+#include "query/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace spectre::query {
+
+namespace {
+
+// ---------------------------------------------------------------- tokenizer
+
+enum class Tok {
+    Ident, Number, String,
+    LParen, RParen, Comma, Dot, Plus, Minus, Star, Slash,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    End,
+};
+
+struct Token {
+    Tok kind = Tok::End;
+    std::string text;   // Ident (uppercased for keyword checks kept original), String contents
+    double number = 0;
+    std::size_t pos = 0;
+};
+
+class Lexer {
+public:
+    explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+    const Token& peek() const { return current_; }
+
+    Token take() {
+        Token t = current_;
+        advance();
+        return t;
+    }
+
+    [[noreturn]] void fail(const std::string& msg) const { throw ParseError(msg, current_.pos); }
+
+private:
+    void advance() {
+        while (i_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[i_]))) ++i_;
+        current_ = Token{};
+        current_.pos = i_;
+        if (i_ >= text_.size()) {
+            current_.kind = Tok::End;
+            return;
+        }
+        const char c = text_[i_];
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i_ + 1 < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[i_ + 1])))) {
+            std::size_t end = i_;
+            while (end < text_.size() &&
+                   (std::isdigit(static_cast<unsigned char>(text_[end])) || text_[end] == '.'))
+                ++end;
+            current_.kind = Tok::Number;
+            current_.number = std::stod(text_.substr(i_, end - i_));
+            i_ = end;
+            return;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t end = i_;
+            while (end < text_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(text_[end])) || text_[end] == '_'))
+                ++end;
+            current_.kind = Tok::Ident;
+            current_.text = text_.substr(i_, end - i_);
+            i_ = end;
+            return;
+        }
+        if (c == '\'') {
+            std::size_t end = i_ + 1;
+            while (end < text_.size() && text_[end] != '\'') ++end;
+            if (end >= text_.size()) throw ParseError("unterminated string literal", i_);
+            current_.kind = Tok::String;
+            current_.text = text_.substr(i_ + 1, end - i_ - 1);
+            i_ = end + 1;
+            return;
+        }
+        auto two = [&](char a, char b) {
+            return c == a && i_ + 1 < text_.size() && text_[i_ + 1] == b;
+        };
+        if (two('<', '=')) { current_.kind = Tok::Le; i_ += 2; return; }
+        if (two('>', '=')) { current_.kind = Tok::Ge; i_ += 2; return; }
+        if (two('!', '=')) { current_.kind = Tok::Ne; i_ += 2; return; }
+        switch (c) {
+            case '(': current_.kind = Tok::LParen; break;
+            case ')': current_.kind = Tok::RParen; break;
+            case ',': current_.kind = Tok::Comma; break;
+            case '.': current_.kind = Tok::Dot; break;
+            case '+': current_.kind = Tok::Plus; break;
+            case '-': current_.kind = Tok::Minus; break;
+            case '*': current_.kind = Tok::Star; break;
+            case '/': current_.kind = Tok::Slash; break;
+            case '<': current_.kind = Tok::Lt; break;
+            case '>': current_.kind = Tok::Gt; break;
+            case '=': current_.kind = Tok::Eq; break;
+            default: throw ParseError(std::string("unexpected character '") + c + "'", i_);
+        }
+        ++i_;
+    }
+
+    const std::string& text_;
+    std::size_t i_ = 0;
+    Token current_;
+};
+
+std::string upper(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return s;
+}
+
+// ------------------------------------------------------------------- parser
+
+class Parser {
+public:
+    Parser(const std::string& text, std::shared_ptr<event::Schema> schema)
+        : lex_(text), schema_(std::move(schema)) {
+        SPECTRE_REQUIRE(schema_ != nullptr, "parse_query needs a schema");
+    }
+
+    Query parse() {
+        Query q;
+        q.schema = schema_;
+        expect_keyword("PATTERN");
+        parse_pattern(q);
+        if (is_keyword("DEFINE")) parse_defines();
+        if (is_keyword("GUARD")) parse_guards();
+        attach_definitions(q);
+        expect_keyword("WITHIN");
+        parse_window(q);
+        if (is_keyword("SELECT")) parse_select(q);
+        if (is_keyword("STICKY")) parse_sticky(q);
+        if (is_keyword("CONSUME")) parse_consume(q);
+        if (is_keyword("EMIT")) parse_emit(q);
+        if (lex_.peek().kind != Tok::End) lex_.fail("unexpected trailing input");
+        q.validate();
+        return q;
+    }
+
+private:
+    // --- token helpers
+    bool is_keyword(const char* kw) const {
+        return lex_.peek().kind == Tok::Ident && upper(lex_.peek().text) == kw;
+    }
+    void expect_keyword(const char* kw) {
+        if (!is_keyword(kw)) lex_.fail(std::string("expected keyword ") + kw);
+        lex_.take();
+    }
+    void expect(Tok kind, const char* what) {
+        if (lex_.peek().kind != kind) lex_.fail(std::string("expected ") + what);
+        lex_.take();
+    }
+    std::string expect_ident(const char* what) {
+        if (lex_.peek().kind != Tok::Ident) lex_.fail(std::string("expected ") + what);
+        return lex_.take().text;
+    }
+    double expect_number(const char* what) {
+        if (lex_.peek().kind != Tok::Number) lex_.fail(std::string("expected ") + what);
+        return lex_.take().number;
+    }
+
+    // --- clauses
+    void parse_pattern(Query& q) {
+        expect(Tok::LParen, "'(' after PATTERN");
+        int set_counter = 0;
+        while (lex_.peek().kind != Tok::RParen) {
+            if (is_keyword("SET")) {
+                lex_.take();
+                expect(Tok::LParen, "'(' after SET");
+                Element e;
+                e.kind = ElementKind::Set;
+                e.name = "SET" + std::to_string(++set_counter);
+                while (lex_.peek().kind != Tok::RParen) {
+                    SetMember m;
+                    m.name = expect_ident("SET member name");
+                    e.members.push_back(std::move(m));
+                }
+                expect(Tok::RParen, "')' closing SET");
+                q.pattern.elements.push_back(std::move(e));
+            } else {
+                Element e;
+                e.name = expect_ident("pattern element name");
+                e.kind = ElementKind::Single;
+                if (lex_.peek().kind == Tok::Plus) {
+                    lex_.take();
+                    e.kind = ElementKind::Plus;
+                }
+                q.pattern.elements.push_back(std::move(e));
+            }
+        }
+        expect(Tok::RParen, "')' closing PATTERN");
+        if (q.pattern.elements.empty()) lex_.fail("PATTERN must contain at least one element");
+        pattern_ = &q.pattern;
+    }
+
+    void parse_defines() {
+        expect_keyword("DEFINE");
+        while (true) {
+            const std::string name = expect_ident("element name in DEFINE");
+            expect_keyword("AS");
+            defining_ = name;
+            defs_[name] = parse_expr();
+            defining_.clear();
+            if (lex_.peek().kind != Tok::Comma) break;
+            lex_.take();
+        }
+    }
+
+    void parse_guards() {
+        expect_keyword("GUARD");
+        while (true) {
+            const std::string name = expect_ident("element name in GUARD");
+            expect_keyword("AS");
+            defining_ = name;
+            guards_[name] = parse_expr();
+            defining_.clear();
+            if (lex_.peek().kind != Tok::Comma) break;
+            lex_.take();
+        }
+    }
+
+    void attach_definitions(Query& q) {
+        for (auto& e : q.pattern.elements) {
+            if (e.kind == ElementKind::Set) {
+                for (auto& m : e.members) {
+                    auto it = defs_.find(m.name);
+                    if (it == defs_.end())
+                        lex_.fail("SET member '" + m.name + "' has no DEFINE entry");
+                    m.pred = it->second;
+                }
+            } else {
+                auto it = defs_.find(e.name);
+                if (it == defs_.end())
+                    lex_.fail("element '" + e.name + "' has no DEFINE entry");
+                e.pred = it->second;
+            }
+            if (auto g = guards_.find(e.name); g != guards_.end()) e.guard = g->second;
+        }
+        for (const auto& [name, g] : guards_) {
+            if (q.pattern.element_index(name) < 0)
+                lex_.fail("GUARD names unknown element '" + name + "'");
+        }
+    }
+
+    void parse_window(Query& q) {
+        const double amount = expect_number("window size");
+        const bool count_window = take_unit();
+        expect_keyword("FROM");
+        if (is_keyword("EVERY")) {
+            lex_.take();
+            const double slide = expect_number("window slide");
+            const bool count_slide = take_unit();
+            if (count_window != count_slide)
+                lex_.fail("window size and slide must use the same unit");
+            q.window = count_window
+                           ? WindowSpec::sliding_count(static_cast<std::uint64_t>(amount),
+                                                       static_cast<std::uint64_t>(slide))
+                           : WindowSpec::sliding_time(static_cast<event::Timestamp>(amount),
+                                                      static_cast<event::Timestamp>(slide));
+        } else {
+            const std::string name = expect_ident("opening element name after FROM");
+            auto it = defs_.find(name);
+            if (it == defs_.end()) lex_.fail("FROM names undefined element '" + name + "'");
+            if (contains_bound_ref(*it->second))
+                lex_.fail("open predicate of '" + name + "' must not reference other elements");
+            q.window = count_window
+                           ? WindowSpec::predicate_open_count(it->second,
+                                                              static_cast<std::uint64_t>(amount))
+                           : WindowSpec::predicate_open_time(
+                                 it->second, static_cast<event::Timestamp>(amount));
+        }
+    }
+
+    // Returns true for EVENTS, false for TIME.
+    bool take_unit() {
+        if (is_keyword("EVENTS")) {
+            lex_.take();
+            return true;
+        }
+        if (is_keyword("TIME")) {
+            lex_.take();
+            return false;
+        }
+        lex_.fail("expected unit EVENTS or TIME");
+    }
+
+    void parse_select(Query& q) {
+        expect_keyword("SELECT");
+        if (is_keyword("FIRST")) {
+            lex_.take();
+            q.selection = SelectionPolicy::First;
+            q.max_matches_per_window = 1;
+        } else if (is_keyword("EACH")) {
+            lex_.take();
+            q.selection = SelectionPolicy::Each;
+            q.max_matches_per_window = 0;
+        } else {
+            lex_.fail("expected FIRST or EACH");
+        }
+    }
+
+    void parse_sticky(Query& q) {
+        expect_keyword("STICKY");
+        expect(Tok::LParen, "'(' after STICKY");
+        while (lex_.peek().kind != Tok::RParen) {
+            const std::string name = expect_ident("element name in STICKY");
+            const int idx = q.pattern.element_index(name);
+            if (idx < 0) lex_.fail("STICKY names unknown element '" + name + "'");
+            q.pattern.elements[static_cast<std::size_t>(idx)].sticky = true;
+        }
+        expect(Tok::RParen, "')' closing STICKY");
+    }
+
+    void parse_consume(Query& q) {
+        expect_keyword("CONSUME");
+        if (is_keyword("ALL")) {
+            lex_.take();
+            q.consumption = ConsumptionPolicy::all();
+            return;
+        }
+        if (is_keyword("NONE")) {
+            lex_.take();
+            q.consumption = ConsumptionPolicy::none();
+            return;
+        }
+        expect(Tok::LParen, "'(' after CONSUME");
+        std::vector<std::string> names;
+        while (lex_.peek().kind != Tok::RParen) {
+            names.push_back(expect_ident("element name in CONSUME"));
+            if (lex_.peek().kind == Tok::Plus) lex_.take();  // tolerate "B+" as in Q2's listing
+        }
+        expect(Tok::RParen, "')' closing CONSUME");
+        if (names.empty()) lex_.fail("CONSUME list must not be empty");
+        q.consumption = ConsumptionPolicy::subset(std::move(names));
+    }
+
+    void parse_emit(Query& q) {
+        expect_keyword("EMIT");
+        while (true) {
+            PayloadDef def;
+            def.name = expect_ident("payload attribute name");
+            expect(Tok::Eq, "'=' in EMIT definition");
+            def.expr = parse_expr();
+            q.payload.push_back(std::move(def));
+            if (lex_.peek().kind != Tok::Comma) break;
+            lex_.take();
+        }
+    }
+
+    // --- expressions (precedence climbing)
+    Expr parse_expr() { return parse_or(); }
+
+    Expr parse_or() {
+        Expr lhs = parse_and();
+        while (is_keyword("OR")) {
+            lex_.take();
+            lhs = binary(BinOp::Or, std::move(lhs), parse_and());
+        }
+        return lhs;
+    }
+
+    Expr parse_and() {
+        Expr lhs = parse_not();
+        while (is_keyword("AND")) {
+            lex_.take();
+            lhs = binary(BinOp::And, std::move(lhs), parse_not());
+        }
+        return lhs;
+    }
+
+    Expr parse_not() {
+        if (is_keyword("NOT")) {
+            lex_.take();
+            return unary(UnOp::Not, parse_not());
+        }
+        return parse_cmp();
+    }
+
+    Expr parse_cmp() {
+        Expr lhs = parse_add();
+        const Tok k = lex_.peek().kind;
+        std::optional<BinOp> op;
+        switch (k) {
+            case Tok::Lt: op = BinOp::Lt; break;
+            case Tok::Le: op = BinOp::Le; break;
+            case Tok::Gt: op = BinOp::Gt; break;
+            case Tok::Ge: op = BinOp::Ge; break;
+            case Tok::Eq: op = BinOp::Eq; break;
+            case Tok::Ne: op = BinOp::Ne; break;
+            default: break;
+        }
+        if (!op) return lhs;
+        lex_.take();
+        return binary(*op, std::move(lhs), parse_add());
+    }
+
+    Expr parse_add() {
+        Expr lhs = parse_mul();
+        while (lex_.peek().kind == Tok::Plus || lex_.peek().kind == Tok::Minus) {
+            const BinOp op = lex_.take().kind == Tok::Plus ? BinOp::Add : BinOp::Sub;
+            lhs = binary(op, std::move(lhs), parse_mul());
+        }
+        return lhs;
+    }
+
+    Expr parse_mul() {
+        Expr lhs = parse_unary();
+        while (lex_.peek().kind == Tok::Star || lex_.peek().kind == Tok::Slash) {
+            const BinOp op = lex_.take().kind == Tok::Star ? BinOp::Mul : BinOp::Div;
+            lhs = binary(op, std::move(lhs), parse_unary());
+        }
+        return lhs;
+    }
+
+    Expr parse_unary() {
+        if (lex_.peek().kind == Tok::Minus) {
+            lex_.take();
+            return unary(UnOp::Neg, parse_unary());
+        }
+        return parse_primary();
+    }
+
+    Expr parse_primary() {
+        const Token& t = lex_.peek();
+        if (t.kind == Tok::Number) return constant(lex_.take().number);
+        if (t.kind == Tok::LParen) {
+            lex_.take();
+            Expr e = parse_expr();
+            expect(Tok::RParen, "')'");
+            return e;
+        }
+        if (t.kind == Tok::Ident) {
+            const std::string up = upper(t.text);
+            if (up == "SYMBOL") return parse_subject_test();
+            if (up == "TYPE") return parse_type_test();
+            std::string name = lex_.take().text;
+            if (lex_.peek().kind == Tok::Dot) {
+                lex_.take();
+                const std::string attr_name = expect_ident("attribute after '.'");
+                // Self-reference inside the element's own DEFINE means the
+                // current event (Q1: "RE1.closePrice > RE1.openPrice").
+                if (name == defining_) return attr(schema_->intern_attr(attr_name));
+                const int slot = pattern_ ? pattern_->binding_slot(name) : -1;
+                if (slot < 0) lex_.fail("reference to unknown element '" + name + "'");
+                return bound_attr(slot, schema_->intern_attr(attr_name));
+            }
+            // Bare identifier: attribute of the current event.
+            return attr(schema_->intern_attr(name));
+        }
+        lex_.fail("expected expression");
+    }
+
+    Expr parse_subject_test() {
+        expect_keyword("SYMBOL");
+        if (is_keyword("IN")) {
+            lex_.take();
+            expect(Tok::LParen, "'(' after IN");
+            std::vector<event::SubjectId> ids;
+            while (lex_.peek().kind != Tok::RParen) {
+                if (lex_.peek().kind != Tok::String) lex_.fail("expected symbol literal");
+                ids.push_back(schema_->intern_subject(lex_.take().text));
+                if (lex_.peek().kind == Tok::Comma) lex_.take();
+            }
+            expect(Tok::RParen, "')' closing IN list");
+            if (ids.empty()) lex_.fail("SYMBOL IN list must not be empty");
+            return subject_in(std::move(ids));
+        }
+        const bool negated = lex_.peek().kind == Tok::Ne;
+        if (lex_.peek().kind != Tok::Eq && !negated) lex_.fail("expected = or != after SYMBOL");
+        lex_.take();
+        if (lex_.peek().kind != Tok::String) lex_.fail("expected symbol literal");
+        Expr e = subject_in({schema_->intern_subject(lex_.take().text)});
+        return negated ? unary(UnOp::Not, std::move(e)) : e;
+    }
+
+    Expr parse_type_test() {
+        expect_keyword("TYPE");
+        const bool negated = lex_.peek().kind == Tok::Ne;
+        if (lex_.peek().kind != Tok::Eq && !negated) lex_.fail("expected = or != after TYPE");
+        lex_.take();
+        if (lex_.peek().kind != Tok::String) lex_.fail("expected type literal");
+        Expr e = type_is(schema_->intern_type(lex_.take().text));
+        return negated ? unary(UnOp::Not, std::move(e)) : e;
+    }
+
+    static bool contains_bound_ref(const ExprNode& e) {
+        if (e.kind == ExprNode::Kind::BoundAttr) return true;
+        if (e.lhs && contains_bound_ref(*e.lhs)) return true;
+        if (e.rhs && contains_bound_ref(*e.rhs)) return true;
+        return false;
+    }
+
+    Lexer lex_;
+    std::shared_ptr<event::Schema> schema_;
+    Pattern* pattern_ = nullptr;
+    std::string defining_;  // element currently being defined (self-reference)
+    std::unordered_map<std::string, Expr> defs_;
+    std::unordered_map<std::string, Expr> guards_;
+};
+
+}  // namespace
+
+Query parse_query(const std::string& text, std::shared_ptr<event::Schema> schema) {
+    return Parser(text, std::move(schema)).parse();
+}
+
+}  // namespace spectre::query

@@ -1,0 +1,58 @@
+// Text query language: MATCH-RECOGNIZE-style notation extended — exactly as
+// the paper extends it (§4.1) — with `WITHIN ... FROM ...` windows (from
+// Tesla) and a `CONSUME` clause for consumption policies.
+//
+// Grammar (case-insensitive keywords; [] optional, {} repeated):
+//
+//   query    :=  PATTERN '(' element {element} ')'
+//                [DEFINE def {',' def}]
+//                [GUARD gdef {',' gdef}]
+//                WITHIN num (EVENTS|TIME) FROM (EVERY num (EVENTS|TIME) | name)
+//                [SELECT (FIRST|EACH)]
+//                [CONSUME (ALL | NONE | '(' name {name} ')')]
+//                [EMIT name '=' expr {',' name '=' expr}]
+//
+//   element  :=  name ['+']  |  SET '(' name {name} ')'
+//   def      :=  name AS expr          — predicate for element / SET member
+//   gdef     :=  name AS expr          — negation guard on element `name`
+//
+//   expr     :=  or-precedence expression over:
+//                  numbers; attribute names (current event);
+//                  name '.' attr (event bound to an earlier element/member;
+//                  a self-reference inside the element's own DEFINE means the
+//                  current event, as in Q1's "RE1.closePrice > RE1.openPrice");
+//                  SYMBOL = 'sym', SYMBOL != 'sym', SYMBOL IN ('a','b',…);
+//                  TYPE = 'name', TYPE != 'name';
+//                  comparisons < <= > >= = !=, arithmetic + - * /,
+//                  AND OR NOT, parentheses.
+//
+// `FROM name` makes a predicate-open window: a window opens at every event
+// satisfying that element's DEFINE (Q1's "WITHIN ws events FROM MLE").
+// Elements without a DEFINE entry and undefined names are errors; SET members
+// must all be defined. Attribute and type/symbol names are interned into the
+// query's schema as encountered.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "query/query.hpp"
+
+namespace spectre::query {
+
+class ParseError : public std::runtime_error {
+public:
+    ParseError(const std::string& msg, std::size_t pos)
+        : std::runtime_error(msg + " (at offset " + std::to_string(pos) + ")"), pos_(pos) {}
+    std::size_t position() const noexcept { return pos_; }
+
+private:
+    std::size_t pos_;
+};
+
+// Parses `text` into a Query whose names are interned into `schema`.
+// Throws ParseError on malformed input.
+Query parse_query(const std::string& text, std::shared_ptr<event::Schema> schema);
+
+}  // namespace spectre::query

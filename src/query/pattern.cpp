@@ -1,0 +1,97 @@
+#include "query/pattern.hpp"
+
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace spectre::query {
+
+int Pattern::min_length() const {
+    int n = 0;
+    for (const auto& e : elements) {
+        switch (e.kind) {
+            case ElementKind::Single:
+            case ElementKind::Plus:  // Plus needs at least one event
+                n += 1;
+                break;
+            case ElementKind::Set:
+                n += static_cast<int>(e.members.size());
+                break;
+        }
+    }
+    return n;
+}
+
+int Pattern::element_index(const std::string& name) const {
+    for (std::size_t i = 0; i < elements.size(); ++i)
+        if (elements[i].name == name) return static_cast<int>(i);
+    return -1;
+}
+
+int Pattern::binding_slot(const std::string& name) const {
+    int slot = 0;
+    for (const auto& e : elements) {
+        if (e.name == name) return slot;
+        ++slot;
+        for (const auto& m : e.members) {
+            if (m.name == name) return slot;
+            ++slot;
+        }
+    }
+    return -1;
+}
+
+int Pattern::binding_count() const {
+    int slot = 0;
+    for (const auto& e : elements) slot += 1 + static_cast<int>(e.members.size());
+    return slot;
+}
+
+int Pattern::element_slot(std::size_t elem) const {
+    SPECTRE_REQUIRE(elem < elements.size(), "element index out of range");
+    int slot = 0;
+    for (std::size_t i = 0; i < elem; ++i)
+        slot += 1 + static_cast<int>(elements[i].members.size());
+    return slot;
+}
+
+int Pattern::member_slot(std::size_t elem, std::size_t member) const {
+    SPECTRE_REQUIRE(elem < elements.size(), "element index out of range");
+    SPECTRE_REQUIRE(member < elements[elem].members.size(), "member index out of range");
+    return element_slot(elem) + 1 + static_cast<int>(member);
+}
+
+void Pattern::validate() const {
+    SPECTRE_REQUIRE(!elements.empty(), "pattern must have at least one element");
+    bool non_sticky_seen = false;
+    for (const auto& e : elements) {
+        if (e.sticky) {
+            SPECTRE_REQUIRE(!non_sticky_seen, "sticky elements must form a pattern prefix");
+            SPECTRE_REQUIRE(e.kind == ElementKind::Single, "sticky elements must be Single");
+        } else {
+            non_sticky_seen = true;
+        }
+    }
+    SPECTRE_REQUIRE(non_sticky_seen, "pattern cannot be entirely sticky");
+    std::unordered_set<std::string> names;
+    for (const auto& e : elements) {
+        SPECTRE_REQUIRE(!e.name.empty(), "pattern element needs a binding name");
+        SPECTRE_REQUIRE(names.insert(e.name).second, "duplicate binding name: " + e.name);
+        if (e.kind == ElementKind::Set) {
+            SPECTRE_REQUIRE(!e.members.empty(), "SET element needs members: " + e.name);
+            SPECTRE_REQUIRE(e.members.size() <= 1024, "SET element limited to 1024 members");
+            SPECTRE_REQUIRE(e.pred == nullptr, "SET element must not carry its own predicate");
+            for (const auto& m : e.members) {
+                SPECTRE_REQUIRE(m.pred != nullptr, "SET member needs a predicate: " + m.name);
+                SPECTRE_REQUIRE(!m.name.empty(), "SET member needs a name");
+                SPECTRE_REQUIRE(names.insert(m.name).second,
+                                "duplicate binding name: " + m.name);
+            }
+        } else {
+            SPECTRE_REQUIRE(e.pred != nullptr, "element needs a predicate: " + e.name);
+            SPECTRE_REQUIRE(e.members.empty(), "non-SET element must not have members");
+        }
+    }
+}
+
+}  // namespace spectre::query

@@ -1,0 +1,70 @@
+// Pattern AST: what a query searches for inside one window.
+//
+// A pattern is a sequence of elements (skip-till-next-match). Element kinds:
+//   Single — exactly one event matching the predicate,
+//   Plus   — Kleene+, one or more matching events (advance-first semantics,
+//            DESIGN.md §5),
+//   Set    — an unordered conjunction of m member predicates, each matched by
+//            a distinct event in any order (query Q3's SET(X1 … Xn)).
+// Any element may carry a negation guard: while the element is the current
+// one, a guard-matching event abandons the partial match — this is the
+// negation-triggered consumption-group abandonment of §3.1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "query/predicate.hpp"
+
+namespace spectre::query {
+
+enum class ElementKind { Single, Plus, Set };
+
+struct SetMember {
+    std::string name;  // binding name, e.g. "X1"
+    Expr pred;
+};
+
+struct Element {
+    std::string name;  // binding name, e.g. "A", "RE1"
+    ElementKind kind = ElementKind::Single;
+    Expr pred;                      // Single / Plus
+    std::vector<SetMember> members; // Set
+    Expr guard;                     // optional negation guard (may be null)
+
+    // Sticky elements keep their binding across matches within a window:
+    // when a match completes, a successor match starts with the sticky
+    // prefix still bound (unless one of its events was consumed). This is
+    // the Snoop/Amit-style per-element "first" selection — QE's "the first
+    // A in a window is correlated with every B" (§2.1, Fig. 1). Sticky
+    // elements must form a prefix of the pattern and must be Single.
+    bool sticky = false;
+};
+
+struct Pattern {
+    std::vector<Element> elements;
+
+    // Minimum number of events a complete match needs; this is the initial δ
+    // of the Markov completion model (§3.2.1: "if a pattern instance consists
+    // of at least 3 events ... the state-space has elements 3,2,1,0").
+    int min_length() const;
+
+    // Index of the element with binding name `name`, or -1.
+    int element_index(const std::string& name) const;
+
+    // Binding slots: every element and every SET member gets a dense slot in
+    // the order they appear. BoundAttr expressions and the detector's bound-
+    // event array use these slots. An element's own slot holds the first
+    // event matched for it (for SET: the first matched member).
+    int binding_slot(const std::string& name) const;  // -1 if unknown
+    int binding_count() const;
+    // Slot of element `elem` itself / of member m of element `elem`.
+    int element_slot(std::size_t elem) const;
+    int member_slot(std::size_t elem, std::size_t member) const;
+
+    // Throws std::invalid_argument on structural errors (empty pattern,
+    // duplicate binding names, elements without predicates/members).
+    void validate() const;
+};
+
+}  // namespace spectre::query

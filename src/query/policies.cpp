@@ -1,0 +1,47 @@
+#include "query/policies.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace spectre::query {
+
+ConsumptionPolicy ConsumptionPolicy::none() { return {}; }
+
+ConsumptionPolicy ConsumptionPolicy::all() {
+    ConsumptionPolicy p;
+    p.kind = Kind::All;
+    return p;
+}
+
+ConsumptionPolicy ConsumptionPolicy::subset(std::vector<std::string> elements) {
+    SPECTRE_REQUIRE(!elements.empty(), "subset consumption policy needs element names");
+    ConsumptionPolicy p;
+    p.kind = Kind::Subset;
+    p.elements = std::move(elements);
+    return p;
+}
+
+std::string to_string(SelectionPolicy p) {
+    return p == SelectionPolicy::First ? "FIRST" : "EACH";
+}
+
+std::string to_string(const ConsumptionPolicy& p) {
+    switch (p.kind) {
+        case ConsumptionPolicy::Kind::None: return "CONSUME NONE";
+        case ConsumptionPolicy::Kind::All: return "CONSUME ALL";
+        case ConsumptionPolicy::Kind::Subset: {
+            std::ostringstream os;
+            os << "CONSUME (";
+            for (std::size_t i = 0; i < p.elements.size(); ++i) {
+                if (i) os << ' ';
+                os << p.elements[i];
+            }
+            os << ')';
+            return os.str();
+        }
+    }
+    return "?";
+}
+
+}  // namespace spectre::query

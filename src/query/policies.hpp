@@ -1,0 +1,38 @@
+// Selection and consumption policies (§2.1, §5).
+//
+// SelectionPolicy controls how many partial-match attempts a window runs:
+//   First — a single attempt per window; this is the configuration the paper
+//           evaluates ("the number of created consumption groups is limited
+//           to one per window version", §4.2).
+//   Each  — unbounded concurrent attempts; every event that can start the
+//           pattern opens a new partial match (and hence consumption group).
+//
+// ConsumptionPolicy controls which constituents are consumed when a match
+// completes: none of them, all of them, or a named subset of pattern elements
+// (the paper's "selected B"). Consumption is always all-or-nothing at match
+// completion — never for partial matches (§2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spectre::query {
+
+enum class SelectionPolicy { First, Each };
+
+struct ConsumptionPolicy {
+    enum class Kind { None, All, Subset };
+
+    Kind kind = Kind::None;
+    std::vector<std::string> elements;  // Subset: binding names to consume
+
+    static ConsumptionPolicy none();
+    static ConsumptionPolicy all();
+    static ConsumptionPolicy subset(std::vector<std::string> elements);
+};
+
+std::string to_string(SelectionPolicy p);
+std::string to_string(const ConsumptionPolicy& p);
+
+}  // namespace spectre::query

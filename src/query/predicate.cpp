@@ -1,0 +1,199 @@
+#include "query/predicate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace spectre::query {
+
+namespace {
+Expr make(ExprNode n) { return std::make_shared<const ExprNode>(std::move(n)); }
+}  // namespace
+
+Expr constant(double v) {
+    ExprNode n;
+    n.kind = ExprNode::Kind::Const;
+    n.value = v;
+    return make(std::move(n));
+}
+
+Expr attr(event::AttrSlot slot) {
+    ExprNode n;
+    n.kind = ExprNode::Kind::Attr;
+    n.slot = slot;
+    return make(std::move(n));
+}
+
+Expr bound_attr(int element, event::AttrSlot slot) {
+    SPECTRE_REQUIRE(element >= 0, "bound_attr element must be non-negative");
+    ExprNode n;
+    n.kind = ExprNode::Kind::BoundAttr;
+    n.element = element;
+    n.slot = slot;
+    return make(std::move(n));
+}
+
+Expr subject_in(std::vector<event::SubjectId> subjects) {
+    std::sort(subjects.begin(), subjects.end());
+    subjects.erase(std::unique(subjects.begin(), subjects.end()), subjects.end());
+    ExprNode n;
+    n.kind = ExprNode::Kind::SubjectIn;
+    n.subjects = std::move(subjects);
+    return make(std::move(n));
+}
+
+Expr type_is(event::TypeId type) {
+    ExprNode n;
+    n.kind = ExprNode::Kind::TypeIs;
+    n.type = type;
+    return make(std::move(n));
+}
+
+Expr binary(BinOp op, Expr lhs, Expr rhs) {
+    SPECTRE_REQUIRE(lhs && rhs, "binary expression operands must be non-null");
+    ExprNode n;
+    n.kind = ExprNode::Kind::Binary;
+    n.bop = op;
+    n.lhs = std::move(lhs);
+    n.rhs = std::move(rhs);
+    return make(std::move(n));
+}
+
+Expr unary(UnOp op, Expr operand) {
+    SPECTRE_REQUIRE(operand, "unary expression operand must be non-null");
+    ExprNode n;
+    n.kind = ExprNode::Kind::Unary;
+    n.uop = op;
+    n.lhs = std::move(operand);
+    return make(std::move(n));
+}
+
+double eval(const ExprNode& e, const EvalContext& ctx, bool& ok) {
+    switch (e.kind) {
+        case ExprNode::Kind::Const:
+            return e.value;
+        case ExprNode::Kind::Attr:
+            SPECTRE_CHECK(ctx.current != nullptr, "Attr evaluated without current event");
+            return ctx.current->attr(e.slot);
+        case ExprNode::Kind::BoundAttr: {
+            const auto idx = static_cast<std::size_t>(e.element);
+            if (idx >= ctx.bound.size() || ctx.bound[idx] == nullptr) {
+                ok = false;
+                return 0.0;
+            }
+            return ctx.bound[idx]->attr(e.slot);
+        }
+        case ExprNode::Kind::SubjectIn: {
+            SPECTRE_CHECK(ctx.current != nullptr, "SubjectIn evaluated without current event");
+            const bool hit = std::binary_search(e.subjects.begin(), e.subjects.end(),
+                                                ctx.current->subject);
+            return hit ? 1.0 : 0.0;
+        }
+        case ExprNode::Kind::TypeIs:
+            SPECTRE_CHECK(ctx.current != nullptr, "TypeIs evaluated without current event");
+            return ctx.current->type == e.type ? 1.0 : 0.0;
+        case ExprNode::Kind::Unary: {
+            const double v = eval(*e.lhs, ctx, ok);
+            return e.uop == UnOp::Neg ? -v : (v == 0.0 ? 1.0 : 0.0);
+        }
+        case ExprNode::Kind::Binary: {
+            // Short-circuit the logical operators so an unbound reference on
+            // the irrelevant side does not poison the result.
+            if (e.bop == BinOp::And) {
+                bool lok = true;
+                const bool l = eval(*e.lhs, ctx, lok) != 0.0 && lok;
+                if (!l) return 0.0;
+                return eval_bool(e.rhs, ctx) ? 1.0 : 0.0;
+            }
+            if (e.bop == BinOp::Or) {
+                bool lok = true;
+                const bool l = eval(*e.lhs, ctx, lok) != 0.0 && lok;
+                if (l) return 1.0;
+                return eval_bool(e.rhs, ctx) ? 1.0 : 0.0;
+            }
+            const double l = eval(*e.lhs, ctx, ok);
+            const double r = eval(*e.rhs, ctx, ok);
+            switch (e.bop) {
+                case BinOp::Add: return l + r;
+                case BinOp::Sub: return l - r;
+                case BinOp::Mul: return l * r;
+                case BinOp::Div: return l / r;
+                case BinOp::Lt: return l < r ? 1.0 : 0.0;
+                case BinOp::Le: return l <= r ? 1.0 : 0.0;
+                case BinOp::Gt: return l > r ? 1.0 : 0.0;
+                case BinOp::Ge: return l >= r ? 1.0 : 0.0;
+                case BinOp::Eq: return l == r ? 1.0 : 0.0;
+                case BinOp::Ne: return l != r ? 1.0 : 0.0;
+                default: break;
+            }
+            SPECTRE_CHECK(false, "unhandled binary operator");
+        }
+    }
+    SPECTRE_CHECK(false, "unhandled expression kind");
+}
+
+bool eval_bool(const Expr& e, const EvalContext& ctx) {
+    SPECTRE_REQUIRE(e != nullptr, "eval_bool on null expression");
+    bool ok = true;
+    const double v = eval(*e, ctx, ok);
+    return ok && v != 0.0;
+}
+
+namespace {
+const char* op_name(BinOp op) {
+    switch (op) {
+        case BinOp::Add: return "+";
+        case BinOp::Sub: return "-";
+        case BinOp::Mul: return "*";
+        case BinOp::Div: return "/";
+        case BinOp::Lt: return "<";
+        case BinOp::Le: return "<=";
+        case BinOp::Gt: return ">";
+        case BinOp::Ge: return ">=";
+        case BinOp::Eq: return "=";
+        case BinOp::Ne: return "!=";
+        case BinOp::And: return "AND";
+        case BinOp::Or: return "OR";
+    }
+    return "?";
+}
+}  // namespace
+
+std::string to_string(const ExprNode& e, const event::Schema& schema) {
+    std::ostringstream os;
+    switch (e.kind) {
+        case ExprNode::Kind::Const:
+            os << e.value;
+            break;
+        case ExprNode::Kind::Attr:
+            os << schema.attr_name(e.slot);
+            break;
+        case ExprNode::Kind::BoundAttr:
+            os << "elem" << e.element << '.' << schema.attr_name(e.slot);
+            break;
+        case ExprNode::Kind::SubjectIn: {
+            os << "SYMBOL IN (";
+            for (std::size_t i = 0; i < e.subjects.size(); ++i) {
+                if (i) os << ',';
+                os << '\'' << schema.subject_name(e.subjects[i]) << '\'';
+            }
+            os << ')';
+            break;
+        }
+        case ExprNode::Kind::TypeIs:
+            os << "TYPE = '" << schema.type_name(e.type) << '\'';
+            break;
+        case ExprNode::Kind::Unary:
+            os << (e.uop == UnOp::Neg ? "-" : "NOT ") << '(' << to_string(*e.lhs, schema) << ')';
+            break;
+        case ExprNode::Kind::Binary:
+            os << '(' << to_string(*e.lhs, schema) << ' ' << op_name(e.bop) << ' '
+               << to_string(*e.rhs, schema) << ')';
+            break;
+    }
+    return os.str();
+}
+
+}  // namespace spectre::query

@@ -1,0 +1,68 @@
+// Predicate / payload expression AST.
+//
+// Expressions are immutable trees shared via shared_ptr<const ExprNode>, so a
+// compiled query can be handed to many operator-instance threads without
+// copies or synchronization. They are evaluated against an EvalContext that
+// provides the event under test plus the events already bound to earlier
+// pattern elements — which is what makes cross-event constraints such as
+// "A.x > B.x" (chart patterns, §5 related work) and computed payloads such as
+// QE's `Factor = B.change / A.change` expressible.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "event/event.hpp"
+
+namespace spectre::query {
+
+enum class BinOp { Add, Sub, Mul, Div, Lt, Le, Gt, Ge, Eq, Ne, And, Or };
+enum class UnOp { Neg, Not };
+
+struct ExprNode;
+using Expr = std::shared_ptr<const ExprNode>;
+
+struct ExprNode {
+    enum class Kind { Const, Attr, BoundAttr, SubjectIn, TypeIs, Binary, Unary };
+
+    Kind kind = Kind::Const;
+    double value = 0.0;                          // Const
+    event::AttrSlot slot = 0;                    // Attr / BoundAttr
+    int element = -1;                            // BoundAttr: pattern element index
+    std::vector<event::SubjectId> subjects;      // SubjectIn (sorted)
+    event::TypeId type = util::kInvalidIntern;   // TypeIs
+    BinOp bop = BinOp::Add;                      // Binary
+    UnOp uop = UnOp::Neg;                        // Unary
+    Expr lhs, rhs;
+};
+
+// Evaluation context: the event under test plus, for BoundAttr, the first
+// event bound to each earlier pattern element (nullptr if unbound).
+struct EvalContext {
+    const event::Event* current = nullptr;
+    std::span<const event::Event* const> bound;
+};
+
+// --- factory helpers -------------------------------------------------------
+Expr constant(double v);
+Expr attr(event::AttrSlot slot);
+Expr bound_attr(int element, event::AttrSlot slot);
+Expr subject_in(std::vector<event::SubjectId> subjects);
+Expr type_is(event::TypeId type);
+Expr binary(BinOp op, Expr lhs, Expr rhs);
+Expr unary(UnOp op, Expr operand);
+
+// Numeric evaluation; boolean operators yield 0.0/1.0. A BoundAttr whose
+// element is unbound makes the whole expression false/0 (the predicate cannot
+// hold yet) — eval() reports this through `ok`.
+double eval(const ExprNode& e, const EvalContext& ctx, bool& ok);
+
+// Convenience: truthiness with unbound references mapping to false.
+bool eval_bool(const Expr& e, const EvalContext& ctx);
+
+// Human-readable rendering (for logs and parser round-trip tests).
+std::string to_string(const ExprNode& e, const event::Schema& schema);
+
+}  // namespace spectre::query

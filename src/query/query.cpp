@@ -1,0 +1,118 @@
+#include "query/query.hpp"
+
+#include "util/assert.hpp"
+
+namespace spectre::query {
+
+void Query::validate() const {
+    SPECTRE_REQUIRE(schema != nullptr, "query needs a schema");
+    pattern.validate();
+    window.validate();
+    SPECTRE_REQUIRE(max_matches_per_window >= 0, "max_matches_per_window must be >= 0");
+    if (selection == SelectionPolicy::First)
+        SPECTRE_REQUIRE(max_matches_per_window == 1,
+                        "selection FIRST implies exactly one match per window");
+    if (consumption.kind == ConsumptionPolicy::Kind::Subset) {
+        for (const auto& name : consumption.elements) {
+            bool found = pattern.element_index(name) >= 0;
+            if (!found) {
+                for (const auto& el : pattern.elements)
+                    for (const auto& m : el.members)
+                        if (m.name == name) found = true;
+            }
+            SPECTRE_REQUIRE(found, "consumption policy names unknown element: " + name);
+        }
+    }
+    for (const auto& p : payload)
+        SPECTRE_REQUIRE(p.expr != nullptr, "payload definition needs an expression: " + p.name);
+}
+
+QueryBuilder::QueryBuilder(std::shared_ptr<event::Schema> schema) {
+    SPECTRE_REQUIRE(schema != nullptr, "QueryBuilder needs a schema");
+    q_.schema = std::move(schema);
+}
+
+QueryBuilder& QueryBuilder::single(std::string name, Expr pred) {
+    Element e;
+    e.name = std::move(name);
+    e.kind = ElementKind::Single;
+    e.pred = std::move(pred);
+    q_.pattern.elements.push_back(std::move(e));
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::plus(std::string name, Expr pred) {
+    Element e;
+    e.name = std::move(name);
+    e.kind = ElementKind::Plus;
+    e.pred = std::move(pred);
+    q_.pattern.elements.push_back(std::move(e));
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::set(std::string name, std::vector<SetMember> members) {
+    Element e;
+    e.name = std::move(name);
+    e.kind = ElementKind::Set;
+    e.members = std::move(members);
+    q_.pattern.elements.push_back(std::move(e));
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::guard(Expr guard) {
+    SPECTRE_REQUIRE(!q_.pattern.elements.empty(), "guard() before any element");
+    q_.pattern.elements.back().guard = std::move(guard);
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::sticky() {
+    SPECTRE_REQUIRE(!q_.pattern.elements.empty(), "sticky() before any element");
+    q_.pattern.elements.back().sticky = true;
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::window(WindowSpec spec) {
+    q_.window = std::move(spec);
+    window_set_ = true;
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::select(SelectionPolicy policy) {
+    q_.selection = policy;
+    if (policy == SelectionPolicy::Each && q_.max_matches_per_window == 1)
+        q_.max_matches_per_window = 0;  // unbounded unless the user narrows it
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::consume_none() {
+    q_.consumption = ConsumptionPolicy::none();
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::consume_all() {
+    q_.consumption = ConsumptionPolicy::all();
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::consume(std::vector<std::string> elements) {
+    q_.consumption = ConsumptionPolicy::subset(std::move(elements));
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::emit(std::string name, Expr expr) {
+    q_.payload.push_back(PayloadDef{std::move(name), std::move(expr)});
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::max_matches(int n) {
+    q_.max_matches_per_window = n;
+    return *this;
+}
+
+Query QueryBuilder::build() {
+    SPECTRE_REQUIRE(window_set_, "query needs a window specification");
+    q_.validate();
+    return q_;
+}
+
+}  // namespace spectre::query

@@ -1,0 +1,73 @@
+// Query: the complete, validated specification an engine executes.
+//
+// Build one either with QueryBuilder (programmatic, type-safe) or with
+// parse_query() (the MATCH-RECOGNIZE-style text language, parser.hpp). A
+// Query owns its Schema via shared_ptr; engines and datasets share it so
+// interned ids agree across the whole pipeline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/pattern.hpp"
+#include "query/policies.hpp"
+#include "query/window.hpp"
+
+namespace spectre::query {
+
+struct PayloadDef {
+    std::string name;  // complex-event attribute name
+    Expr expr;         // evaluated over the bound constituent events
+};
+
+struct Query {
+    std::shared_ptr<event::Schema> schema;
+    Pattern pattern;
+    WindowSpec window;
+    SelectionPolicy selection = SelectionPolicy::First;
+    ConsumptionPolicy consumption = ConsumptionPolicy::none();
+    std::vector<PayloadDef> payload;
+
+    // Upper bound on partial-match attempts (= consumption groups) started
+    // per window. 0 means unbounded. SelectionPolicy::First forces 1.
+    int max_matches_per_window = 1;
+
+    void validate() const;
+};
+
+// Fluent builder. Typical use:
+//   auto q = QueryBuilder(schema)
+//       .single("A", type_is(a))
+//       .plus("B", attr(close) > attr(open))     // via binary(...)
+//       .window(WindowSpec::sliding_count(1000, 100))
+//       .consume_all()
+//       .build();
+class QueryBuilder {
+public:
+    explicit QueryBuilder(std::shared_ptr<event::Schema> schema);
+
+    QueryBuilder& single(std::string name, Expr pred);
+    QueryBuilder& plus(std::string name, Expr pred);
+    QueryBuilder& set(std::string name, std::vector<SetMember> members);
+    // Attaches a negation guard to the most recently added element.
+    QueryBuilder& guard(Expr guard);
+    // Marks the most recently added element sticky (see Element::sticky).
+    QueryBuilder& sticky();
+
+    QueryBuilder& window(WindowSpec spec);
+    QueryBuilder& select(SelectionPolicy policy);
+    QueryBuilder& consume_none();
+    QueryBuilder& consume_all();
+    QueryBuilder& consume(std::vector<std::string> elements);
+    QueryBuilder& emit(std::string name, Expr expr);
+    QueryBuilder& max_matches(int n);
+
+    Query build();
+
+private:
+    Query q_;
+    bool window_set_ = false;
+};
+
+}  // namespace spectre::query

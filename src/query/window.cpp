@@ -1,0 +1,132 @@
+#include "query/window.hpp"
+
+#include "util/assert.hpp"
+
+namespace spectre::query {
+
+void WindowSpec::validate() const {
+    switch (kind) {
+        case WindowKind::SlidingCount:
+            SPECTRE_REQUIRE(size > 0, "sliding-count window needs size > 0");
+            SPECTRE_REQUIRE(slide > 0, "sliding-count window needs slide > 0");
+            break;
+        case WindowKind::SlidingTime:
+            SPECTRE_REQUIRE(duration > 0, "sliding-time window needs duration > 0");
+            SPECTRE_REQUIRE(time_slide > 0, "sliding-time window needs slide > 0");
+            break;
+        case WindowKind::PredicateOpen:
+            SPECTRE_REQUIRE(open_pred != nullptr, "predicate window needs an open predicate");
+            if (extent == ExtentKind::Count)
+                SPECTRE_REQUIRE(size > 0, "predicate window needs size > 0");
+            else
+                SPECTRE_REQUIRE(duration > 0, "predicate window needs duration > 0");
+            break;
+    }
+}
+
+WindowSpec WindowSpec::sliding_count(std::uint64_t size, std::uint64_t slide) {
+    WindowSpec w;
+    w.kind = WindowKind::SlidingCount;
+    w.size = size;
+    w.slide = slide;
+    w.validate();
+    return w;
+}
+
+WindowSpec WindowSpec::sliding_time(event::Timestamp duration, event::Timestamp slide) {
+    WindowSpec w;
+    w.kind = WindowKind::SlidingTime;
+    w.duration = duration;
+    w.time_slide = slide;
+    w.validate();
+    return w;
+}
+
+WindowSpec WindowSpec::predicate_open_count(Expr open_pred, std::uint64_t size) {
+    WindowSpec w;
+    w.kind = WindowKind::PredicateOpen;
+    w.open_pred = std::move(open_pred);
+    w.extent = ExtentKind::Count;
+    w.size = size;
+    w.validate();
+    return w;
+}
+
+WindowSpec WindowSpec::predicate_open_time(Expr open_pred, event::Timestamp duration) {
+    WindowSpec w;
+    w.kind = WindowKind::PredicateOpen;
+    w.open_pred = std::move(open_pred);
+    w.extent = ExtentKind::Time;
+    w.duration = duration;
+    w.validate();
+    return w;
+}
+
+namespace {
+
+// Last position whose timestamp is still within [ts(first), ts(first)+dur).
+event::Seq time_extent_end(const event::EventStore& store, event::Seq first,
+                           event::Timestamp dur) {
+    const event::Timestamp limit = store.at(first).ts + dur;
+    event::Seq last = first;
+    while (last + 1 < store.size() && store.at(last + 1).ts < limit) ++last;
+    return last;
+}
+
+}  // namespace
+
+std::vector<WindowInfo> assign_windows(const event::EventStore& store, const WindowSpec& spec) {
+    spec.validate();
+    std::vector<WindowInfo> out;
+    if (store.empty()) return out;
+    const event::Seq n = store.size();
+
+    switch (spec.kind) {
+        case WindowKind::SlidingCount: {
+            for (event::Seq start = 0; start < n; start += spec.slide) {
+                WindowInfo w;
+                w.id = out.size();
+                w.first = start;
+                w.last = std::min<event::Seq>(start + spec.size - 1, n - 1);
+                out.push_back(w);
+            }
+            break;
+        }
+        case WindowKind::SlidingTime: {
+            const event::Timestamp t0 = store.at(0).ts;
+            const event::Timestamp t_end = store.at(n - 1).ts;
+            event::Seq first = 0;
+            for (event::Timestamp start = t0; start <= t_end; start += spec.time_slide) {
+                while (first < n && store.at(first).ts < start) ++first;
+                if (first >= n) break;
+                event::Seq last = first;
+                while (last + 1 < n && store.at(last + 1).ts < start + spec.duration) ++last;
+                WindowInfo w;
+                w.id = out.size();
+                w.first = first;
+                w.last = last;
+                out.push_back(w);
+            }
+            break;
+        }
+        case WindowKind::PredicateOpen: {
+            for (event::Seq pos = 0; pos < n; ++pos) {
+                const event::Event& e = store.at(pos);
+                EvalContext ctx;
+                ctx.current = &e;
+                if (!eval_bool(spec.open_pred, ctx)) continue;
+                WindowInfo w;
+                w.id = out.size();
+                w.first = pos;
+                w.last = spec.extent == ExtentKind::Count
+                             ? std::min<event::Seq>(pos + spec.size - 1, n - 1)
+                             : time_extent_end(store, pos, spec.duration);
+                out.push_back(w);
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+}  // namespace spectre::query

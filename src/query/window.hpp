@@ -1,0 +1,68 @@
+// Window specifications and window assignment.
+//
+// Three window kinds cover the paper's queries:
+//   SlidingCount  — "WITHIN ws EVENTS FROM EVERY s EVENTS"   (Q2, Q3)
+//   SlidingTime   — time-based sliding window
+//   PredicateOpen — "WITHIN ws EVENTS FROM <pred>": a window opens at every
+//                   event satisfying the open predicate (Q1's FROM MLE, QE's
+//                   window per A event); extent is a count or a duration.
+//
+// assign_windows materializes WindowInfo {id, first, last} over an
+// EventStore. Window IDs increase with the start event, which is the total
+// order the dependency definition (§3.1) builds on. All kinds produce windows
+// whose end position is monotone in their start position; overlapping
+// predecessors of a window are therefore a contiguous id range — the
+// dependency tree relies on this (DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "event/stream.hpp"
+#include "query/predicate.hpp"
+
+namespace spectre::query {
+
+enum class WindowKind { SlidingCount, SlidingTime, PredicateOpen };
+enum class ExtentKind { Count, Time };
+
+struct WindowSpec {
+    WindowKind kind = WindowKind::SlidingCount;
+
+    // SlidingCount: size/slide in events. PredicateOpen+Count: size in events.
+    std::uint64_t size = 0;
+    std::uint64_t slide = 0;
+
+    // SlidingTime / PredicateOpen+Time: duration/slide in timestamp units.
+    event::Timestamp duration = 0;
+    event::Timestamp time_slide = 0;
+
+    Expr open_pred;  // PredicateOpen only
+    ExtentKind extent = ExtentKind::Count;
+
+    void validate() const;
+
+    static WindowSpec sliding_count(std::uint64_t size, std::uint64_t slide);
+    static WindowSpec sliding_time(event::Timestamp duration, event::Timestamp slide);
+    static WindowSpec predicate_open_count(Expr open_pred, std::uint64_t size);
+    static WindowSpec predicate_open_time(Expr open_pred, event::Timestamp duration);
+};
+
+struct WindowInfo {
+    std::uint64_t id = 0;
+    event::Seq first = 0;  // inclusive
+    event::Seq last = 0;   // inclusive
+
+    std::uint64_t length() const noexcept { return last - first + 1; }
+    bool overlaps(const WindowInfo& other) const noexcept {
+        return first <= other.last && other.first <= last;
+    }
+    bool operator==(const WindowInfo&) const = default;
+};
+
+// Materializes all windows over the store, in id order. Trailing windows are
+// clamped to the end of the store (partial windows are still processed, as in
+// the paper's streaming setting where the stream simply ends).
+std::vector<WindowInfo> assign_windows(const event::EventStore& store, const WindowSpec& spec);
+
+}  // namespace spectre::query

@@ -1,0 +1,56 @@
+#include "sequential/seq_engine.hpp"
+
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace spectre::sequential {
+
+SequentialEngine::SequentialEngine(const detect::CompiledQuery* cq) : cq_(cq) {
+    SPECTRE_REQUIRE(cq != nullptr, "SequentialEngine needs a compiled query");
+}
+
+SeqResult SequentialEngine::run(const event::EventStore& store) const {
+    SeqResult result;
+    const auto windows = query::assign_windows(store, cq_->query().window);
+    result.stats.windows = windows.size();
+
+    std::unordered_set<event::Seq> consumed;  // global, across windows
+    detect::Detector detector(cq_);
+    detect::Feedback fb;
+
+    for (const auto& w : windows) {
+        detector.begin_window(w);
+        for (event::Seq pos = w.first; pos <= w.last; ++pos) {
+            if (consumed.count(pos)) {
+                ++result.stats.events_suppressed;
+                continue;
+            }
+            fb.clear();
+            detector.on_event(store.at(pos), fb);
+            ++result.stats.events_processed;
+
+            for (const auto& c : fb.created)
+                if (c.consumable) ++result.stats.groups_created;
+            for (const auto& a : fb.abandoned) {
+                (void)a;
+                if (cq_->consumes_anything()) ++result.stats.groups_abandoned;
+            }
+            for (auto& done : fb.completed) {
+                if (cq_->consumes_anything()) ++result.stats.groups_completed;
+                for (const auto seq : done.consumed) consumed.insert(seq);
+                result.complex_events.push_back(std::move(done.complex_event));
+                ++result.stats.complex_events;
+            }
+        }
+        fb.clear();
+        detector.end_window(fb);
+        for (const auto& a : fb.abandoned) {
+            (void)a;
+            if (cq_->consumes_anything()) ++result.stats.groups_abandoned;
+        }
+    }
+    return result;
+}
+
+}  // namespace spectre::sequential

@@ -1,0 +1,58 @@
+// Sequential reference engine.
+//
+// Processes windows to completion in start order; events consumed in window
+// wᵢ are invisible to every later window. This is the paper's notion of
+// "sequential processing" (§2.3: "wait with processing w2 until w1 is
+// completely processed and hence, all consumptions in w1 are known") and
+// therefore the ground truth SPECTRE must reproduce exactly — the
+// integration tests compare complex-event streams wholesale.
+//
+// The engine also records the statistics the paper derives from a sequential
+// pass: the ground-truth consumption-group completion probability
+// (#completed / #created, Fig. 10(d)/(e)) and per-event δ transition counts
+// (used to validate the Markov model against reality).
+#pragma once
+
+#include <vector>
+
+#include "detect/detector.hpp"
+
+namespace spectre::sequential {
+
+struct SeqStats {
+    std::uint64_t windows = 0;
+    std::uint64_t events_processed = 0;   // window-events fed to detectors
+    std::uint64_t events_suppressed = 0;  // skipped because already consumed
+    std::uint64_t groups_created = 0;     // partial matches that opened a CG
+    std::uint64_t groups_completed = 0;
+    std::uint64_t groups_abandoned = 0;
+    std::uint64_t complex_events = 0;
+
+    // Ground truth completion probability of consumption groups (§4.2.1:
+    // "the number of created consumption groups divided by the number of
+    // produced complex events provides the ground truth value").
+    double completion_probability() const {
+        return groups_created ? static_cast<double>(groups_completed) /
+                                    static_cast<double>(groups_created)
+                              : 0.0;
+    }
+};
+
+struct SeqResult {
+    std::vector<event::ComplexEvent> complex_events;  // in window order
+    SeqStats stats;
+};
+
+class SequentialEngine {
+public:
+    explicit SequentialEngine(const detect::CompiledQuery* cq);
+
+    // Runs the full pass over `store`. Windows are assigned from the query's
+    // window spec; consumption state starts empty.
+    SeqResult run(const event::EventStore& store) const;
+
+private:
+    const detect::CompiledQuery* cq_;
+};
+
+}  // namespace spectre::sequential

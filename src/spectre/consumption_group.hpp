@@ -1,0 +1,68 @@
+// ConsumptionGroup: the shared record of one partial match's would-be
+// consumptions (§3.1).
+//
+// Created by the operator instance that detects the partial match; referenced
+// by the dependency tree (one or more Group vertices) and by every window
+// version that speculatively suppresses its events. The owning instance adds
+// events as the match grows; other instances read the membership through
+// versioned snapshots. The monotonically increasing `version` counter is what
+// the consistency check of Fig. 8 (lines 31–45) compares against
+// `lastCheckedVersion` to detect late additions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "event/event.hpp"
+
+namespace spectre::core {
+
+enum class CgOutcome : std::uint8_t { Pending, Completed, Abandoned };
+
+class ConsumptionGroup {
+public:
+    ConsumptionGroup(std::uint64_t id, std::uint64_t window_id, std::uint64_t owner_version_id,
+                     int initial_delta);
+
+    std::uint64_t id() const noexcept { return id_; }
+    std::uint64_t window_id() const noexcept { return window_id_; }
+    // The window version whose detector owns this group. Group vertices in
+    // copied subtrees share the underlying group of their original, and this
+    // field is how the tree copy distinguishes self-owned groups (preserved,
+    // shared) from descendant-owned ones (not part of a fresh copy).
+    std::uint64_t owner_version_id() const noexcept { return owner_version_id_; }
+
+    // --- owner-instance side -------------------------------------------------
+    void add_event(event::Seq seq);
+    void set_delta(int delta) noexcept { delta_.store(delta, std::memory_order_relaxed); }
+    void resolve(CgOutcome outcome) noexcept;
+
+    // --- reader side ---------------------------------------------------------
+    std::uint64_t version() const noexcept { return version_.load(std::memory_order_acquire); }
+    int delta() const noexcept { return delta_.load(std::memory_order_relaxed); }
+    CgOutcome outcome() const noexcept { return outcome_.load(std::memory_order_acquire); }
+
+    // Copies the current membership; `version_out` receives the version the
+    // snapshot corresponds to.
+    std::vector<event::Seq> snapshot(std::uint64_t& version_out) const;
+
+    bool contains(event::Seq seq) const;
+    std::size_t size() const;
+
+private:
+    const std::uint64_t id_;
+    const std::uint64_t window_id_;
+    const std::uint64_t owner_version_id_;
+    std::atomic<int> delta_;
+    std::atomic<std::uint64_t> version_{0};
+    std::atomic<CgOutcome> outcome_{CgOutcome::Pending};
+    mutable std::mutex mutex_;
+    std::vector<event::Seq> events_;  // guarded by mutex_
+};
+
+using CgPtr = std::shared_ptr<ConsumptionGroup>;
+
+}  // namespace spectre::core

@@ -1,0 +1,225 @@
+#include "spectre/operator_instance.hpp"
+
+#include "util/assert.hpp"
+
+namespace spectre::core {
+
+namespace {
+// Consumption-group ids are striped by instance index so concurrent
+// instances never collide without synchronization.
+constexpr std::uint64_t kIdStride = 1u << 20;
+}  // namespace
+
+OperatorInstance::OperatorInstance(int index, const event::EventStore* store,
+                                   const detect::CompiledQuery* cq, UpdateQueue* updates,
+                                   InstanceConfig config)
+    : index_(index), store_(store), cq_(cq), updates_(updates), config_(config),
+      next_cg_id_(static_cast<std::uint64_t>(index) * kIdStride + 1) {
+    SPECTRE_REQUIRE(store != nullptr && cq != nullptr && updates != nullptr,
+                    "OperatorInstance needs store, query and update queue");
+    SPECTRE_REQUIRE(config.consistency_check_freq >= 1,
+                    "consistency_check_freq must be >= 1");
+}
+
+void OperatorInstance::assign(WvPtr wv) {
+    const std::lock_guard<std::mutex> lock(slot_mutex_);
+    slot_ = std::move(wv);
+}
+
+WvPtr OperatorInstance::assignment() const {
+    const std::lock_guard<std::mutex> lock(slot_mutex_);
+    return slot_;
+}
+
+void OperatorInstance::refresh_caches(WindowVersion& wv) {
+    auto& st = wv.processing();
+    for (std::size_t i = 0; i < wv.suppressed().size(); ++i) {
+        const auto& cg = wv.suppressed()[i];
+        auto& cache = st.caches[i];
+        if (cache.snapshot_version == cg->version()) continue;
+        std::uint64_t version = 0;
+        const auto events = cg->snapshot(version);
+        cache.events.clear();
+        cache.events.insert(events.begin(), events.end());
+        cache.snapshot_version = version;
+    }
+}
+
+bool OperatorInstance::is_suppressed(WindowVersion& wv, event::Seq seq) {
+    const auto& st = wv.processing();
+    for (const auto& cache : st.caches)
+        if (cache.events.count(seq)) return true;
+    return false;
+}
+
+void OperatorInstance::handle_feedback(WindowVersion& wv, const detect::Feedback& fb) {
+    auto& st = wv.processing();
+
+    for (const auto& c : fb.created) {
+        if (!c.consumable) continue;  // no consumption: no group, no dependency
+        auto cg = std::make_shared<ConsumptionGroup>(next_cg_id_++, wv.window().id,
+                                                     wv.version_id(), c.delta);
+        st.own_groups.emplace(c.id, cg);
+        Update u;
+        u.kind = Update::Kind::CgCreated;
+        u.version_id = wv.version_id();
+        u.cg = cg;
+        updates_->push(std::move(u));
+    }
+
+    for (const auto& b : fb.bound) {
+        if (!b.consumable) continue;
+        const auto it = st.own_groups.find(b.id);
+        if (it == st.own_groups.end()) continue;  // match opened no group
+        it->second->add_event(b.seq);
+        it->second->set_delta(b.delta_after);
+    }
+
+    for (const auto& done : fb.completed) {
+        st.output.push_back(done.complex_event);
+        const auto it = st.own_groups.find(done.id);
+        if (it != st.own_groups.end()) {
+            it->second->resolve(CgOutcome::Completed);
+            st.completed_history.push_back(it->second);
+            Update u;
+            u.kind = Update::Kind::CgCompleted;
+            u.version_id = wv.version_id();
+            u.cg = it->second;
+            updates_->push(std::move(u));
+            st.own_groups.erase(it);
+        }
+    }
+
+    for (const auto& a : fb.abandoned) {
+        const auto it = st.own_groups.find(a.id);
+        if (it == st.own_groups.end()) continue;
+        it->second->resolve(CgOutcome::Abandoned);
+        Update u;
+        u.kind = Update::Kind::CgAbandoned;
+        u.version_id = wv.version_id();
+        u.cg = it->second;
+        updates_->push(std::move(u));
+        st.own_groups.erase(it);
+    }
+
+    if (wv.stats_enabled()) {
+        for (const auto& t : fb.transitions)
+            pending_transitions_.emplace_back(t.from, t.to);
+    }
+}
+
+bool OperatorInstance::consistency_check(WindowVersion& wv) {
+    // Fig. 8 lines 31-45: for every suppressed group that changed since the
+    // last check, test whether this version processed an event that should
+    // have been suppressed.
+    auto& st = wv.processing();
+    bool inconsistent = false;
+    for (std::size_t i = 0; i < wv.suppressed().size(); ++i) {
+        const auto& cg = wv.suppressed()[i];
+        auto& cache = st.caches[i];
+        const std::uint64_t current = cg->version();
+        if (current == cache.checked_version) continue;
+        std::uint64_t version = 0;
+        const auto events = cg->snapshot(version);
+        cache.events.clear();
+        cache.events.insert(events.begin(), events.end());
+        cache.snapshot_version = version;
+        for (const auto seq : events) {
+            if (seq < wv.window().first || seq > wv.window().last) continue;
+            if (st.used[seq - wv.window().first]) {
+                inconsistent = true;
+                break;
+            }
+        }
+        cache.checked_version = version;
+    }
+    return inconsistent;
+}
+
+void OperatorInstance::rollback(WindowVersion& wv) {
+    // All groups the invalid pass produced — pending *and* resolved — are
+    // void, and resolutions may already have pruned dependent versions. The
+    // Rollback update makes the splitter rebuild the whole dependent subtree
+    // fresh; reprocessing then re-detects everything.
+    wv.reset_processing();
+    pending_transitions_.clear();  // partially gathered stats are tainted
+    Update u;
+    u.kind = Update::Kind::Rollback;
+    u.version_id = wv.version_id();
+    updates_->push(std::move(u));
+    ++stats_.rollbacks;
+}
+
+void OperatorInstance::flush_stats(WindowVersion& wv) {
+    if (pending_transitions_.empty()) return;
+    Update u;
+    u.kind = Update::Kind::Stats;
+    u.version_id = wv.version_id();
+    u.transitions = std::move(pending_transitions_);
+    pending_transitions_.clear();
+    updates_->push(std::move(u));
+}
+
+void OperatorInstance::finish_window(WindowVersion& wv) {
+    fb_.clear();
+    wv.processing().detector.end_window(fb_);
+    handle_feedback(wv, fb_);
+    wv.mark_finished();
+    flush_stats(wv);
+    Update u;
+    u.kind = Update::Kind::WindowFinished;
+    u.version_id = wv.version_id();
+    updates_->push(std::move(u));
+    ++stats_.versions_finished;
+}
+
+std::size_t OperatorInstance::run_batch(std::size_t max_events) {
+    WvPtr wv = assignment();
+    if (!wv || wv->dropped() || wv->finished()) return 0;
+    // Another instance may still be inside a batch on this version right
+    // after a reassignment; back off and retry next batch.
+    if (!wv->try_acquire(index_)) return 0;
+    struct Release {
+        WindowVersion* wv;
+        ~Release() { wv->release_ownership(); }
+    } release{wv.get()};
+    ++stats_.batches;
+
+    refresh_caches(*wv);
+    auto& st = wv->processing();
+    std::size_t advanced = 0;
+
+    while (advanced < max_events) {
+        if (wv->dropped()) break;
+        if (st.next_offset >= wv->window().length()) {
+            finish_window(*wv);
+            break;
+        }
+        const event::Seq seq = wv->window().first + st.next_offset;
+        if (is_suppressed(*wv, seq)) {
+            ++stats_.events_suppressed;
+        } else {
+            fb_.clear();
+            st.detector.on_event(store_->at(seq), fb_);
+            handle_feedback(*wv, fb_);
+            st.used[st.next_offset] = true;
+            ++stats_.events_processed;
+        }
+        ++st.next_offset;
+        wv->set_progress(st.next_offset);
+        ++advanced;
+
+        if (++st.steps_since_check >= config_.consistency_check_freq) {
+            st.steps_since_check = 0;
+            if (consistency_check(*wv)) {
+                rollback(*wv);
+                break;  // restart the version in the next batch
+            }
+        }
+    }
+
+    flush_stats(*wv);
+    return advanced;
+}
+
+}  // namespace spectre::core

@@ -1,0 +1,80 @@
+// OperatorInstance: one of the k parallel workers (§3.3, Fig. 8).
+//
+// Each instance processes the window version the splitter scheduled to it:
+// it feeds non-suppressed events to the version's detector, maintains the
+// version's consumption groups, buffers produced complex events, and runs the
+// periodic consistency check, rolling the version back to the window start
+// when a suppressed group gained an event this version already processed.
+//
+// The class is runtime-agnostic: the threaded runtime calls run_batch() from
+// a dedicated thread, the simulated runtime calls it inline under a virtual
+// clock. All cross-thread communication goes through the assignment slot
+// (mutex) and the splitter's update queue.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "event/stream.hpp"
+#include "spectre/updates.hpp"
+#include "spectre/window_version.hpp"
+
+namespace spectre::core {
+
+struct InstanceConfig {
+    // Fig. 8 line 32: consistency check every `consistency_check_freq` steps.
+    std::uint64_t consistency_check_freq = 64;
+};
+
+struct InstanceStats {
+    std::uint64_t events_processed = 0;   // fed to a detector
+    std::uint64_t events_suppressed = 0;  // skipped as consumed
+    std::uint64_t rollbacks = 0;
+    std::uint64_t versions_finished = 0;
+    std::uint64_t batches = 0;
+};
+
+class OperatorInstance {
+public:
+    OperatorInstance(int index, const event::EventStore* store,
+                     const detect::CompiledQuery* cq, UpdateQueue* updates,
+                     InstanceConfig config);
+
+    int index() const noexcept { return index_; }
+
+    // --- splitter side -------------------------------------------------------
+    void assign(WvPtr wv);
+    WvPtr assignment() const;
+
+    // --- worker side ---------------------------------------------------------
+    // Processes up to `max_events` events of the current assignment. Returns
+    // the number of window positions advanced (0 when idle / finished).
+    std::size_t run_batch(std::size_t max_events);
+
+    const InstanceStats& stats() const noexcept { return stats_; }
+
+private:
+    bool is_suppressed(WindowVersion& wv, event::Seq seq);
+    void refresh_caches(WindowVersion& wv);
+    void handle_feedback(WindowVersion& wv, const detect::Feedback& fb);
+    bool consistency_check(WindowVersion& wv);
+    void rollback(WindowVersion& wv);
+    void finish_window(WindowVersion& wv);
+    void flush_stats(WindowVersion& wv);
+
+    const int index_;
+    const event::EventStore* store_;
+    const detect::CompiledQuery* cq_;
+    UpdateQueue* updates_;
+    const InstanceConfig config_;
+
+    mutable std::mutex slot_mutex_;
+    WvPtr slot_;  // guarded by slot_mutex_
+
+    std::uint64_t next_cg_id_;  // instance-striped unique ids
+    detect::Feedback fb_;       // reused per event
+    std::vector<std::pair<int, int>> pending_transitions_;  // stats buffer
+    InstanceStats stats_;
+};
+
+}  // namespace spectre::core

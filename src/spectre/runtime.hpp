@@ -1,0 +1,44 @@
+// SpectreRuntime: the real-thread deployment of SPECTRE (§2.2: one thread
+// pinned to the splitter, k threads pinned to operator instances, all over
+// shared memory).
+//
+// run() blocks until the whole store is processed and returns the emitted
+// complex events — byte-identical, including order, to the sequential
+// engine's output (the framework's correctness goal, §2.3).
+#pragma once
+
+#include <memory>
+
+#include "spectre/splitter.hpp"
+
+namespace spectre::core {
+
+struct RuntimeConfig {
+    SplitterConfig splitter{};
+    // Events an instance processes per batch before re-checking its
+    // assignment and the stop flag.
+    std::size_t batch_events = 256;
+};
+
+struct RunResult {
+    std::vector<event::ComplexEvent> output;
+    SplitterMetrics metrics;
+    std::vector<InstanceStats> instance_stats;
+    double wall_seconds = 0.0;
+    double throughput_eps = 0.0;  // source events per (real) second
+};
+
+class SpectreRuntime {
+public:
+    SpectreRuntime(const event::EventStore* store, const detect::CompiledQuery* cq,
+                   RuntimeConfig config, std::unique_ptr<model::CompletionModel> model);
+
+    RunResult run();
+
+private:
+    const event::EventStore* store_;
+    RuntimeConfig config_;
+    Splitter splitter_;
+};
+
+}  // namespace spectre::core

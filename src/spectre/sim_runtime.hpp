@@ -1,0 +1,65 @@
+// SimRuntime: deterministic virtual-time execution of SPECTRE on k simulated
+// cores (DESIGN.md §4, substitution 1).
+//
+// The paper evaluates throughput scaling on a 2×10-core (40 HT) machine;
+// this repository's benches run anywhere — including single-core CI — by
+// executing the *unmodified* splitter / dependency-tree / operator-instance
+// code under a discrete-event scheduler: every actor (the splitter plus k
+// instances) owns a virtual clock, processing an event costs `ns_per_event`,
+// a maintenance+scheduling cycle costs `splitter_cycle_ns`, and throughput is
+// source events divided by the virtual makespan. All algorithmic effects the
+// paper's curves hinge on — futile speculation at p≈0.5, depth-first
+// speculation at p≈0/1, drops, rollbacks, consistency checks — happen for
+// real; only wall-clock parallelism is virtual.
+//
+// An optional contention model mirrors the paper's k=32 > 20-cores regime:
+// with more runnable actors than physical cores, every cost is stretched by
+// threads/slots where slots = cores + ht_efficiency·min(threads-cores, cores).
+#pragma once
+
+#include <memory>
+
+#include "spectre/splitter.hpp"
+
+namespace spectre::core {
+
+struct SimConfig {
+    SplitterConfig splitter{};
+    std::size_t batch_events = 64;  // instance quantum
+
+    double ns_per_event = 1000.0;      // per window-event processing cost
+    double splitter_cycle_ns = 2000.0; // per maintenance+scheduling cycle
+    double idle_poll_ns = 1000.0;      // re-poll delay for an idle instance
+
+    // Hardware model (paper machine: 2×10 cores, hyper-threaded).
+    int physical_cores = 20;
+    double ht_efficiency = 0.25;
+    bool model_contention = true;
+};
+
+struct SimResult {
+    std::vector<event::ComplexEvent> output;
+    SplitterMetrics metrics;
+    std::vector<InstanceStats> instance_stats;
+    double virtual_seconds = 0.0;
+    double throughput_eps = 0.0;  // source events per virtual second
+};
+
+class SimRuntime {
+public:
+    SimRuntime(const event::EventStore* store, const detect::CompiledQuery* cq,
+               SimConfig config, std::unique_ptr<model::CompletionModel> model);
+
+    SimResult run();
+
+    // Contention stretch factor for `threads` runnable actors (exposed for
+    // tests and EXPERIMENTS.md).
+    static double contention_factor(int threads, int physical_cores, double ht_efficiency);
+
+private:
+    const event::EventStore* store_;
+    SimConfig config_;
+    Splitter splitter_;
+};
+
+}  // namespace spectre::core

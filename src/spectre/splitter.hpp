@@ -1,0 +1,128 @@
+// Splitter: the coordination thread of SPECTRE (Fig. 2, §3.2).
+//
+// One maintenance + scheduling cycle (run_cycle, the unit Fig. 10(c)
+// measures) performs:
+//   (a) maintenance — drain the operator instances' buffered updates and
+//       apply them to the dependency tree (attach groups, prune resolved
+//       ones, fold statistics into the prediction model), retire finished
+//       roots (emitting their buffered complex events in window order), and
+//       open newly arrived windows;
+//   (b) scheduling — select the top-k window versions by survival
+//       probability (Fig. 6) and map them onto the k operator instances
+//       without disturbing versions that stay scheduled (Fig. 7).
+//
+// Windows are opened with a bounded lookahead: the paper's splitter opens a
+// window when its start event arrives, which self-throttles against
+// processing; with a fully materialized store the lookahead cap plays that
+// role (DESIGN.md §7), and a version-count guard bounds speculative blow-up
+// at 50% completion probability.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_set>
+
+#include "spectre/dependency_tree.hpp"
+#include "spectre/operator_instance.hpp"
+
+namespace spectre::core {
+
+struct SplitterConfig {
+    int instances = 4;  // k
+    // Max live (opened, unretired) windows; 0 = auto: max(natural overlap
+    // degree, 2k).
+    std::size_t lookahead_windows = 0;
+    // Stop opening windows while the tree holds more versions than this.
+    std::size_t max_tree_versions = 50'000;
+    // Above this many live versions, subtree copies stop multiplying pending
+    // branches (DependencyTree::set_collapse_threshold).
+    std::size_t collapse_threshold = 4096;
+    InstanceConfig instance{};
+};
+
+struct SplitterMetrics {
+    std::uint64_t cycles = 0;
+    std::uint64_t windows_opened = 0;
+    std::uint64_t windows_retired = 0;
+    std::uint64_t groups_created = 0;
+    std::uint64_t groups_completed = 0;
+    std::uint64_t groups_abandoned = 0;
+    std::uint64_t stats_samples = 0;
+    std::uint64_t complex_events = 0;
+    std::uint64_t rollbacks = 0;            // instance-detected inconsistencies
+    std::uint64_t late_validations = 0;     // caught at root retirement
+    std::size_t max_tree_versions = 0;     // Fig. 10(f)
+    std::uint64_t versions_dropped = 0;
+    std::uint64_t copies_cloned = 0;   // subtree copies that kept progress
+    std::uint64_t copies_fresh = 0;    // subtree copies restarted
+};
+
+class Splitter {
+public:
+    // `model` is the completion-probability predictor (Markov or fixed);
+    // ownership is shared with nobody — the splitter drives observe/refresh.
+    Splitter(const event::EventStore* store, const detect::CompiledQuery* cq,
+             SplitterConfig config, std::unique_ptr<model::CompletionModel> model);
+
+    // One maintenance + scheduling cycle. Returns true while work remains.
+    bool run_cycle();
+
+    bool done() const noexcept { return done_; }
+
+    // The k operator instances (stable addresses; workers index into this).
+    std::vector<std::unique_ptr<OperatorInstance>>& instances() noexcept {
+        return instances_;
+    }
+    UpdateQueue& updates() noexcept { return updates_; }
+
+    // Complex events emitted so far, in window order (identical to the
+    // sequential engine's output).
+    const std::vector<event::ComplexEvent>& output() const noexcept { return output_; }
+    std::vector<event::ComplexEvent> take_output() { return std::move(output_); }
+
+    const SplitterMetrics& metrics() const noexcept { return metrics_; }
+    const DependencyTree& tree() const noexcept { return tree_; }
+    const model::CompletionModel& model() const noexcept { return *model_; }
+    std::size_t total_windows() const noexcept { return windows_.size(); }
+
+private:
+    void apply_updates();
+    void retire_finished_roots();
+    void open_windows();
+    void schedule();
+    std::size_t effective_lookahead() const;
+    // State-preserving copy of `src` for the dependency tree's subtree
+    // copies; nullptr when cloning is not possible right now.
+    WvPtr make_clone(const query::WindowInfo& w, std::vector<CgPtr> suppressed,
+                     const WindowVersion& src,
+                     std::unordered_map<std::uint64_t, CgPtr>& cg_map, bool allow_pending);
+
+    const event::EventStore* store_;
+    const detect::CompiledQuery* cq_;
+    const SplitterConfig config_;
+    std::unique_ptr<model::CompletionModel> model_;
+
+    std::vector<query::WindowInfo> windows_;
+    std::size_t next_window_ = 0;  // next window to open
+    std::size_t retired_ = 0;
+    // Consumed events from completed groups that may fall into windows not
+    // yet opened (trimmed as the open frontier advances).
+    std::set<event::Seq> consumed_tail_;
+    // Versions whose WindowFinished update has been drained; only these may
+    // retire (guarantees their final group updates were applied first).
+    std::unordered_set<std::uint64_t> finished_versions_;
+
+    DependencyTree tree_;
+    UpdateQueue updates_;
+    std::vector<std::unique_ptr<OperatorInstance>> instances_;
+    std::vector<event::ComplexEvent> output_;
+    std::uint64_t next_version_id_ = 1;
+    // Clone-side consumption-group ids live far above the instance-striped
+    // ranges (operator instances stripe below 2^20 per instance).
+    std::uint64_t next_clone_cg_id_ = 1ull << 40;
+    bool done_ = false;
+    SplitterMetrics metrics_;
+};
+
+}  // namespace spectre::core

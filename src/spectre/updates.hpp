@@ -1,0 +1,38 @@
+// Update messages from operator instances to the splitter.
+//
+// Fig. 8: "the function calls of the operator instances on the dependency
+// tree are buffered — they are actually executed on the dependency tree in a
+// batch at each new scheduling cycle of the splitter." These are those
+// buffered calls, carried through an MPSC queue. Queue order preserves each
+// instance's program order, so a group's Created always precedes its
+// Completed/Abandoned.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "spectre/consumption_group.hpp"
+#include "util/mpsc_queue.hpp"
+
+namespace spectre::core {
+
+struct Update {
+    enum class Kind {
+        CgCreated,       // attach a Group vertex under the owner version
+        CgCompleted,     // prune abandon subtrees of this group's vertices
+        CgAbandoned,     // prune completion subtrees
+        WindowFinished,  // version processed its whole window
+        Rollback,        // version reprocesses: rebuild its dependent subtree
+        Stats,           // δ-transition samples from an independent window
+    };
+
+    Kind kind = Kind::Stats;
+    std::uint64_t version_id = 0;  // originating window version
+    CgPtr cg;                      // for the Cg* kinds
+    std::vector<std::pair<int, int>> transitions;  // for Stats
+};
+
+using UpdateQueue = util::MpscQueue<Update>;
+
+}  // namespace spectre::core

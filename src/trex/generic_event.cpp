@@ -1,0 +1,204 @@
+#include "trex/generic_event.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace spectre::trex {
+
+GenericEvent reify(const event::Event& e, const event::Schema& schema) {
+    GenericEvent g;
+    g.seq = e.seq;
+    g.ts = e.ts;
+    if (e.type != util::kInvalidIntern) g.type = schema.type_name(e.type);
+    if (e.subject != util::kInvalidIntern) g.symbol = schema.subject_name(e.subject);
+    for (std::size_t s = 0; s < schema.attr_count(); ++s)
+        g.attrs.emplace(schema.attr_name(s), e.attrs[s]);
+    return g;
+}
+
+namespace {
+
+class ConstNode final : public GenericNode {
+public:
+    explicit ConstNode(double v) : v_(v) {}
+    double eval(const GenericEvent&, const GenericBindings&, bool&) const override {
+        return v_;
+    }
+
+private:
+    double v_;
+};
+
+class AttrNode final : public GenericNode {
+public:
+    explicit AttrNode(std::string name) : name_(std::move(name)) {}
+    double eval(const GenericEvent& e, const GenericBindings&, bool& ok) const override {
+        const auto it = e.attrs.find(name_);
+        if (it == e.attrs.end()) {
+            ok = false;
+            return 0.0;
+        }
+        return it->second;
+    }
+
+private:
+    std::string name_;
+};
+
+class BoundAttrNode final : public GenericNode {
+public:
+    BoundAttrNode(std::string binding, std::string attr)
+        : binding_(std::move(binding)), attr_(std::move(attr)) {}
+    double eval(const GenericEvent&, const GenericBindings& b, bool& ok) const override {
+        const auto it = b.find(binding_);
+        if (it == b.end() || it->second == nullptr) {
+            ok = false;
+            return 0.0;
+        }
+        const auto a = it->second->attrs.find(attr_);
+        if (a == it->second->attrs.end()) {
+            ok = false;
+            return 0.0;
+        }
+        return a->second;
+    }
+
+private:
+    std::string binding_;
+    std::string attr_;
+};
+
+class SymbolInNode final : public GenericNode {
+public:
+    explicit SymbolInNode(std::vector<std::string> symbols) : symbols_(std::move(symbols)) {
+        std::sort(symbols_.begin(), symbols_.end());
+    }
+    double eval(const GenericEvent& e, const GenericBindings&, bool&) const override {
+        return std::binary_search(symbols_.begin(), symbols_.end(), e.symbol) ? 1.0 : 0.0;
+    }
+
+private:
+    std::vector<std::string> symbols_;
+};
+
+class TypeIsNode final : public GenericNode {
+public:
+    explicit TypeIsNode(std::string type) : type_(std::move(type)) {}
+    double eval(const GenericEvent& e, const GenericBindings&, bool&) const override {
+        return e.type == type_ ? 1.0 : 0.0;
+    }
+
+private:
+    std::string type_;
+};
+
+class UnaryNode final : public GenericNode {
+public:
+    UnaryNode(query::UnOp op, GenericExpr operand) : op_(op), operand_(std::move(operand)) {}
+    double eval(const GenericEvent& e, const GenericBindings& b, bool& ok) const override {
+        const double v = operand_->eval(e, b, ok);
+        return op_ == query::UnOp::Neg ? -v : (v == 0.0 ? 1.0 : 0.0);
+    }
+
+private:
+    query::UnOp op_;
+    GenericExpr operand_;
+};
+
+class BinaryNode final : public GenericNode {
+public:
+    BinaryNode(query::BinOp op, GenericExpr lhs, GenericExpr rhs)
+        : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+    double eval(const GenericEvent& e, const GenericBindings& b, bool& ok) const override {
+        using query::BinOp;
+        if (op_ == BinOp::And) {
+            bool lok = true;
+            const bool l = lhs_->eval(e, b, lok) != 0.0 && lok;
+            if (!l) return 0.0;
+            bool rok = true;
+            const bool r = rhs_->eval(e, b, rok) != 0.0 && rok;
+            return r ? 1.0 : 0.0;
+        }
+        if (op_ == BinOp::Or) {
+            bool lok = true;
+            const bool l = lhs_->eval(e, b, lok) != 0.0 && lok;
+            if (l) return 1.0;
+            bool rok = true;
+            return (rhs_->eval(e, b, rok) != 0.0 && rok) ? 1.0 : 0.0;
+        }
+        const double l = lhs_->eval(e, b, ok);
+        const double r = rhs_->eval(e, b, ok);
+        switch (op_) {
+            case BinOp::Add: return l + r;
+            case BinOp::Sub: return l - r;
+            case BinOp::Mul: return l * r;
+            case BinOp::Div: return l / r;
+            case BinOp::Lt: return l < r ? 1.0 : 0.0;
+            case BinOp::Le: return l <= r ? 1.0 : 0.0;
+            case BinOp::Gt: return l > r ? 1.0 : 0.0;
+            case BinOp::Ge: return l >= r ? 1.0 : 0.0;
+            case BinOp::Eq: return l == r ? 1.0 : 0.0;
+            case BinOp::Ne: return l != r ? 1.0 : 0.0;
+            default: break;
+        }
+        SPECTRE_CHECK(false, "unhandled generic binary operator");
+    }
+
+private:
+    query::BinOp op_;
+    GenericExpr lhs_, rhs_;
+};
+
+// Recovers the binding name a slot belongs to.
+std::string binding_name_of_slot(const query::Pattern& pattern, int slot) {
+    int s = 0;
+    for (const auto& el : pattern.elements) {
+        if (s == slot) return el.name;
+        ++s;
+        for (const auto& m : el.members) {
+            if (s == slot) return m.name;
+            ++s;
+        }
+    }
+    SPECTRE_CHECK(false, "binding slot out of range");
+}
+
+}  // namespace
+
+GenericExpr translate(const query::ExprNode& expr, const event::Schema& schema,
+                      const query::Pattern& pattern) {
+    using Kind = query::ExprNode::Kind;
+    switch (expr.kind) {
+        case Kind::Const:
+            return std::make_unique<ConstNode>(expr.value);
+        case Kind::Attr:
+            return std::make_unique<AttrNode>(schema.attr_name(expr.slot));
+        case Kind::BoundAttr:
+            return std::make_unique<BoundAttrNode>(
+                binding_name_of_slot(pattern, expr.element), schema.attr_name(expr.slot));
+        case Kind::SubjectIn: {
+            std::vector<std::string> names;
+            names.reserve(expr.subjects.size());
+            for (const auto id : expr.subjects) names.push_back(schema.subject_name(id));
+            return std::make_unique<SymbolInNode>(std::move(names));
+        }
+        case Kind::TypeIs:
+            return std::make_unique<TypeIsNode>(schema.type_name(expr.type));
+        case Kind::Unary:
+            return std::make_unique<UnaryNode>(expr.uop, translate(*expr.lhs, schema, pattern));
+        case Kind::Binary:
+            return std::make_unique<BinaryNode>(expr.bop, translate(*expr.lhs, schema, pattern),
+                                                translate(*expr.rhs, schema, pattern));
+    }
+    SPECTRE_CHECK(false, "unhandled expression kind");
+}
+
+bool eval_bool(const GenericExpr& e, const GenericEvent& ev, const GenericBindings& b) {
+    SPECTRE_REQUIRE(e != nullptr, "eval_bool on null generic expression");
+    bool ok = true;
+    const double v = e->eval(ev, b, ok);
+    return ok && v != 0.0;
+}
+
+}  // namespace spectre::trex

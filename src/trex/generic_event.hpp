@@ -1,0 +1,58 @@
+// Generic (string-keyed, boxed) event representation and predicate
+// interpreter — the "automatically translated state machine" layer of the
+// T-REX-style baseline (§4.2.3).
+//
+// The paper attributes much of SPECTRE's per-event advantage over T-REX to
+// the UDF-compiled fast path: SPECTRE's detectors compare interned integers
+// and fixed slots, while a general-purpose engine resolves names at run time
+// and interprets the query. This module deliberately reproduces that generic
+// cost model: every event is reified into a map of attribute names to boxed
+// values, and predicates are polymorphic node trees evaluated by virtual
+// dispatch.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "event/event.hpp"
+#include "query/pattern.hpp"
+#include "query/predicate.hpp"
+
+namespace spectre::trex {
+
+struct GenericEvent {
+    event::Seq seq = 0;
+    event::Timestamp ts = 0;
+    std::string type;
+    std::string symbol;
+    std::map<std::string, double> attrs;
+};
+
+// Reifies an interned event into the generic representation (name lookups,
+// string copies, node allocations — the whole generic tax).
+GenericEvent reify(const event::Event& e, const event::Schema& schema);
+
+// Bindings of pattern element names to previously matched events.
+using GenericBindings = std::map<std::string, const GenericEvent*>;
+
+class GenericNode {
+public:
+    virtual ~GenericNode() = default;
+    // Returns the numeric value; `ok` turns false if a referenced binding is
+    // absent (predicate cannot hold yet).
+    virtual double eval(const GenericEvent& e, const GenericBindings& b, bool& ok) const = 0;
+};
+
+using GenericExpr = std::unique_ptr<GenericNode>;
+
+// Translates a compiled (slot-based) expression back into a name-based
+// interpreted tree, using `schema` to recover names and `self` as the name
+// the current element's self-references resolve to.
+GenericExpr translate(const query::ExprNode& expr, const event::Schema& schema,
+                      const query::Pattern& pattern);
+
+bool eval_bool(const GenericExpr& e, const GenericEvent& ev, const GenericBindings& b);
+
+}  // namespace spectre::trex

@@ -1,0 +1,205 @@
+#include "trex/trex_engine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace spectre::trex {
+
+TrexEngine::TrexEngine(const detect::CompiledQuery* cq) : cq_(cq) {
+    SPECTRE_REQUIRE(cq != nullptr, "TrexEngine needs a compiled query");
+    const auto& q = cq->query();
+    const auto& pattern = q.pattern;
+    for (const auto& el : pattern.elements)
+        SPECTRE_REQUIRE(!el.sticky, "TrexEngine does not support sticky elements");
+
+    element_preds_.resize(pattern.elements.size());
+    member_preds_.resize(pattern.elements.size());
+    guards_.resize(pattern.elements.size());
+    for (std::size_t i = 0; i < pattern.elements.size(); ++i) {
+        const auto& el = pattern.elements[i];
+        if (el.pred) element_preds_[i] = translate(*el.pred, *q.schema, pattern);
+        if (el.guard) guards_[i] = translate(*el.guard, *q.schema, pattern);
+        for (const auto& m : el.members)
+            member_preds_[i].push_back(translate(*m.pred, *q.schema, pattern));
+    }
+    for (const auto& def : q.payload)
+        payload_exprs_.push_back(translate(*def.expr, *q.schema, pattern));
+}
+
+namespace {
+
+// One in-flight automaton run (partial match), fully generic: heap-allocated
+// copies of bound events, name-keyed binding map.
+struct Run {
+    std::size_t elem = 0;
+    bool plus_entered = false;
+    std::vector<bool> member_matched;
+    std::vector<std::pair<event::Seq, std::pair<std::size_t, int>>> bound;  // seq,(elem,member)
+    std::vector<std::unique_ptr<GenericEvent>> held;  // owned copies
+    GenericBindings bindings;
+    bool dead = false;
+};
+
+}  // namespace
+
+TrexResult TrexEngine::run(const event::EventStore& store) const {
+    TrexResult result;
+    const auto& q = cq_->query();
+    const auto& pattern = q.pattern;
+    const auto windows = query::assign_windows(store, q.window);
+    result.stats.windows = windows.size();
+
+    std::unordered_set<event::Seq> consumed;  // across windows
+
+    const auto element_done = [&](const Run& r) {
+        if (r.elem >= pattern.elements.size()) return true;
+        return r.elem == pattern.elements.size() - 1 &&
+               pattern.elements[r.elem].kind == query::ElementKind::Plus && r.plus_entered;
+    };
+
+    for (const auto& w : windows) {
+        std::vector<Run> runs;
+        std::unordered_set<event::Seq> local_consumed;
+        int started = 0;
+
+        for (event::Seq pos = w.first; pos <= w.last; ++pos) {
+            if (consumed.count(pos) || local_consumed.count(pos)) continue;
+            const GenericEvent ge = reify(store.at(pos), *q.schema);
+            ++result.stats.events_processed;
+
+            std::vector<event::Seq> newly_consumed;
+            const auto is_newly = [&](event::Seq s) {
+                return std::find(newly_consumed.begin(), newly_consumed.end(), s) !=
+                       newly_consumed.end();
+            };
+
+            // Try to advance one run by one event; returns true if bound.
+            const auto try_enter = [&](Run& r, std::size_t elem) -> bool {
+                const auto& el = pattern.elements[elem];
+                const auto bind = [&](int member) {
+                    auto copy = std::make_unique<GenericEvent>(ge);
+                    const std::string& name =
+                        member < 0 ? el.name
+                                   : el.members[static_cast<std::size_t>(member)].name;
+                    if (!r.bindings.count(name)) r.bindings[name] = copy.get();
+                    if (member >= 0 && !r.bindings.count(el.name))
+                        r.bindings[el.name] = copy.get();
+                    r.held.push_back(std::move(copy));
+                    r.bound.push_back({pos, {elem, member}});
+                };
+                switch (el.kind) {
+                    case query::ElementKind::Single:
+                        if (!eval_bool(element_preds_[elem], ge, r.bindings)) return false;
+                        r.elem = elem + 1;
+                        r.plus_entered = false;
+                        r.member_matched.clear();
+                        bind(-1);
+                        return true;
+                    case query::ElementKind::Plus:
+                        if (!eval_bool(element_preds_[elem], ge, r.bindings)) return false;
+                        r.elem = elem;
+                        r.plus_entered = true;
+                        bind(-1);
+                        return true;
+                    case query::ElementKind::Set: {
+                        const auto& members = member_preds_[elem];
+                        if (elem != r.elem) r.member_matched.clear();
+                        r.member_matched.resize(members.size(), false);
+                        for (std::size_t j = 0; j < members.size(); ++j) {
+                            if (r.member_matched[j]) continue;
+                            if (!eval_bool(members[j], ge, r.bindings)) continue;
+                            r.elem = elem;
+                            r.member_matched[j] = true;
+                            bind(static_cast<int>(j));
+                            if (std::all_of(r.member_matched.begin(), r.member_matched.end(),
+                                            [](bool m) { return m; })) {
+                                r.elem = elem + 1;
+                                r.member_matched.clear();
+                                r.plus_entered = false;
+                            }
+                            return true;
+                        }
+                        return false;
+                    }
+                }
+                return false;
+            };
+
+            const auto complete = [&](Run& r) {
+                event::ComplexEvent ce;
+                ce.window_id = w.id;
+                for (const auto& [seq, loc] : r.bound) {
+                    (void)loc;
+                    ce.constituents.push_back(seq);
+                }
+                std::sort(ce.constituents.begin(), ce.constituents.end());
+                for (std::size_t pi = 0; pi < payload_exprs_.size(); ++pi) {
+                    bool ok = true;
+                    GenericEvent dummy;
+                    const double v = payload_exprs_[pi]->eval(dummy, r.bindings, ok);
+                    ce.payload.emplace_back(q.payload[pi].name, ok ? v : 0.0);
+                }
+                for (const auto& [seq, loc] : r.bound) {
+                    if (cq_->consumes(loc.first, loc.second)) {
+                        consumed.insert(seq);
+                        local_consumed.insert(seq);
+                        newly_consumed.push_back(seq);
+                    }
+                }
+                result.complex_events.push_back(std::move(ce));
+                ++result.stats.complex_events;
+                r.dead = true;
+            };
+
+            for (auto& r : runs) {
+                if (r.dead) continue;
+                if (!newly_consumed.empty()) {
+                    const bool hit = std::any_of(
+                        r.bound.begin(), r.bound.end(),
+                        [&](const auto& be) { return is_newly(be.first); });
+                    if (hit) {
+                        r.dead = true;
+                        continue;
+                    }
+                    if (is_newly(pos)) continue;
+                }
+                const auto& cur = pattern.elements[r.elem];
+                if (guards_[r.elem] && eval_bool(guards_[r.elem], ge, r.bindings)) {
+                    r.dead = true;
+                    continue;
+                }
+                if (cur.kind == query::ElementKind::Plus && r.plus_entered &&
+                    r.elem + 1 < pattern.elements.size()) {
+                    if (try_enter(r, r.elem + 1)) {
+                        if (element_done(r)) complete(r);
+                        continue;
+                    }
+                }
+                if (try_enter(r, r.elem)) {
+                    if (element_done(r)) complete(r);
+                }
+            }
+            std::erase_if(runs, [](const Run& r) { return r.dead; });
+
+            // Start a new run (selection policy permitting).
+            const int limit = q.max_matches_per_window;
+            if ((limit == 0 || started < limit) && !local_consumed.count(pos) &&
+                !is_newly(pos)) {
+                Run trial;
+                if (try_enter(trial, 0)) {
+                    ++started;
+                    if (element_done(trial)) {
+                        complete(trial);
+                    } else {
+                        runs.push_back(std::move(trial));
+                    }
+                }
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace spectre::trex

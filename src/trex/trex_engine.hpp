@@ -1,0 +1,51 @@
+// TrexEngine: single-threaded general-purpose baseline engine (§4.2.3).
+//
+// Like T-REX, it translates the query into an interpreted automaton instead
+// of running user-defined fast-path code, and it processes everything on one
+// thread ("T-REX does not support event consumptions in parallel
+// processing"). Semantics are identical to the sequential reference engine —
+// window-serial processing with consumption — which the tests assert; only
+// the execution model is the generic one: per-event reification into
+// string-keyed maps and virtual-dispatch predicate trees.
+//
+// Supported pattern features: Single / Plus / Set elements, negation guards,
+// FIRST / EACH selection, all consumption policies. (Sticky prefixes are a
+// SPECTRE-side extension and are rejected here.)
+#pragma once
+
+#include <vector>
+
+#include "detect/compiled_query.hpp"
+#include "trex/generic_event.hpp"
+
+namespace spectre::trex {
+
+struct TrexStats {
+    std::uint64_t windows = 0;
+    std::uint64_t events_processed = 0;
+    std::uint64_t complex_events = 0;
+};
+
+struct TrexResult {
+    std::vector<event::ComplexEvent> complex_events;  // window order
+    TrexStats stats;
+};
+
+class TrexEngine {
+public:
+    explicit TrexEngine(const detect::CompiledQuery* cq);
+
+    TrexResult run(const event::EventStore& store) const;
+
+private:
+    struct Automaton;
+
+    const detect::CompiledQuery* cq_;
+    // One translated predicate per element (and per set member), plus guards.
+    std::vector<GenericExpr> element_preds_;
+    std::vector<std::vector<GenericExpr>> member_preds_;
+    std::vector<GenericExpr> guards_;
+    std::vector<GenericExpr> payload_exprs_;
+};
+
+}  // namespace spectre::trex

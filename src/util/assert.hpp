@@ -1,0 +1,42 @@
+// Lightweight always-on assertion macros.
+//
+// SPECTRE_REQUIRE is used for precondition violations on public APIs
+// (throws std::invalid_argument); SPECTRE_CHECK for internal invariants
+// (throws std::logic_error). Both stay enabled in release builds: this is
+// infrastructure code where silent corruption is far more expensive than a
+// branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spectre::util {
+
+[[noreturn]] inline void raise_require(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+    std::ostringstream os;
+    os << "requirement failed: " << expr << " at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void raise_check(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+    std::ostringstream os;
+    os << "invariant violated: " << expr << " at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw std::logic_error(os.str());
+}
+
+}  // namespace spectre::util
+
+#define SPECTRE_REQUIRE(cond, msg)                                             \
+    do {                                                                        \
+        if (!(cond)) ::spectre::util::raise_require(#cond, __FILE__, __LINE__, (msg)); \
+    } while (0)
+
+#define SPECTRE_CHECK(cond, msg)                                                \
+    do {                                                                        \
+        if (!(cond)) ::spectre::util::raise_check(#cond, __FILE__, __LINE__, (msg)); \
+    } while (0)

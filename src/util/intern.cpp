@@ -1,0 +1,26 @@
+#include "util/intern.hpp"
+
+#include "util/assert.hpp"
+
+namespace spectre::util {
+
+InternId InternTable::intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<InternId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+}
+
+InternId InternTable::lookup(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kInvalidIntern : it->second;
+}
+
+const std::string& InternTable::name(InternId id) const {
+    SPECTRE_REQUIRE(id < names_.size(), "intern id out of range");
+    return names_[id];
+}
+
+}  // namespace spectre::util

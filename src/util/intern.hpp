@@ -1,0 +1,40 @@
+// String interning: maps strings to small dense integer ids.
+//
+// Event types, stock symbols and attribute names are interned once at query /
+// stream construction time so that the hot matching path only compares
+// integers. An InternTable is not thread-safe for writes; SPECTRE interns
+// everything before the parallel phase starts, which is why reads (id -> name)
+// are lock-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace spectre::util {
+
+using InternId = std::uint32_t;
+
+inline constexpr InternId kInvalidIntern = UINT32_MAX;
+
+class InternTable {
+public:
+    // Returns the id for `name`, inserting it if unseen.
+    InternId intern(std::string_view name);
+
+    // Returns the id for `name` or kInvalidIntern if it was never interned.
+    InternId lookup(std::string_view name) const;
+
+    // Precondition: id was returned by intern() on this table.
+    const std::string& name(InternId id) const;
+
+    std::size_t size() const noexcept { return names_.size(); }
+
+private:
+    std::unordered_map<std::string, InternId> ids_;
+    std::vector<std::string> names_;
+};
+
+}  // namespace spectre::util

@@ -1,0 +1,96 @@
+#include "util/matrix.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace spectre::util {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+    SPECTRE_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+    SPECTRE_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+    SPECTRE_REQUIRE(cols_ == rhs.rows_, "matrix dimension mismatch");
+    Matrix out(rows_, rhs.cols_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(i, k);
+            if (a == 0.0) continue;
+            for (std::size_t j = 0; j < rhs.cols_; ++j) out(i, j) += a * rhs(k, j);
+        }
+    }
+    return out;
+}
+
+std::vector<double> Matrix::left_multiply(const std::vector<double>& v) const {
+    SPECTRE_REQUIRE(v.size() == rows_, "vector dimension mismatch");
+    std::vector<double> out(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double a = v[r];
+        if (a == 0.0) continue;
+        for (std::size_t c = 0; c < cols_; ++c) out[c] += a * (*this)(r, c);
+    }
+    return out;
+}
+
+std::vector<double> Matrix::right_multiply(const std::vector<double>& v) const {
+    SPECTRE_REQUIRE(v.size() == cols_, "vector dimension mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Matrix Matrix::blend(double a, const Matrix& rhs, double b) const {
+    SPECTRE_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix dimension mismatch");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = a * data_[i] + b * rhs.data_[i];
+    return out;
+}
+
+void Matrix::normalize_rows(std::size_t fallback_col) {
+    SPECTRE_REQUIRE(fallback_col < cols_, "fallback column out of range");
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c) sum += (*this)(r, c);
+        if (sum <= 0.0) {
+            for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = 0.0;
+            (*this)(r, fallback_col) = 1.0;
+        } else {
+            for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) /= sum;
+        }
+    }
+}
+
+bool Matrix::is_row_stochastic(double tol) const {
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            if ((*this)(r, c) < -tol) return false;
+            sum += (*this)(r, c);
+        }
+        if (std::abs(sum - 1.0) > tol) return false;
+    }
+    return true;
+}
+
+}  // namespace spectre::util

@@ -1,0 +1,56 @@
+// Small dense row-major matrix of doubles.
+//
+// Sized for the Markov completion model (DESIGN.md §4.5): state spaces are
+// capped at a few dozen states, so a simple contiguous buffer beats any
+// sparse representation. Row-stochastic helpers support the model code.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spectre::util {
+
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+
+    double& at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    // Unchecked access for hot loops.
+    double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+    double operator()(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+    Matrix multiply(const Matrix& rhs) const;
+
+    // result[c] = sum_r v[r] * M[r][c]  (row vector times matrix)
+    std::vector<double> left_multiply(const std::vector<double>& v) const;
+
+    // result[r] = sum_c M[r][c] * v[c]  (matrix times column vector)
+    std::vector<double> right_multiply(const std::vector<double>& v) const;
+
+    // a*this + b*rhs, elementwise; used for exponential smoothing and the
+    // paper's linear interpolation between precomputed powers (Fig. 5 line 6).
+    Matrix blend(double a, const Matrix& rhs, double b) const;
+
+    // Rescales every row to sum to 1 (rows summing to 0 become the unit row
+    // pointing at `fallback_col`). Keeps run-time estimates stochastic even
+    // with sparse statistics.
+    void normalize_rows(std::size_t fallback_col);
+
+    bool is_row_stochastic(double tol = 1e-9) const;
+
+    bool operator==(const Matrix& rhs) const = default;
+
+private:
+    std::size_t rows_ = 0, cols_ = 0;
+    std::vector<double> data_;
+};
+
+}  // namespace spectre::util

@@ -1,0 +1,50 @@
+// Multi-producer single-consumer queue.
+//
+// Operator instances (producers) post consumption-group feedback; the
+// splitter (single consumer) drains the batch at each maintenance cycle
+// (Fig. 8: "function calls ... are buffered ... executed in a batch at each
+// new scheduling cycle of the splitter"). A mutex-guarded vector with
+// swap-drain is simple, correct and — because drains amortize the lock over
+// the whole batch — fast enough that it never shows up in profiles.
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace spectre::util {
+
+template <typename T>
+class MpscQueue {
+public:
+    void push(T item) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        items_.push_back(std::move(item));
+    }
+
+    // Moves out everything queued so far; returns items in push order.
+    std::vector<T> drain() {
+        std::vector<T> out;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            out.swap(items_);
+        }
+        return out;
+    }
+
+    bool empty() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return items_.empty();
+    }
+
+    std::size_t size() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<T> items_;
+};
+
+}  // namespace spectre::util

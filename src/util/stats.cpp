@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace spectre::util {
+
+double percentile(std::vector<double> sample, double q) {
+    SPECTRE_REQUIRE(!sample.empty(), "percentile of empty sample");
+    SPECTRE_REQUIRE(q >= 0.0 && q <= 100.0, "percentile out of [0,100]");
+    std::sort(sample.begin(), sample.end());
+    if (sample.size() == 1) return sample.front();
+    const double rank = q / 100.0 * static_cast<double>(sample.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sample[lo] + frac * (sample[hi] - sample[lo]);
+}
+
+Candlestick candlestick(const std::vector<double>& sample) {
+    Candlestick c;
+    c.min = percentile(sample, 0);
+    c.p25 = percentile(sample, 25);
+    c.median = percentile(sample, 50);
+    c.p75 = percentile(sample, 75);
+    c.max = percentile(sample, 100);
+    return c;
+}
+
+std::string Candlestick::to_string() const {
+    std::ostringstream os;
+    os << '[' << min << " | " << p25 << ' ' << median << ' ' << p75 << " | " << max << ']';
+    return os.str();
+}
+
+void RunningStats::add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+EwmaScalar::EwmaScalar(double alpha) : alpha_(alpha) {
+    SPECTRE_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha out of [0,1]");
+}
+
+void EwmaScalar::add(double x) noexcept {
+    if (!seeded_) {
+        value_ = x;
+        seeded_ = true;
+    } else {
+        value_ = (1.0 - alpha_) * value_ + alpha_ * x;
+    }
+}
+
+}  // namespace spectre::util

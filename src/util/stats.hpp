@@ -1,0 +1,58 @@
+// Descriptive statistics helpers for the benchmark harness.
+//
+// The paper reports each experiment as "candlesticks": the 0th, 25th, 50th,
+// 75th and 100th percentiles over 10 repetitions (§4.2). Candlestick mirrors
+// that exactly; RunningStats is a Welford accumulator used by run-time
+// monitors (e.g. the splitter's average-window-size estimate, Fig. 5 line 2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace spectre::util {
+
+// Five-number summary over a sample, matching the paper's plots.
+struct Candlestick {
+    double min = 0, p25 = 0, median = 0, p75 = 0, max = 0;
+
+    std::string to_string() const;
+};
+
+// Linear-interpolated percentile (q in [0,100]) of an unsorted sample.
+double percentile(std::vector<double> sample, double q);
+
+Candlestick candlestick(const std::vector<double>& sample);
+
+// Numerically stable streaming mean/variance (Welford). Thread-compatible,
+// not thread-safe: each monitor owns one instance.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+    std::size_t count() const noexcept { return n_; }
+    double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    double variance() const noexcept;  // population variance
+    double stddev() const noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+// Exponentially-smoothed scalar: v <- (1-alpha)*v + alpha*x, as used for the
+// transition-matrix update T1 = (1-α)·T1_old + α·T1_new (§3.2.1).
+class EwmaScalar {
+public:
+    explicit EwmaScalar(double alpha);
+    void add(double x) noexcept;
+    bool empty() const noexcept { return !seeded_; }
+    double value() const noexcept { return value_; }
+
+private:
+    double alpha_;
+    double value_ = 0.0;
+    bool seeded_ = false;
+};
+
+}  // namespace spectre::util

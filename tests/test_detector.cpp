@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+#include "detect/detector.hpp"
+#include "test_helpers.hpp"
+
+using namespace spectre;
+using namespace spectre::detect;
+using spectre::testing::TestEnv;
+
+namespace {
+
+struct Run {
+    Feedback all;  // accumulated over the whole window
+    std::vector<event::ComplexEvent> ces;
+};
+
+// Feeds every event of `store` into one window covering the whole store.
+Run run_window(const CompiledQuery& cq, const event::EventStore& store) {
+    Detector det(&cq);
+    query::WindowInfo w{0, 0, store.size() - 1};
+    det.begin_window(w);
+    Run r;
+    Feedback fb;
+    for (event::Seq i = 0; i < store.size(); ++i) {
+        fb.clear();
+        det.on_event(store.at(i), fb);
+        for (auto& c : fb.created) r.all.created.push_back(c);
+        for (auto& b : fb.bound) r.all.bound.push_back(b);
+        for (auto& c : fb.completed) {
+            r.ces.push_back(c.complex_event);
+            r.all.completed.push_back(c);
+        }
+        for (auto& a : fb.abandoned) r.all.abandoned.push_back(a);
+        for (auto& t : fb.transitions) r.all.transitions.push_back(t);
+    }
+    fb.clear();
+    det.end_window(fb);
+    for (auto& a : fb.abandoned) r.all.abandoned.push_back(a);
+    return r;
+}
+
+}  // namespace
+
+TEST(Detector, SimpleSequenceCompletes) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .single("C", env.is('C'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .consume_all()
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto store = env.store_of("ABC");
+    const auto r = run_window(cq, store);
+    ASSERT_EQ(r.ces.size(), 1u);
+    EXPECT_EQ(r.ces[0].constituents, (std::vector<event::Seq>{0, 1, 2}));
+    ASSERT_EQ(r.all.completed.size(), 1u);
+    EXPECT_EQ(r.all.completed[0].consumed, (std::vector<event::Seq>{0, 1, 2}));
+}
+
+TEST(Detector, SkipTillNextMatchIgnoresNoise) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("AXXYB"));
+    ASSERT_EQ(r.ces.size(), 1u);
+    EXPECT_EQ(r.ces[0].constituents, (std::vector<event::Seq>{0, 4}));
+}
+
+TEST(Detector, WindowEndAbandonsOpenMatch) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .consume_all()
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("AXX"));
+    EXPECT_TRUE(r.ces.empty());
+    ASSERT_EQ(r.all.abandoned.size(), 1u);
+    EXPECT_EQ(r.all.abandoned[0].reason, AbandonReason::WindowEnd);
+    EXPECT_EQ(r.all.created.size(), 1u);
+}
+
+TEST(Detector, GuardAbandonsPartialMatch) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .guard(env.is('C'))  // no C between A and B
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("ACB"));
+    EXPECT_TRUE(r.ces.empty());
+    ASSERT_EQ(r.all.abandoned.size(), 1u);
+    EXPECT_EQ(r.all.abandoned[0].reason, AbandonReason::Guard);
+}
+
+TEST(Detector, GuardOnlyWhileElementIsCurrent) {
+    TestEnv env;
+    // C only forbidden between A and B; a C before A is irrelevant.
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .guard(env.is('C'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("CAB"));
+    ASSERT_EQ(r.ces.size(), 1u);
+}
+
+TEST(Detector, PlusAbsorbsRunAndAdvancesOnNextElement) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .plus("B", env.is('B'))
+                 .single("C", env.is('C'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("ABBBC"));
+    ASSERT_EQ(r.ces.size(), 1u);
+    EXPECT_EQ(r.ces[0].constituents, (std::vector<event::Seq>{0, 1, 2, 3, 4}));
+}
+
+TEST(Detector, PlusRequiresAtLeastOne) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .plus("B", env.is('B'))
+                 .single("C", env.is('C'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("AC"));
+    EXPECT_TRUE(r.ces.empty());
+}
+
+TEST(Detector, TrailingPlusCompletesOnFirstAbsorption) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .plus("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("ABB"));
+    ASSERT_EQ(r.ces.size(), 1u);
+    EXPECT_EQ(r.ces[0].constituents, (std::vector<event::Seq>{0, 1}));
+}
+
+TEST(Detector, SetMatchesMembersInAnyOrder) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .set("S", {{"X", env.is('X')}, {"Y", env.is('Y')}, {"Z", env.is('Z')}})
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("AZQXY"));
+    ASSERT_EQ(r.ces.size(), 1u);
+    EXPECT_EQ(r.ces[0].constituents, (std::vector<event::Seq>{0, 1, 3, 4}));
+}
+
+TEST(Detector, SetMemberMatchedOnlyOnce) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .set("S", {{"X", env.is('X')}, {"Y", env.is('Y')}})
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    // Two X events cannot satisfy both members.
+    const auto r = run_window(cq, env.store_of("AXX"));
+    EXPECT_TRUE(r.ces.empty());
+}
+
+TEST(Detector, MaxMatchesOneStartsSingleMatch) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("AABB"));
+    ASSERT_EQ(r.ces.size(), 1u);
+    EXPECT_EQ(r.ces[0].constituents, (std::vector<event::Seq>{0, 2}));
+    EXPECT_EQ(r.all.created.size(), 1u);
+}
+
+TEST(Detector, SelectEachStartsMatchPerQualifyingEvent) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .select(query::SelectionPolicy::Each)
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("AAB"));
+    // Without consumption both matches complete with the same B.
+    ASSERT_EQ(r.ces.size(), 2u);
+    EXPECT_EQ(r.ces[0].constituents, (std::vector<event::Seq>{0, 2}));
+    EXPECT_EQ(r.ces[1].constituents, (std::vector<event::Seq>{1, 2}));
+}
+
+TEST(Detector, IntraWindowConsumptionInvalidatesPeerMatches) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .single("C", env.is('C'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .select(query::SelectionPolicy::Each)
+                 .consume_all()
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    // Both matches (started at seq 0 and 1) bind the shared B at seq 2; the
+    // older match completes at C and consumes it, invalidating the younger.
+    const auto r = run_window(cq, env.store_of("AABC"));
+    ASSERT_EQ(r.ces.size(), 1u);
+    EXPECT_EQ(r.ces[0].constituents, (std::vector<event::Seq>{0, 2, 3}));
+    bool consumed_elsewhere = false;
+    for (const auto& a : r.all.abandoned)
+        consumed_elsewhere |= a.reason == AbandonReason::ConsumedElsewhere;
+    EXPECT_TRUE(consumed_elsewhere);
+}
+
+TEST(Detector, ContendedCompletionEventGoesToOlderMatch) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .select(query::SelectionPolicy::Each)
+                 .consume_all()
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    // Both matches wait for B; the older consumes it, the younger never
+    // completes and is abandoned at window end.
+    const auto r = run_window(cq, env.store_of("AAB"));
+    ASSERT_EQ(r.ces.size(), 1u);
+    EXPECT_EQ(r.ces[0].constituents, (std::vector<event::Seq>{0, 2}));
+    ASSERT_EQ(r.all.abandoned.size(), 1u);
+    EXPECT_EQ(r.all.abandoned[0].reason, AbandonReason::WindowEnd);
+}
+
+TEST(Detector, ConsumedEventInvisibleToLaterMatchesInWindow) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .select(query::SelectionPolicy::Each)
+                 .consume({"B"})
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    // A1 takes B1; A2 (started before completion) then needs the second B.
+    const auto r = run_window(cq, env.store_of("AABB"));
+    ASSERT_EQ(r.ces.size(), 2u);
+    EXPECT_EQ(r.ces[0].constituents, (std::vector<event::Seq>{0, 2}));
+    EXPECT_EQ(r.ces[1].constituents, (std::vector<event::Seq>{1, 3}));
+}
+
+TEST(Detector, SubsetConsumptionOnlyMarksNamedElements) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .consume({"B"})
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    EXPECT_FALSE(cq.consumes(0, -1));
+    EXPECT_TRUE(cq.consumes(1, -1));
+    const auto r = run_window(cq, env.store_of("AB"));
+    ASSERT_EQ(r.all.completed.size(), 1u);
+    EXPECT_EQ(r.all.completed[0].consumed, (std::vector<event::Seq>{1}));
+}
+
+TEST(Detector, StickyPrefixSpawnsSuccessorMatches) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .sticky()
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("ABBB"));
+    ASSERT_EQ(r.ces.size(), 3u);
+    EXPECT_EQ(r.ces[0].constituents, (std::vector<event::Seq>{0, 1}));
+    EXPECT_EQ(r.ces[1].constituents, (std::vector<event::Seq>{0, 2}));
+    EXPECT_EQ(r.ces[2].constituents, (std::vector<event::Seq>{0, 3}));
+}
+
+TEST(Detector, StickySuccessorNotSpawnedWhenPrefixConsumed) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .sticky()
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .consume_all()
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("ABB"));
+    // A consumed with the first match; no successor, second B unmatched.
+    ASSERT_EQ(r.ces.size(), 1u);
+}
+
+TEST(Detector, PayloadEvaluatedOverBoundEvents) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .emit("ratio", query::binary(query::BinOp::Div, query::bound_attr(1, env.v),
+                                              query::bound_attr(0, env.v)))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    event::EventStore store;
+    store.append(env.ev('A', 4, 0));
+    store.append(env.ev('B', 10, 1));
+    const auto r = run_window(cq, store);
+    ASSERT_EQ(r.ces.size(), 1u);
+    ASSERT_EQ(r.ces[0].payload.size(), 1u);
+    EXPECT_EQ(r.ces[0].payload[0].first, "ratio");
+    EXPECT_DOUBLE_EQ(r.ces[0].payload[0].second, 2.5);
+}
+
+TEST(Detector, CrossElementPredicateConstrainsBinding) {
+    TestEnv env;
+    // B must exceed the bound A's value.
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", query::binary(query::BinOp::And, env.is('B'),
+                                            query::binary(query::BinOp::Gt, query::attr(env.v),
+                                                          query::bound_attr(0, env.v))))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    event::EventStore store;
+    store.append(env.ev('A', 5, 0));
+    store.append(env.ev('B', 3, 1));   // too small
+    store.append(env.ev('B', 9, 2));   // qualifies
+    const auto r = run_window(cq, store);
+    ASSERT_EQ(r.ces.size(), 1u);
+    EXPECT_EQ(r.ces[0].constituents, (std::vector<event::Seq>{0, 2}));
+}
+
+TEST(Detector, DeltaTransitionsReportedPerEvent) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .single("C", env.is('C'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto r = run_window(cq, env.store_of("AXBC"));
+    // Creation: 3 -> 2; X: 2 -> 2; B: 2 -> 1; C: 1 -> 0.
+    std::vector<std::pair<int, int>> got;
+    for (const auto& t : r.all.transitions) got.emplace_back(t.from, t.to);
+    EXPECT_EQ(got, (std::vector<std::pair<int, int>>{{3, 2}, {2, 2}, {2, 1}, {1, 0}}));
+}
+
+TEST(Detector, MinDeltaTracksClosestMatch) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .single("C", env.is('C'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    Detector det(&cq);
+    det.begin_window({0, 0, 9});
+    EXPECT_EQ(det.min_delta(), -1);
+    Feedback fb;
+    det.on_event(env.ev('A', 0, 0), fb);
+    EXPECT_EQ(det.min_delta(), 2);
+}
+
+TEST(Detector, EventOutsideWindowRejected) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .window(query::WindowSpec::sliding_count(2, 2))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    Detector det(&cq);
+    det.begin_window({0, 0, 1});
+    Feedback fb;
+    auto e = env.ev('A', 0, 5);
+    e.seq = 5;
+    EXPECT_THROW(det.on_event(e, fb), std::invalid_argument);
+}
+
+TEST(Detector, BeginWindowResetsStateForRollback) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 10))
+                 .build();
+    const auto cq = CompiledQuery::compile(q);
+    const auto store = env.store_of("AB");
+    Detector det(&cq);
+    Feedback fb;
+    det.begin_window({0, 0, 1});
+    det.on_event(store.at(0), fb);
+    EXPECT_EQ(det.active_matches(), 1u);
+    det.begin_window({0, 0, 1});  // rollback: reprocess from scratch
+    EXPECT_EQ(det.active_matches(), 0u);
+    fb.clear();
+    det.on_event(store.at(0), fb);
+    det.on_event(store.at(1), fb);
+    EXPECT_EQ(fb.completed.size(), 1u);
+}

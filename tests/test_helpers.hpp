@@ -1,0 +1,49 @@
+// Shared fixtures for the unit tests: a tiny schema with single-letter event
+// types and one numeric attribute "v", plus compact stream builders.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/compiled_query.hpp"
+#include "event/stream.hpp"
+#include "query/query.hpp"
+
+namespace spectre::testing {
+
+struct TestEnv {
+    std::shared_ptr<event::Schema> schema = std::make_shared<event::Schema>();
+    event::AttrSlot v = schema->intern_attr("v");
+
+    event::TypeId type(char c) { return schema->intern_type(std::string(1, c)); }
+
+    event::Event ev(char type_char, double value, event::Timestamp ts) {
+        event::Event e;
+        e.ts = ts;
+        e.type = type(type_char);
+        e.set_attr(v, value);
+        return e;
+    }
+
+    // "ABAC" -> events of those types at ts 0,1,2,... with v = 0,1,2,...
+    event::EventStore store_of(const std::string& types) {
+        event::EventStore s;
+        for (std::size_t i = 0; i < types.size(); ++i)
+            s.append(ev(types[i], static_cast<double>(i), static_cast<event::Timestamp>(i)));
+        return s;
+    }
+
+    query::Expr is(char c) { return query::type_is(type(c)); }
+};
+
+// Extracts just the constituent seq lists for compact comparisons.
+inline std::vector<std::vector<event::Seq>> constituents(
+    const std::vector<event::ComplexEvent>& ces) {
+    std::vector<std::vector<event::Seq>> out;
+    out.reserve(ces.size());
+    for (const auto& ce : ces) out.push_back(ce.constituents);
+    return out;
+}
+
+}  // namespace spectre::testing

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "data/nyse_synth.hpp"
+#include "net/tcp.hpp"
+
+using namespace spectre;
+using namespace spectre::net;
+
+namespace {
+
+data::StockVocab vocab() {
+    return data::StockVocab::create(std::make_shared<event::Schema>());
+}
+
+}  // namespace
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+    WireQuote q;
+    q.ts = 1234567;
+    q.open = 100.25;
+    q.close = 101.5;
+    q.volume = 42;
+    q.symbol = "AAPL";
+    std::vector<std::uint8_t> buf;
+    encode(q, buf);
+    std::size_t off = 0;
+    const auto back = decode(buf, off);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, q);
+    EXPECT_EQ(off, buf.size());
+}
+
+TEST(Frame, PartialFrameReturnsNullopt) {
+    WireQuote q;
+    q.symbol = "MSFT";
+    std::vector<std::uint8_t> buf;
+    encode(q, buf);
+    for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+        std::vector<std::uint8_t> partial(buf.begin(),
+                                          buf.begin() + static_cast<std::ptrdiff_t>(cut));
+        std::size_t off = 0;
+        EXPECT_EQ(decode(partial, off), std::nullopt) << "cut=" << cut;
+        EXPECT_EQ(off, 0u);
+    }
+}
+
+TEST(Frame, MultipleFramesDecodeSequentially) {
+    std::vector<std::uint8_t> buf;
+    for (int i = 0; i < 5; ++i) {
+        WireQuote q;
+        q.ts = i;
+        q.symbol = "S" + std::to_string(i);
+        encode(q, buf);
+    }
+    std::size_t off = 0;
+    for (int i = 0; i < 5; ++i) {
+        const auto q = decode(buf, off);
+        ASSERT_TRUE(q.has_value());
+        EXPECT_EQ(q->ts, i);
+        EXPECT_EQ(q->symbol, "S" + std::to_string(i));
+    }
+    EXPECT_EQ(decode(buf, off), std::nullopt);
+}
+
+TEST(Frame, CorruptSymbolLengthThrows) {
+    WireQuote q;
+    q.symbol = "OK";
+    std::vector<std::uint8_t> buf;
+    encode(q, buf);
+    // Symbol length field sits after ts + 3 doubles = 32 bytes.
+    buf[32] = 0xff;
+    buf[33] = 0xff;
+    std::size_t off = 0;
+    EXPECT_THROW(decode(buf, off), std::runtime_error);
+}
+
+TEST(Frame, WireConversionsPreserveEvent) {
+    const auto v = vocab();
+    const auto e =
+        data::make_quote(v, 42, v.schema->intern_subject("IBM"), 10.5, 11.25, 300);
+    const auto wire = to_wire(e, v);
+    EXPECT_EQ(wire.symbol, "IBM");
+    const auto back = from_wire(wire, v);
+    EXPECT_EQ(back.ts, e.ts);
+    EXPECT_EQ(back.subject, e.subject);
+    EXPECT_DOUBLE_EQ(back.attr(v.open_slot), e.attr(v.open_slot));
+}
+
+TEST(Tcp, LoopbackStreamDeliversAllEvents) {
+    const auto v = vocab();
+    data::NyseSynthConfig cfg;
+    cfg.events = 2000;
+    cfg.symbols = 20;
+    const auto events = data::generate_nyse(v, cfg);
+
+    TcpSource source(0);  // ephemeral port
+    event::EventStore store;
+    std::thread client([&] {
+        TcpClient c("127.0.0.1", source.port());
+        c.send_all(events, v);
+    });
+    const auto received = source.receive_into(store, v);
+    client.join();
+
+    ASSERT_EQ(received, events.size());
+    ASSERT_EQ(store.size(), events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(store.at(i).subject, events[i].subject);
+        EXPECT_DOUBLE_EQ(store.at(i).attr(v.close_slot), events[i].attr(v.close_slot));
+    }
+}

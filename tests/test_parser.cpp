@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.hpp"
+#include "test_helpers.hpp"
+
+using namespace spectre;
+using namespace spectre::query;
+using spectre::testing::TestEnv;
+
+TEST(Parser, SimpleSequenceQuery) {
+    TestEnv env;
+    const auto q = parse_query(
+        "PATTERN (A B) "
+        "DEFINE A AS TYPE = 'A', B AS TYPE = 'B' "
+        "WITHIN 100 EVENTS FROM EVERY 10 EVENTS "
+        "CONSUME ALL",
+        env.schema);
+    ASSERT_EQ(q.pattern.elements.size(), 2u);
+    EXPECT_EQ(q.pattern.elements[0].name, "A");
+    EXPECT_EQ(q.pattern.elements[1].kind, ElementKind::Single);
+    EXPECT_EQ(q.window.kind, WindowKind::SlidingCount);
+    EXPECT_EQ(q.window.size, 100u);
+    EXPECT_EQ(q.window.slide, 10u);
+    EXPECT_EQ(q.consumption.kind, ConsumptionPolicy::Kind::All);
+}
+
+TEST(Parser, Q1StyleQueryWithLeadersAndSelfRefs) {
+    TestEnv env;
+    const auto q = parse_query(
+        "PATTERN (MLE RE1 RE2) "
+        "DEFINE MLE AS SYMBOL IN ('AAPL','IBM') AND MLE.close > MLE.open, "
+        "       RE1 AS RE1.close > RE1.open, "
+        "       RE2 AS RE2.close > RE2.open "
+        "WITHIN 8000 EVENTS FROM MLE "
+        "CONSUME (MLE RE1 RE2)",
+        env.schema);
+    EXPECT_EQ(q.pattern.elements.size(), 3u);
+    EXPECT_EQ(q.window.kind, WindowKind::PredicateOpen);
+    EXPECT_EQ(q.window.size, 8000u);
+    EXPECT_EQ(q.consumption.kind, ConsumptionPolicy::Kind::Subset);
+    // Self-references compile to current-event attrs, so the open predicate
+    // is standalone-evaluable.
+    event::Event e;
+    e.type = env.schema->lookup_type("QUOTE");
+    e.subject = env.schema->lookup_subject("IBM");
+    const auto open = env.schema->lookup_attr("open");
+    const auto close = env.schema->lookup_attr("close");
+    ASSERT_NE(open, event::kMaxAttrs);
+    ASSERT_NE(close, event::kMaxAttrs);
+    e.set_attr(open, 1.0);
+    e.set_attr(close, 2.0);
+    EvalContext ctx;
+    ctx.current = &e;
+    EXPECT_TRUE(eval_bool(q.window.open_pred, ctx));
+}
+
+TEST(Parser, Q2StyleKleenePlusAndConsumeWithPlusMarks) {
+    TestEnv env;
+    const auto q = parse_query(
+        "PATTERN (A B+ C) "
+        "DEFINE A AS close < 10, "
+        "       B AS close > 10 AND close < 20, "
+        "       C AS close > 20 "
+        "WITHIN 8000 EVENTS FROM EVERY 1000 EVENTS "
+        "CONSUME (A B+ C)",
+        env.schema);
+    EXPECT_EQ(q.pattern.elements[1].kind, ElementKind::Plus);
+    EXPECT_EQ(q.consumption.elements,
+              (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(Parser, Q3StyleSetQuery) {
+    TestEnv env;
+    const auto q = parse_query(
+        "PATTERN (A SET(X1 X2 X3)) "
+        "DEFINE A AS SYMBOL = 'AAPL', "
+        "       X1 AS SYMBOL = 'IBM', X2 AS SYMBOL = 'HPQ', X3 AS SYMBOL = 'MU' "
+        "WITHIN 1000 EVENTS FROM EVERY 100 EVENTS "
+        "CONSUME ALL",
+        env.schema);
+    ASSERT_EQ(q.pattern.elements.size(), 2u);
+    EXPECT_EQ(q.pattern.elements[1].kind, ElementKind::Set);
+    EXPECT_EQ(q.pattern.elements[1].members.size(), 3u);
+    EXPECT_EQ(q.pattern.elements[1].members[1].name, "X2");
+    EXPECT_EQ(q.pattern.min_length(), 4);
+}
+
+TEST(Parser, QeStyleTimeWindowStickyAndEmit) {
+    TestEnv env;
+    const auto q = parse_query(
+        "PATTERN (A B) "
+        "DEFINE A AS TYPE = 'A', B AS TYPE = 'B' "
+        "WITHIN 60 TIME FROM A "
+        "SELECT FIRST "
+        "STICKY (A) "
+        "CONSUME (B) "
+        "EMIT factor = B.v / A.v",
+        env.schema);
+    EXPECT_EQ(q.window.kind, WindowKind::PredicateOpen);
+    EXPECT_EQ(q.window.extent, ExtentKind::Time);
+    EXPECT_EQ(q.window.duration, 60);
+    EXPECT_TRUE(q.pattern.elements[0].sticky);
+    EXPECT_FALSE(q.pattern.elements[1].sticky);
+    ASSERT_EQ(q.payload.size(), 1u);
+    EXPECT_EQ(q.payload[0].name, "factor");
+}
+
+TEST(Parser, GuardClauseAttachesNegation) {
+    TestEnv env;
+    const auto q = parse_query(
+        "PATTERN (A B) "
+        "DEFINE A AS TYPE = 'A', B AS TYPE = 'B' "
+        "GUARD B AS TYPE = 'C' "
+        "WITHIN 10 EVENTS FROM EVERY 5 EVENTS",
+        env.schema);
+    EXPECT_EQ(q.pattern.elements[0].guard, nullptr);
+    EXPECT_NE(q.pattern.elements[1].guard, nullptr);
+}
+
+TEST(Parser, SelectEachAllowsManyMatches) {
+    TestEnv env;
+    const auto q = parse_query(
+        "PATTERN (A) DEFINE A AS TYPE = 'A' "
+        "WITHIN 10 EVENTS FROM EVERY 5 EVENTS SELECT EACH",
+        env.schema);
+    EXPECT_EQ(q.selection, SelectionPolicy::Each);
+    EXPECT_EQ(q.max_matches_per_window, 0);
+}
+
+TEST(Parser, OperatorPrecedenceIsConventional) {
+    TestEnv env;
+    const auto q = parse_query(
+        "PATTERN (A) DEFINE A AS v + 2 * 3 = 7 AND NOT v > 100 "
+        "WITHIN 10 EVENTS FROM EVERY 5 EVENTS",
+        env.schema);
+    const auto e = [&] {
+        event::Event ev;
+        ev.type = env.schema->lookup_type("QUOTE");
+        ev.set_attr(env.schema->lookup_attr("v"), 1.0);
+        return ev;
+    }();
+    EvalContext ctx;
+    ctx.current = &e;
+    EXPECT_TRUE(eval_bool(q.pattern.elements[0].pred, ctx));  // 1+6=7, !(1>100)
+}
+
+TEST(Parser, ErrorsCarryOffsets) {
+    TestEnv env;
+    try {
+        parse_query("PATTERN (A DEFINE", env.schema);
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+    }
+}
+
+TEST(Parser, RejectsUndefinedElement) {
+    TestEnv env;
+    EXPECT_THROW(parse_query("PATTERN (A B) DEFINE A AS TYPE = 'A' "
+                             "WITHIN 10 EVENTS FROM EVERY 5 EVENTS",
+                             env.schema),
+                 ParseError);
+}
+
+TEST(Parser, RejectsForwardBoundReference) {
+    TestEnv env;
+    // B references C which does not exist as element.
+    EXPECT_THROW(parse_query("PATTERN (A B) DEFINE A AS TYPE='A', B AS C.v > 1 "
+                             "WITHIN 10 EVENTS FROM EVERY 5 EVENTS",
+                             env.schema),
+                 ParseError);
+}
+
+TEST(Parser, RejectsOpenPredicateWithCrossReference) {
+    TestEnv env;
+    EXPECT_THROW(parse_query("PATTERN (A B) DEFINE A AS B.v > 1, B AS TYPE='B' "
+                             "WITHIN 10 EVENTS FROM A",
+                             env.schema),
+                 ParseError);
+}
+
+TEST(Parser, RejectsMixedWindowUnits) {
+    TestEnv env;
+    EXPECT_THROW(parse_query("PATTERN (A) DEFINE A AS TYPE='A' "
+                             "WITHIN 10 EVENTS FROM EVERY 5 TIME",
+                             env.schema),
+                 ParseError);
+}
+
+TEST(Parser, RejectsUnterminatedString) {
+    TestEnv env;
+    EXPECT_THROW(parse_query("PATTERN (A) DEFINE A AS TYPE = 'A "
+                             "WITHIN 10 EVENTS FROM EVERY 5 EVENTS",
+                             env.schema),
+                 ParseError);
+}
+
+TEST(Parser, RejectsTrailingGarbage) {
+    TestEnv env;
+    EXPECT_THROW(parse_query("PATTERN (A) DEFINE A AS TYPE='A' "
+                             "WITHIN 10 EVENTS FROM EVERY 5 EVENTS banana",
+                             env.schema),
+                 ParseError);
+}
+
+TEST(Parser, StickyUnknownElementRejected) {
+    TestEnv env;
+    EXPECT_THROW(parse_query("PATTERN (A) DEFINE A AS TYPE='A' "
+                             "WITHIN 10 EVENTS FROM EVERY 5 EVENTS STICKY (Z)",
+                             env.schema),
+                 ParseError);
+}
+
+TEST(Parser, SymbolInListAndNotEquals) {
+    TestEnv env;
+    const auto q = parse_query(
+        "PATTERN (A) DEFINE A AS SYMBOL IN ('X','Y') AND SYMBOL != 'Z' "
+        "WITHIN 10 EVENTS FROM EVERY 5 EVENTS",
+        env.schema);
+    event::Event e;
+    e.subject = env.schema->lookup_subject("Y");
+    EvalContext ctx;
+    ctx.current = &e;
+    EXPECT_TRUE(eval_bool(q.pattern.elements[0].pred, ctx));
+    e.subject = env.schema->lookup_subject("Z");
+    EXPECT_FALSE(eval_bool(q.pattern.elements[0].pred, ctx));
+}

@@ -1,0 +1,404 @@
+// Property-based sweeps over the framework's core invariants:
+//   * SPECTRE == sequential for every query shape × random stream (the
+//     paper's no-false-positives / no-false-negatives guarantee, §2.3);
+//   * consumption can only remove matches, never add them;
+//   * detector output well-formedness (sorted constituents inside the
+//     window, consumed ⊆ constituents);
+//   * Markov model monotonicity (more lookahead → more likely to complete;
+//     larger δ → less likely) and probability bounds;
+//   * window assignment coverage and monotone ends;
+//   * dependency-tree invariants under randomized create/resolve fuzzing.
+#include <gtest/gtest.h>
+
+#include "model/fixed_model.hpp"
+#include "model/markov_model.hpp"
+#include "sequential/seq_engine.hpp"
+#include "spectre/sim_runtime.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+using namespace spectre;
+using spectre::testing::TestEnv;
+
+namespace {
+
+event::EventStore random_store(TestEnv& env, std::size_t n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    event::EventStore store;
+    for (std::size_t i = 0; i < n; ++i)
+        store.append(env.ev(static_cast<char>('A' + rng.uniform_int(0, 4)),
+                            static_cast<double>(rng.uniform_int(0, 9)),
+                            static_cast<event::Timestamp>(i)));
+    return store;
+}
+
+enum class Shape {
+    SeqConsumeAll,
+    SeqConsumeSubset,
+    SeqNoConsume,
+    Kleene,
+    Set,
+    Guard,
+    Each,
+    Sticky,
+};
+
+const Shape kShapes[] = {Shape::SeqConsumeAll, Shape::SeqConsumeSubset,
+                         Shape::SeqNoConsume,  Shape::Kleene,
+                         Shape::Set,           Shape::Guard,
+                         Shape::Each,          Shape::Sticky};
+
+const char* shape_name(Shape s) {
+    switch (s) {
+        case Shape::SeqConsumeAll: return "SeqConsumeAll";
+        case Shape::SeqConsumeSubset: return "SeqConsumeSubset";
+        case Shape::SeqNoConsume: return "SeqNoConsume";
+        case Shape::Kleene: return "Kleene";
+        case Shape::Set: return "Set";
+        case Shape::Guard: return "Guard";
+        case Shape::Each: return "Each";
+        case Shape::Sticky: return "Sticky";
+    }
+    return "?";
+}
+
+query::Query make_shape(TestEnv& env, Shape shape) {
+    using query::QueryBuilder;
+    using query::WindowSpec;
+    switch (shape) {
+        case Shape::SeqConsumeAll:
+            return QueryBuilder(env.schema)
+                .single("A", env.is('A'))
+                .single("B", env.is('B'))
+                .window(WindowSpec::sliding_count(20, 5))
+                .consume_all()
+                .build();
+        case Shape::SeqConsumeSubset:
+            return QueryBuilder(env.schema)
+                .single("A", env.is('A'))
+                .single("B", env.is('B'))
+                .single("C", env.is('C'))
+                .window(WindowSpec::sliding_count(24, 6))
+                .consume({"B"})
+                .build();
+        case Shape::SeqNoConsume:
+            return QueryBuilder(env.schema)
+                .single("A", env.is('A'))
+                .single("B", env.is('B'))
+                .window(WindowSpec::sliding_count(20, 5))
+                .build();
+        case Shape::Kleene:
+            return QueryBuilder(env.schema)
+                .single("A", env.is('A'))
+                .plus("B", env.is('B'))
+                .single("C", env.is('C'))
+                .window(WindowSpec::sliding_count(30, 10))
+                .consume_all()
+                .build();
+        case Shape::Set:
+            return QueryBuilder(env.schema)
+                .single("A", env.is('A'))
+                .set("S", {{"X", env.is('B')}, {"Y", env.is('C')}})
+                .window(WindowSpec::sliding_count(25, 5))
+                .consume_all()
+                .build();
+        case Shape::Guard:
+            return QueryBuilder(env.schema)
+                .single("A", env.is('A'))
+                .single("B", env.is('B'))
+                .guard(env.is('E'))
+                .window(WindowSpec::sliding_count(20, 4))
+                .consume_all()
+                .build();
+        case Shape::Each:
+            return QueryBuilder(env.schema)
+                .single("A", env.is('A'))
+                .single("B", env.is('B'))
+                .window(WindowSpec::sliding_count(12, 4))
+                .select(query::SelectionPolicy::Each)
+                .consume_all()
+                .build();
+        case Shape::Sticky:
+            return QueryBuilder(env.schema)
+                .single("A", env.is('A'))
+                .sticky()
+                .single("B", env.is('B'))
+                .window(WindowSpec::predicate_open_count(env.is('A'), 15))
+                .consume({"B"})
+                .build();
+    }
+    throw std::logic_error("unknown shape");
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// SPECTRE == sequential across all shapes × seeds.
+// --------------------------------------------------------------------------
+
+class ShapeEquivalence : public ::testing::TestWithParam<std::tuple<Shape, int>> {};
+
+TEST_P(ShapeEquivalence, SimulatedRuntimeMatchesSequential) {
+    const auto [shape, seed] = GetParam();
+    TestEnv env;
+    const auto q = make_shape(env, shape);
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto store = random_store(env, 250, static_cast<std::uint64_t>(seed));
+
+    const auto expected = sequential::SequentialEngine(&cq).run(store);
+
+    core::SimConfig cfg;
+    cfg.splitter.instances = 3;
+    cfg.splitter.instance.consistency_check_freq = 8;
+    cfg.batch_events = 16;
+    cfg.model_contention = false;
+    model::MarkovParams params;
+    params.refresh_every = 150;
+    core::SimRuntime sim(&store, &cq, cfg,
+                         std::make_unique<model::MarkovModel>(cq.min_length(), params));
+    const auto result = sim.run();
+
+    ASSERT_EQ(expected.complex_events.size(), result.output.size()) << shape_name(shape);
+    for (std::size_t i = 0; i < result.output.size(); ++i) {
+        EXPECT_EQ(expected.complex_events[i].window_id, result.output[i].window_id);
+        EXPECT_EQ(expected.complex_events[i].constituents, result.output[i].constituents);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, ShapeEquivalence,
+    ::testing::Combine(::testing::ValuesIn(kShapes), ::testing::Values(11, 12, 13, 14)),
+    [](const ::testing::TestParamInfo<std::tuple<Shape, int>>& info) {
+        return std::string(shape_name(std::get<0>(info.param))) + "_seed" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// --------------------------------------------------------------------------
+// Consumption monotonicity: consuming can only remove complex events.
+// --------------------------------------------------------------------------
+
+class ConsumptionMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsumptionMonotone, ConsumeAllNeverAddsMatches) {
+    TestEnv env;
+    const auto store = random_store(env, 300, static_cast<std::uint64_t>(GetParam()));
+    auto with = query::QueryBuilder(env.schema)
+                    .single("A", env.is('A'))
+                    .single("B", env.is('B'))
+                    .window(query::WindowSpec::sliding_count(18, 6))
+                    .consume_all()
+                    .build();
+    auto without = query::QueryBuilder(env.schema)
+                       .single("A", env.is('A'))
+                       .single("B", env.is('B'))
+                       .window(query::WindowSpec::sliding_count(18, 6))
+                       .build();
+    const auto cq_with = detect::CompiledQuery::compile(with);
+    const auto cq_without = detect::CompiledQuery::compile(without);
+    const auto r_with = sequential::SequentialEngine(&cq_with).run(store);
+    const auto r_without = sequential::SequentialEngine(&cq_without).run(store);
+    EXPECT_LE(r_with.complex_events.size(), r_without.complex_events.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsumptionMonotone, ::testing::Values(1, 2, 3, 4, 5));
+
+// --------------------------------------------------------------------------
+// Detector well-formedness on random streams.
+// --------------------------------------------------------------------------
+
+class DetectorWellFormed : public ::testing::TestWithParam<int> {};
+
+TEST_P(DetectorWellFormed, ConstituentsSortedInWindowConsumedSubset) {
+    TestEnv env;
+    const auto store = random_store(env, 300, static_cast<std::uint64_t>(GetParam()));
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .plus("B", env.is('B'))
+                 .single("C", env.is('C'))
+                 .window(query::WindowSpec::sliding_count(25, 5))
+                 .consume({"B"})
+                 .select(query::SelectionPolicy::Each)
+                 .build();
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto windows = query::assign_windows(store, q.window);
+
+    detect::Detector det(&cq);
+    detect::Feedback fb;
+    for (const auto& w : windows) {
+        det.begin_window(w);
+        for (event::Seq pos = w.first; pos <= w.last; ++pos) {
+            fb.clear();
+            det.on_event(store.at(pos), fb);
+            for (const auto& done : fb.completed) {
+                const auto& ce = done.complex_event;
+                EXPECT_TRUE(std::is_sorted(ce.constituents.begin(), ce.constituents.end()));
+                for (const auto s : ce.constituents) {
+                    EXPECT_GE(s, w.first);
+                    EXPECT_LE(s, w.last);
+                }
+                for (const auto s : done.consumed) {
+                    EXPECT_TRUE(std::find(ce.constituents.begin(), ce.constituents.end(),
+                                          s) != ce.constituents.end());
+                }
+            }
+        }
+        fb.clear();
+        det.end_window(fb);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorWellFormed, ::testing::Values(21, 22, 23));
+
+// --------------------------------------------------------------------------
+// Markov model monotonicity and bounds across parameterizations.
+// --------------------------------------------------------------------------
+
+class MarkovProperties
+    : public ::testing::TestWithParam<std::tuple<double /*alpha*/, int /*step*/>> {};
+
+TEST_P(MarkovProperties, BoundedAndMonotone) {
+    const auto [alpha, step] = GetParam();
+    model::MarkovParams params;
+    params.alpha = alpha;
+    params.step = step;
+    params.refresh_every = 100;
+    model::MarkovModel m(10, params);
+    // Noisy statistics: advance ~60% of the time.
+    util::Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        for (int d = 10; d >= 1; --d) m.observe(d, rng.flip(0.6) ? d - 1 : d);
+    }
+    m.refresh();
+
+    for (int delta = 0; delta <= 10; ++delta) {
+        double prev = -1.0;
+        for (const std::uint64_t n : {1ull, 5ull, 20ull, 100ull, 500ull}) {
+            const double p = m.completion_probability(delta, n);
+            EXPECT_GE(p, 0.0);
+            EXPECT_LE(p, 1.0);
+            // More events of lookahead can only help (absorbing chain).
+            EXPECT_GE(p, prev - 1e-12) << "delta=" << delta << " n=" << n;
+            prev = p;
+        }
+    }
+    // Larger delta with the same lookahead can only hurt (monotone chain:
+    // states only move downward).
+    for (const std::uint64_t n : {10ull, 100ull}) {
+        double prev = 2.0;
+        for (int delta = 0; delta <= 10; ++delta) {
+            const double p = m.completion_probability(delta, n);
+            EXPECT_LE(p, prev + 1e-12) << "delta=" << delta << " n=" << n;
+            prev = p;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, MarkovProperties,
+                         ::testing::Combine(::testing::Values(0.3, 0.7, 1.0),
+                                            ::testing::Values(1, 10, 37)));
+
+// --------------------------------------------------------------------------
+// Window assignment properties across spec grids.
+// --------------------------------------------------------------------------
+
+class WindowProperties
+    : public ::testing::TestWithParam<std::tuple<int /*size*/, int /*slide*/>> {};
+
+TEST_P(WindowProperties, MonotoneCoverCorrectLengths) {
+    const auto [size, slide] = GetParam();
+    TestEnv env;
+    const auto store = random_store(env, 157, 5);
+    const auto wins = query::assign_windows(
+        store, query::WindowSpec::sliding_count(static_cast<std::uint64_t>(size),
+                                                static_cast<std::uint64_t>(slide)));
+    ASSERT_FALSE(wins.empty());
+    // Starts advance by exactly `slide`; ends are monotone; ids dense.
+    for (std::size_t i = 0; i < wins.size(); ++i) {
+        EXPECT_EQ(wins[i].id, i);
+        EXPECT_EQ(wins[i].first, i * static_cast<std::uint64_t>(slide));
+        EXPECT_LE(wins[i].length(), static_cast<std::uint64_t>(size));
+        if (i > 0) {
+            EXPECT_GE(wins[i].last, wins[i - 1].last);
+        }
+    }
+    // Every event is covered by at least one window when slide <= size.
+    if (slide <= size) {
+        std::vector<bool> covered(store.size(), false);
+        for (const auto& w : wins)
+            for (event::Seq s = w.first; s <= w.last; ++s) covered[s] = true;
+        for (const auto c : covered) EXPECT_TRUE(c);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, WindowProperties,
+                         ::testing::Combine(::testing::Values(8, 20, 64),
+                                            ::testing::Values(3, 8, 40)));
+
+// --------------------------------------------------------------------------
+// Dependency-tree fuzz: random window/group operations keep the invariants.
+// --------------------------------------------------------------------------
+
+class TreeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeFuzz, RandomOperationsKeepInvariants) {
+    TestEnv env;
+    auto cq = detect::CompiledQuery::compile(query::QueryBuilder(env.schema)
+                                                 .single("A", env.is('A'))
+                                                 .single("B", env.is('B'))
+                                                 .window(query::WindowSpec::sliding_count(8, 2))
+                                                 .consume_all()
+                                                 .build());
+    std::uint64_t next_id = 1;
+    core::DependencyTree tree(
+        [&](const query::WindowInfo& w, std::vector<core::CgPtr> suppressed) {
+            return std::make_shared<core::WindowVersion>(next_id++, w, &cq,
+                                                         std::move(suppressed));
+        });
+    util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    model::FixedModel half(0.5);
+
+    std::uint64_t next_window = 0, next_cg = 1000;
+    std::vector<core::CgPtr> pending;
+    for (int step = 0; step < 200; ++step) {
+        const auto dice = rng.uniform_int(0, 9);
+        if (dice < 3 && next_window < 40) {
+            tree.open_window(
+                query::WindowInfo{next_window, next_window * 2, next_window * 2 + 7});
+            ++next_window;
+        } else if (dice < 7) {
+            // Create a group under a random live version.
+            const auto top = tree.top_k(16, half);
+            if (!top.empty()) {
+                const auto& owner =
+                    top[static_cast<std::size_t>(rng.uniform_int(
+                        0, static_cast<std::int64_t>(top.size()) - 1))];
+                auto cg = std::make_shared<core::ConsumptionGroup>(
+                    next_cg++, owner->window().id, owner->version_id(), 1);
+                cg->add_event(owner->window().first);
+                if (tree.on_group_created(cg)) pending.push_back(cg);
+            }
+        } else if (!pending.empty()) {
+            const auto idx = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(pending.size()) - 1));
+            auto cg = pending[idx];
+            pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(idx));
+            const bool complete = rng.flip(0.5);
+            cg->resolve(complete ? core::CgOutcome::Completed : core::CgOutcome::Abandoned);
+            tree.on_group_resolved(cg, complete);
+        }
+        tree.check_invariants();
+        // Survival probabilities are proper probabilities and the top-k walk
+        // returns them in non-increasing order.
+        const auto top = tree.top_k(8, half);
+        double prev = 1.0 + 1e-12;
+        for (const auto& wv : top) {
+            const double sp = tree.survival_probability(wv->version_id(), half);
+            EXPECT_GE(sp, 0.0);
+            EXPECT_LE(sp, 1.0);
+            EXPECT_LE(sp, prev + 1e-9);
+            prev = sp;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeFuzz, ::testing::Values(31, 32, 33, 34));

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "data/nyse_synth.hpp"
+#include "detect/compiled_query.hpp"
+#include "queries/paper_queries.hpp"
+#include "sequential/seq_engine.hpp"
+
+using namespace spectre;
+using namespace spectre::queries;
+
+namespace {
+
+data::StockVocab vocab() {
+    return data::StockVocab::create(std::make_shared<event::Schema>());
+}
+
+event::EventStore nyse(const data::StockVocab& v, std::uint64_t events, double up_prob,
+                       int symbols = 100) {
+    data::NyseSynthConfig cfg;
+    cfg.events = events;
+    cfg.symbols = symbols;
+    cfg.up_prob = up_prob;
+    event::EventStore store;
+    data::generate_nyse(v, cfg, store);
+    return store;
+}
+
+}  // namespace
+
+TEST(Q1, ShapeAndMinLength) {
+    const auto v = vocab();
+    const auto q = make_q1(v, Q1Params{.q = 40, .ws = 8000});
+    EXPECT_EQ(q.pattern.elements.size(), 41u);
+    EXPECT_EQ(q.pattern.min_length(), 41);
+    EXPECT_EQ(q.window.kind, query::WindowKind::PredicateOpen);
+    EXPECT_EQ(q.window.size, 8000u);
+    EXPECT_EQ(q.consumption.kind, query::ConsumptionPolicy::Kind::All);
+    EXPECT_EQ(q.max_matches_per_window, 1);
+}
+
+TEST(Q1, SmallPatternOnBullMarketAlmostAlwaysCompletes) {
+    const auto v = vocab();
+    const auto q = make_q1(v, Q1Params{.q = 4, .ws = 200});
+    const auto cq = detect::CompiledQuery::compile(q);
+    // Paper-like leader density: windows open rarely relative to how much
+    // each completed match consumes, so consumption pressure stays low.
+    const auto store = nyse(v, 10000, /*up_prob=*/1.0, /*symbols=*/500);
+    const auto r = sequential::SequentialEngine(&cq).run(store);
+    ASSERT_GT(r.stats.groups_created, 0u);
+    // Every quote rises: essentially every opened group completes (only the
+    // clamped windows at the stream tail can abandon).
+    EXPECT_GT(r.stats.completion_probability(), 0.9);
+    // Each complex event has exactly q+1 constituents.
+    for (const auto& ce : r.complex_events) EXPECT_EQ(ce.constituents.size(), 5u);
+}
+
+TEST(Q1, DenseWindowsCreateConsumptionPressure) {
+    // With leaders at 16% of the stream, each completed match consumes far
+    // more events (q+1 = 31) than the distance between window openings
+    // (~12): the consumption frontier outruns the windows and many groups
+    // abandon even though every quote rises.
+    const auto v = vocab();
+    const auto q = make_q1(v, Q1Params{.q = 30, .ws = 200});
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto store = nyse(v, 5000, /*up_prob=*/1.0, /*symbols=*/100);
+    const auto r = sequential::SequentialEngine(&cq).run(store);
+    EXPECT_LT(r.stats.completion_probability(), 0.6);
+    EXPECT_GT(r.stats.completion_probability(), 0.01);
+}
+
+TEST(Q1, OversizedPatternNeverCompletes) {
+    const auto v = vocab();
+    const auto q = make_q1(v, Q1Params{.q = 300, .ws = 200});  // q > ws
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto store = nyse(v, 3000, 0.9);
+    const auto r = sequential::SequentialEngine(&cq).run(store);
+    EXPECT_EQ(r.complex_events.size(), 0u);
+}
+
+TEST(Q1, FallingVariantMatchesBearMarket) {
+    const auto v = vocab();
+    const auto q = make_q1(v, Q1Params{.q = 4, .ws = 200, .rising = false});
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto store = nyse(v, 5000, /*up_prob=*/0.0);
+    const auto r = sequential::SequentialEngine(&cq).run(store);
+    EXPECT_GT(r.complex_events.size(), 0u);
+}
+
+TEST(Q1, CompletionProbabilityDropsWithRatio) {
+    const auto v = vocab();
+    const auto store = nyse(v, 20000, 0.5, /*symbols=*/500);
+    double prev = 1.1;
+    for (const int q_size : {8, 32, 56}) {
+        const auto q = make_q1(v, Q1Params{.q = q_size, .ws = 64});
+        const auto cq = detect::CompiledQuery::compile(q);
+        const auto r = sequential::SequentialEngine(&cq).run(store);
+        const double p = r.stats.completion_probability();
+        EXPECT_LT(p, prev) << "q=" << q_size;
+        prev = p;
+    }
+}
+
+TEST(Q2, ShapeThirteenElements) {
+    const auto v = vocab();
+    const auto q = make_q2(v, Q2Params{});
+    EXPECT_EQ(q.pattern.elements.size(), 13u);
+    EXPECT_EQ(q.pattern.elements[1].kind, query::ElementKind::Plus);
+    EXPECT_EQ(q.pattern.elements[12].name, "M");
+    EXPECT_EQ(q.pattern.min_length(), 13);
+    EXPECT_THROW(make_q2(v, Q2Params{.lower = 10, .upper = 5}), std::invalid_argument);
+}
+
+TEST(Q2, DetectsOscillationAcrossBands) {
+    const auto v = vocab();
+    // Hand-built oscillating price path: below 95, band, above 105, repeated.
+    event::EventStore store;
+    const double seq_prices[] = {90, 100, 110, 100, 90, 100, 110, 100, 90,
+                                 100, 110, 100, 90};
+    event::Timestamp t = 0;
+    const auto sym = v.leaders[0];
+    for (const double p : seq_prices)
+        store.append(data::make_quote(v, t++, sym, p, p, 100));
+    const auto q = make_q2(v, Q2Params{.lower = 95, .upper = 105,
+                                       .ws = 13, .slide = 13});
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto r = sequential::SequentialEngine(&cq).run(store);
+    ASSERT_EQ(r.complex_events.size(), 1u);
+    EXPECT_EQ(r.complex_events[0].constituents.size(), 13u);
+}
+
+TEST(Q3, ShapeAndSetSize) {
+    const auto v = vocab();
+    const auto q = make_q3(v, Q3Params{.n = 10, .ws = 1000, .slide = 100});
+    EXPECT_EQ(q.pattern.elements.size(), 2u);
+    EXPECT_EQ(q.pattern.elements[1].members.size(), 10u);
+    EXPECT_EQ(q.pattern.min_length(), 11);
+}
+
+TEST(Q3, LargeSetBeyondSixtyFourMembers) {
+    const auto v = vocab();
+    const auto q = make_q3(v, Q3Params{.n = 99, .ws = 1000, .slide = 100});
+    EXPECT_EQ(q.pattern.min_length(), 100);
+    EXPECT_NO_THROW(detect::CompiledQuery::compile(q));
+}
+
+TEST(Q3, MatchesSetInAnyOrder) {
+    const auto v = vocab();
+    event::EventStore store;
+    event::Timestamp t = 0;
+    // A = leaders[0], members = leaders[1..3]; scrambled order with noise.
+    for (const int idx : {0, 5, 3, 9, 1, 2}) {
+        store.append(data::make_quote(v, t++, v.leaders[(std::size_t)idx], 100, 101, 1));
+    }
+    const auto q = make_q3(v, Q3Params{.n = 3, .ws = 6, .slide = 6});
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto r = sequential::SequentialEngine(&cq).run(store);
+    ASSERT_EQ(r.complex_events.size(), 1u);
+    EXPECT_EQ(r.complex_events[0].constituents, (std::vector<event::Seq>{0, 2, 4, 5}));
+}
+
+TEST(QE, FactorPayloadAndConsumption) {
+    const auto v = vocab();
+    event::EventStore store;
+    const auto aapl = v.schema->intern_subject("AAPL");
+    const auto msft = v.schema->intern_subject("MSFT");
+    // A at t=0 (change +2), B at t=0 (change +4) -> Factor 2; B consumed.
+    store.append(data::make_quote(v, 0, aapl, 100, 102, 1));
+    store.append(data::make_quote(v, 0, msft, 200, 204, 1));
+    const auto q = make_qe(v, QeParams{});
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto r = sequential::SequentialEngine(&cq).run(store);
+    ASSERT_EQ(r.complex_events.size(), 1u);
+    ASSERT_EQ(r.complex_events[0].payload.size(), 1u);
+    EXPECT_EQ(r.complex_events[0].payload[0].first, "Factor");
+    EXPECT_DOUBLE_EQ(r.complex_events[0].payload[0].second, 2.0);
+}
+
+TEST(QE, Fig1SemanticsOnQuoteStream) {
+    const auto v = vocab();
+    const auto aapl = v.schema->intern_subject("AAPL");
+    const auto msft = v.schema->intern_subject("MSFT");
+    event::EventStore store;
+    store.append(data::make_quote(v, 0, aapl, 100, 101, 1));   // A1
+    store.append(data::make_quote(v, 0, msft, 50, 51, 1));     // B1
+    store.append(data::make_quote(v, 0, msft, 51, 52, 1));     // B2 (same minute as A1)
+    // Consuming B: both Bs pair with A1.
+    {
+        const auto cq = detect::CompiledQuery::compile(make_qe(v, QeParams{.consume_b = true}));
+        const auto r = sequential::SequentialEngine(&cq).run(store);
+        EXPECT_EQ(r.complex_events.size(), 2u);
+    }
+    // Without consumption: same two pairings (single window).
+    {
+        const auto cq = detect::CompiledQuery::compile(make_qe(v, QeParams{.consume_b = false}));
+        const auto r = sequential::SequentialEngine(&cq).run(store);
+        EXPECT_EQ(r.complex_events.size(), 2u);
+    }
+}

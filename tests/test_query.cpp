@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.hpp"
+#include "query/query.hpp"
+#include "test_helpers.hpp"
+
+using namespace spectre;
+using namespace spectre::query;
+using spectre::testing::TestEnv;
+
+namespace {
+
+EvalContext ctx_of(const event::Event& e) {
+    EvalContext c;
+    c.current = &e;
+    return c;
+}
+
+}  // namespace
+
+TEST(Predicate, ArithmeticAndComparison) {
+    TestEnv env;
+    const auto e = env.ev('A', 10, 0);
+    // (v * 2 + 5) > 24  ->  25 > 24
+    auto expr = binary(BinOp::Gt,
+                       binary(BinOp::Add, binary(BinOp::Mul, attr(env.v), constant(2)),
+                              constant(5)),
+                       constant(24));
+    EXPECT_TRUE(eval_bool(expr, ctx_of(e)));
+    auto expr2 = binary(BinOp::Le, attr(env.v), constant(9.5));
+    EXPECT_FALSE(eval_bool(expr2, ctx_of(e)));
+}
+
+TEST(Predicate, LogicalOpsShortCircuitOverUnboundRefs) {
+    TestEnv env;
+    const auto e = env.ev('A', 1, 0);
+    // bound_attr(0,...) is unbound in this context.
+    auto unbound = binary(BinOp::Gt, bound_attr(0, env.v), constant(0));
+    EXPECT_FALSE(eval_bool(unbound, ctx_of(e)));
+    auto ored = binary(BinOp::Or, constant(1), unbound);
+    EXPECT_TRUE(eval_bool(ored, ctx_of(e)));
+    auto anded = binary(BinOp::And, constant(0), unbound);
+    EXPECT_FALSE(eval_bool(anded, ctx_of(e)));
+}
+
+TEST(Predicate, BoundAttrReadsBoundEvent) {
+    TestEnv env;
+    const auto cur = env.ev('B', 5, 1);
+    const auto first = env.ev('A', 3, 0);
+    const event::Event* bound[] = {&first};
+    EvalContext c;
+    c.current = &cur;
+    c.bound = bound;
+    // cur.v > elem0.v -> 5 > 3
+    auto expr = binary(BinOp::Gt, attr(env.v), bound_attr(0, env.v));
+    EXPECT_TRUE(eval_bool(expr, c));
+}
+
+TEST(Predicate, TypeAndSubjectTests) {
+    TestEnv env;
+    auto e = env.ev('A', 0, 0);
+    e.subject = env.schema->intern_subject("IBM");
+    EXPECT_TRUE(eval_bool(type_is(env.type('A')), ctx_of(e)));
+    EXPECT_FALSE(eval_bool(type_is(env.type('B')), ctx_of(e)));
+    const auto ibm = env.schema->intern_subject("IBM");
+    const auto hp = env.schema->intern_subject("HP");
+    EXPECT_TRUE(eval_bool(subject_in({hp, ibm}), ctx_of(e)));
+    EXPECT_FALSE(eval_bool(subject_in({hp}), ctx_of(e)));
+}
+
+TEST(Predicate, UnaryNegationAndNot) {
+    TestEnv env;
+    const auto e = env.ev('A', 2, 0);
+    auto neg = unary(UnOp::Neg, attr(env.v));
+    bool ok = true;
+    EXPECT_DOUBLE_EQ(eval(*neg, ctx_of(e), ok), -2.0);
+    auto notv = unary(UnOp::Not, constant(0));
+    EXPECT_TRUE(eval_bool(notv, ctx_of(e)));
+}
+
+TEST(Predicate, ToStringRoundTripsStructure) {
+    TestEnv env;
+    auto expr = binary(BinOp::And, binary(BinOp::Gt, attr(env.v), constant(1)),
+                       type_is(env.type('A')));
+    const auto s = to_string(*expr, *env.schema);
+    EXPECT_NE(s.find("v > 1"), std::string::npos);
+    EXPECT_NE(s.find("TYPE = 'A'"), std::string::npos);
+}
+
+TEST(Pattern, MinLengthCountsSetMembersAndPlusOnce) {
+    TestEnv env;
+    Pattern p;
+    Element a;
+    a.name = "A";
+    a.kind = ElementKind::Single;
+    a.pred = env.is('A');
+    Element b;
+    b.name = "B";
+    b.kind = ElementKind::Plus;
+    b.pred = env.is('B');
+    Element s;
+    s.name = "S";
+    s.kind = ElementKind::Set;
+    s.members = {{"X", env.is('X')}, {"Y", env.is('Y')}};
+    p.elements = {a, b, s};
+    EXPECT_EQ(p.min_length(), 4);
+    p.validate();
+}
+
+TEST(Pattern, BindingSlotsAreDenseInDeclarationOrder) {
+    TestEnv env;
+    Pattern p;
+    Element a;
+    a.name = "A";
+    a.pred = env.is('A');
+    Element s;
+    s.name = "S";
+    s.kind = ElementKind::Set;
+    s.members = {{"X", env.is('X')}, {"Y", env.is('Y')}};
+    Element c;
+    c.name = "C";
+    c.pred = env.is('C');
+    p.elements = {a, s, c};
+    EXPECT_EQ(p.binding_count(), 5);
+    EXPECT_EQ(p.binding_slot("A"), 0);
+    EXPECT_EQ(p.binding_slot("S"), 1);
+    EXPECT_EQ(p.binding_slot("X"), 2);
+    EXPECT_EQ(p.binding_slot("Y"), 3);
+    EXPECT_EQ(p.binding_slot("C"), 4);
+    EXPECT_EQ(p.binding_slot("nope"), -1);
+    EXPECT_EQ(p.element_slot(2), 4);
+    EXPECT_EQ(p.member_slot(1, 1), 3);
+}
+
+TEST(Pattern, ValidateRejectsStructuralErrors) {
+    TestEnv env;
+    Pattern empty;
+    EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+    Pattern dup;
+    Element a;
+    a.name = "A";
+    a.pred = env.is('A');
+    dup.elements = {a, a};
+    EXPECT_THROW(dup.validate(), std::invalid_argument);
+
+    Pattern nopred;
+    Element x;
+    x.name = "X";
+    nopred.elements = {x};
+    EXPECT_THROW(nopred.validate(), std::invalid_argument);
+}
+
+TEST(Pattern, StickyMustBeSinglePrefix) {
+    TestEnv env;
+    Pattern p;
+    Element a;
+    a.name = "A";
+    a.pred = env.is('A');
+    a.sticky = true;
+    Element b;
+    b.name = "B";
+    b.pred = env.is('B');
+    p.elements = {a, b};
+    p.validate();  // sticky prefix ok
+
+    Pattern bad;
+    Element b2 = b;
+    b2.sticky = true;
+    bad.elements = {b, b2};  // duplicate names aside, sticky after non-sticky
+    bad.elements[1].name = "C";
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    Pattern all_sticky;
+    all_sticky.elements = {a};
+    EXPECT_THROW(all_sticky.validate(), std::invalid_argument);
+}
+
+TEST(Windows, SlidingCountProducesClampedOverlappingWindows) {
+    TestEnv env;
+    auto store = env.store_of("AAAAAAAAAA");  // 10 events
+    const auto wins = assign_windows(store, WindowSpec::sliding_count(4, 2));
+    ASSERT_EQ(wins.size(), 5u);
+    EXPECT_EQ(wins[0].first, 0u);
+    EXPECT_EQ(wins[0].last, 3u);
+    EXPECT_EQ(wins[1].first, 2u);
+    EXPECT_EQ(wins[1].last, 5u);
+    EXPECT_EQ(wins[4].first, 8u);
+    EXPECT_EQ(wins[4].last, 9u);  // clamped
+    EXPECT_TRUE(wins[0].overlaps(wins[1]));
+    EXPECT_FALSE(wins[0].overlaps(wins[2]));
+    for (std::size_t i = 0; i < wins.size(); ++i) EXPECT_EQ(wins[i].id, i);
+}
+
+TEST(Windows, NonOverlappingWhenSlideExceedsSize) {
+    TestEnv env;
+    auto store = env.store_of("AAAAAAAA");
+    const auto wins = assign_windows(store, WindowSpec::sliding_count(2, 4));
+    ASSERT_EQ(wins.size(), 2u);
+    EXPECT_FALSE(wins[0].overlaps(wins[1]));
+}
+
+TEST(Windows, PredicateOpenOpensAtEachMatchingEvent) {
+    TestEnv env;
+    auto store = env.store_of("ABBABB");
+    const auto wins =
+        assign_windows(store, WindowSpec::predicate_open_count(env.is('A'), 3));
+    ASSERT_EQ(wins.size(), 2u);
+    EXPECT_EQ(wins[0].first, 0u);
+    EXPECT_EQ(wins[0].last, 2u);
+    EXPECT_EQ(wins[1].first, 3u);
+    EXPECT_EQ(wins[1].last, 5u);
+}
+
+TEST(Windows, PredicateOpenTimeExtent) {
+    TestEnv env;
+    event::EventStore store;
+    store.append(env.ev('A', 0, 0));
+    store.append(env.ev('B', 0, 10));
+    store.append(env.ev('B', 0, 59));
+    store.append(env.ev('B', 0, 60));  // outside [0, 60)
+    const auto wins =
+        assign_windows(store, WindowSpec::predicate_open_time(env.is('A'), 60));
+    ASSERT_EQ(wins.size(), 1u);
+    EXPECT_EQ(wins[0].first, 0u);
+    EXPECT_EQ(wins[0].last, 2u);
+}
+
+TEST(Windows, SlidingTimeWindows) {
+    TestEnv env;
+    event::EventStore store;
+    for (int t : {0, 5, 10, 15, 20, 25}) store.append(env.ev('A', 0, t));
+    const auto wins = assign_windows(store, WindowSpec::sliding_time(10, 10));
+    ASSERT_EQ(wins.size(), 3u);
+    EXPECT_EQ(wins[0].first, 0u);
+    EXPECT_EQ(wins[0].last, 1u);
+    EXPECT_EQ(wins[1].first, 2u);
+    EXPECT_EQ(wins[1].last, 3u);
+    EXPECT_EQ(wins[2].first, 4u);
+    EXPECT_EQ(wins[2].last, 5u);
+}
+
+TEST(Windows, SpecValidationRejectsNonsense) {
+    EXPECT_THROW(WindowSpec::sliding_count(0, 1), std::invalid_argument);
+    EXPECT_THROW(WindowSpec::sliding_count(1, 0), std::invalid_argument);
+    EXPECT_THROW(WindowSpec::predicate_open_count(nullptr, 5), std::invalid_argument);
+    EXPECT_THROW(WindowSpec::sliding_time(0, 1), std::invalid_argument);
+}
+
+TEST(Windows, EmptyStoreYieldsNoWindows) {
+    event::EventStore store;
+    EXPECT_TRUE(assign_windows(store, WindowSpec::sliding_count(4, 2)).empty());
+}
+
+TEST(Builder, BuildsValidatedQuery) {
+    TestEnv env;
+    auto q = QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .plus("B", env.is('B'))
+                 .window(WindowSpec::sliding_count(10, 5))
+                 .consume_all()
+                 .emit("sum", binary(BinOp::Add, bound_attr(0, env.v), bound_attr(1, env.v)))
+                 .build();
+    EXPECT_EQ(q.pattern.elements.size(), 2u);
+    EXPECT_EQ(q.consumption.kind, ConsumptionPolicy::Kind::All);
+    EXPECT_EQ(q.max_matches_per_window, 1);
+}
+
+TEST(Builder, SelectEachUnboundsMatches) {
+    TestEnv env;
+    auto q = QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .window(WindowSpec::sliding_count(10, 5))
+                 .select(SelectionPolicy::Each)
+                 .build();
+    EXPECT_EQ(q.max_matches_per_window, 0);
+}
+
+TEST(Builder, MissingWindowThrows) {
+    TestEnv env;
+    QueryBuilder b(env.schema);
+    b.single("A", env.is('A'));
+    EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(Builder, ConsumeUnknownElementThrows) {
+    TestEnv env;
+    QueryBuilder b(env.schema);
+    b.single("A", env.is('A')).window(WindowSpec::sliding_count(10, 5)).consume({"Z"});
+    EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(Policies, ToStringRendersAllKinds) {
+    EXPECT_EQ(to_string(SelectionPolicy::First), "FIRST");
+    EXPECT_EQ(to_string(ConsumptionPolicy::none()), "CONSUME NONE");
+    EXPECT_EQ(to_string(ConsumptionPolicy::all()), "CONSUME ALL");
+    EXPECT_EQ(to_string(ConsumptionPolicy::subset({"A", "B"})), "CONSUME (A B)");
+}

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "sequential/seq_engine.hpp"
+#include "test_helpers.hpp"
+
+using namespace spectre;
+using spectre::testing::TestEnv;
+using spectre::testing::constituents;
+
+namespace {
+
+// The paper's running example (Fig. 1): A1 A2 B1 B2 within the first
+// 1-minute window opened by A1; B3 only inside the window opened by A2.
+// Store seqs: A1=0, A2=1, B1=2, B2=3, B3=4.
+event::EventStore fig1_store(TestEnv& env) {
+    event::EventStore store;
+    store.append(env.ev('A', 2, 0));    // A1
+    store.append(env.ev('A', 4, 10));   // A2
+    store.append(env.ev('B', 10, 20));  // B1
+    store.append(env.ev('B', 20, 30));  // B2
+    store.append(env.ev('B', 30, 65));  // B3
+    return store;
+}
+
+query::Query qe_query(TestEnv& env, bool consume_b) {
+    auto b = query::QueryBuilder(env.schema);
+    b.single("A", env.is('A'))
+        .sticky()
+        .single("B", env.is('B'))
+        .window(query::WindowSpec::predicate_open_time(env.is('A'), 60))
+        .emit("factor", query::binary(query::BinOp::Div, query::bound_attr(1, env.v),
+                                      query::bound_attr(0, env.v)));
+    if (consume_b) b.consume({"B"});
+    return b.build();
+}
+
+}  // namespace
+
+TEST(Sequential, Fig1aNoConsumptionProducesFiveComplexEvents) {
+    TestEnv env;
+    const auto cq = detect::CompiledQuery::compile(qe_query(env, /*consume_b=*/false));
+    const auto store = fig1_store(env);
+    const auto result = sequential::SequentialEngine(&cq).run(store);
+    // Fig. 1(a): A1B1, A1B2, A2B1, A2B2, A2B3.
+    EXPECT_EQ(constituents(result.complex_events),
+              (std::vector<std::vector<event::Seq>>{{0, 2}, {0, 3}, {1, 2}, {1, 3}, {1, 4}}));
+    EXPECT_EQ(result.stats.windows, 2u);
+}
+
+TEST(Sequential, Fig1bSelectedBConsumptionProducesThree) {
+    TestEnv env;
+    const auto cq = detect::CompiledQuery::compile(qe_query(env, /*consume_b=*/true));
+    const auto store = fig1_store(env);
+    const auto result = sequential::SequentialEngine(&cq).run(store);
+    // Fig. 1(b): A1B1, A1B2, A2B3 — B1/B2 consumed in w1 are invisible in w2.
+    EXPECT_EQ(constituents(result.complex_events),
+              (std::vector<std::vector<event::Seq>>{{0, 2}, {0, 3}, {1, 4}}));
+    EXPECT_EQ(result.stats.events_suppressed, 2u);  // B1, B2 skipped in w2
+}
+
+TEST(Sequential, Fig1PayloadFactorComputed) {
+    TestEnv env;
+    const auto cq = detect::CompiledQuery::compile(qe_query(env, true));
+    const auto result = sequential::SequentialEngine(&cq).run(fig1_store(env));
+    ASSERT_EQ(result.complex_events.size(), 3u);
+    // A1B1: factor = B1.v / A1.v = 10 / 2.
+    EXPECT_DOUBLE_EQ(result.complex_events[0].payload[0].second, 5.0);
+}
+
+TEST(Sequential, ConsumptionPropagatesAcrossSlidingWindows) {
+    TestEnv env;
+    // Pattern A B, consume all, windows of 4 sliding by 2: the B consumed in
+    // w0 must not complete a match in w1.
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(4, 2))
+                 .consume_all()
+                 .build();
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto store = env.store_of("AABX");  // w0=[0,3], w1=[2,3]
+    const auto result = sequential::SequentialEngine(&cq).run(store);
+    ASSERT_EQ(result.complex_events.size(), 1u);
+    EXPECT_EQ(result.complex_events[0].constituents, (std::vector<event::Seq>{0, 2}));
+    EXPECT_EQ(result.complex_events[0].window_id, 0u);
+}
+
+TEST(Sequential, WithoutConsumptionWindowsAreIndependent) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(4, 2))
+                 .build();
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto store = env.store_of("XABX");  // w0=[0,3], w1=[2,3]
+    const auto result = sequential::SequentialEngine(&cq).run(store);
+    // w0 matches {1,2}; w1 starts at seq 2 and has no A.
+    EXPECT_EQ(constituents(result.complex_events),
+              (std::vector<std::vector<event::Seq>>{{1, 2}}));
+}
+
+TEST(Sequential, GroundTruthCompletionProbability) {
+    TestEnv env;
+    // Windows of 2 sliding by 2 over "AB AX AB AX": every window starts a
+    // match; half of them complete.
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(2, 2))
+                 .consume_all()
+                 .build();
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto store = env.store_of("ABAXABAX");
+    const auto result = sequential::SequentialEngine(&cq).run(store);
+    EXPECT_EQ(result.stats.windows, 4u);
+    EXPECT_EQ(result.stats.groups_created, 4u);
+    EXPECT_EQ(result.stats.groups_completed, 2u);
+    EXPECT_DOUBLE_EQ(result.stats.completion_probability(), 0.5);
+    EXPECT_EQ(result.stats.complex_events, 2u);
+}
+
+TEST(Sequential, ComplexEventsOrderedByWindow) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(4, 2))
+                 .build();
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto store = env.store_of("ABABAB");
+    const auto result = sequential::SequentialEngine(&cq).run(store);
+    for (std::size_t i = 1; i < result.complex_events.size(); ++i)
+        EXPECT_LE(result.complex_events[i - 1].window_id, result.complex_events[i].window_id);
+    EXPECT_GE(result.complex_events.size(), 3u);
+}
+
+TEST(Sequential, EmptyStoreNoWindowsNoEvents) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .window(query::WindowSpec::sliding_count(4, 2))
+                 .build();
+    const auto cq = detect::CompiledQuery::compile(q);
+    event::EventStore store;
+    const auto result = sequential::SequentialEngine(&cq).run(store);
+    EXPECT_TRUE(result.complex_events.empty());
+    EXPECT_EQ(result.stats.windows, 0u);
+}

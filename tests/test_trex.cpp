@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "data/nyse_synth.hpp"
+#include "queries/paper_queries.hpp"
+#include "sequential/seq_engine.hpp"
+#include "test_helpers.hpp"
+#include "trex/trex_engine.hpp"
+#include "util/rng.hpp"
+
+using namespace spectre;
+using spectre::testing::TestEnv;
+
+namespace {
+
+void expect_equal(const std::vector<event::ComplexEvent>& a,
+                  const std::vector<event::ComplexEvent>& b, const std::string& label) {
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].window_id, b[i].window_id) << label << " @" << i;
+        EXPECT_EQ(a[i].constituents, b[i].constituents) << label << " @" << i;
+        EXPECT_EQ(a[i].payload, b[i].payload) << label << " @" << i;
+    }
+}
+
+}  // namespace
+
+TEST(GenericEvent, ReifyCopiesNamesAndAttrs) {
+    TestEnv env;
+    auto e = env.ev('A', 42, 7);
+    e.subject = env.schema->intern_subject("IBM");
+    const auto g = trex::reify(e, *env.schema);
+    EXPECT_EQ(g.type, "A");
+    EXPECT_EQ(g.symbol, "IBM");
+    EXPECT_DOUBLE_EQ(g.attrs.at("v"), 42.0);
+}
+
+TEST(GenericExpr, TranslateEvaluatesLikeCompiled) {
+    TestEnv env;
+    // (v * 2 > 10) AND TYPE = 'A'
+    auto expr = query::binary(
+        query::BinOp::And,
+        query::binary(query::BinOp::Gt,
+                      query::binary(query::BinOp::Mul, query::attr(env.v),
+                                    query::constant(2)),
+                      query::constant(10)),
+        env.is('A'));
+    query::Pattern pattern;
+    query::Element a;
+    a.name = "A";
+    a.pred = expr;
+    pattern.elements = {a};
+    const auto g = trex::translate(*expr, *env.schema, pattern);
+    const auto ge = trex::reify(env.ev('A', 6, 0), *env.schema);
+    EXPECT_TRUE(trex::eval_bool(g, ge, {}));
+    const auto ge2 = trex::reify(env.ev('A', 4, 0), *env.schema);
+    EXPECT_FALSE(trex::eval_bool(g, ge2, {}));
+    const auto ge3 = trex::reify(env.ev('B', 6, 0), *env.schema);
+    EXPECT_FALSE(trex::eval_bool(g, ge3, {}));
+}
+
+TEST(GenericExpr, BoundReferencesResolveByName) {
+    TestEnv env;
+    auto expr = query::binary(query::BinOp::Gt, query::attr(env.v),
+                              query::bound_attr(0, env.v));
+    query::Pattern pattern;
+    query::Element a;
+    a.name = "A";
+    a.pred = env.is('A');
+    query::Element b;
+    b.name = "B";
+    b.pred = env.is('B');
+    pattern.elements = {a, b};
+    const auto g = trex::translate(*expr, *env.schema, pattern);
+    const auto bound = trex::reify(env.ev('A', 3, 0), *env.schema);
+    const auto cur = trex::reify(env.ev('B', 5, 1), *env.schema);
+    trex::GenericBindings bindings;
+    EXPECT_FALSE(trex::eval_bool(g, cur, bindings));  // unbound -> false
+    bindings["A"] = &bound;
+    EXPECT_TRUE(trex::eval_bool(g, cur, bindings));
+}
+
+TEST(TrexEngine, MatchesSequentialOnRandomStreams) {
+    TestEnv env;
+    for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        util::Rng rng(seed);
+        event::EventStore store;
+        for (int i = 0; i < 300; ++i) {
+            store.append(env.ev(static_cast<char>('A' + rng.uniform_int(0, 4)),
+                                static_cast<double>(rng.uniform_int(0, 9)),
+                                static_cast<event::Timestamp>(i)));
+        }
+        auto q = query::QueryBuilder(env.schema)
+                     .single("A", env.is('A'))
+                     .plus("B", env.is('B'))
+                     .single("C", env.is('C'))
+                     .window(query::WindowSpec::sliding_count(25, 5))
+                     .consume_all()
+                     .build();
+        const auto cq = detect::CompiledQuery::compile(q);
+        const auto seq = sequential::SequentialEngine(&cq).run(store);
+        const auto trex_result = trex::TrexEngine(&cq).run(store);
+        expect_equal(seq.complex_events, trex_result.complex_events,
+                     "seed=" + std::to_string(seed));
+    }
+}
+
+TEST(TrexEngine, MatchesSequentialOnSetAndGuardAndEach) {
+    TestEnv env;
+    util::Rng rng(77);
+    event::EventStore store;
+    for (int i = 0; i < 300; ++i)
+        store.append(env.ev(static_cast<char>('A' + rng.uniform_int(0, 4)), 0,
+                            static_cast<event::Timestamp>(i)));
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .set("S", {{"X", env.is('B')}, {"Y", env.is('C')}})
+                 .guard(env.is('E'))
+                 .window(query::WindowSpec::sliding_count(20, 4))
+                 .select(query::SelectionPolicy::Each)
+                 .consume({"X"})
+                 .build();
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto seq = sequential::SequentialEngine(&cq).run(store);
+    const auto trex_result = trex::TrexEngine(&cq).run(store);
+    expect_equal(seq.complex_events, trex_result.complex_events, "set-guard-each");
+}
+
+TEST(TrexEngine, MatchesSequentialOnQ1) {
+    const auto v = data::StockVocab::create(std::make_shared<event::Schema>());
+    data::NyseSynthConfig cfg;
+    cfg.events = 4000;
+    cfg.symbols = 60;
+    cfg.up_prob = 0.6;
+    event::EventStore store;
+    data::generate_nyse(v, cfg, store);
+    const auto q = queries::make_q1(v, queries::Q1Params{.q = 6, .ws = 120});
+    const auto cq = detect::CompiledQuery::compile(q);
+    const auto seq = sequential::SequentialEngine(&cq).run(store);
+    const auto trex_result = trex::TrexEngine(&cq).run(store);
+    ASSERT_GT(seq.complex_events.size(), 0u);
+    expect_equal(seq.complex_events, trex_result.complex_events, "q1");
+}
+
+TEST(TrexEngine, RejectsStickyPatterns) {
+    TestEnv env;
+    auto q = query::QueryBuilder(env.schema)
+                 .single("A", env.is('A'))
+                 .sticky()
+                 .single("B", env.is('B'))
+                 .window(query::WindowSpec::sliding_count(10, 5))
+                 .build();
+    const auto cq = detect::CompiledQuery::compile(q);
+    EXPECT_THROW(trex::TrexEngine engine(&cq), std::invalid_argument);
+}
+
+TEST(TrexEngine, GenericLayerIsSlowerThanCompiledPath) {
+    // The whole point of the baseline: interpreted generic matching pays a
+    // real per-event cost against the slot-compiled detector.
+    const auto v = data::StockVocab::create(std::make_shared<event::Schema>());
+    data::NyseSynthConfig cfg;
+    cfg.events = 20000;
+    cfg.symbols = 60;
+    cfg.up_prob = 0.6;
+    event::EventStore store;
+    data::generate_nyse(v, cfg, store);
+    const auto q = queries::make_q1(v, queries::Q1Params{.q = 6, .ws = 120});
+    const auto cq = detect::CompiledQuery::compile(q);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto seq = sequential::SequentialEngine(&cq).run(store);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto trex_result = trex::TrexEngine(&cq).run(store);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    const double seq_s = std::chrono::duration<double>(t1 - t0).count();
+    const double trex_s = std::chrono::duration<double>(t2 - t1).count();
+    ASSERT_EQ(seq.complex_events.size(), trex_result.complex_events.size());
+    EXPECT_GT(trex_s, seq_s);
+}

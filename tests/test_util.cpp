@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/intern.hpp"
+#include "util/matrix.hpp"
+#include "util/mpsc_queue.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace su = spectre::util;
+
+TEST(Intern, AssignsDenseIdsAndRoundTrips) {
+    su::InternTable t;
+    const auto a = t.intern("alpha");
+    const auto b = t.intern("beta");
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(t.intern("alpha"), a);
+    EXPECT_EQ(t.name(a), "alpha");
+    EXPECT_EQ(t.name(b), "beta");
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Intern, LookupMissReturnsInvalid) {
+    su::InternTable t;
+    EXPECT_EQ(t.lookup("nope"), su::kInvalidIntern);
+    t.intern("yes");
+    EXPECT_EQ(t.lookup("yes"), 0u);
+}
+
+TEST(Intern, NameOutOfRangeThrows) {
+    su::InternTable t;
+    EXPECT_THROW(t.name(0), std::invalid_argument);
+}
+
+TEST(Stats, PercentileMatchesHandComputedValues) {
+    std::vector<double> s{4, 1, 3, 2, 5};
+    EXPECT_DOUBLE_EQ(su::percentile(s, 0), 1.0);
+    EXPECT_DOUBLE_EQ(su::percentile(s, 50), 3.0);
+    EXPECT_DOUBLE_EQ(su::percentile(s, 100), 5.0);
+    EXPECT_DOUBLE_EQ(su::percentile(s, 25), 2.0);
+    EXPECT_DOUBLE_EQ(su::percentile(s, 75), 4.0);
+}
+
+TEST(Stats, PercentileInterpolatesBetweenRanks) {
+    std::vector<double> s{0, 10};
+    EXPECT_DOUBLE_EQ(su::percentile(s, 50), 5.0);
+    EXPECT_DOUBLE_EQ(su::percentile(s, 25), 2.5);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+    EXPECT_THROW(su::percentile({}, 50), std::invalid_argument);
+    EXPECT_THROW(su::percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Stats, CandlestickIsFiveNumberSummary) {
+    std::vector<double> s;
+    for (int i = 1; i <= 101; ++i) s.push_back(i);
+    const auto c = su::candlestick(s);
+    EXPECT_DOUBLE_EQ(c.min, 1);
+    EXPECT_DOUBLE_EQ(c.p25, 26);
+    EXPECT_DOUBLE_EQ(c.median, 51);
+    EXPECT_DOUBLE_EQ(c.p75, 76);
+    EXPECT_DOUBLE_EQ(c.max, 101);
+}
+
+TEST(Stats, RunningStatsWelford) {
+    su::RunningStats r;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) r.add(x);
+    EXPECT_EQ(r.count(), 8u);
+    EXPECT_DOUBLE_EQ(r.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(r.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(r.stddev(), 2.0);
+}
+
+TEST(Stats, RunningStatsEmptyIsZero) {
+    su::RunningStats r;
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+}
+
+TEST(Stats, EwmaSeedsWithFirstValueThenSmooths) {
+    su::EwmaScalar e(0.5);
+    EXPECT_TRUE(e.empty());
+    e.add(10.0);
+    EXPECT_DOUBLE_EQ(e.value(), 10.0);
+    e.add(20.0);
+    EXPECT_DOUBLE_EQ(e.value(), 15.0);
+    e.add(15.0);
+    EXPECT_DOUBLE_EQ(e.value(), 15.0);
+}
+
+TEST(Stats, EwmaRejectsBadAlpha) { EXPECT_THROW(su::EwmaScalar(1.5), std::invalid_argument); }
+
+TEST(Matrix, IdentityMultiplyIsNoop) {
+    su::Matrix m(2, 2);
+    m(0, 0) = 1;
+    m(0, 1) = 2;
+    m(1, 0) = 3;
+    m(1, 1) = 4;
+    const auto i = su::Matrix::identity(2);
+    EXPECT_EQ(m.multiply(i), m);
+    EXPECT_EQ(i.multiply(m), m);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+    su::Matrix a(2, 3), b(3, 2);
+    int k = 1;
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c) a(r, c) = k++;
+    k = 1;
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 2; ++c) b(r, c) = k++;
+    const auto p = a.multiply(b);
+    EXPECT_DOUBLE_EQ(p(0, 0), 22);
+    EXPECT_DOUBLE_EQ(p(0, 1), 28);
+    EXPECT_DOUBLE_EQ(p(1, 0), 49);
+    EXPECT_DOUBLE_EQ(p(1, 1), 64);
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+    su::Matrix a(2, 3), b(2, 3);
+    EXPECT_THROW(a.multiply(b), std::invalid_argument);
+    EXPECT_THROW(a.left_multiply(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, LeftAndRightVectorMultiply) {
+    su::Matrix m(2, 2);
+    m(0, 0) = 1;
+    m(0, 1) = 2;
+    m(1, 0) = 3;
+    m(1, 1) = 4;
+    const auto lv = m.left_multiply({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(lv[0], 4);
+    EXPECT_DOUBLE_EQ(lv[1], 6);
+    const auto rv = m.right_multiply({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(rv[0], 3);
+    EXPECT_DOUBLE_EQ(rv[1], 7);
+}
+
+TEST(Matrix, NormalizeRowsMakesStochasticWithFallback) {
+    su::Matrix m(2, 2);
+    m(0, 0) = 2;
+    m(0, 1) = 6;
+    // row 1 all zeros -> fallback column
+    m.normalize_rows(1);
+    EXPECT_TRUE(m.is_row_stochastic());
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.25);
+    EXPECT_DOUBLE_EQ(m(1, 1), 1.0);
+}
+
+TEST(Matrix, BlendIsElementwiseAffine) {
+    su::Matrix a(1, 2), b(1, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    b(0, 0) = 3;
+    b(0, 1) = 4;
+    const auto c = a.blend(0.25, b, 0.75);
+    EXPECT_DOUBLE_EQ(c(0, 0), 2.5);
+    EXPECT_DOUBLE_EQ(c(0, 1), 3.5);
+}
+
+TEST(MpscQueue, DrainReturnsInPushOrderAndEmpties) {
+    su::MpscQueue<int> q;
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.size(), 3u);
+    const auto items = q.drain();
+    EXPECT_EQ(items, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(MpscQueue, ConcurrentProducersLoseNothing) {
+    su::MpscQueue<int> q;
+    constexpr int kPerThread = 2000;
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&q, t] {
+            for (int i = 0; i < kPerThread; ++i) q.push(t * kPerThread + i);
+        });
+    std::vector<int> got;
+    while (got.size() < kPerThread * kThreads) {
+        for (int x : q.drain()) got.push_back(x);
+    }
+    for (auto& t : threads) t.join();
+    std::sort(got.begin(), got.end());
+    for (int i = 0; i < kPerThread * kThreads; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+    su::Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, SplitDecorrelatesChildren) {
+    su::Rng parent(1);
+    auto c1 = parent.split();
+    auto c2 = parent.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (c1.uniform_int(0, 1000) == c2.uniform_int(0, 1000)) ++same;
+    EXPECT_LT(same, 10);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+    su::Rng r(9);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniform_int(0, 3);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 3);
+        lo |= v == 0;
+        hi |= v == 3;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Assert, RequireAndCheckThrowDistinctTypes) {
+    EXPECT_THROW(SPECTRE_REQUIRE(false, "msg"), std::invalid_argument);
+    EXPECT_THROW(SPECTRE_CHECK(false, "msg"), std::logic_error);
+    EXPECT_NO_THROW(SPECTRE_REQUIRE(true, ""));
+}
