@@ -29,6 +29,8 @@ int main() {
         core::SplitterConfig scfg;
         scfg.instances = k;
         core::Splitter splitter(&store, &cq, scfg, harness::paper_markov(cq.min_length()));
+        // Batch replay: the materialized store is the whole input.
+        splitter.mark_input_complete();
 
         // Drive instances and splitter in lock-step (single-threaded, so the
         // timing isolates cycle cost); measure the time spent inside

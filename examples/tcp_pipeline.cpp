@@ -1,7 +1,9 @@
 // End-to-end pipeline in the paper's deployment shape (§4.1): a client
-// thread streams framed quote events over a loopback TCP connection; the
-// engine side materializes them into an event store and runs the parallel
-// SPECTRE runtime over the received stream.
+// thread streams framed quote events over a loopback TCP connection while the
+// engine side runs the parallel SPECTRE runtime *concurrently with
+// ingestion* — windows open as their start events arrive and detection
+// advances along the growing store frontier (ingest-while-detect, DESIGN.md
+// §6).
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -32,20 +34,21 @@ int main() {
         std::printf("client: sent %zu events\n", events.size());
     });
 
-    event::EventStore store;
-    const auto received = source.receive_into(store, vocab);
-    client.join();
-    std::printf("engine: received %zu events\n", received);
-
-    // Engine side: Q1 over the received stream.
+    // Engine side: Q1 detection starts immediately; events are appended to
+    // the shared store as their frames arrive and the splitter opens windows
+    // from the live frontier.
     const auto cq = detect::CompiledQuery::compile(
         queries::make_q1(vocab, queries::Q1Params{.q = 4, .ws = 200}));
     core::RuntimeConfig rt_cfg;
     rt_cfg.splitter.instances = 4;
+    event::EventStore store;
     core::SpectreRuntime runtime(
         &store, &cq, rt_cfg,
         std::make_unique<model::MarkovModel>(cq.min_length(), model::MarkovParams{}));
-    const auto result = runtime.run();
+    net::TcpStream stream(source, vocab);
+    const auto result = runtime.run(stream);
+    client.join();
+    std::printf("engine: ingested %zu events while detecting\n", store.size());
     std::printf("detected %zu complex events at %.0f events/s\n", result.output.size(),
                 result.throughput_eps);
     return 0;

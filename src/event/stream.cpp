@@ -11,11 +11,90 @@ std::optional<Event> VectorStream::next() {
     return events_[pos_++];
 }
 
+void LiveStream::push(Event e) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        SPECTRE_REQUIRE(!closed_, "push on a closed LiveStream");
+        queue_.push_back(e);
+    }
+    cv_.notify_one();
+}
+
+void LiveStream::push_all(const std::vector<Event>& events) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        SPECTRE_REQUIRE(!closed_, "push on a closed LiveStream");
+        queue_.insert(queue_.end(), events.begin(), events.end());
+    }
+    cv_.notify_one();
+}
+
+void LiveStream::close() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::optional<Event> LiveStream::next() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    Event e = queue_.front();
+    queue_.pop_front();
+    return e;
+}
+
+EventStore::EventStore()
+    : chunks_(std::make_unique<std::atomic<Event*>[]>(kMaxChunks)) {}
+
+EventStore::~EventStore() { free_chunks(); }
+
+void EventStore::free_chunks() noexcept {
+    if (!chunks_) return;
+    const std::size_t n = size_.load(std::memory_order_acquire);
+    const std::size_t used = (n + kChunkSize - 1) >> kChunkShift;
+    for (std::size_t i = 0; i < used; ++i) delete[] chunks_[i].load(std::memory_order_relaxed);
+}
+
+EventStore::EventStore(EventStore&& other) noexcept
+    : chunks_(std::move(other.chunks_)),
+      size_(other.size_.load(std::memory_order_relaxed)),
+      closed_(other.closed_.load(std::memory_order_relaxed)) {
+    other.chunks_ = std::make_unique<std::atomic<Event*>[]>(kMaxChunks);
+    other.size_.store(0, std::memory_order_relaxed);
+    other.closed_.store(false, std::memory_order_relaxed);
+}
+
+EventStore& EventStore::operator=(EventStore&& other) noexcept {
+    if (this == &other) return *this;
+    free_chunks();
+    chunks_ = std::move(other.chunks_);
+    size_.store(other.size_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    closed_.store(other.closed_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    other.chunks_ = std::make_unique<std::atomic<Event*>[]>(kMaxChunks);
+    other.size_.store(0, std::memory_order_relaxed);
+    other.closed_.store(false, std::memory_order_relaxed);
+    return *this;
+}
+
 Seq EventStore::append(Event e) {
-    const Seq seq = events_.size();
-    e.seq = seq;
-    events_.push_back(e);
-    return seq;
+    SPECTRE_REQUIRE(!closed(), "append on a closed EventStore");
+    const std::size_t n = size_.load(std::memory_order_relaxed);  // writer-owned
+    const std::size_t chunk_index = n >> kChunkShift;
+    SPECTRE_REQUIRE(chunk_index < kMaxChunks, "EventStore capacity exceeded");
+    Event* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+        chunk = new Event[kChunkSize];
+        chunks_[chunk_index].store(chunk, std::memory_order_relaxed);
+    }
+    e.seq = n;
+    chunk[n & (kChunkSize - 1)] = e;
+    // Release-publish the frontier: readers that acquire size() > n also see
+    // the chunk pointer and the event bytes written above.
+    size_.store(n + 1, std::memory_order_release);
+    return n;
 }
 
 void EventStore::append_all(EventStream& stream) {
@@ -23,13 +102,13 @@ void EventStore::append_all(EventStream& stream) {
 }
 
 const Event& EventStore::at(Seq seq) const {
-    SPECTRE_REQUIRE(seq < events_.size(), "event seq out of range");
-    return events_[seq];
+    SPECTRE_REQUIRE(seq < size(), "event seq out of range");
+    return slot(seq);
 }
 
-std::span<const Event> EventStore::range(Seq first, Seq last) const {
-    SPECTRE_REQUIRE(first <= last && last < events_.size(), "invalid event range");
-    return std::span<const Event>(events_).subspan(first, last - first + 1);
+EventRange EventStore::range(Seq first, Seq last) const {
+    SPECTRE_REQUIRE(first <= last && last < size(), "invalid event range");
+    return EventRange(this, first, last - first + 1);
 }
 
 }  // namespace spectre::event

@@ -1,15 +1,28 @@
 // Event stream abstractions.
 //
-// EventStream is a pull interface (next() until nullopt). The engines in this
-// repository materialize streams into an EventStore first: windows are ranges
-// over the store, operator instances address events by position, and the
-// consumption bookkeeping addresses them by seq — exactly the shared-memory
-// layout sketched in Fig. 2 ("events / windows" both live in shared memory).
+// EventStream is a pull interface (next() until nullopt); LiveStream is the
+// push-based counterpart that bridges a producer thread (socket reader,
+// generator) to a pulling consumer. The engines address events through an
+// EventStore: windows are ranges over the store, operator instances address
+// events by position, and the consumption bookkeeping addresses them by seq —
+// the shared-memory layout sketched in Fig. 2 ("events / windows" both live
+// in shared memory).
+//
+// The store is an ingestion *frontier*, not a finished batch: one writer
+// appends while detection is already running. Engines read `size()` (the
+// frontier) to learn how far the stream has arrived and `closed()` to learn
+// that it ended; events below the frontier are immutable and their addresses
+// are stable forever. Batch replay is just the special case where the whole
+// stream is appended before the engines start.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <span>
 #include <vector>
 
 #include "event/event.hpp"
@@ -34,27 +47,137 @@ private:
     std::size_t pos_ = 0;
 };
 
-// Append-only store of the operator's in-order input; shared (read-only) by
-// all operator instances. Position in the store == index; Event::seq is
-// assigned densely on append, so store[e.seq] == e.
+// Push-based live stream: a producer thread pushes events (decoded from a
+// socket, generated on the fly); next() blocks until an event is available or
+// the producer closes the stream. This is the glue between "events arrive"
+// and the pull-based ingestion loops.
+class LiveStream final : public EventStream {
+public:
+    void push(Event e);
+    void push_all(const std::vector<Event>& events);
+    // Signals end-of-stream; next() returns nullopt once the queue drains.
+    void close();
+
+    std::optional<Event> next() override;
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Event> queue_;
+    bool closed_ = false;
+};
+
+class EventStore;
+
+// Read-only view of a contiguous seq range [first, last] of a store. Unlike a
+// span, it stays valid across concurrent append() — elements are addressed
+// through the store's chunk directory, never through a raw array.
+class EventRange {
+public:
+    EventRange(const EventStore* store, Seq first, std::size_t count)
+        : store_(store), first_(first), count_(count) {}
+
+    std::size_t size() const noexcept { return count_; }
+    bool empty() const noexcept { return count_ == 0; }
+    const Event& operator[](std::size_t i) const;
+    const Event& front() const { return (*this)[0]; }
+    const Event& back() const { return (*this)[count_ - 1]; }
+
+    class iterator {
+    public:
+        using value_type = Event;
+        using reference = const Event&;
+        using difference_type = std::ptrdiff_t;
+
+        iterator(const EventRange* range, std::size_t i) : range_(range), i_(i) {}
+        reference operator*() const { return (*range_)[i_]; }
+        iterator& operator++() {
+            ++i_;
+            return *this;
+        }
+        bool operator==(const iterator& o) const { return i_ == o.i_; }
+        bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+    private:
+        const EventRange* range_;
+        std::size_t i_;
+    };
+
+    iterator begin() const { return iterator(this, 0); }
+    iterator end() const { return iterator(this, count_); }
+
+private:
+    const EventStore* store_;
+    Seq first_;
+    std::size_t count_;
+};
+
+// Append-only store of the operator's in-order input; written by exactly one
+// ingestion thread and read concurrently by the splitter and all operator
+// instances. Position in the store == index; Event::seq is assigned densely
+// on append, so store[e.seq] == e.
+//
+// Concurrency contract (single writer, many readers, no locks):
+//   * storage is chunked — append() never moves an already-published event,
+//     so `&at(seq)` is stable for the lifetime of the store;
+//   * `size()` is the atomic arrival frontier, published with release
+//     ordering after the event bytes are written: a reader that observes
+//     size() > seq may freely read at(seq)/range() up to that frontier;
+//   * `close()` publishes end-of-stream; once a reader observes closed(),
+//     the next size() it reads is the stream's final length.
 class EventStore {
 public:
+    // 4096-event chunks; the fixed chunk directory caps one store at
+    // kMaxChunks * kChunkSize (~134M) events — plenty above the paper's
+    // largest replayed day, and loud (SPECTRE_REQUIRE) when exceeded.
+    static constexpr std::size_t kChunkShift = 12;
+    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+    static constexpr std::size_t kMaxChunks = std::size_t{1} << 15;
+
+    EventStore();
+    ~EventStore();
+
+    EventStore(EventStore&& other) noexcept;
+    EventStore& operator=(EventStore&& other) noexcept;
+    EventStore(const EventStore&) = delete;
+    EventStore& operator=(const EventStore&) = delete;
+
     // Appends, overwriting `e.seq` with the store position. Returns the seq.
+    // Writer-side only; must not be called after close().
     Seq append(Event e);
 
     // Drains an entire stream into the store.
     void append_all(EventStream& stream);
 
-    const Event& at(Seq seq) const;
-    std::size_t size() const noexcept { return events_.size(); }
-    bool empty() const noexcept { return events_.empty(); }
+    // Writer-side: publishes end-of-stream. No append() may follow.
+    void close() noexcept { closed_.store(true, std::memory_order_release); }
+    bool closed() const noexcept { return closed_.load(std::memory_order_acquire); }
 
-    // Contiguous range [first, last] inclusive; used for window extents.
-    std::span<const Event> range(Seq first, Seq last) const;
-    std::span<const Event> all() const noexcept { return events_; }
+    const Event& at(Seq seq) const;
+    // Arrival frontier: number of events published so far.
+    std::size_t size() const noexcept { return size_.load(std::memory_order_acquire); }
+    bool empty() const noexcept { return size() == 0; }
+
+    // Range [first, last] inclusive; valid across concurrent append().
+    EventRange range(Seq first, Seq last) const;
 
 private:
-    std::vector<Event> events_;
+    friend class EventRange;
+    const Event& slot(Seq seq) const noexcept {
+        // Safe after a bounds check against size(): the acquire load of the
+        // frontier ordered this chunk pointer and the event bytes.
+        return chunks_[seq >> kChunkShift].load(std::memory_order_relaxed)
+            [seq & (kChunkSize - 1)];
+    }
+    void free_chunks() noexcept;
+
+    std::unique_ptr<std::atomic<Event*>[]> chunks_;
+    std::atomic<std::size_t> size_{0};
+    std::atomic<bool> closed_{false};
 };
+
+inline const Event& EventRange::operator[](std::size_t i) const {
+    return store_->slot(first_ + i);
+}
 
 }  // namespace spectre::event

@@ -109,4 +109,65 @@ void print_header(const std::string& experiment_id, const std::string& descripti
     std::printf("\n=== %s — %s ===\n", experiment_id.c_str(), description.c_str());
 }
 
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+JsonLine::JsonLine(const std::string& experiment_id) {
+    raw("experiment", '"' + json_escape(experiment_id) + '"');
+}
+
+void JsonLine::raw(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"' + json_escape(key) + "\":" + rendered;
+}
+
+JsonLine& JsonLine::field(const std::string& key, const std::string& value) {
+    raw(key, '"' + json_escape(value) + '"');
+    return *this;
+}
+
+JsonLine& JsonLine::field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    raw(key, buf);
+    return *this;
+}
+
+JsonLine& JsonLine::field(const std::string& key, std::uint64_t value) {
+    raw(key, std::to_string(value));
+    return *this;
+}
+
+JsonLine& JsonLine::field(const std::string& key, int value) {
+    raw(key, std::to_string(value));
+    return *this;
+}
+
+std::string JsonLine::str() const { return '{' + body_ + '}'; }
+
+void JsonLine::print() const { std::printf("%s\n", str().c_str()); }
+
 }  // namespace spectre::harness

@@ -67,4 +67,23 @@ std::string fmt_candle(const std::vector<double>& samples);
 
 void print_header(const std::string& experiment_id, const std::string& description);
 
+// Machine-readable results: one JSON object per result row ("JSON Lines"),
+// printed alongside the human tables so scripts can scrape bench output
+// without parsing column widths. Every line carries the experiment id:
+//   {"experiment":"E-stream","mode":"ingest_while_detect","k":4,"eps":12345.6}
+class JsonLine {
+public:
+    explicit JsonLine(const std::string& experiment_id);
+    JsonLine& field(const std::string& key, const std::string& value);
+    JsonLine& field(const std::string& key, double value);
+    JsonLine& field(const std::string& key, std::uint64_t value);
+    JsonLine& field(const std::string& key, int value);
+    std::string str() const;  // the complete {...} object
+    void print() const;       // str() + newline to stdout
+
+private:
+    void raw(const std::string& key, const std::string& rendered);
+    std::string body_;
+};
+
 }  // namespace spectre::harness

@@ -43,35 +43,50 @@ TcpSource::~TcpSource() {
     if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
-std::size_t TcpSource::receive_into(event::EventStore& store,
-                                    const data::StockVocab& vocab) {
+int TcpSource::accept_client() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) fail("accept");
+    return fd;
+}
 
-    std::vector<std::uint8_t> buffer;
-    std::size_t offset = 0;
+std::size_t TcpSource::receive_into(event::EventStore& store,
+                                    const data::StockVocab& vocab) {
+    TcpStream stream(*this, vocab);
     std::size_t received = 0;
+    while (auto e = stream.next()) {
+        store.append(*e);
+        ++received;
+    }
+    return received;
+}
+
+TcpStream::TcpStream(TcpSource& source, const data::StockVocab& vocab)
+    : fd_(source.accept_client()), vocab_(&vocab) {}
+
+TcpStream::~TcpStream() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<event::Event> TcpStream::next() {
+    if (fd_ < 0) return std::nullopt;  // already at end-of-stream
     std::uint8_t chunk[4096];
     for (;;) {
-        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-        if (n < 0) {
-            ::close(fd);
-            fail("read");
-        }
-        if (n == 0) break;  // client closed
-        buffer.insert(buffer.end(), chunk, chunk + n);
-        while (auto q = decode(buffer, offset)) {
-            store.append(from_wire(*q, vocab));
-            ++received;
-        }
+        if (auto q = decode(buffer_, offset_)) return from_wire(*q, *vocab_);
         // Compact consumed bytes occasionally so the buffer stays small.
-        if (offset > 1 << 16) {
-            buffer.erase(buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(offset));
-            offset = 0;
+        if (offset_ > 1 << 16) {
+            buffer_.erase(buffer_.begin(),
+                          buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+            offset_ = 0;
         }
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0) fail("read");
+        if (n == 0) {  // client closed; any trailing partial frame is dropped
+            ::close(fd_);
+            fd_ = -1;
+            return std::nullopt;
+        }
+        buffer_.insert(buffer_.end(), chunk, chunk + n);
     }
-    ::close(fd);
-    return received;
 }
 
 TcpClient::TcpClient(const std::string& host, std::uint16_t port) {

@@ -2,13 +2,17 @@
 // paper's deployment: a client streams events from a file / generator to the
 // engine over a TCP connection (§4.1).
 //
-//   TcpSource — listens on a port, accepts one client, and drains its framed
-//               events into an EventStore.
+//   TcpSource — listens on a port and accepts one client.
+//   TcpStream — pull-based EventStream over the accepted connection: yields
+//               each event as its frame arrives, so the engines detect while
+//               the client is still sending (ingest-while-detect, DESIGN.md
+//               §6). Feed it to SpectreRuntime::run(EventStream&) or
+//               SequentialEngine::run_stream().
 //   TcpClient — connects and sends events.
 //
-// Blocking one-connection design: ingestion is materialize-then-process in
-// this repository (DESIGN.md §5), so the source simply reads to end-of-stream
-// before the engines start.
+// Blocking one-connection design: the receive path decodes frames
+// incrementally from the socket buffer; receive_into remains as the batch
+// convenience that drains the connection to end-of-stream before returning.
 #pragma once
 
 #include <cstdint>
@@ -31,13 +35,39 @@ public:
 
     std::uint16_t port() const noexcept { return port_; }
 
-    // Accepts one client and appends every received event to `store` until
-    // the client closes. Returns the number of events received.
+    // Blocks until a client connects; returns the connected fd (caller owns).
+    int accept_client();
+
+    // Batch convenience: accepts one client and appends every received event
+    // to `store` until the client closes. Returns the number of events
+    // received. Does not close() the store — the caller decides whether this
+    // was the whole input.
     std::size_t receive_into(event::EventStore& store, const data::StockVocab& vocab);
 
 private:
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
+};
+
+// Live ingestion: one accepted connection exposed as a pull EventStream.
+// next() blocks until a full frame is buffered and returns the decoded
+// event; returns nullopt when the client closes the connection.
+class TcpStream final : public event::EventStream {
+public:
+    // Blocks in accept() until the client connects.
+    TcpStream(TcpSource& source, const data::StockVocab& vocab);
+    ~TcpStream();
+
+    TcpStream(const TcpStream&) = delete;
+    TcpStream& operator=(const TcpStream&) = delete;
+
+    std::optional<event::Event> next() override;
+
+private:
+    int fd_ = -1;
+    const data::StockVocab* vocab_;
+    std::vector<std::uint8_t> buffer_;
+    std::size_t offset_ = 0;
 };
 
 class TcpClient {

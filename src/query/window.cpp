@@ -62,69 +62,108 @@ WindowSpec WindowSpec::predicate_open_time(Expr open_pred, event::Timestamp dura
     return w;
 }
 
-namespace {
+WindowAssigner::WindowAssigner(const WindowSpec& spec) : spec_(spec) { spec_.validate(); }
 
-// Last position whose timestamp is still within [ts(first), ts(first)+dur).
-event::Seq time_extent_end(const event::EventStore& store, event::Seq first,
-                           event::Timestamp dur) {
-    const event::Timestamp limit = store.at(first).ts + dur;
-    event::Seq last = first;
-    while (last + 1 < store.size() && store.at(last + 1).ts < limit) ++last;
-    return last;
-}
+std::size_t WindowAssigner::poll(const event::EventStore& store, event::Seq frontier,
+                                 bool closed, std::vector<WindowInfo>& out) {
+    if (exhausted_) return 0;
+    const std::size_t before = out.size();
 
-}  // namespace
-
-std::vector<WindowInfo> assign_windows(const event::EventStore& store, const WindowSpec& spec) {
-    spec.validate();
-    std::vector<WindowInfo> out;
-    if (store.empty()) return out;
-    const event::Seq n = store.size();
-
-    switch (spec.kind) {
+    switch (spec_.kind) {
         case WindowKind::SlidingCount: {
-            for (event::Seq start = 0; start < n; start += spec.slide) {
-                WindowInfo w;
-                w.id = out.size();
-                w.first = start;
-                w.last = std::min<event::Seq>(start + spec.size - 1, n - 1);
-                out.push_back(w);
+            // A window exists at every slide-multiple start that has arrived.
+            while (next_start_ < frontier) {
+                out.push_back({next_id_++, next_start_, next_start_ + spec_.size - 1});
+                next_start_ += spec_.slide;
             }
+            if (closed) exhausted_ = true;
             break;
         }
         case WindowKind::SlidingTime: {
-            const event::Timestamp t0 = store.at(0).ts;
-            const event::Timestamp t_end = store.at(n - 1).ts;
-            event::Seq first = 0;
-            for (event::Timestamp start = t0; start <= t_end; start += spec.time_slide) {
-                while (first < n && store.at(first).ts < start) ++first;
-                if (first >= n) break;
-                event::Seq last = first;
-                while (last + 1 < n && store.at(last + 1).ts < start + spec.duration) ++last;
-                WindowInfo w;
-                w.id = out.size();
-                w.first = first;
-                w.last = last;
-                out.push_back(w);
+            if (!have_origin_) {
+                if (frontier == 0) {
+                    if (closed) exhausted_ = true;
+                    break;
+                }
+                next_start_ts_ = store.at(0).ts;
+                have_origin_ = true;
+            }
+            for (;;) {
+                // First event of the window being determined.
+                while (time_first_ < frontier && store.at(time_first_).ts < next_start_ts_)
+                    ++time_first_;
+                if (time_first_ >= frontier) {
+                    // No event at/after this start has arrived. If the stream
+                    // closed none ever will: enumeration is over.
+                    if (closed) exhausted_ = true;
+                    break;
+                }
+                if (!time_last_valid_) {
+                    time_last_ = time_first_;
+                    time_last_valid_ = true;
+                }
+                const event::Timestamp limit = next_start_ts_ + spec_.duration;
+                while (time_last_ + 1 < frontier && store.at(time_last_ + 1).ts < limit)
+                    ++time_last_;
+                const bool end_known =
+                    closed || (time_last_ + 1 < frontier &&
+                               store.at(time_last_ + 1).ts >= limit);
+                if (!end_known) break;  // wait for the closing event
+                out.push_back({next_id_++, time_first_, time_last_});
+                next_start_ts_ += spec_.time_slide;
+                time_last_valid_ = false;
             }
             break;
         }
         case WindowKind::PredicateOpen: {
-            for (event::Seq pos = 0; pos < n; ++pos) {
-                const event::Event& e = store.at(pos);
+            while (scan_ < frontier) {
+                const event::Event& e = store.at(scan_);
                 EvalContext ctx;
                 ctx.current = &e;
-                if (!eval_bool(spec.open_pred, ctx)) continue;
-                WindowInfo w;
-                w.id = out.size();
-                w.first = pos;
-                w.last = spec.extent == ExtentKind::Count
-                             ? std::min<event::Seq>(pos + spec.size - 1, n - 1)
-                             : time_extent_end(store, pos, spec.duration);
-                out.push_back(w);
+                if (eval_bool(spec_.open_pred, ctx)) {
+                    if (spec_.extent == ExtentKind::Count)
+                        out.push_back({next_id_++, scan_, scan_ + spec_.size - 1});
+                    else
+                        pending_starts_.push_back(scan_);
+                }
+                ++scan_;
             }
+            // Time-extent windows finalize in start order: with nondecreasing
+            // timestamps their closing positions are monotone too.
+            while (!pending_starts_.empty()) {
+                const event::Seq first = pending_starts_.front();
+                if (!pending_last_valid_) {
+                    pending_last_ = first;
+                    pending_last_valid_ = true;
+                }
+                const event::Timestamp limit = store.at(first).ts + spec_.duration;
+                while (pending_last_ + 1 < frontier &&
+                       store.at(pending_last_ + 1).ts < limit)
+                    ++pending_last_;
+                const bool end_known =
+                    closed || (pending_last_ + 1 < frontier &&
+                               store.at(pending_last_ + 1).ts >= limit);
+                if (!end_known) break;
+                out.push_back({next_id_++, first, pending_last_});
+                pending_starts_.pop_front();
+                pending_last_valid_ = false;
+            }
+            if (closed && pending_starts_.empty()) exhausted_ = true;
             break;
         }
+    }
+    return out.size() - before;
+}
+
+std::vector<WindowInfo> assign_windows(const event::EventStore& store, const WindowSpec& spec) {
+    std::vector<WindowInfo> out;
+    WindowAssigner assigner(spec);
+    assigner.poll(store, store.size(), /*closed=*/true, out);
+    // Batch callers iterate [first, last] directly; clamp count-extent bounds
+    // that reach past the end of the store.
+    if (!out.empty()) {
+        const event::Seq max_last = store.size() - 1;
+        for (auto& w : out) w.last = std::min(w.last, max_last);
     }
     return out;
 }

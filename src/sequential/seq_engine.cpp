@@ -1,5 +1,6 @@
 #include "sequential/seq_engine.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "util/assert.hpp"
@@ -10,47 +11,88 @@ SequentialEngine::SequentialEngine(const detect::CompiledQuery* cq) : cq_(cq) {
     SPECTRE_REQUIRE(cq != nullptr, "SequentialEngine needs a compiled query");
 }
 
-SeqResult SequentialEngine::run(const event::EventStore& store) const {
-    SeqResult result;
-    const auto windows = query::assign_windows(store, cq_->query().window);
-    result.stats.windows = windows.size();
-
+// Incremental sequential pass: windows are discovered from the arrival
+// frontier and each is processed once the frontier covers it (or the stream
+// closed — the end-of-stream clamp for trailing extent bounds).
+struct SequentialEngine::Pass {
+    const detect::CompiledQuery* cq;
+    const event::EventStore& store;
+    query::WindowAssigner assigner;
+    std::vector<query::WindowInfo> windows;
+    std::size_t next = 0;
     std::unordered_set<event::Seq> consumed;  // global, across windows
-    detect::Detector detector(cq_);
+    detect::Detector detector;
     detect::Feedback fb;
+    SeqResult result;
 
-    for (const auto& w : windows) {
-        detector.begin_window(w);
-        for (event::Seq pos = w.first; pos <= w.last; ++pos) {
-            if (consumed.count(pos)) {
-                ++result.stats.events_suppressed;
-                continue;
+    Pass(const detect::CompiledQuery* cq_in, const event::EventStore& store_in)
+        : cq(cq_in), store(store_in), assigner(cq_in->query().window), detector(cq_in) {}
+
+    void drain(event::Seq frontier, bool closed) {
+        assigner.poll(store, frontier, closed, windows);
+        while (next < windows.size()) {
+            const auto& w = windows[next];
+            // Sequential semantics process a window to completion before the
+            // next one starts, so it must have fully arrived (its extent
+            // bound may reach past a closed stream's end).
+            if (!closed && w.last >= frontier) break;
+            const event::Seq end = std::min<event::Seq>(w.last, frontier - 1);
+            detector.begin_window(w);
+            for (event::Seq pos = w.first; pos <= end; ++pos) {
+                if (consumed.count(pos)) {
+                    ++result.stats.events_suppressed;
+                    continue;
+                }
+                fb.clear();
+                detector.on_event(store.at(pos), fb);
+                ++result.stats.events_processed;
+
+                for (const auto& c : fb.created)
+                    if (c.consumable) ++result.stats.groups_created;
+                for (const auto& a : fb.abandoned) {
+                    (void)a;
+                    if (cq->consumes_anything()) ++result.stats.groups_abandoned;
+                }
+                for (auto& done : fb.completed) {
+                    if (cq->consumes_anything()) ++result.stats.groups_completed;
+                    for (const auto seq : done.consumed) consumed.insert(seq);
+                    result.complex_events.push_back(std::move(done.complex_event));
+                    ++result.stats.complex_events;
+                }
             }
             fb.clear();
-            detector.on_event(store.at(pos), fb);
-            ++result.stats.events_processed;
-
-            for (const auto& c : fb.created)
-                if (c.consumable) ++result.stats.groups_created;
+            detector.end_window(fb);
             for (const auto& a : fb.abandoned) {
                 (void)a;
-                if (cq_->consumes_anything()) ++result.stats.groups_abandoned;
+                if (cq->consumes_anything()) ++result.stats.groups_abandoned;
             }
-            for (auto& done : fb.completed) {
-                if (cq_->consumes_anything()) ++result.stats.groups_completed;
-                for (const auto seq : done.consumed) consumed.insert(seq);
-                result.complex_events.push_back(std::move(done.complex_event));
-                ++result.stats.complex_events;
-            }
-        }
-        fb.clear();
-        detector.end_window(fb);
-        for (const auto& a : fb.abandoned) {
-            (void)a;
-            if (cq_->consumes_anything()) ++result.stats.groups_abandoned;
+            ++next;
         }
     }
-    return result;
+
+    SeqResult finish() {
+        result.stats.windows = windows.size();
+        return std::move(result);
+    }
+};
+
+SeqResult SequentialEngine::run(const event::EventStore& store) const {
+    Pass pass(cq_, store);
+    pass.drain(store.size(), /*closed=*/true);
+    return pass.finish();
+}
+
+SeqResult SequentialEngine::run_stream(event::EventStream& live,
+                                       event::EventStore& store) const {
+    SPECTRE_REQUIRE(!store.closed(), "run_stream needs an open store");
+    Pass pass(cq_, store);
+    while (auto e = live.next()) {
+        store.append(*e);
+        pass.drain(store.size(), /*closed=*/false);
+    }
+    store.close();
+    pass.drain(store.size(), /*closed=*/true);
+    return pass.finish();
 }
 
 }  // namespace spectre::sequential

@@ -7,6 +7,12 @@
 // therefore the ground truth SPECTRE must reproduce exactly — the
 // integration tests compare complex-event streams wholesale.
 //
+// Windows are enumerated through the same arrival-driven WindowAssigner the
+// SPECTRE splitter uses (DESIGN.md §6), so batch replay (run) and live
+// ingestion (run_stream, which appends arriving events into the store and
+// processes each window as soon as it has fully arrived) produce the same
+// byte-identical output by construction.
+//
 // The engine also records the statistics the paper derives from a sequential
 // pass: the ground-truth consumption-group completion probability
 // (#completed / #created, Fig. 10(d)/(e)) and per-event δ transition counts
@@ -47,11 +53,19 @@ class SequentialEngine {
 public:
     explicit SequentialEngine(const detect::CompiledQuery* cq);
 
-    // Runs the full pass over `store`. Windows are assigned from the query's
-    // window spec; consumption state starts empty.
+    // Runs the full pass over `store`, treating its contents as the whole
+    // input. Windows are assigned from the query's window spec; consumption
+    // state starts empty.
     SeqResult run(const event::EventStore& store) const;
 
+    // Ingest-while-detect: drains `live` into `store` (which must be open and
+    // is closed at end-of-stream), processing each window as soon as its
+    // events have arrived. Output is byte-identical to run() over the final
+    // store contents.
+    SeqResult run_stream(event::EventStream& live, event::EventStore& store) const;
+
 private:
+    struct Pass;
     const detect::CompiledQuery* cq_;
 };
 

@@ -12,11 +12,14 @@ constexpr std::uint64_t kIdStride = 1u << 20;
 
 OperatorInstance::OperatorInstance(int index, const event::EventStore* store,
                                    const detect::CompiledQuery* cq, UpdateQueue* updates,
+                                   const std::atomic<bool>* input_complete,
                                    InstanceConfig config)
-    : index_(index), store_(store), cq_(cq), updates_(updates), config_(config),
+    : index_(index), store_(store), cq_(cq), updates_(updates),
+      input_complete_(input_complete), config_(config),
       next_cg_id_(static_cast<std::uint64_t>(index) * kIdStride + 1) {
-    SPECTRE_REQUIRE(store != nullptr && cq != nullptr && updates != nullptr,
-                    "OperatorInstance needs store, query and update queue");
+    SPECTRE_REQUIRE(store != nullptr && cq != nullptr && updates != nullptr &&
+                        input_complete != nullptr,
+                    "OperatorInstance needs store, query, update queue and input flag");
     SPECTRE_REQUIRE(config.consistency_check_freq >= 1,
                     "consistency_check_freq must be >= 1");
 }
@@ -189,6 +192,11 @@ std::size_t OperatorInstance::run_batch(std::size_t max_events) {
     auto& st = wv->processing();
     std::size_t advanced = 0;
 
+    // Read the completion latch *before* the frontier: if it reads true, the
+    // frontier read below is the stream's final length (DESIGN.md §6).
+    const bool complete = input_complete_->load(std::memory_order_acquire);
+    const event::Seq frontier = store_->size();
+
     while (advanced < max_events) {
         if (wv->dropped()) break;
         if (st.next_offset >= wv->window().length()) {
@@ -196,6 +204,14 @@ std::size_t OperatorInstance::run_batch(std::size_t max_events) {
             break;
         }
         const event::Seq seq = wv->window().first + st.next_offset;
+        if (seq >= frontier) {
+            // The next window position has not arrived yet. On a complete
+            // input it never will — the window's extent bound reaches past
+            // end-of-stream, so it finishes here (the batch engines' clamp);
+            // on a live input, stall until the frontier advances.
+            if (complete) finish_window(*wv);
+            break;
+        }
         if (is_suppressed(*wv, seq)) {
             ++stats_.events_suppressed;
         } else {

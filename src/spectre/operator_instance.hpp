@@ -6,12 +6,18 @@
 // periodic consistency check, rolling the version back to the window start
 // when a suppressed group gained an event this version already processed.
 //
+// Instances read the store only up to its ingestion frontier (DESIGN.md §6):
+// a batch stalls when the next window position has not arrived yet, and a
+// trailing window whose extent reaches past a completed input finishes at
+// end-of-stream.
+//
 // The class is runtime-agnostic: the threaded runtime calls run_batch() from
 // a dedicated thread, the simulated runtime calls it inline under a virtual
 // clock. All cross-thread communication goes through the assignment slot
-// (mutex) and the splitter's update queue.
+// (mutex), the store's frontier, and the splitter's update queue.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 
@@ -36,9 +42,11 @@ struct InstanceStats {
 
 class OperatorInstance {
 public:
+    // `input_complete` is the splitter's end-of-input latch: once it reads
+    // true, the store's frontier is the stream's final length.
     OperatorInstance(int index, const event::EventStore* store,
                      const detect::CompiledQuery* cq, UpdateQueue* updates,
-                     InstanceConfig config);
+                     const std::atomic<bool>* input_complete, InstanceConfig config);
 
     int index() const noexcept { return index_; }
 
@@ -66,6 +74,7 @@ private:
     const event::EventStore* store_;
     const detect::CompiledQuery* cq_;
     UpdateQueue* updates_;
+    const std::atomic<bool>* input_complete_;
     const InstanceConfig config_;
 
     mutable std::mutex slot_mutex_;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "util/assert.hpp"
+
 namespace spectre::core {
 
 SpectreRuntime::SpectreRuntime(const event::EventStore* store,
@@ -12,7 +14,15 @@ SpectreRuntime::SpectreRuntime(const event::EventStore* store,
     : store_(store), config_(config),
       splitter_(store, cq, config.splitter, std::move(model)) {}
 
-RunResult SpectreRuntime::run() {
+SpectreRuntime::SpectreRuntime(event::EventStore* store, const detect::CompiledQuery* cq,
+                               RuntimeConfig config,
+                               std::unique_ptr<model::CompletionModel> model)
+    : SpectreRuntime(static_cast<const event::EventStore*>(store), cq, config,
+                     std::move(model)) {
+    mutable_store_ = store;
+}
+
+RunResult SpectreRuntime::run_threads() {
     std::atomic<bool> stop{false};
     std::vector<std::thread> workers;
     workers.reserve(splitter_.instances().size());
@@ -23,8 +33,9 @@ RunResult SpectreRuntime::run() {
         workers.emplace_back([&stop, inst = inst.get(), batch = config_.batch_events] {
             while (!stop.load(std::memory_order_acquire)) {
                 if (inst->run_batch(batch) == 0) {
-                    // Idle: no assignment or version busy elsewhere — yield
-                    // instead of spinning hot on small machines.
+                    // Idle: no assignment, version busy elsewhere, or stalled
+                    // at the ingestion frontier — yield instead of spinning
+                    // hot on small machines.
                     std::this_thread::yield();
                 }
             }
@@ -48,6 +59,36 @@ RunResult SpectreRuntime::run() {
     result.throughput_eps =
         result.wall_seconds > 0 ? static_cast<double>(store_->size()) / result.wall_seconds
                                 : 0.0;
+    return result;
+}
+
+RunResult SpectreRuntime::run() {
+    splitter_.mark_input_complete();
+    return run_threads();
+}
+
+RunResult SpectreRuntime::run(event::EventStream& live) {
+    SPECTRE_REQUIRE(mutable_store_ != nullptr,
+                    "streaming run needs the mutable-store constructor");
+    SPECTRE_REQUIRE(!splitter_.input_complete() && !mutable_store_->closed(),
+                    "streaming run needs an open store");
+    // Feeder thread: the paper's ingestion path — events are appended to the
+    // shared store as they arrive; detection is already running against the
+    // advancing frontier. A source failure (e.g. a reset TCP connection) must
+    // still close the store — otherwise the detection loop would wait for a
+    // frontier that never completes — and then surface to the caller.
+    std::exception_ptr feed_error;
+    std::thread feeder([this, &live, &feed_error] {
+        try {
+            while (auto e = live.next()) mutable_store_->append(*e);
+        } catch (...) {
+            feed_error = std::current_exception();
+        }
+        mutable_store_->close();
+    });
+    RunResult result = run_threads();
+    feeder.join();
+    if (feed_error) std::rethrow_exception(feed_error);
     return result;
 }
 

@@ -2,7 +2,14 @@
 // pinned to the splitter, k threads pinned to operator instances, all over
 // shared memory).
 //
-// run() blocks until the whole store is processed and returns the emitted
+// Two entry points:
+//   * run() — batch replay over an already-materialized store;
+//   * run(EventStream&) — ingest-while-detect (§4.1's deployment shape): a
+//     feeder thread drains the stream into the store while the splitter and
+//     operator instances are already detecting over the growing frontier;
+//     terminates at end-of-stream + quiescence.
+//
+// Both block until the whole input is processed and return the emitted
 // complex events — byte-identical, including order, to the sequential
 // engine's output (the framework's correctness goal, §2.3).
 #pragma once
@@ -30,13 +37,27 @@ struct RunResult {
 
 class SpectreRuntime {
 public:
+    // Batch-only runtime over a materialized (read-only) store.
     SpectreRuntime(const event::EventStore* store, const detect::CompiledQuery* cq,
                    RuntimeConfig config, std::unique_ptr<model::CompletionModel> model);
 
+    // Streaming-capable runtime: `store` is the ingestion sink the feeder
+    // thread appends into during run(EventStream&). Batch run() works too.
+    SpectreRuntime(event::EventStore* store, const detect::CompiledQuery* cq,
+                   RuntimeConfig config, std::unique_ptr<model::CompletionModel> model);
+
+    // Batch replay: treats the store's current contents as the whole input.
     RunResult run();
 
+    // Ingest-while-detect: consumes `live` into the store concurrently with
+    // detection; returns after end-of-stream once all windows retired.
+    RunResult run(event::EventStream& live);
+
 private:
+    RunResult run_threads();
+
     const event::EventStore* store_;
+    event::EventStore* mutable_store_ = nullptr;  // set by the streaming ctor
     RuntimeConfig config_;
     Splitter splitter_;
 };

@@ -23,6 +23,9 @@ double SimRuntime::contention_factor(int threads, int physical_cores, double ht_
 }
 
 SimResult SimRuntime::run() {
+    // The simulator replays a materialized store under virtual time; declare
+    // it complete so trailing windows clamp at its end (DESIGN.md §6).
+    splitter_.mark_input_complete();
     const int k = static_cast<int>(splitter_.instances().size());
 
     // Virtual clocks: actor 0 is the splitter, actors 1..k the instances.

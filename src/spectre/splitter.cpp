@@ -15,6 +15,13 @@ bool trace_enabled() {
 }
 // Splitter-side batch-lock holder id (clone + final validation paths).
 constexpr int kSplitterOwner = 1 << 30;
+
+// Validates `cq` before any member initializer dereferences it (the window
+// assigner is constructed before the constructor body's checks run).
+const spectre::query::WindowSpec& window_spec_of(const spectre::detect::CompiledQuery* cq) {
+    SPECTRE_REQUIRE(cq != nullptr, "Splitter needs store and query");
+    return cq->query().window;
+}
 }  // namespace
 
 namespace spectre::core {
@@ -22,6 +29,7 @@ namespace spectre::core {
 Splitter::Splitter(const event::EventStore* store, const detect::CompiledQuery* cq,
                    SplitterConfig config, std::unique_ptr<model::CompletionModel> model)
     : store_(store), cq_(cq), config_(std::move(config)), model_(std::move(model)),
+      assigner_(window_spec_of(cq)),
       tree_([this](const query::WindowInfo& w, std::vector<CgPtr> suppressed) {
           return std::make_shared<WindowVersion>(next_version_id_++, w, cq_,
                                                  std::move(suppressed));
@@ -30,17 +38,10 @@ Splitter::Splitter(const event::EventStore* store, const detect::CompiledQuery* 
     SPECTRE_REQUIRE(model_ != nullptr, "Splitter needs a completion model");
     SPECTRE_REQUIRE(config_.instances >= 1, "need at least one operator instance");
 
-    windows_ = query::assign_windows(*store_, cq_->query().window);
-    // The dependency definition requires window ends monotone in starts
-    // (DESIGN.md §5); all our window kinds satisfy it, assert anyway.
-    for (std::size_t i = 1; i < windows_.size(); ++i)
-        SPECTRE_CHECK(windows_[i].last >= windows_[i - 1].last &&
-                          windows_[i].first >= windows_[i - 1].first,
-                      "window ends must be monotone in starts");
-
     instances_.reserve(static_cast<std::size_t>(config_.instances));
     for (int i = 0; i < config_.instances; ++i)
         instances_.push_back(std::make_unique<OperatorInstance>(i, store_, cq_, &updates_,
+                                                                &input_complete_,
                                                                 config_.instance));
     tree_.set_clone_factory(
         [this](const query::WindowInfo& w, std::vector<CgPtr> suppressed,
@@ -49,7 +50,6 @@ Splitter::Splitter(const event::EventStore* store, const detect::CompiledQuery* 
             return make_clone(w, std::move(suppressed), src, cg_map, allow_pending);
         });
     tree_.set_collapse_threshold(config_.collapse_threshold);
-    done_ = windows_.empty();
 }
 
 WvPtr Splitter::make_clone(const query::WindowInfo& w, std::vector<CgPtr> suppressed,
@@ -277,6 +277,23 @@ void Splitter::retire_finished_roots() {
     }
 }
 
+void Splitter::discover_windows() {
+    if (assigner_.exhausted()) return;
+    // A closed store implies a complete input; latch the flag so the operator
+    // instances (which read it through a pointer) see it with one acquire.
+    if (!input_complete_.load(std::memory_order_relaxed) && store_->closed())
+        input_complete_.store(true, std::memory_order_release);
+    const bool complete = input_complete_.load(std::memory_order_relaxed);
+    const std::size_t before = windows_.size();
+    assigner_.poll(*store_, store_->size(), complete, windows_);
+    // The dependency definition requires window ends monotone in starts
+    // (DESIGN.md §5); all our window kinds satisfy it, assert anyway.
+    for (std::size_t i = std::max<std::size_t>(before, 1); i < windows_.size(); ++i)
+        SPECTRE_CHECK(windows_[i].last >= windows_[i - 1].last &&
+                          windows_[i].first >= windows_[i - 1].first,
+                      "window ends must be monotone in starts");
+}
+
 void Splitter::open_windows() {
     const std::size_t lookahead = effective_lookahead();
     while (next_window_ < windows_.size() &&
@@ -346,6 +363,7 @@ bool Splitter::run_cycle() {
 
     apply_updates();
     retire_finished_roots();
+    discover_windows();
     open_windows();
     model_->refresh();
     schedule();
@@ -356,7 +374,10 @@ bool Splitter::run_cycle() {
     metrics_.copies_cloned = tree_.stats().copies_cloned;
     metrics_.copies_fresh = tree_.stats().copies_fresh;
 
-    if (next_window_ == windows_.size() && tree_.empty()) {
+    // Done only at quiescence on a complete input: no window still to be
+    // discovered by arrivals, none waiting to open, none live in the tree.
+    if (input_complete_.load(std::memory_order_relaxed) && assigner_.exhausted() &&
+        next_window_ == windows_.size() && tree_.empty()) {
         done_ = true;
         for (auto& inst : instances_) inst->assign(nullptr);
         return false;

@@ -5,24 +5,29 @@
 //   (a) maintenance — drain the operator instances' buffered updates and
 //       apply them to the dependency tree (attach groups, prune resolved
 //       ones, fold statistics into the prediction model), retire finished
-//       roots (emitting their buffered complex events in window order), and
-//       open newly arrived windows;
+//       roots (emitting their buffered complex events in window order),
+//       discover windows newly determined by the ingestion frontier, and
+//       open them;
 //   (b) scheduling — select the top-k window versions by survival
 //       probability (Fig. 6) and map them onto the k operator instances
 //       without disturbing versions that stay scheduled (Fig. 7).
 //
-// Windows are opened with a bounded lookahead: the paper's splitter opens a
-// window when its start event arrives, which self-throttles against
-// processing; with a fully materialized store the lookahead cap plays that
-// role (DESIGN.md §7), and a version-count guard bounds speculative blow-up
-// at 50% completion probability.
+// Ingestion is arrival-driven (DESIGN.md §6): the splitter enumerates windows
+// from the events seen so far — a window opens once its start event has
+// arrived, exactly as in the paper — and operator instances process only up
+// to the store's frontier. On a live stream this self-throttles speculation
+// naturally; the lookahead cap remains as the batch-replay guard (DESIGN.md
+// §7), and a version-count guard bounds speculative blow-up at 50% completion
+// probability.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <set>
 #include <unordered_set>
 
+#include "query/window.hpp"
 #include "spectre/dependency_tree.hpp"
 #include "spectre/operator_instance.hpp"
 
@@ -65,10 +70,22 @@ public:
     Splitter(const event::EventStore* store, const detect::CompiledQuery* cq,
              SplitterConfig config, std::unique_ptr<model::CompletionModel> model);
 
-    // One maintenance + scheduling cycle. Returns true while work remains.
+    // One maintenance + scheduling cycle. Returns true while work remains (or
+    // may still arrive — on a live store the splitter keeps cycling until the
+    // input is complete and every window retired).
     bool run_cycle();
 
     bool done() const noexcept { return done_; }
+
+    // Declares the store's current contents to be the whole input. Batch
+    // runtimes call this before their first cycle (the store was materialized
+    // up front); on a live stream it is implied by EventStore::close().
+    void mark_input_complete() noexcept {
+        input_complete_.store(true, std::memory_order_release);
+    }
+    bool input_complete() const noexcept {
+        return input_complete_.load(std::memory_order_acquire);
+    }
 
     // The k operator instances (stable addresses; workers index into this).
     std::vector<std::unique_ptr<OperatorInstance>>& instances() noexcept {
@@ -89,6 +106,7 @@ public:
 private:
     void apply_updates();
     void retire_finished_roots();
+    void discover_windows();
     void open_windows();
     void schedule();
     std::size_t effective_lookahead() const;
@@ -103,7 +121,12 @@ private:
     const SplitterConfig config_;
     std::unique_ptr<model::CompletionModel> model_;
 
-    std::vector<query::WindowInfo> windows_;
+    // True once no further events will arrive (store closed, or a batch
+    // runtime declared the materialized store complete). Operator instances
+    // read this through a pointer to clamp trailing windows at end-of-stream.
+    std::atomic<bool> input_complete_{false};
+    query::WindowAssigner assigner_;
+    std::vector<query::WindowInfo> windows_;  // grows as arrivals determine them
     std::size_t next_window_ = 0;  // next window to open
     std::size_t retired_ = 0;
     // Consumed events from completed groups that may fall into windows not

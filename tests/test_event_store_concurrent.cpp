@@ -1,0 +1,216 @@
+// Concurrency contract of the chunked EventStore (DESIGN.md §6): one writer
+// appends while many readers follow the frontier; published events are
+// immutable with stable addresses; the closed flag hands the final length to
+// readers. The stress tests are written to be clean under ThreadSanitizer
+// (configure with -DSPECTRE_TSAN=ON): readers only touch seqs below an
+// acquired frontier, so any racy access is a real bug, not test noise.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "event/stream.hpp"
+#include "test_helpers.hpp"
+
+using namespace spectre;
+using spectre::testing::TestEnv;
+
+TEST(EventStoreChunks, AddressesStableAcrossChunkBoundaries) {
+    TestEnv env;
+    event::EventStore store;
+    const std::size_t n = event::EventStore::kChunkSize * 2 + 17;
+
+    store.append(env.ev('A', 0.0, 0));
+    const event::Event* first = &store.at(0);
+    for (std::size_t i = 1; i < n; ++i)
+        store.append(env.ev('A', static_cast<double>(i), static_cast<event::Timestamp>(i)));
+
+    // No reallocation ever moves a published event.
+    EXPECT_EQ(first, &store.at(0));
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(store.at(i).seq, i);
+        EXPECT_EQ(store.at(i).ts, static_cast<event::Timestamp>(i));
+    }
+    EXPECT_EQ(store.size(), n);
+}
+
+TEST(EventStoreChunks, RangeSpansChunkBoundary) {
+    TestEnv env;
+    event::EventStore store;
+    const std::size_t n = event::EventStore::kChunkSize + 10;
+    for (std::size_t i = 0; i < n; ++i)
+        store.append(env.ev('A', static_cast<double>(i), static_cast<event::Timestamp>(i)));
+
+    const auto r = store.range(event::EventStore::kChunkSize - 5,
+                               event::EventStore::kChunkSize + 4);
+    ASSERT_EQ(r.size(), 10u);
+    std::size_t i = 0;
+    for (const auto& e : r) {
+        EXPECT_EQ(e.seq, event::EventStore::kChunkSize - 5 + i);
+        ++i;
+    }
+    EXPECT_EQ(r.front().seq, event::EventStore::kChunkSize - 5);
+    EXPECT_EQ(r.back().seq, event::EventStore::kChunkSize + 4);
+}
+
+TEST(EventStoreChunks, CloseRejectsFurtherAppends) {
+    TestEnv env;
+    event::EventStore store;
+    store.append(env.ev('A', 1, 0));
+    EXPECT_FALSE(store.closed());
+    store.close();
+    EXPECT_TRUE(store.closed());
+    EXPECT_THROW(store.append(env.ev('B', 2, 1)), std::invalid_argument);
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(EventStoreChunks, MoveTransfersContentsAndLeavesSourceEmpty) {
+    TestEnv env;
+    event::EventStore a;
+    for (int i = 0; i < 5; ++i)
+        a.append(env.ev('A', static_cast<double>(i), static_cast<event::Timestamp>(i)));
+    a.close();
+
+    event::EventStore b = std::move(a);
+    EXPECT_EQ(b.size(), 5u);
+    EXPECT_TRUE(b.closed());
+    EXPECT_EQ(b.at(3).ts, 3);
+    EXPECT_EQ(a.size(), 0u);
+    EXPECT_FALSE(a.closed());
+    a.append(env.ev('B', 0, 0));  // moved-from store is reusable
+    EXPECT_EQ(a.size(), 1u);
+}
+
+// One writer, several readers chasing the frontier: every event a reader can
+// see (seq < size()) must be fully published — seq assigned, payload intact —
+// and its address must never change.
+TEST(EventStoreConcurrent, WriterWithChasingReaders) {
+    TestEnv env;
+    event::EventStore store;
+    constexpr std::size_t kTotal = 150'000;  // crosses many chunk boundaries
+    constexpr int kReaders = 3;
+
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int r = 0; r < kReaders; ++r) {
+        readers.emplace_back([&store, &failed] {
+            std::size_t seen = 0;
+            const event::Event* addr0 = nullptr;
+            while (seen < kTotal && !failed.load(std::memory_order_relaxed)) {
+                const std::size_t frontier = store.size();
+                if (frontier == 0) continue;
+                if (addr0 == nullptr) addr0 = &store.at(0);
+                // Validate the newly visible suffix plus a stable-address probe.
+                for (std::size_t i = seen; i < frontier; ++i) {
+                    const auto& e = store.at(i);
+                    if (e.seq != i || e.ts != static_cast<event::Timestamp>(i) ||
+                        e.attr(0) != static_cast<double>(i % 1024)) {
+                        failed.store(true, std::memory_order_relaxed);
+                        return;
+                    }
+                }
+                if (addr0 != &store.at(0)) {
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
+                seen = frontier;
+            }
+        });
+    }
+
+    for (std::size_t i = 0; i < kTotal; ++i)
+        store.append(env.ev('A', static_cast<double>(i % 1024),
+                            static_cast<event::Timestamp>(i)));
+    store.close();
+
+    for (auto& t : readers) t.join();
+    EXPECT_FALSE(failed.load());
+    EXPECT_EQ(store.size(), kTotal);
+}
+
+// Range views taken below the frontier stay valid while the writer appends.
+TEST(EventStoreConcurrent, RangesSurviveConcurrentAppend) {
+    TestEnv env;
+    event::EventStore store;
+    constexpr std::size_t kTotal = 60'000;
+
+    std::atomic<bool> failed{false};
+    std::thread reader([&store, &failed] {
+        while (store.size() < kTotal && !failed.load(std::memory_order_relaxed)) {
+            const std::size_t frontier = store.size();
+            if (frontier < 100) continue;
+            const auto r = store.range(frontier - 100, frontier - 1);
+            std::size_t expect = frontier - 100;
+            for (const auto& e : r) {
+                if (e.seq != expect++) {
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
+            }
+        }
+    });
+
+    for (std::size_t i = 0; i < kTotal; ++i)
+        store.append(env.ev('A', 0.0, static_cast<event::Timestamp>(i)));
+    reader.join();
+    EXPECT_FALSE(failed.load());
+}
+
+// The closed flag publishes the final length: once a reader observes
+// closed(), the very next size() read is the stream's end.
+TEST(EventStoreConcurrent, CloseHandsOffFinalSize) {
+    TestEnv env;
+    for (int rep = 0; rep < 20; ++rep) {
+        event::EventStore store;
+        constexpr std::size_t kTotal = 5'000;
+        std::size_t final_size = 0;
+        std::thread reader([&store, &final_size] {
+            while (!store.closed()) {
+            }
+            final_size = store.size();
+        });
+        for (std::size_t i = 0; i < kTotal; ++i)
+            store.append(env.ev('A', 0.0, static_cast<event::Timestamp>(i)));
+        store.close();
+        reader.join();
+        EXPECT_EQ(final_size, kTotal) << "rep=" << rep;
+    }
+}
+
+TEST(LiveStreamTest, DeliversPushedEventsThenEndOfStream) {
+    TestEnv env;
+    event::LiveStream stream;
+    stream.push(env.ev('A', 1, 0));
+    stream.push_all({env.ev('B', 2, 1), env.ev('C', 3, 2)});
+    stream.close();
+
+    auto a = stream.next();
+    auto b = stream.next();
+    auto c = stream.next();
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(a->ts, 0);
+    EXPECT_EQ(b->ts, 1);
+    EXPECT_EQ(c->ts, 2);
+    EXPECT_EQ(stream.next(), std::nullopt);
+    EXPECT_EQ(stream.next(), std::nullopt);  // stays at end-of-stream
+    EXPECT_THROW(stream.push(env.ev('D', 4, 3)), std::invalid_argument);
+}
+
+TEST(LiveStreamTest, BlockingNextWakesOnPush) {
+    TestEnv env;
+    event::LiveStream stream;
+    std::thread producer([&stream, &env] {
+        for (int i = 0; i < 1000; ++i)
+            stream.push(env.ev('A', static_cast<double>(i), i));
+        stream.close();
+    });
+    std::size_t got = 0;
+    while (auto e = stream.next()) {
+        EXPECT_EQ(e->ts, static_cast<event::Timestamp>(got));
+        ++got;
+    }
+    producer.join();
+    EXPECT_EQ(got, 1000u);
+}
