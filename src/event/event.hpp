@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,5 +48,12 @@ struct ComplexEvent {
 };
 
 std::string to_string(const ComplexEvent& e);
+
+// Streaming result egress: engines hand each complex event to a sink the
+// moment its window retires, in window order, instead of collecting the whole
+// run into a vector (the collect-all vector is just the default sink,
+// DESIGN.md §8). Invoked from the emitting engine's coordination thread; the
+// callee owns the event.
+using ResultSink = std::function<void(ComplexEvent&&)>;
 
 }  // namespace spectre::event

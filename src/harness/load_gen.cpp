@@ -1,0 +1,174 @@
+#include "harness/load_gen.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "net/tcp.hpp"
+
+namespace spectre::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// One session's client-side driver state. The transport is net::TcpClient —
+// the same hardened connect/send path the single-connection pipeline uses.
+struct Driver {
+    std::optional<net::TcpClient> conn;
+    net::FrameReader reader;
+    LoadGenOutcome out;
+    Clock::time_point first_data{};
+    bool terminal = false;  // server BYE / ERROR / EOF seen
+
+    int fd() const { return conn->fd(); }
+
+    void connect(const std::string& host, std::uint16_t port) { conn.emplace(host, port); }
+
+    void send_frame(const net::SessionFrame& f) {
+        std::vector<std::uint8_t> bytes;
+        net::encode_frame(f, bytes);
+        conn->send_raw(bytes.data(), bytes.size());
+    }
+
+    void handle(net::SessionFrame&& f) {
+        if (auto* result = std::get_if<net::ResultFrame>(&f)) {
+            if (out.results.empty()) out.first_result_seconds = seconds_since(first_data);
+            out.results.push_back(net::from_result_frame(*result));
+        } else if (const auto* bye = std::get_if<net::ByeFrame>(&f)) {
+            out.completed = true;
+            out.server_reported_results = bye->results;
+            terminal = true;
+        } else if (auto* error = std::get_if<net::ErrorFrame>(&f)) {
+            out.error = std::move(error->message);
+            terminal = true;
+        } else {
+            out.error = "protocol error: unexpected frame from server";
+            terminal = true;
+        }
+    }
+
+    void feed_and_poll(const std::uint8_t* data, std::size_t n) {
+        reader.feed(data, n);
+        while (!terminal) {
+            auto f = reader.poll();
+            if (!f) break;
+            handle(std::move(*f));
+        }
+    }
+
+    // Drains whatever the server has sent without blocking, so a fast server
+    // never stalls on a full client-side socket buffer mid-stream.
+    void drain_nonblocking() {
+        std::uint8_t chunk[16384];
+        while (!terminal) {
+            const ssize_t n = ::recv(fd(), chunk, sizeof(chunk), MSG_DONTWAIT);
+            if (n > 0) {
+                feed_and_poll(chunk, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n == 0) {
+                if (out.error.empty()) out.error = "server closed the connection";
+                terminal = true;
+                return;
+            }
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            if (out.error.empty())
+                out.error = std::string("recv: ") + std::strerror(errno);
+            terminal = true;
+            return;
+        }
+    }
+
+    // One blocking read; advances the frame reader.
+    void read_blocking() {
+        std::uint8_t chunk[16384];
+        const ssize_t n = net::read_some(fd(), chunk, sizeof(chunk));
+        if (n > 0) {
+            feed_and_poll(chunk, static_cast<std::size_t>(n));
+            return;
+        }
+        if (n == 0) {
+            if (!out.completed && out.error.empty())
+                out.error = "server closed the connection";
+            terminal = true;
+        }
+    }
+};
+
+LoadGenOutcome drive(const std::string& host, std::uint16_t port,
+                     const LoadGenSession& spec) {
+    Driver d;
+    const auto t0 = Clock::now();
+    try {
+        d.connect(host, port);
+        d.send_frame(net::SessionFrame{net::HelloFrame{spec.query, spec.instances}});
+        d.first_data = Clock::now();
+        bool corrupted = false;
+        for (std::size_t i = 0; i < spec.events.size() && !d.terminal; ++i) {
+            if (i == spec.corrupt_after) {
+                // Fault injection: an invalid frame tag followed by noise.
+                const std::uint8_t garbage[16] = {0xff, 0xde, 0xad, 0xbe, 0xef};
+                d.conn->send_raw(garbage, sizeof(garbage));
+                corrupted = true;
+                break;
+            }
+            if (i == spec.truncate_frame_at_event) {
+                // Fault injection: die mid-frame — send a partial DATA frame
+                // then hard-close the socket.
+                std::vector<std::uint8_t> bytes;
+                net::encode_frame(net::SessionFrame{spec.events[i]}, bytes);
+                d.conn->send_raw(bytes.data(), bytes.size() / 2);
+                d.conn->close();
+                d.out.wall_seconds = seconds_since(t0);
+                return std::move(d.out);
+            }
+            d.send_frame(net::SessionFrame{spec.events[i]});
+            ++d.out.events_sent;
+            d.drain_nonblocking();
+            if (i == spec.wait_result_after)
+                while (!d.terminal && d.out.results.empty()) d.read_blocking();
+        }
+        if (!d.terminal && !corrupted) d.send_frame(net::SessionFrame{net::ByeFrame{}});
+        d.out.results_before_bye = d.out.results.size();
+        while (!d.terminal) d.read_blocking();
+    } catch (const std::exception& e) {
+        if (d.out.error.empty()) d.out.error = e.what();
+    }
+    d.out.wall_seconds = seconds_since(t0);
+    return std::move(d.out);
+}
+
+}  // namespace
+
+LoadGenClient::LoadGenClient(std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+std::vector<LoadGenOutcome> LoadGenClient::run(
+    const std::vector<LoadGenSession>& specs) const {
+    std::vector<LoadGenOutcome> outcomes(specs.size());
+    std::vector<std::thread> threads;
+    threads.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        threads.emplace_back([this, &specs, &outcomes, i] {
+            outcomes[i] = drive(host_, port_, specs[i]);
+        });
+    for (auto& t : threads) t.join();
+    return outcomes;
+}
+
+LoadGenOutcome LoadGenClient::run_one(const LoadGenSession& spec) const {
+    return drive(host_, port_, spec);
+}
+
+}  // namespace spectre::harness

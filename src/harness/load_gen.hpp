@@ -1,0 +1,71 @@
+// LoadGenClient: drives N concurrent sessions against a CepServer
+// (DESIGN.md §8) — the test/bench counterpart of the paper's "client program
+// that ... sends events to SPECTRE over a TCP connection" (paper §4.1),
+// generalized to many clients with independent queries.
+//
+// Each session runs on its own thread: connect, HELLO (query text + k),
+// stream DATA frames while opportunistically draining RESULT frames (so a
+// fast server never blocks on a full client socket), BYE, then read until the
+// server's BYE. The outcome records the RESULT stream in arrival order plus
+// the observability hooks the integration tests assert on: how many results
+// arrived before BYE was sent (streaming egress happens before end-of-stream)
+// and the first-result latency (for the throughput bench).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "event/event.hpp"
+#include "net/session.hpp"
+
+namespace spectre::harness {
+
+struct LoadGenSession {
+    std::string query;            // query::parse_query text, sent in HELLO
+    std::uint32_t instances = 0;  // k operator instances; 0 = sequential engine
+    std::vector<net::WireQuote> events;
+
+    // After sending this many DATA frames, block until at least one RESULT
+    // has arrived — proves results stream back before end-of-stream.
+    // SIZE_MAX disables the wait.
+    std::size_t wait_result_after = SIZE_MAX;
+
+    // After sending this many DATA frames, send garbage bytes instead of the
+    // rest (protocol-corruption fault injection). SIZE_MAX disables.
+    std::size_t corrupt_after = SIZE_MAX;
+
+    // Close the connection abruptly after sending this many *bytes* of the
+    // next DATA frame (death mid-frame fault injection). SIZE_MAX disables.
+    std::size_t truncate_frame_at_event = SIZE_MAX;
+};
+
+struct LoadGenOutcome {
+    std::vector<event::ComplexEvent> results;  // RESULT frames, arrival order
+    std::size_t results_before_bye = 0;        // received before BYE was sent
+    std::uint64_t server_reported_results = 0; // count in the server's BYE
+    bool completed = false;                    // server BYE received
+    std::string error;                         // ERROR frame / transport failure
+    double first_result_seconds = -1.0;        // since first DATA; -1 = none
+    double wall_seconds = 0.0;                 // connect → session end
+    std::size_t events_sent = 0;
+};
+
+class LoadGenClient {
+public:
+    LoadGenClient(std::string host, std::uint16_t port);
+
+    // Drives all sessions concurrently, one thread each; outcome[i]
+    // corresponds to specs[i]. Never throws for per-session failures — they
+    // land in outcome.error.
+    std::vector<LoadGenOutcome> run(const std::vector<LoadGenSession>& specs) const;
+
+    // Convenience for single-session flows.
+    LoadGenOutcome run_one(const LoadGenSession& spec) const;
+
+private:
+    std::string host_;
+    std::uint16_t port_;
+};
+
+}  // namespace spectre::harness

@@ -7,35 +7,10 @@
 
 namespace spectre::net {
 
-namespace {
-
-template <typename T>
-void put(std::vector<std::uint8_t>& out, T value) {
-    // Serialize little-endian regardless of host order.
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &value, sizeof(T));
-    for (std::size_t i = 0; i < sizeof(T); ++i)
-        out.push_back(static_cast<std::uint8_t>((bits >> (8 * i)) & 0xff));
-}
-
-void put_double(std::vector<std::uint8_t>& out, double value) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &value, sizeof(bits));
-    put(out, bits);
-}
-
-template <typename T>
-T get(const std::vector<std::uint8_t>& buf, std::size_t& off) {
-    std::uint64_t bits = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i)
-        bits |= static_cast<std::uint64_t>(buf[off + i]) << (8 * i);
-    off += sizeof(T);
-    T value;
-    std::memcpy(&value, &bits, sizeof(T));
-    return value;
-}
-
-}  // namespace
+using detail::get;
+using detail::get_double;
+using detail::put;
+using detail::put_double;
 
 void encode(const WireQuote& q, std::vector<std::uint8_t>& out) {
     SPECTRE_REQUIRE(q.symbol.size() <= kMaxSymbolLength, "symbol name too long");

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,5 +42,45 @@ inline constexpr std::size_t kMaxSymbolLength = 64;
 // Conversions to/from the engine representation.
 WireQuote to_wire(const event::Event& e, const data::StockVocab& vocab);
 event::Event from_wire(const WireQuote& q, const data::StockVocab& vocab);
+
+// Little-endian wire primitives, shared with the session control protocol
+// (net/session.hpp) so every frame type speaks the same byte order. `get`
+// assumes the caller bounds-checked `off + sizeof(T) <= buf.size()`.
+namespace detail {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+    // Serialize little-endian regardless of host order.
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(T));
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        out.push_back(static_cast<std::uint8_t>((bits >> (8 * i)) & 0xff));
+}
+
+inline void put_double(std::vector<std::uint8_t>& out, double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    put(out, bits);
+}
+
+template <typename T>
+T get(const std::vector<std::uint8_t>& buf, std::size_t& off) {
+    std::uint64_t bits = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        bits |= static_cast<std::uint64_t>(buf[off + i]) << (8 * i);
+    off += sizeof(T);
+    T value;
+    std::memcpy(&value, &bits, sizeof(T));
+    return value;
+}
+
+inline double get_double(const std::vector<std::uint8_t>& buf, std::size_t& off) {
+    const auto bits = get<std::uint64_t>(buf, off);
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+}  // namespace detail
 
 }  // namespace spectre::net

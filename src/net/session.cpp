@@ -1,0 +1,157 @@
+#include "net/session.hpp"
+
+#include <stdexcept>
+
+namespace spectre::net {
+
+using detail::get;
+using detail::get_double;
+using detail::put;
+using detail::put_double;
+
+namespace {
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s, std::size_t max,
+                const char* what) {
+    if (s.size() > max) throw std::runtime_error(std::string("encode: ") + what + " too long");
+    put(out, static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+// Bounds-checked string read: returns nullopt on an incomplete buffer, throws
+// on a length beyond `max` (framing is corrupt, not merely incomplete).
+std::optional<std::string> get_string(const std::vector<std::uint8_t>& buf, std::size_t& off,
+                                      std::size_t max, const char* what) {
+    if (buf.size() - off < sizeof(std::uint32_t)) return std::nullopt;
+    std::size_t probe = off;
+    const auto len = get<std::uint32_t>(buf, probe);
+    if (len > max) throw std::runtime_error(std::string("corrupt frame: ") + what + " too long");
+    if (buf.size() - probe < len) return std::nullopt;
+    std::string s(buf.begin() + static_cast<std::ptrdiff_t>(probe),
+                  buf.begin() + static_cast<std::ptrdiff_t>(probe + len));
+    off = probe + len;
+    return s;
+}
+
+bool have(const std::vector<std::uint8_t>& buf, std::size_t off, std::size_t n) {
+    return buf.size() - off >= n;
+}
+
+}  // namespace
+
+void encode_frame(const SessionFrame& f, std::vector<std::uint8_t>& out) {
+    if (const auto* hello = std::get_if<HelloFrame>(&f)) {
+        out.push_back(static_cast<std::uint8_t>(FrameType::Hello));
+        put_string(out, hello->query, kMaxQueryLength, "query");
+        put(out, hello->instances);
+    } else if (const auto* data = std::get_if<WireQuote>(&f)) {
+        out.push_back(static_cast<std::uint8_t>(FrameType::Data));
+        encode(*data, out);
+    } else if (const auto* result = std::get_if<ResultFrame>(&f)) {
+        out.push_back(static_cast<std::uint8_t>(FrameType::Result));
+        put(out, result->window_id);
+        put(out, static_cast<std::uint32_t>(result->constituents.size()));
+        for (const auto seq : result->constituents) put(out, seq);
+        put(out, static_cast<std::uint32_t>(result->payload.size()));
+        for (const auto& [name, value] : result->payload) {
+            put_string(out, name, kMaxPayloadNameLength, "payload name");
+            put_double(out, value);
+        }
+    } else if (const auto* bye = std::get_if<ByeFrame>(&f)) {
+        out.push_back(static_cast<std::uint8_t>(FrameType::Bye));
+        put(out, bye->results);
+    } else {
+        const auto& error = std::get<ErrorFrame>(f);
+        out.push_back(static_cast<std::uint8_t>(FrameType::Error));
+        put_string(out, error.message, kMaxErrorLength, "error message");
+    }
+}
+
+std::optional<SessionFrame> decode_frame(const std::vector<std::uint8_t>& buffer,
+                                         std::size_t& offset) {
+    if (!have(buffer, offset, 1)) return std::nullopt;
+    const auto tag = buffer[offset];
+    std::size_t off = offset + 1;
+    switch (static_cast<FrameType>(tag)) {
+        case FrameType::Hello: {
+            HelloFrame hello;
+            auto query = get_string(buffer, off, kMaxQueryLength, "query");
+            if (!query) return std::nullopt;
+            hello.query = std::move(*query);
+            if (!have(buffer, off, sizeof(std::uint32_t))) return std::nullopt;
+            hello.instances = get<std::uint32_t>(buffer, off);
+            offset = off;
+            return SessionFrame{std::move(hello)};
+        }
+        case FrameType::Data: {
+            auto quote = decode(buffer, off);
+            if (!quote) return std::nullopt;
+            offset = off;
+            return SessionFrame{std::move(*quote)};
+        }
+        case FrameType::Result: {
+            ResultFrame result;
+            if (!have(buffer, off, 8 + 4)) return std::nullopt;
+            result.window_id = get<std::uint64_t>(buffer, off);
+            const auto n_constituents = get<std::uint32_t>(buffer, off);
+            if (n_constituents > kMaxResultConstituents)
+                throw std::runtime_error("corrupt frame: too many constituents");
+            if (!have(buffer, off, std::size_t{n_constituents} * 8)) return std::nullopt;
+            result.constituents.reserve(n_constituents);
+            for (std::uint32_t i = 0; i < n_constituents; ++i)
+                result.constituents.push_back(get<std::uint64_t>(buffer, off));
+            if (!have(buffer, off, 4)) return std::nullopt;
+            const auto n_payload = get<std::uint32_t>(buffer, off);
+            if (n_payload > kMaxResultPayload)
+                throw std::runtime_error("corrupt frame: payload too large");
+            result.payload.reserve(n_payload);
+            for (std::uint32_t i = 0; i < n_payload; ++i) {
+                auto name = get_string(buffer, off, kMaxPayloadNameLength, "payload name");
+                if (!name) return std::nullopt;
+                if (!have(buffer, off, 8)) return std::nullopt;
+                result.payload.emplace_back(std::move(*name), get_double(buffer, off));
+            }
+            offset = off;
+            return SessionFrame{std::move(result)};
+        }
+        case FrameType::Bye: {
+            if (!have(buffer, off, 8)) return std::nullopt;
+            ByeFrame bye;
+            bye.results = get<std::uint64_t>(buffer, off);
+            offset = off;
+            return SessionFrame{bye};
+        }
+        case FrameType::Error: {
+            auto message = get_string(buffer, off, kMaxErrorLength, "error message");
+            if (!message) return std::nullopt;
+            offset = off;
+            return SessionFrame{ErrorFrame{std::move(*message)}};
+        }
+    }
+    throw std::runtime_error("corrupt frame: unknown frame type " + std::to_string(tag));
+}
+
+ResultFrame to_result_frame(const event::ComplexEvent& ce) {
+    return ResultFrame{ce.window_id, ce.constituents, ce.payload};
+}
+
+event::ComplexEvent from_result_frame(const ResultFrame& r) {
+    event::ComplexEvent ce;
+    ce.window_id = r.window_id;
+    ce.constituents = r.constituents;
+    ce.payload = r.payload;
+    return ce;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t n) {
+    // Compact consumed bytes occasionally so the buffer stays small.
+    if (offset_ > 1 << 16) {
+        buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+        offset_ = 0;
+    }
+    buffer_.insert(buffer_.end(), data, data + n);
+}
+
+std::optional<SessionFrame> FrameReader::poll() { return decode_frame(buffer_, offset_); }
+
+}  // namespace spectre::net

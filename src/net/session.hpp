@@ -1,0 +1,126 @@
+// Session control protocol for the multi-session CEP server (DESIGN.md §8).
+//
+// net/frame encodes bare quote events — enough for the single hard-wired
+// pipeline of §4.1's deployment sketch. A middleware server hosting many
+// independent clients needs a control layer on top: each message on a session
+// connection is a *typed frame* — one tag byte followed by a type-specific
+// body reusing the little-endian primitives of net/frame:
+//
+//   HELLO  (client → server)  query text (query::parse_query grammar) plus
+//                             the session's engine parameters (k operator
+//                             instances; 0 selects the sequential reference
+//                             engine).
+//   DATA   (client → server)  one quote event, encoded exactly as the
+//                             pre-session wire format (net::encode).
+//   RESULT (server → client)  one complex event as it retires — window id,
+//                             constituent seqs, computed payload. Sent in
+//                             window order while the client is still sending
+//                             DATA (streaming egress).
+//   BYE    (both directions)  client: end-of-stream for its DATA; server:
+//                             all results delivered, carries the final count.
+//   ERROR  (server → client)  the session failed (bad query, corrupt frame,
+//                             protocol violation); the server closes only
+//                             this session afterwards.
+//
+// encode_frame/decode_frame are pure functions like net::encode/decode, so
+// the protocol is unit-testable without sockets; FrameReader is the
+// incremental decode buffer both the server reactor and the client driver
+// feed raw bytes into.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "event/event.hpp"
+#include "net/frame.hpp"
+
+namespace spectre::net {
+
+// Frame tag bytes on the wire. Values are part of the protocol; never renumber.
+enum class FrameType : std::uint8_t {
+    Hello = 1,
+    Data = 2,
+    Result = 3,
+    Bye = 4,
+    Error = 5,
+};
+
+struct HelloFrame {
+    std::string query;            // query::parse_query text
+    std::uint32_t instances = 0;  // k operator instances; 0 = sequential engine
+
+    bool operator==(const HelloFrame&) const = default;
+};
+
+// One complex event streamed back to the owning client. Mirrors
+// event::ComplexEvent field-for-field so the RESULT stream can be compared
+// byte-identically against an engine's output.
+struct ResultFrame {
+    std::uint64_t window_id = 0;
+    std::vector<std::uint64_t> constituents;
+    std::vector<std::pair<std::string, double>> payload;
+
+    bool operator==(const ResultFrame&) const = default;
+};
+
+struct ByeFrame {
+    std::uint64_t results = 0;  // server → client: RESULT frames sent
+
+    bool operator==(const ByeFrame&) const = default;
+};
+
+struct ErrorFrame {
+    std::string message;
+
+    bool operator==(const ErrorFrame&) const = default;
+};
+
+// DATA frames reuse WireQuote as their body.
+using SessionFrame = std::variant<HelloFrame, WireQuote, ResultFrame, ByeFrame, ErrorFrame>;
+
+// Sanity bounds; decode throws std::runtime_error beyond them (corrupt frame).
+inline constexpr std::size_t kMaxQueryLength = 1 << 16;
+inline constexpr std::size_t kMaxErrorLength = 1 << 16;
+inline constexpr std::size_t kMaxResultConstituents = 1 << 20;
+inline constexpr std::size_t kMaxResultPayload = 1 << 10;
+inline constexpr std::size_t kMaxPayloadNameLength = 256;
+
+// Appends the typed encoding of `f` to `out`.
+void encode_frame(const SessionFrame& f, std::vector<std::uint8_t>& out);
+
+// Attempts to decode one typed frame starting at `offset`. On success returns
+// the frame and advances `offset`; returns nullopt on an incomplete buffer.
+// Throws std::runtime_error on a corrupt frame (unknown tag, length beyond
+// the sanity bounds above).
+std::optional<SessionFrame> decode_frame(const std::vector<std::uint8_t>& buffer,
+                                         std::size_t& offset);
+
+// Conversions between the egress frame and the engine representation.
+ResultFrame to_result_frame(const event::ComplexEvent& ce);
+event::ComplexEvent from_result_frame(const ResultFrame& r);
+
+// Incremental frame decoder: feed() raw bytes as they arrive, poll() decoded
+// frames until nullopt (read more). Consumed bytes are compacted away
+// periodically so the buffer stays bounded by one frame plus one read chunk.
+class FrameReader {
+public:
+    void feed(const std::uint8_t* data, std::size_t n);
+
+    // Next complete frame, or nullopt if more bytes are needed. Throws
+    // std::runtime_error on a corrupt frame (the session is unrecoverable —
+    // framing is lost).
+    std::optional<SessionFrame> poll();
+
+    // True when undecoded bytes are pending — an end-of-stream here means the
+    // peer died mid-frame (truncated frame, a stream error).
+    bool mid_frame() const noexcept { return offset_ < buffer_.size(); }
+
+private:
+    std::vector<std::uint8_t> buffer_;
+    std::size_t offset_ = 0;
+};
+
+}  // namespace spectre::net

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -19,24 +20,68 @@ namespace {
 
 }  // namespace
 
+bool send_all_bytes(int fd, const std::uint8_t* data, std::size_t n) {
+    std::size_t sent = 0;
+    while (sent < n) {
+        // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not kill the
+        // server process with SIGPIPE.
+        const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+        if (w > 0) {
+            sent += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR) continue;
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Non-blocking fd with a full socket buffer: wait for writability
+            // (or the peer hanging up) and retry.
+            pollfd p{fd, POLLOUT, 0};
+            if (::poll(&p, 1, -1) < 0 && errno != EINTR) fail("poll");
+            continue;
+        }
+        if (w < 0 && (errno == EPIPE || errno == ECONNRESET)) return false;
+        fail("send");
+    }
+    return true;
+}
+
+ssize_t read_some(int fd, std::uint8_t* data, std::size_t n) {
+    for (;;) {
+        const ssize_t r = ::read(fd, data, n);
+        if (r >= 0) return r;
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+        fail("read");
+    }
+}
+
+int listen_loopback(std::uint16_t port, int backlog, std::uint16_t& bound_port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket");
+    try {
+        const int one = 1;
+        if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0)
+            fail("setsockopt(SO_REUSEADDR)");
+
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) fail("bind");
+        if (::listen(fd, backlog) < 0) fail("listen");
+
+        socklen_t len = sizeof(addr);
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+            fail("getsockname");
+        bound_port = ntohs(addr.sin_port);
+        return fd;
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+}
+
 TcpSource::TcpSource(std::uint16_t port) {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) fail("socket");
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
-        fail("bind");
-    if (::listen(listen_fd_, 1) < 0) fail("listen");
-
-    socklen_t len = sizeof(addr);
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
-        fail("getsockname");
-    port_ = ntohs(addr.sin_port);
+    listen_fd_ = listen_loopback(port, /*backlog=*/1, port_);
 }
 
 TcpSource::~TcpSource() {
@@ -44,9 +89,11 @@ TcpSource::~TcpSource() {
 }
 
 int TcpSource::accept_client() {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) fail("accept");
-    return fd;
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd >= 0) return fd;
+        if (errno != EINTR) fail("accept");
+    }
 }
 
 std::size_t TcpSource::receive_into(event::EventStore& store,
@@ -78,14 +125,20 @@ std::optional<event::Event> TcpStream::next() {
                           buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
             offset_ = 0;
         }
-        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-        if (n < 0) fail("read");
-        if (n == 0) {  // client closed; any trailing partial frame is dropped
+        const ssize_t n = read_some(fd_, chunk, sizeof(chunk));
+        if (n == 0) {
+            const bool truncated = offset_ < buffer_.size();
             ::close(fd_);
             fd_ = -1;
+            // A clean close lands exactly on a frame boundary. Anything else
+            // means the client died mid-frame — surface it instead of
+            // silently dropping the partial event.
+            if (truncated)
+                throw std::runtime_error(
+                    "tcp stream: connection closed mid-frame (truncated event)");
             return std::nullopt;
         }
-        buffer_.insert(buffer_.end(), chunk, chunk + n);
+        buffer_.insert(buffer_.end(), chunk, chunk + static_cast<std::size_t>(n));
     }
 }
 
@@ -97,7 +150,22 @@ TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
     addr.sin_port = htons(port);
     if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
         throw std::runtime_error("bad host address: " + host);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) fail("connect");
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        // An EINTR'd connect continues asynchronously (POSIX): wait for
+        // writability, then read the final verdict from SO_ERROR. Re-calling
+        // connect() would spuriously report EALREADY.
+        if (errno != EINTR) fail("connect");
+        pollfd p{fd_, POLLOUT, 0};
+        while (::poll(&p, 1, -1) < 0)
+            if (errno != EINTR) fail("poll");
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0) fail("getsockopt");
+        if (err != 0) {
+            errno = err;
+            fail("connect");
+        }
+    }
 }
 
 TcpClient::~TcpClient() { close(); }
@@ -112,12 +180,13 @@ void TcpClient::close() {
 void TcpClient::send(const WireQuote& q) {
     std::vector<std::uint8_t> out;
     encode(q, out);
-    std::size_t sent = 0;
-    while (sent < out.size()) {
-        const ssize_t n = ::write(fd_, out.data() + sent, out.size() - sent);
-        if (n <= 0) fail("write");
-        sent += static_cast<std::size_t>(n);
-    }
+    if (!send_all_bytes(fd_, out.data(), out.size()))
+        throw std::runtime_error("send: connection closed by peer");
+}
+
+void TcpClient::send_raw(const std::uint8_t* data, std::size_t n) {
+    if (!send_all_bytes(fd_, data, n))
+        throw std::runtime_error("send: connection closed by peer");
 }
 
 void TcpClient::send_all(const std::vector<event::Event>& events,

@@ -15,6 +15,8 @@
 // convenience that drains the connection to end-of-stream before returning.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -23,6 +25,23 @@
 #include "net/frame.hpp"
 
 namespace spectre::net {
+
+// Writes all `n` bytes to `fd`, retrying on EINTR and short writes, waiting
+// for writability on EAGAIN (the fd may be non-blocking), and suppressing
+// SIGPIPE. Returns false once the peer is gone (EPIPE/ECONNRESET) — callers
+// that stream results to a client treat that as "stop sending", not an error.
+// Throws on any other failure.
+bool send_all_bytes(int fd, const std::uint8_t* data, std::size_t n);
+
+// Reads up to `n` bytes, retrying on EINTR. Returns 0 at end-of-stream and
+// -1 when the fd is non-blocking and no data is available (EAGAIN); throws on
+// other errors.
+ssize_t read_some(int fd, std::uint8_t* data, std::size_t n);
+
+// Creates a listening socket on 127.0.0.1:`port` (0 = ephemeral) with a
+// checked SO_REUSEADDR; writes the bound port to `bound_port` and returns the
+// fd (caller owns). Closes the fd and throws on any failure.
+int listen_loopback(std::uint16_t port, int backlog, std::uint16_t& bound_port);
 
 class TcpSource {
 public:
@@ -51,7 +70,10 @@ private:
 
 // Live ingestion: one accepted connection exposed as a pull EventStream.
 // next() blocks until a full frame is buffered and returns the decoded
-// event; returns nullopt when the client closes the connection.
+// event; returns nullopt when the client closes the connection at a frame
+// boundary. A disconnect mid-frame (truncated final frame) is a stream
+// error — next() throws std::runtime_error instead of silently dropping the
+// partial frame.
 class TcpStream final : public event::EventStream {
 public:
     // Blocks in accept() until the client connects.
@@ -80,6 +102,11 @@ public:
 
     void send(const WireQuote& q);
     void send_all(const std::vector<event::Event>& events, const data::StockVocab& vocab);
+    // Unframed bytes — for protocol tests (partial/corrupt frame injection).
+    void send_raw(const std::uint8_t* data, std::size_t n);
+    // The connected socket, for callers that also read (e.g. the load
+    // generator draining RESULT frames); -1 after close().
+    int fd() const noexcept { return fd_; }
     void close();
 
 private:

@@ -17,6 +17,7 @@ SequentialEngine::SequentialEngine(const detect::CompiledQuery* cq) : cq_(cq) {
 struct SequentialEngine::Pass {
     const detect::CompiledQuery* cq;
     const event::EventStore& store;
+    const event::ResultSink* sink;  // nullptr = collect into result
     query::WindowAssigner assigner;
     std::vector<query::WindowInfo> windows;
     std::size_t next = 0;
@@ -25,8 +26,10 @@ struct SequentialEngine::Pass {
     detect::Feedback fb;
     SeqResult result;
 
-    Pass(const detect::CompiledQuery* cq_in, const event::EventStore& store_in)
-        : cq(cq_in), store(store_in), assigner(cq_in->query().window), detector(cq_in) {}
+    Pass(const detect::CompiledQuery* cq_in, const event::EventStore& store_in,
+         const event::ResultSink* sink_in)
+        : cq(cq_in), store(store_in), sink(sink_in), assigner(cq_in->query().window),
+          detector(cq_in) {}
 
     void drain(event::Seq frontier, bool closed) {
         assigner.poll(store, frontier, closed, windows);
@@ -56,7 +59,10 @@ struct SequentialEngine::Pass {
                 for (auto& done : fb.completed) {
                     if (cq->consumes_anything()) ++result.stats.groups_completed;
                     for (const auto seq : done.consumed) consumed.insert(seq);
-                    result.complex_events.push_back(std::move(done.complex_event));
+                    if (sink)
+                        (*sink)(std::move(done.complex_event));
+                    else
+                        result.complex_events.push_back(std::move(done.complex_event));
                     ++result.stats.complex_events;
                 }
             }
@@ -76,16 +82,27 @@ struct SequentialEngine::Pass {
     }
 };
 
-SeqResult SequentialEngine::run(const event::EventStore& store) const {
-    Pass pass(cq_, store);
+SeqResult SequentialEngine::run_impl(const event::EventStore& store,
+                                     const event::ResultSink* sink) const {
+    Pass pass(cq_, store, sink);
     pass.drain(store.size(), /*closed=*/true);
     return pass.finish();
 }
 
-SeqResult SequentialEngine::run_stream(event::EventStream& live,
-                                       event::EventStore& store) const {
+SeqResult SequentialEngine::run(const event::EventStore& store) const {
+    return run_impl(store, nullptr);
+}
+
+SeqResult SequentialEngine::run(const event::EventStore& store,
+                                const event::ResultSink& sink) const {
+    return run_impl(store, &sink);
+}
+
+SeqResult SequentialEngine::run_stream_impl(event::EventStream& live,
+                                            event::EventStore& store,
+                                            const event::ResultSink* sink) const {
     SPECTRE_REQUIRE(!store.closed(), "run_stream needs an open store");
-    Pass pass(cq_, store);
+    Pass pass(cq_, store, sink);
     while (auto e = live.next()) {
         store.append(*e);
         pass.drain(store.size(), /*closed=*/false);
@@ -93,6 +110,16 @@ SeqResult SequentialEngine::run_stream(event::EventStream& live,
     store.close();
     pass.drain(store.size(), /*closed=*/true);
     return pass.finish();
+}
+
+SeqResult SequentialEngine::run_stream(event::EventStream& live,
+                                       event::EventStore& store) const {
+    return run_stream_impl(live, store, nullptr);
+}
+
+SeqResult SequentialEngine::run_stream(event::EventStream& live, event::EventStore& store,
+                                       const event::ResultSink& sink) const {
+    return run_stream_impl(live, store, &sink);
 }
 
 }  // namespace spectre::sequential

@@ -55,17 +55,26 @@ public:
 
     // Runs the full pass over `store`, treating its contents as the whole
     // input. Windows are assigned from the query's window spec; consumption
-    // state starts empty.
+    // state starts empty. With a `sink`, complex events are emitted
+    // incrementally as each window completes (in window order) and
+    // SeqResult.complex_events stays empty — the collect-all vector is the
+    // default sink (DESIGN.md §8).
     SeqResult run(const event::EventStore& store) const;
+    SeqResult run(const event::EventStore& store, const event::ResultSink& sink) const;
 
     // Ingest-while-detect: drains `live` into `store` (which must be open and
     // is closed at end-of-stream), processing each window as soon as its
     // events have arrived. Output is byte-identical to run() over the final
-    // store contents.
+    // store contents; the `sink` overload streams it incrementally.
     SeqResult run_stream(event::EventStream& live, event::EventStore& store) const;
+    SeqResult run_stream(event::EventStream& live, event::EventStore& store,
+                         const event::ResultSink& sink) const;
 
 private:
     struct Pass;
+    SeqResult run_impl(const event::EventStore& store, const event::ResultSink* sink) const;
+    SeqResult run_stream_impl(event::EventStream& live, event::EventStore& store,
+                              const event::ResultSink* sink) const;
     const detect::CompiledQuery* cq_;
 };
 

@@ -1,0 +1,182 @@
+#include "server/cep_server.hpp"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/tcp.hpp"
+#include "util/assert.hpp"
+
+namespace spectre::server {
+
+namespace {
+
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) fail("fcntl");
+}
+
+}  // namespace
+
+CepServer::CepServer(ServerConfig config) : config_(config) {
+    listen_fd_ = net::listen_loopback(config_.port, config_.backlog, port_);
+    set_nonblocking(listen_fd_);
+
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) fail("epoll_create1");
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (wake_fd_ < 0) fail("eventfd");
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenTag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) fail("epoll_ctl(listen)");
+    ev.data.u64 = kWakeTag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) fail("epoll_ctl(wake)");
+}
+
+CepServer::~CepServer() {
+    stop();
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void CepServer::start() {
+    SPECTRE_REQUIRE(!started_, "CepServer::start called twice");
+    started_ = true;
+    reactor_ = std::thread([this] { reactor_loop(); });
+}
+
+void CepServer::stop() {
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+    stopping_.store(true, std::memory_order_release);
+    wake();
+    reactor_.join();
+    // Reactor is gone: sessions are single-threaded again except for their
+    // engine threads. Poison every send path first (so no engine can park on
+    // a dead client), then join.
+    for (auto& [id, session] : sessions_) session->abort();
+    for (auto& [id, session] : sessions_) session->join_engine();
+    sessions_.clear();
+}
+
+ServerStats CepServer::stats() const {
+    ServerStats s;
+    s.sessions_accepted = counters_.sessions_accepted.load(std::memory_order_relaxed);
+    s.sessions_completed = counters_.sessions_completed.load(std::memory_order_relaxed);
+    s.sessions_failed = counters_.sessions_failed.load(std::memory_order_relaxed);
+    s.events_ingested = counters_.events_ingested.load(std::memory_order_relaxed);
+    s.results_emitted = counters_.results_emitted.load(std::memory_order_relaxed);
+    return s;
+}
+
+void CepServer::wake() {
+    const std::uint64_t one = 1;
+    // Best-effort: the eventfd is only ever full when the reactor already has
+    // a pending wakeup, which is all we need.
+    [[maybe_unused]] const ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void CepServer::reactor_loop() {
+    std::array<epoll_event, 64> events;
+    while (!stopping_.load(std::memory_order_acquire)) {
+        const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                   static_cast<int>(events.size()), -1);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;  // epoll fd gone — shutting down
+        }
+        for (int i = 0; i < n; ++i) {
+            const auto tag = events[i].data.u64;
+            if (tag == kListenTag)
+                accept_clients();
+            else if (tag == kWakeTag)
+                drain_wake_and_reap();
+            else
+                handle_session_event(tag);
+        }
+    }
+}
+
+void CepServer::accept_clients() {
+    for (;;) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            // Transient accept failures (ECONNABORTED, EMFILE, …) must not
+            // kill the reactor; the client simply doesn't get a session.
+            return;
+        }
+        const auto id = next_session_id_++;
+        auto session = std::make_unique<ServerSession>(
+            id, fd, config_.session, &counters_, [this](std::uint64_t done_id) {
+                {
+                    const std::lock_guard<std::mutex> lock(done_mutex_);
+                    done_.push_back(done_id);
+                }
+                wake();
+            });
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = id;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+            // Registration failed — drop the connection, keep the server.
+            continue;  // session destructor closes fd
+        }
+        counters_.sessions_accepted.fetch_add(1, std::memory_order_relaxed);
+        sessions_.emplace(id, std::move(session));
+    }
+}
+
+void CepServer::handle_session_event(std::uint64_t id) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;  // already reaped this batch
+    ServerSession& session = *it->second;
+    if (session.on_readable() == SessionStatus::Open) return;
+    // Input side is over (clean EOF, BYE'd out, or failed): stop watching the
+    // fd. Egress may still be running; the session object stays until its
+    // engine reports done.
+    struct epoll_event ev {};
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, session.fd(), &ev);
+    if (!session.engine_started()) sessions_.erase(it);
+}
+
+void CepServer::drain_wake_and_reap() {
+    std::uint64_t buf;
+    while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+    }
+    std::vector<std::uint64_t> done;
+    {
+        const std::lock_guard<std::mutex> lock(done_mutex_);
+        done.swap(done_);
+    }
+    for (const auto id : done) reap(id);
+}
+
+void CepServer::reap(std::uint64_t id) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    struct epoll_event ev {};
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd(), &ev);  // may ENOENT
+    it->second->join_engine();
+    sessions_.erase(it);
+}
+
+}  // namespace spectre::server

@@ -1,0 +1,104 @@
+// CepServer: the multi-session CEP server (DESIGN.md §8).
+//
+// The paper deploys SPECTRE as middleware behind a TCP ingest (paper §4.1);
+// this subsystem generalizes the repo's one-connection pipeline to many
+// concurrent clients, each with its own query, policies and engine — the
+// middleware shape of the ROADMAP's north star.
+//
+// Architecture (one box per thread):
+//
+//    ┌ reactor ───────────────────────────────┐   ┌ session engines ───────┐
+//    │ epoll: listen fd, wake eventfd, every  │   │ one thread per session │
+//    │ session fd. Accepts clients, reads     │──▶│ (plus its k operator-  │
+//    │ bytes, decodes typed frames, drives    │   │ instance workers and   │
+//    │ each session's state machine, reaps    │◀──│ feeder), emits RESULT  │
+//    │ finished sessions.                     │   │ frames via ResultSink. │
+//    └────────────────────────────────────────┘   └────────────────────────┘
+//
+// The reactor never blocks on a session: fds are non-blocking, corrupt input
+// fails only the offending session (ERROR frame + disconnect), and engine
+// completion is signaled back through the wake eventfd so joins happen on the
+// reactor thread. Result egress runs concurrently with ingestion — the
+// ordering guarantee (per-session RESULT stream byte-identical to a
+// sequential run of that session's input) is inherited from the engines'
+// retirement order (§8).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/session.hpp"
+
+namespace spectre::server {
+
+struct ServerConfig {
+    std::uint16_t port = 0;  // 127.0.0.1:port; 0 = ephemeral
+    int backlog = 64;
+    SessionLimits session{};
+};
+
+// Snapshot of the server-wide counters.
+struct ServerStats {
+    std::uint64_t sessions_accepted = 0;
+    std::uint64_t sessions_completed = 0;  // engine finished, BYE delivered
+    std::uint64_t sessions_failed = 0;     // corrupt frame / bad query / died mid-frame
+    std::uint64_t events_ingested = 0;
+    std::uint64_t results_emitted = 0;     // RESULT frames delivered
+};
+
+class CepServer {
+public:
+    explicit CepServer(ServerConfig config = {});
+    ~CepServer();  // stop()
+
+    CepServer(const CepServer&) = delete;
+    CepServer& operator=(const CepServer&) = delete;
+
+    // Bound port (valid after construction — the listen socket is set up
+    // eagerly so callers can connect as soon as start() returns).
+    std::uint16_t port() const noexcept { return port_; }
+
+    // Spawns the reactor thread. Call once.
+    void start();
+
+    // Aborts live sessions, joins every engine and the reactor. Idempotent.
+    void stop();
+
+    ServerStats stats() const;
+
+private:
+    void reactor_loop();
+    void accept_clients();
+    void handle_session_event(std::uint64_t id);
+    void drain_wake_and_reap();
+    void reap(std::uint64_t id);
+    void wake();
+
+    ServerConfig config_;
+    int listen_fd_ = -1;
+    int epoll_fd_ = -1;
+    int wake_fd_ = -1;
+    std::uint16_t port_ = 0;
+
+    std::thread reactor_;
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+    bool stopped_ = false;
+
+    // Sessions are owned and touched by the reactor thread only (and by
+    // stop() after the reactor has been joined).
+    std::unordered_map<std::uint64_t, std::unique_ptr<ServerSession>> sessions_;
+    std::uint64_t next_session_id_ = 2;  // 0 = listen tag, 1 = wake tag
+
+    // Engine threads report completion here; the reactor drains it.
+    std::mutex done_mutex_;
+    std::vector<std::uint64_t> done_;
+
+    ServerCounters counters_;
+};
+
+}  // namespace spectre::server

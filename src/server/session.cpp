@@ -1,0 +1,246 @@
+#include "server/session.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "model/markov_model.hpp"
+#include "net/tcp.hpp"
+#include "query/parser.hpp"
+#include "sequential/seq_engine.hpp"
+#include "spectre/runtime.hpp"
+
+namespace spectre::server {
+
+ServerSession::ServerSession(std::uint64_t id, int fd, SessionLimits limits,
+                             ServerCounters* counters,
+                             std::function<void(std::uint64_t)> on_engine_done)
+    : id_(id), fd_(fd), limits_(limits), counters_(counters),
+      on_engine_done_(std::move(on_engine_done)) {}
+
+ServerSession::~ServerSession() {
+    if (engine_.joinable()) engine_.join();
+    ::close(fd_);
+}
+
+void ServerSession::join_engine() {
+    if (engine_.joinable()) engine_.join();
+}
+
+SessionStatus ServerSession::on_readable() {
+    std::uint8_t chunk[16384];
+    for (;;) {
+        ssize_t n;
+        try {
+            n = net::read_some(fd_, chunk, sizeof(chunk));
+        } catch (const std::exception& e) {
+            // Peer reset / transport error: the client is gone, so there is
+            // nobody to send ERROR to.
+            return fail(std::string("read failed: ") + e.what(), /*send_error=*/false);
+        }
+        if (n < 0) return SessionStatus::Open;  // EAGAIN — drained for now
+        if (n == 0) return on_end_of_input();
+        reader_.feed(chunk, static_cast<std::size_t>(n));
+        for (;;) {
+            std::optional<net::SessionFrame> frame;
+            try {
+                frame = reader_.poll();
+            } catch (const std::exception& e) {
+                // Corrupt frame: framing is lost, the session is
+                // unrecoverable — but only this session (ERROR + disconnect).
+                return fail(std::string("corrupt frame: ") + e.what(), /*send_error=*/true);
+            }
+            if (!frame) break;
+            const auto status = dispatch(std::move(*frame));
+            if (status != SessionStatus::Open) return status;
+        }
+    }
+}
+
+SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
+    switch (state_) {
+        case State::AwaitHello:
+            if (auto* hello = std::get_if<net::HelloFrame>(&frame))
+                return on_hello(std::move(*hello));
+            return fail("protocol error: expected HELLO", /*send_error=*/true);
+        case State::Streaming:
+            if (const auto* quote = std::get_if<net::WireQuote>(&frame)) {
+                live_.push(net::from_wire(*quote, vocab_));
+                counters_->events_ingested.fetch_add(1, std::memory_order_relaxed);
+                return SessionStatus::Open;
+            }
+            if (std::get_if<net::ByeFrame>(&frame)) {
+                close_ingestion();
+                state_ = State::Draining;
+                return SessionStatus::Open;  // keep watching: detect client death
+            }
+            return fail("protocol error: unexpected frame while streaming",
+                        /*send_error=*/true);
+        case State::Draining:
+            return fail("protocol error: frame after BYE", /*send_error=*/true);
+        case State::Failed:
+            return SessionStatus::Finished;
+    }
+    return SessionStatus::Finished;  // unreachable
+}
+
+SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
+    if (hello.instances > static_cast<std::uint32_t>(limits_.max_instances))
+        return fail("HELLO rejected: instances exceed server limit",
+                    /*send_error=*/true);
+    try {
+        vocab_ = data::StockVocab::create(std::make_shared<event::Schema>());
+        auto query = query::parse_query(hello.query, vocab_.schema);
+        cq_ = std::make_unique<detect::CompiledQuery>(
+            detect::CompiledQuery::compile(std::move(query)));
+    } catch (const std::exception& e) {
+        return fail(std::string("HELLO rejected: ") + e.what(), /*send_error=*/true);
+    }
+    instances_ = hello.instances;
+    state_ = State::Streaming;
+    engine_started_ = true;
+    engine_ = std::thread([this] { engine_main(); });
+    return SessionStatus::Open;
+}
+
+SessionStatus ServerSession::on_end_of_input() {
+    switch (state_) {
+        case State::AwaitHello:
+            // Client left before subscribing; nothing ran, nothing to tear down.
+            return SessionStatus::Finished;
+        case State::Streaming:
+            if (reader_.mid_frame())
+                // Death mid-frame: the truncated final event must surface as
+                // a stream error, not be silently dropped.
+                return fail("connection closed mid-frame (truncated event)",
+                            /*send_error=*/true);
+            // Clean EOF at a frame boundary is an implicit BYE — clients may
+            // simply shutdown(SHUT_WR) and keep reading results.
+            close_ingestion();
+            state_ = State::Draining;
+            return SessionStatus::Finished;
+        case State::Draining:
+        case State::Failed:
+            return SessionStatus::Finished;
+    }
+    return SessionStatus::Finished;  // unreachable
+}
+
+SessionStatus ServerSession::fail(const std::string& message, bool send_error) {
+    if (state_ == State::Failed) return SessionStatus::Finished;
+    // A session whose engine already delivered its BYE is complete; a
+    // protocol hiccup afterwards must not also count it failed.
+    if (!completed_.load(std::memory_order_acquire))
+        counters_->sessions_failed.fetch_add(1, std::memory_order_relaxed);
+    if (send_error && !send_dead_.load(std::memory_order_acquire)) {
+        // try_lock, not lock: the engine thread may hold the mutex parked in
+        // a blocked send to a non-reading client — the reactor must never
+        // wait on that. If contended, the client loses the ERROR frame but
+        // still sees the disconnect.
+        std::unique_lock<std::mutex> lock(send_mutex_, std::try_to_lock);
+        if (lock.owns_lock())
+            send_frame_best_effort(net::SessionFrame{net::ErrorFrame{message}});
+    }
+    send_dead_.store(true, std::memory_order_release);
+    close_ingestion();
+    // Unblocks an engine thread parked in send_all_bytes and tells the
+    // client the conversation is over.
+    ::shutdown(fd_, SHUT_RDWR);
+    state_ = State::Failed;
+    return SessionStatus::Finished;
+}
+
+bool ServerSession::send_frame(const net::SessionFrame& frame) {
+    const std::lock_guard<std::mutex> lock(send_mutex_);
+    return send_frame_locked(frame);
+}
+
+bool ServerSession::send_frame_locked(const net::SessionFrame& frame) {
+    if (send_dead_.load(std::memory_order_acquire)) return false;
+    std::vector<std::uint8_t> bytes;
+    try {
+        net::encode_frame(frame, bytes);
+        if (net::send_all_bytes(fd_, bytes.data(), bytes.size())) return true;
+    } catch (const std::exception&) {
+        // Transport error past EPIPE/ECONNRESET — treat identically: the
+        // peer is unreachable, stop sending.
+    }
+    send_dead_.store(true, std::memory_order_release);
+    return false;
+}
+
+void ServerSession::send_frame_best_effort(const net::SessionFrame& frame) {
+    // One pass over the bytes with no writability wait: the caller is the
+    // reactor, which must never park in poll() on a client whose socket
+    // buffer is full (send_all_bytes would). A short write poisons the send
+    // path — framing to this client is lost — which is fine here: the only
+    // best-effort frame is a pre-disconnect ERROR.
+    if (send_dead_.load(std::memory_order_acquire)) return;
+    std::vector<std::uint8_t> bytes;
+    net::encode_frame(frame, bytes);
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                                 MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (w > 0) {
+            sent += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR) continue;
+        send_dead_.store(true, std::memory_order_release);
+        return;
+    }
+}
+
+void ServerSession::close_ingestion() {
+    if (ingestion_closed_) return;
+    ingestion_closed_ = true;
+    if (engine_started_) live_.close();
+}
+
+void ServerSession::abort() {
+    send_dead_.store(true, std::memory_order_release);
+    close_ingestion();
+    ::shutdown(fd_, SHUT_RDWR);
+}
+
+void ServerSession::engine_main() {
+    try {
+        event::ResultSink sink = [this](event::ComplexEvent&& ce) {
+            if (send_frame(net::SessionFrame{net::to_result_frame(ce)}))
+                counters_->results_emitted.fetch_add(1, std::memory_order_relaxed);
+            results_sent_.fetch_add(1, std::memory_order_relaxed);
+        };
+        if (instances_ == 0) {
+            // k = 0 subscribes the sequential reference engine — the ground
+            // truth the parallel runtime must match byte-for-byte.
+            sequential::SequentialEngine engine(cq_.get());
+            engine.run_stream(live_, store_, sink);
+        } else {
+            core::RuntimeConfig cfg;
+            cfg.splitter.instances = static_cast<int>(instances_);
+            cfg.batch_events = limits_.batch_events;
+            core::SpectreRuntime runtime(
+                &store_, cq_.get(), cfg,
+                std::make_unique<model::MarkovModel>(cq_->min_length(),
+                                                     model::MarkovParams{}));
+            runtime.set_result_sink(std::move(sink));
+            runtime.run(live_);
+        }
+        if (send_frame(net::SessionFrame{
+                net::ByeFrame{results_sent_.load(std::memory_order_relaxed)}})) {
+            completed_.store(true, std::memory_order_release);
+            counters_->sessions_completed.fetch_add(1, std::memory_order_relaxed);
+        }
+    } catch (const std::exception& e) {
+        // Engine failure (e.g. a pathological query blowing an internal
+        // limit) fails this session only.
+        send_frame(net::SessionFrame{net::ErrorFrame{std::string("engine error: ") + e.what()}});
+        counters_->sessions_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    on_engine_done_(id_);
+}
+
+}  // namespace spectre::server

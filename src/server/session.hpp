@@ -1,0 +1,145 @@
+// Server-side session: one connected client of the multi-session CEP server
+// (DESIGN.md §8).
+//
+// A session owns everything one client subscribes: the schema its query text
+// is parsed against, the compiled query, a private EventStore + LiveStream
+// ingestion pair, and the engine thread detecting over them. The reactor
+// thread (server/cep_server.hpp) feeds raw socket bytes in; the session's
+// state machine decodes typed frames (net/session.hpp) and drives:
+//
+//   AwaitHello --HELLO--> Streaming --BYE / clean EOF--> Draining
+//        \                    \                             engine finishes,
+//         \--anything else     \--corrupt frame/protocol    sends BYE, done
+//             = Failed             error = Failed (ERROR frame, disconnect)
+//
+// Failure isolation: every per-session error — corrupt frame, bad query,
+// protocol violation, death mid-frame — fails only this session; the reactor
+// loop never sees an exception (§8 session lifecycle).
+//
+// Threading: the reactor thread runs on_readable()/abort(); the engine
+// thread emits RESULT frames through the shared send path. Sends are
+// serialized by a mutex; the per-session schema is written only by the
+// reactor (symbol interning in from_wire) and never read by the engine during
+// detection — predicates are compiled to interned ids up front (DESIGN.md §2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "data/stock.hpp"
+#include "detect/compiled_query.hpp"
+#include "event/stream.hpp"
+#include "net/session.hpp"
+
+namespace spectre::server {
+
+// Server-wide counters, shared by all sessions (atomics: engine threads
+// increment results while the reactor increments ingestion).
+struct ServerCounters {
+    std::atomic<std::uint64_t> sessions_accepted{0};
+    std::atomic<std::uint64_t> sessions_completed{0};
+    std::atomic<std::uint64_t> sessions_failed{0};
+    std::atomic<std::uint64_t> events_ingested{0};
+    std::atomic<std::uint64_t> results_emitted{0};
+};
+
+struct SessionLimits {
+    int max_instances = 8;        // cap on HELLO's k
+    std::size_t batch_events = 64;  // SpectreRuntime batch granularity
+};
+
+// What the reactor should do with the connection after feeding it input.
+enum class SessionStatus {
+    Open,      // keep watching the fd for input
+    Finished,  // stop watching; egress (if an engine runs) continues
+};
+
+class ServerSession {
+public:
+    // Takes ownership of `fd` (non-blocking). `on_engine_done` is invoked
+    // from the engine thread as its last action, with this session's id —
+    // the server uses it to schedule the join/reap on the reactor thread.
+    ServerSession(std::uint64_t id, int fd, SessionLimits limits, ServerCounters* counters,
+                  std::function<void(std::uint64_t)> on_engine_done);
+    // Joins the engine thread (callers normally joined already via
+    // join_engine) and closes the fd.
+    ~ServerSession();
+
+    ServerSession(const ServerSession&) = delete;
+    ServerSession& operator=(const ServerSession&) = delete;
+
+    std::uint64_t id() const noexcept { return id_; }
+    int fd() const noexcept { return fd_; }
+
+    // Reactor: the fd is readable. Drains it (non-blocking), decodes and
+    // dispatches frames. Never throws — any failure fails this session only.
+    SessionStatus on_readable();
+
+    // True once HELLO started an engine thread; a finished session without an
+    // engine can be destroyed immediately, one with an engine is reaped after
+    // on_engine_done fires.
+    bool engine_started() const noexcept { return engine_started_; }
+
+    // Server shutdown: stop ingestion, unblock and poison the send path.
+    // Safe to call from the server thread at any point; idempotent.
+    void abort();
+
+    void join_engine();
+
+private:
+    enum class State { AwaitHello, Streaming, Draining, Failed };
+
+    SessionStatus dispatch(net::SessionFrame&& frame);
+    SessionStatus on_hello(net::HelloFrame&& hello);
+    SessionStatus on_end_of_input();
+    // Fails the session: optionally sends an ERROR frame, closes ingestion,
+    // shuts the socket down (which also unblocks an engine-side send).
+    SessionStatus fail(const std::string& message, bool send_error);
+    bool send_frame(const net::SessionFrame& frame);
+    bool send_frame_locked(const net::SessionFrame& frame);
+    // Reactor-side single-attempt send: never waits for writability (the
+    // reactor must not block on one client's full socket buffer).
+    void send_frame_best_effort(const net::SessionFrame& frame);
+    void close_ingestion();
+    void engine_main();
+
+    const std::uint64_t id_;
+    const int fd_;
+    const SessionLimits limits_;
+    ServerCounters* counters_;
+    std::function<void(std::uint64_t)> on_engine_done_;
+
+    State state_ = State::AwaitHello;
+    net::FrameReader reader_;
+
+    // Send path, shared by reactor (ERROR) and engine thread (RESULT/BYE).
+    // The poison flag is atomic so the reactor can kill the path without
+    // taking the mutex (the engine may hold it parked in a blocked send —
+    // shutdown() on the fd is what unblocks it).
+    std::mutex send_mutex_;
+    std::atomic<bool> send_dead_{false};
+
+    // Set on HELLO.
+    data::StockVocab vocab_;
+    std::unique_ptr<detect::CompiledQuery> cq_;
+    std::uint32_t instances_ = 0;
+
+    event::EventStore store_;
+    event::LiveStream live_;
+    bool ingestion_closed_ = false;  // reactor-side latch (live_.close() once)
+
+    bool engine_started_ = false;
+    std::thread engine_;
+    std::atomic<std::uint64_t> results_sent_{0};
+    // Latched by the engine thread once its BYE was delivered; fail() reads
+    // it so a post-completion protocol hiccup never double-counts the
+    // session as both completed and failed.
+    std::atomic<bool> completed_{false};
+};
+
+}  // namespace spectre::server

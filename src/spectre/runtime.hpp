@@ -28,7 +28,7 @@ struct RuntimeConfig {
 };
 
 struct RunResult {
-    std::vector<event::ComplexEvent> output;
+    std::vector<event::ComplexEvent> output;  // empty when a result sink is set
     SplitterMetrics metrics;
     std::vector<InstanceStats> instance_stats;
     double wall_seconds = 0.0;
@@ -45,6 +45,14 @@ public:
     // thread appends into during run(EventStream&). Batch run() works too.
     SpectreRuntime(event::EventStore* store, const detect::CompiledQuery* cq,
                    RuntimeConfig config, std::unique_ptr<model::CompletionModel> model);
+
+    // Streaming result egress (DESIGN.md §8): emit each complex event the
+    // moment its window retires instead of collecting into RunResult.output.
+    // The sink runs on the splitter thread, in window order — byte-identical
+    // to the collect-all vector. Install before run().
+    void set_result_sink(event::ResultSink sink) {
+        splitter_.set_result_sink(std::move(sink));
+    }
 
     // Batch replay: treats the store's current contents as the whole input.
     RunResult run();

@@ -271,7 +271,15 @@ void Splitter::retire_finished_roots() {
         WvPtr retired = tree_.retire_front_root();
         auto out = retired->take_output();
         metrics_.complex_events += out.size();
-        for (auto& ce : out) output_.push_back(std::move(ce));
+        // Egress point: only validated retirements reach here, so emission
+        // order == window order == the sequential engine's output order
+        // (DESIGN.md §8 ordering guarantee).
+        for (auto& ce : out) {
+            if (sink_)
+                sink_(std::move(ce));
+            else
+                output_.push_back(std::move(ce));
+        }
         ++retired_;
         ++metrics_.windows_retired;
     }

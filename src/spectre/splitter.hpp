@@ -93,8 +93,14 @@ public:
     }
     UpdateQueue& updates() noexcept { return updates_; }
 
+    // Streaming egress (DESIGN.md §8): complex events are handed to `sink` as
+    // their windows retire, in window order — the same order the collect-all
+    // vector records. Install before the first run_cycle(); with a sink set,
+    // output()/take_output() stay empty (the vector is the default sink).
+    void set_result_sink(event::ResultSink sink) { sink_ = std::move(sink); }
+
     // Complex events emitted so far, in window order (identical to the
-    // sequential engine's output).
+    // sequential engine's output). Only populated without a result sink.
     const std::vector<event::ComplexEvent>& output() const noexcept { return output_; }
     std::vector<event::ComplexEvent> take_output() { return std::move(output_); }
 
@@ -140,6 +146,7 @@ private:
     UpdateQueue updates_;
     std::vector<std::unique_ptr<OperatorInstance>> instances_;
     std::vector<event::ComplexEvent> output_;
+    event::ResultSink sink_;  // empty = collect into output_
     std::uint64_t next_version_id_ = 1;
     // Clone-side consumption-group ids live far above the instance-striped
     // ranges (operator instances stripe below 2^20 per instance).

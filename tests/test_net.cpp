@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "data/nyse_synth.hpp"
+#include "net/session.hpp"
 #include "net/tcp.hpp"
 
 using namespace spectre;
@@ -86,6 +87,208 @@ TEST(Frame, WireConversionsPreserveEvent) {
     EXPECT_EQ(back.ts, e.ts);
     EXPECT_EQ(back.subject, e.subject);
     EXPECT_DOUBLE_EQ(back.attr(v.open_slot), e.attr(v.open_slot));
+}
+
+TEST(Frame, ZeroLengthSymbolRoundTrips) {
+    WireQuote q;
+    q.ts = 7;
+    q.open = 1.5;
+    q.symbol = "";  // legal: symbols travel by (possibly empty) name
+    std::vector<std::uint8_t> buf;
+    encode(q, buf);
+    std::size_t off = 0;
+    const auto back = decode(buf, off);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->symbol, "");
+    EXPECT_EQ(*back, q);
+    EXPECT_EQ(off, buf.size());
+}
+
+TEST(Frame, IncrementalDecodeAcrossOneByteFeeds) {
+    // Feed a multi-frame buffer one byte at a time through a FrameReader:
+    // every prefix must decode to exactly the frames whose bytes are
+    // complete, with no byte lost or duplicated at any split point.
+    std::vector<WireQuote> quotes;
+    for (int i = 0; i < 4; ++i) {
+        WireQuote q;
+        q.ts = 100 + i;
+        q.open = 1.0 + i;
+        q.symbol = i % 2 ? "" : "SYM" + std::to_string(i);
+        quotes.push_back(q);
+    }
+    std::vector<std::uint8_t> wire;
+    for (const auto& q : quotes) encode_frame(SessionFrame{q}, wire);
+
+    FrameReader reader;
+    std::vector<WireQuote> got;
+    for (const auto byte : wire) {
+        reader.feed(&byte, 1);
+        while (auto f = reader.poll()) got.push_back(std::get<WireQuote>(*f));
+    }
+    EXPECT_FALSE(reader.mid_frame());
+    ASSERT_EQ(got.size(), quotes.size());
+    for (std::size_t i = 0; i < quotes.size(); ++i) EXPECT_EQ(got[i], quotes[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Session control frames (net/session.hpp).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+SessionFrame round_trip(const SessionFrame& f) {
+    std::vector<std::uint8_t> buf;
+    encode_frame(f, buf);
+    std::size_t off = 0;
+    const auto back = decode_frame(buf, off);
+    EXPECT_TRUE(back.has_value());
+    EXPECT_EQ(off, buf.size());
+    return *back;
+}
+
+}  // namespace
+
+TEST(SessionFrame, ControlFramesRoundTrip) {
+    HelloFrame hello{"PATTERN (A B) DEFINE ...", 4};
+    EXPECT_EQ(std::get<HelloFrame>(round_trip(SessionFrame{hello})), hello);
+
+    ResultFrame result;
+    result.window_id = 42;
+    result.constituents = {3, 7, 19};
+    result.payload = {{"gain", 1.25}, {"", -3.5}};
+    EXPECT_EQ(std::get<ResultFrame>(round_trip(SessionFrame{result})), result);
+
+    ResultFrame empty_result;  // zero constituents, zero payload
+    EXPECT_EQ(std::get<ResultFrame>(round_trip(SessionFrame{empty_result})), empty_result);
+
+    ByeFrame bye{12345};
+    EXPECT_EQ(std::get<ByeFrame>(round_trip(SessionFrame{bye})), bye);
+
+    ErrorFrame error{"corrupt frame: symbol too long"};
+    EXPECT_EQ(std::get<ErrorFrame>(round_trip(SessionFrame{error})), error);
+
+    WireQuote data;
+    data.ts = 9;
+    data.symbol = "IBM";
+    EXPECT_EQ(std::get<WireQuote>(round_trip(SessionFrame{data})), data);
+}
+
+TEST(SessionFrame, PartialControlFramesReturnNullopt) {
+    ResultFrame result;
+    result.window_id = 1;
+    result.constituents = {1, 2, 3};
+    result.payload = {{"x", 1.0}};
+    for (const auto& frame :
+         {SessionFrame{HelloFrame{"PATTERN (A)", 2}}, SessionFrame{result},
+          SessionFrame{ByeFrame{7}}, SessionFrame{ErrorFrame{"oops"}}}) {
+        std::vector<std::uint8_t> buf;
+        encode_frame(frame, buf);
+        for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+            std::vector<std::uint8_t> partial(
+                buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+            std::size_t off = 0;
+            EXPECT_EQ(decode_frame(partial, off), std::nullopt) << "cut=" << cut;
+            EXPECT_EQ(off, 0u);
+        }
+    }
+}
+
+TEST(SessionFrame, UnknownTagThrows) {
+    const std::vector<std::uint8_t> buf = {0xff, 0x00, 0x01};
+    std::size_t off = 0;
+    EXPECT_THROW(decode_frame(buf, off), std::runtime_error);
+}
+
+TEST(SessionFrame, CorruptLengthsThrow) {
+    // HELLO whose query length exceeds the sanity bound.
+    std::vector<std::uint8_t> hello;
+    encode_frame(SessionFrame{HelloFrame{"q", 1}}, hello);
+    hello[1] = 0xff;  // query length bytes sit right after the tag
+    hello[2] = 0xff;
+    hello[3] = 0xff;
+    std::size_t off = 0;
+    EXPECT_THROW(decode_frame(hello, off), std::runtime_error);
+
+    // RESULT whose constituent count exceeds the sanity bound.
+    std::vector<std::uint8_t> result;
+    encode_frame(SessionFrame{ResultFrame{}}, result);
+    result[9] = 0xff;  // constituent count sits after tag + window id
+    result[10] = 0xff;
+    result[11] = 0xff;
+    result[12] = 0xff;
+    off = 0;
+    EXPECT_THROW(decode_frame(result, off), std::runtime_error);
+
+    // DATA wrapping a corrupt quote (symbol length beyond kMaxSymbolLength)
+    // propagates the inner corruption.
+    WireQuote q;
+    q.symbol = "OK";
+    std::vector<std::uint8_t> data;
+    encode_frame(SessionFrame{q}, data);
+    data[33] = 0xff;  // symbol length field: tag byte + 32-byte quote header
+    data[34] = 0xff;
+    off = 0;
+    EXPECT_THROW(decode_frame(data, off), std::runtime_error);
+}
+
+TEST(SessionFrame, DecodeAdvancesAcrossMixedFrames) {
+    std::vector<std::uint8_t> buf;
+    encode_frame(SessionFrame{HelloFrame{"PATTERN (A)", 0}}, buf);
+    WireQuote q;
+    q.ts = 1;
+    q.symbol = "A";
+    encode_frame(SessionFrame{q}, buf);
+    encode_frame(SessionFrame{ByeFrame{0}}, buf);
+
+    std::size_t off = 0;
+    EXPECT_TRUE(std::holds_alternative<HelloFrame>(*decode_frame(buf, off)));
+    EXPECT_TRUE(std::holds_alternative<WireQuote>(*decode_frame(buf, off)));
+    EXPECT_TRUE(std::holds_alternative<ByeFrame>(*decode_frame(buf, off)));
+    EXPECT_EQ(off, buf.size());
+    EXPECT_EQ(decode_frame(buf, off), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// TCP stream error surfacing.
+// ---------------------------------------------------------------------------
+
+TEST(Tcp, DisconnectMidFrameSurfacesStreamError) {
+    const auto v = vocab();
+    TcpSource source(0);
+    std::thread client([&] {
+        TcpClient c("127.0.0.1", source.port());
+        // One complete frame, then half of a second one, then vanish.
+        WireQuote q;
+        q.ts = 1;
+        q.symbol = "AAPL";
+        c.send(q);
+        std::vector<std::uint8_t> partial;
+        encode(q, partial);
+        partial.resize(partial.size() / 2);
+        c.send_raw(partial.data(), partial.size());
+        c.close();
+    });
+    TcpStream stream(source, v);
+    EXPECT_TRUE(stream.next().has_value());       // the complete frame
+    EXPECT_THROW(stream.next(), std::runtime_error);  // the truncated one
+    client.join();
+}
+
+TEST(Tcp, CleanDisconnectAtFrameBoundaryEndsStream) {
+    const auto v = vocab();
+    TcpSource source(0);
+    std::thread client([&] {
+        TcpClient c("127.0.0.1", source.port());
+        WireQuote q;
+        q.ts = 2;
+        q.symbol = "IBM";
+        c.send(q);
+        c.close();
+    });
+    TcpStream stream(source, v);
+    EXPECT_TRUE(stream.next().has_value());
+    EXPECT_EQ(stream.next(), std::nullopt);  // clean end-of-stream
+    client.join();
 }
 
 TEST(Tcp, LoopbackStreamDeliversAllEvents) {

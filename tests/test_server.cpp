@@ -1,0 +1,255 @@
+// Multi-session CEP server (DESIGN.md §8): many concurrent clients, each with
+// its own query and engine, over one epoll reactor. The acceptance bar is the
+// parity invariant extended to the wire: each session's RESULT stream —
+// received over TCP, in arrival order — must be byte-identical (events,
+// payloads, window order) to a SequentialEngine run over that session's
+// input, and results must observably arrive before the client ends its
+// stream (streaming egress).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/nyse_synth.hpp"
+#include "harness/load_gen.hpp"
+#include "query/parser.hpp"
+#include "sequential/seq_engine.hpp"
+#include "server/cep_server.hpp"
+
+using namespace spectre;
+
+namespace {
+
+// Wire-encodes a synthetic NYSE day (the client's view of its input).
+std::vector<net::WireQuote> wire_events(std::uint64_t n, std::uint64_t seed,
+                                        std::uint64_t symbols = 40,
+                                        double up_prob = 0.6) {
+    const auto vocab = data::StockVocab::create(std::make_shared<event::Schema>());
+    data::NyseSynthConfig cfg;
+    cfg.events = n;
+    cfg.symbols = symbols;
+    cfg.up_prob = up_prob;
+    cfg.seed = seed;
+    std::vector<net::WireQuote> wire;
+    for (const auto& e : data::generate_nyse(vocab, cfg)) wire.push_back(net::to_wire(e, vocab));
+    return wire;
+}
+
+// Ground truth: exactly what the server does per session — fresh schema +
+// vocab, parse the query text, decode the DATA frames in arrival order,
+// sequential pass over the resulting store.
+std::vector<event::ComplexEvent> sequential_ground_truth(
+    const std::string& query_text, const std::vector<net::WireQuote>& wire) {
+    const auto vocab = data::StockVocab::create(std::make_shared<event::Schema>());
+    auto query = query::parse_query(query_text, vocab.schema);
+    const auto cq = detect::CompiledQuery::compile(std::move(query));
+    event::EventStore store;
+    for (const auto& q : wire) store.append(net::from_wire(q, vocab));
+    return sequential::SequentialEngine(&cq).run(store).complex_events;
+}
+
+void expect_byte_identical(const std::vector<event::ComplexEvent>& expected,
+                           const std::vector<event::ComplexEvent>& actual,
+                           const std::string& label) {
+    ASSERT_EQ(expected.size(), actual.size()) << label;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i].window_id, actual[i].window_id) << label << " @" << i;
+        EXPECT_EQ(expected[i].constituents, actual[i].constituents) << label << " @" << i;
+        EXPECT_EQ(expected[i].payload, actual[i].payload) << label << " @" << i;
+    }
+}
+
+const char* kRisingPairQuery =
+    "PATTERN (R1 R2) "
+    "DEFINE R1 AS R1.close > R1.open, R2 AS R2.close > R2.open "
+    "WITHIN 40 EVENTS FROM EVERY 10 EVENTS "
+    "CONSUME ALL";
+
+const char* kRisingTripleQuery =
+    "PATTERN (R1 R2 R3) "
+    "DEFINE R1 AS R1.close > R1.open, R2 AS R2.close > R2.open, "
+    "       R3 AS R3.close > R3.open "
+    "WITHIN 30 EVENTS FROM EVERY 6 EVENTS "
+    "CONSUME ALL "
+    "EMIT gain = R3.close - R1.open";
+
+const char* kFallingPairQuery =
+    "PATTERN (F1 F2) "
+    "DEFINE F1 AS F1.close < F1.open, F2 AS F2.close < F2.open "
+    "WITHIN 24 EVENTS FROM EVERY 8 EVENTS "
+    "CONSUME (F1 F2)";
+
+const char* kLeaderQuery =
+    "PATTERN (MLE RE1 RE2) "
+    "DEFINE MLE AS SYMBOL IN ('AAPL','IBM','MSFT') AND MLE.close > MLE.open, "
+    "       RE1 AS RE1.close > RE1.open, RE2 AS RE2.close > RE2.open "
+    "WITHIN 60 EVENTS FROM MLE "
+    "CONSUME ALL";
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The acceptance-criteria test: >= 4 concurrent clients, different queries,
+// one CepServer; each RESULT stream byte-identical to a sequential run of
+// that session's input; results observably arrive before end-of-stream.
+// ---------------------------------------------------------------------------
+
+TEST(CepServer, FourConcurrentSessionsMatchSequentialByteForByte) {
+    server::CepServer srv;
+    srv.start();
+
+    // Four sessions: distinct queries, distinct inputs, a mix of sequential
+    // (k=0) and speculative SPECTRE (k>0) engines. Each blocks mid-stream
+    // until its first RESULT arrives, proving egress precedes end-of-stream.
+    std::vector<harness::LoadGenSession> specs(4);
+    specs[0] = {kRisingPairQuery, 0, wire_events(600, 11), /*wait_result_after=*/300};
+    specs[1] = {kRisingTripleQuery, 2, wire_events(500, 22), /*wait_result_after=*/250};
+    specs[2] = {kFallingPairQuery, 1, wire_events(550, 33, 30, 0.4),
+                /*wait_result_after=*/275};
+    specs[3] = {kLeaderQuery, 2, wire_events(450, 44), /*wait_result_after=*/225};
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    const auto outcomes = client.run(specs);
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto& out = outcomes[i];
+        const std::string label = "session " + std::to_string(i);
+        EXPECT_TRUE(out.error.empty()) << label << ": " << out.error;
+        EXPECT_TRUE(out.completed) << label;
+        // Streaming egress: at least one result arrived before BYE was sent.
+        EXPECT_GE(out.results_before_bye, 1u) << label;
+        EXPECT_EQ(out.server_reported_results, out.results.size()) << label;
+        expect_byte_identical(sequential_ground_truth(specs[i].query, specs[i].events),
+                              out.results, label);
+    }
+
+    srv.stop();
+    const auto stats = srv.stats();
+    EXPECT_EQ(stats.sessions_accepted, 4u);
+    EXPECT_EQ(stats.sessions_completed, 4u);
+    EXPECT_EQ(stats.sessions_failed, 0u);
+    EXPECT_EQ(stats.events_ingested, 600u + 500 + 550 + 450);
+}
+
+// ---------------------------------------------------------------------------
+// Failure isolation: a corrupt frame fails only its own session.
+// ---------------------------------------------------------------------------
+
+TEST(CepServer, CorruptFrameFailsOnlyThatSession) {
+    server::CepServer srv;
+    srv.start();
+
+    std::vector<harness::LoadGenSession> specs(3);
+    specs[0] = {kRisingPairQuery, 0, wire_events(400, 55)};
+    specs[1] = {kRisingPairQuery, 2, wire_events(400, 66)};
+    specs[1].corrupt_after = 100;  // injects an invalid frame tag mid-stream
+    specs[2] = {kRisingTripleQuery, 0, wire_events(400, 77)};
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    const auto outcomes = client.run(specs);
+
+    // The corrupted session got an ERROR frame and was disconnected.
+    EXPECT_FALSE(outcomes[1].completed);
+    EXPECT_FALSE(outcomes[1].error.empty());
+
+    // Its neighbours are untouched and still byte-identical.
+    for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+        const std::string label = "session " + std::to_string(i);
+        EXPECT_TRUE(outcomes[i].error.empty()) << label << ": " << outcomes[i].error;
+        EXPECT_TRUE(outcomes[i].completed) << label;
+        expect_byte_identical(sequential_ground_truth(specs[i].query, specs[i].events),
+                              outcomes[i].results, label);
+    }
+
+    srv.stop();
+    EXPECT_EQ(srv.stats().sessions_failed, 1u);
+    EXPECT_EQ(srv.stats().sessions_completed, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Death mid-frame: a truncated final DATA frame is a surfaced stream error,
+// not a silent drop; the server survives and other sessions are unaffected.
+// ---------------------------------------------------------------------------
+
+TEST(CepServer, ClientDeathMidFrameIsIsolated) {
+    server::CepServer srv;
+    srv.start();
+
+    std::vector<harness::LoadGenSession> specs(2);
+    specs[0] = {kRisingPairQuery, 1, wire_events(300, 88)};
+    specs[0].truncate_frame_at_event = 150;  // dies halfway through a frame
+    specs[1] = {kRisingPairQuery, 0, wire_events(300, 99)};
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    const auto outcomes = client.run(specs);
+
+    EXPECT_FALSE(outcomes[0].completed);
+    EXPECT_TRUE(outcomes[1].completed) << outcomes[1].error;
+    expect_byte_identical(sequential_ground_truth(specs[1].query, specs[1].events),
+                          outcomes[1].results, "survivor");
+
+    srv.stop();
+    EXPECT_EQ(srv.stats().sessions_failed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Session protocol errors.
+// ---------------------------------------------------------------------------
+
+TEST(CepServer, MalformedQueryGetsErrorFrame) {
+    server::CepServer srv;
+    srv.start();
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    harness::LoadGenSession spec;
+    spec.query = "PATTERN (A DEFINE oops";
+    spec.instances = 1;
+    spec.events = wire_events(10, 1);
+    const auto out = client.run_one(spec);
+
+    EXPECT_FALSE(out.completed);
+    EXPECT_NE(out.error.find("HELLO rejected"), std::string::npos) << out.error;
+
+    srv.stop();
+    EXPECT_EQ(srv.stats().sessions_failed, 1u);
+}
+
+TEST(CepServer, InstancesBeyondServerLimitRejected) {
+    server::ServerConfig cfg;
+    cfg.session.max_instances = 2;
+    server::CepServer srv(cfg);
+    srv.start();
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    harness::LoadGenSession spec;
+    spec.query = kRisingPairQuery;
+    spec.instances = 16;
+    spec.events = wire_events(10, 1);
+    const auto out = client.run_one(spec);
+
+    EXPECT_FALSE(out.completed);
+    EXPECT_NE(out.error.find("instances exceed"), std::string::npos) << out.error;
+    srv.stop();
+}
+
+// Same input + same query through the sequential (k=0) and speculative (k>0)
+// engines, concurrently, over the wire: the parity invariant end to end.
+TEST(CepServer, SequentialAndSpectreSessionsAgree) {
+    server::CepServer srv;
+    srv.start();
+
+    const auto wire = wire_events(500, 123);
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+
+    std::vector<harness::LoadGenSession> specs(2);
+    specs[0] = {kRisingTripleQuery, 0, wire};  // sequential reference
+    specs[1] = {kRisingTripleQuery, 3, wire};  // speculative SPECTRE, k=3
+    const auto outcomes = client.run(specs);
+
+    ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+    ASSERT_TRUE(outcomes[1].completed) << outcomes[1].error;
+    // Same input + same query through different engines over the wire: the
+    // parity invariant, end to end.
+    expect_byte_identical(outcomes[0].results, outcomes[1].results, "seq-vs-spectre");
+    srv.stop();
+}
