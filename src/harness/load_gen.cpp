@@ -32,12 +32,43 @@ struct Driver {
 
     int fd() const { return conn->fd(); }
 
-    void connect(const std::string& host, std::uint16_t port) { conn.emplace(host, port); }
+    void connect(const std::string& host, std::uint16_t port, int rcvbuf) {
+        conn.emplace(host, port, rcvbuf);
+    }
 
     void send_frame(const net::SessionFrame& f) {
         std::vector<std::uint8_t> bytes;
         net::encode_frame(f, bytes);
         conn->send_raw(bytes.data(), bytes.size());
+    }
+
+    // Send for a read-gated (slow-consumer) session. A blocking send could
+    // distributed-deadlock with the server's ingest backpressure: the server
+    // parks the session on egress credit, stops pulling ingest, pauses
+    // reading the socket — and a client wedged in send_raw would never reach
+    // the gate-checked read loop. Send non-blockingly instead and, when the
+    // socket fills, drain results once the gate allows (sleep until then).
+    void send_frame_gated(const std::atomic<bool>& gate, const net::SessionFrame& f) {
+        std::vector<std::uint8_t> bytes;
+        net::encode_frame(f, bytes);
+        std::size_t sent = 0;
+        while (sent < bytes.size()) {
+            const ssize_t w = ::send(fd(), bytes.data() + sent, bytes.size() - sent,
+                                     MSG_NOSIGNAL | MSG_DONTWAIT);
+            if (w > 0) {
+                sent += static_cast<std::size_t>(w);
+                continue;
+            }
+            if (w < 0 && errno == EINTR) continue;
+            if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                if (gate.load(std::memory_order_acquire))
+                    drain_nonblocking();
+                else
+                    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                continue;
+            }
+            throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+        }
     }
 
     void handle(net::SessionFrame&& f) {
@@ -111,7 +142,8 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
     Driver d;
     const auto t0 = Clock::now();
     try {
-        d.connect(host, port);
+        // SO_RCVBUF must be set before connect to bound the TCP window.
+        d.connect(host, port, spec.rcvbuf);
         d.send_frame(net::SessionFrame{net::HelloFrame{spec.query, spec.instances}});
         d.first_data = Clock::now();
         bool corrupted = false;
@@ -133,15 +165,32 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
                 d.out.wall_seconds = seconds_since(t0);
                 return std::move(d.out);
             }
-            d.send_frame(net::SessionFrame{spec.events[i]});
+            if (spec.read_gate)
+                d.send_frame_gated(*spec.read_gate, net::SessionFrame{spec.events[i]});
+            else
+                d.send_frame(net::SessionFrame{spec.events[i]});
             ++d.out.events_sent;
-            d.drain_nonblocking();
+            if (!spec.read_gate || spec.read_gate->load(std::memory_order_acquire))
+                d.drain_nonblocking();
             if (i == spec.wait_result_after)
                 while (!d.terminal && d.out.results.empty()) d.read_blocking();
         }
-        if (!d.terminal && !corrupted) d.send_frame(net::SessionFrame{net::ByeFrame{}});
+        if (!d.terminal && !corrupted) {
+            if (spec.read_gate)
+                d.send_frame_gated(*spec.read_gate, net::SessionFrame{net::ByeFrame{}});
+            else
+                d.send_frame(net::SessionFrame{net::ByeFrame{}});
+        }
         d.out.results_before_bye = d.out.results.size();
-        while (!d.terminal) d.read_blocking();
+        while (!d.terminal) {
+            if (spec.read_gate && !spec.read_gate->load(std::memory_order_acquire)) {
+                // Slow consumer: hold the connection open without reading a
+                // byte until the gate opens.
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                continue;
+            }
+            d.read_blocking();
+        }
     } catch (const std::exception& e) {
         if (d.out.error.empty()) d.out.error = e.what();
     }

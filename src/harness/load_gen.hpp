@@ -12,7 +12,9 @@
 // and the first-result latency (for the throughput bench).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,19 @@ struct LoadGenSession {
     // Close the connection abruptly after sending this many *bytes* of the
     // next DATA frame (death mid-frame fault injection). SIZE_MAX disables.
     std::size_t truncate_frame_at_event = SIZE_MAX;
+
+    // Slow-consumer fault injection: while set and false, the client does
+    // not read a single RESULT byte — the server's egress buffer for this
+    // session must fill and park its engine task (DESIGN.md §9), never a
+    // pool worker. Reading (and the final drain) begins once the gate flips
+    // to true. nullptr disables.
+    std::shared_ptr<std::atomic<bool>> read_gate = nullptr;
+
+    // SO_RCVBUF for this client's socket; 0 keeps the kernel default. Paired
+    // with ServerConfig::session_sndbuf by the backpressure tests so result
+    // bytes stop flowing at a known small bound instead of vanishing into
+    // auto-tuned loopback buffers.
+    int rcvbuf = 0;
 };
 
 struct LoadGenOutcome {

@@ -1,0 +1,33 @@
+#include "harness/oracle.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "data/stock.hpp"
+#include "detect/compiled_query.hpp"
+#include "query/parser.hpp"
+#include "sequential/seq_engine.hpp"
+
+namespace spectre::harness {
+
+std::vector<event::ComplexEvent> sequential_oracle(
+    const std::string& query_text, const std::vector<net::WireQuote>& wire) {
+    const auto vocab = data::StockVocab::create(std::make_shared<event::Schema>());
+    auto query = query::parse_query(query_text, vocab.schema);
+    const auto cq = detect::CompiledQuery::compile(std::move(query));
+    event::EventStore store;
+    for (const auto& q : wire) store.append(net::from_wire(q, vocab));
+    return sequential::SequentialEngine(&cq).run(store).complex_events;
+}
+
+bool results_identical(const std::vector<event::ComplexEvent>& a,
+                       const std::vector<event::ComplexEvent>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].window_id != b[i].window_id || a[i].constituents != b[i].constituents ||
+            a[i].payload != b[i].payload)
+            return false;
+    return true;
+}
+
+}  // namespace spectre::harness

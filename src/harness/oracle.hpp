@@ -1,0 +1,26 @@
+// The sequential oracle for server parity checks (DESIGN.md §8/§9): the one
+// definition of "what a session's RESULT stream must equal", shared by the
+// differential test suites and the bench acceptance gate so they can never
+// diverge. Reproduces exactly what the server does per session — fresh
+// schema + vocab, parse the query text, decode the DATA frames in arrival
+// order — then runs the sequential reference engine over the result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "event/event.hpp"
+#include "net/session.hpp"
+
+namespace spectre::harness {
+
+// Sequential ground truth over the wire-encoded input a session sent.
+std::vector<event::ComplexEvent> sequential_oracle(const std::string& query_text,
+                                                   const std::vector<net::WireQuote>& wire);
+
+// Byte-identity in the §8 sense: window ids, constituent seqs, payloads, and
+// order all equal.
+bool results_identical(const std::vector<event::ComplexEvent>& a,
+                       const std::vector<event::ComplexEvent>& b);
+
+}  // namespace spectre::harness

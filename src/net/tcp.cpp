@@ -142,9 +142,12 @@ std::optional<event::Event> TcpStream::next() {
     }
 }
 
-TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+TcpClient::TcpClient(const std::string& host, std::uint16_t port, int rcvbuf) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) fail("socket");
+    if (rcvbuf > 0 &&
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf)) < 0)
+        fail("setsockopt(SO_RCVBUF)");
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);

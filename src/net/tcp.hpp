@@ -94,7 +94,10 @@ private:
 
 class TcpClient {
 public:
-    TcpClient(const std::string& host, std::uint16_t port);
+    // `rcvbuf` > 0 sets SO_RCVBUF before connect() — it must precede the
+    // handshake to bound the advertised TCP window (backpressure tests);
+    // 0 keeps the kernel default (auto-tuned).
+    TcpClient(const std::string& host, std::uint16_t port, int rcvbuf = 0);
     ~TcpClient();
 
     TcpClient(const TcpClient&) = delete;

@@ -13,8 +13,9 @@ SequentialEngine::SequentialEngine(const detect::CompiledQuery* cq) : cq_(cq) {
 
 // Incremental sequential pass: windows are discovered from the arrival
 // frontier and each is processed once the frontier covers it (or the stream
-// closed — the end-of-stream clamp for trailing extent bounds).
-struct SequentialEngine::Pass {
+// closed — the end-of-stream clamp for trailing extent bounds). Backs both
+// the blocking entry points below and the resumable SeqStepper.
+struct SeqStepper::Impl {
     const detect::CompiledQuery* cq;
     const event::EventStore& store;
     const event::ResultSink* sink;  // nullptr = collect into result
@@ -26,19 +27,23 @@ struct SequentialEngine::Pass {
     detect::Feedback fb;
     SeqResult result;
 
-    Pass(const detect::CompiledQuery* cq_in, const event::EventStore& store_in,
+    Impl(const detect::CompiledQuery* cq_in, const event::EventStore& store_in,
          const event::ResultSink* sink_in)
         : cq(cq_in), store(store_in), sink(sink_in), assigner(cq_in->query().window),
           detector(cq_in) {}
 
-    void drain(event::Seq frontier, bool closed) {
+    // Processes at most `max_windows` fully-arrived windows at `frontier`;
+    // returns true while another fully-arrived window is still pending.
+    bool drain(event::Seq frontier, bool closed, std::size_t max_windows) {
         assigner.poll(store, frontier, closed, windows);
+        std::size_t processed = 0;
         while (next < windows.size()) {
             const auto& w = windows[next];
             // Sequential semantics process a window to completion before the
             // next one starts, so it must have fully arrived (its extent
             // bound may reach past a closed stream's end).
-            if (!closed && w.last >= frontier) break;
+            if (!closed && w.last >= frontier) return false;
+            if (processed == max_windows) return true;  // quantum exhausted
             const event::Seq end = std::min<event::Seq>(w.last, frontier - 1);
             detector.begin_window(w);
             for (event::Seq pos = w.first; pos <= end; ++pos) {
@@ -73,7 +78,9 @@ struct SequentialEngine::Pass {
                 if (cq->consumes_anything()) ++result.stats.groups_abandoned;
             }
             ++next;
+            ++processed;
         }
+        return false;
     }
 
     SeqResult finish() {
@@ -82,10 +89,33 @@ struct SequentialEngine::Pass {
     }
 };
 
+SeqStepper::SeqStepper(const detect::CompiledQuery* cq, const event::EventStore* store,
+                       event::ResultSink sink) {
+    // Validate before Impl's initializers dereference either pointer.
+    SPECTRE_REQUIRE(cq != nullptr && store != nullptr, "SeqStepper needs store and query");
+    SPECTRE_REQUIRE(static_cast<bool>(sink), "SeqStepper needs a result sink");
+    sink_holder_ = std::move(sink);
+    impl_ = std::make_unique<Impl>(cq, *store, &sink_holder_);
+}
+
+SeqStepper::~SeqStepper() = default;
+
+bool SeqStepper::drain(std::size_t max_windows) {
+    // End-of-input latch before the frontier (DESIGN.md §6 ordering): a true
+    // closed() implies the following size() read is the stream's final length.
+    const bool closed = impl_->store.closed();
+    return impl_->drain(impl_->store.size(), closed, max_windows);
+}
+
+bool SeqStepper::finished() const {
+    return impl_->store.closed() && impl_->assigner.exhausted() &&
+           impl_->next == impl_->windows.size();
+}
+
 SeqResult SequentialEngine::run_impl(const event::EventStore& store,
                                      const event::ResultSink* sink) const {
-    Pass pass(cq_, store, sink);
-    pass.drain(store.size(), /*closed=*/true);
+    SeqStepper::Impl pass(cq_, store, sink);
+    pass.drain(store.size(), /*closed=*/true, SIZE_MAX);
     return pass.finish();
 }
 
@@ -102,13 +132,13 @@ SeqResult SequentialEngine::run_stream_impl(event::EventStream& live,
                                             event::EventStore& store,
                                             const event::ResultSink* sink) const {
     SPECTRE_REQUIRE(!store.closed(), "run_stream needs an open store");
-    Pass pass(cq_, store, sink);
+    SeqStepper::Impl pass(cq_, store, sink);
     while (auto e = live.next()) {
         store.append(*e);
-        pass.drain(store.size(), /*closed=*/false);
+        pass.drain(store.size(), /*closed=*/false, SIZE_MAX);
     }
     store.close();
-    pass.drain(store.size(), /*closed=*/true);
+    pass.drain(store.size(), /*closed=*/true, SIZE_MAX);
     return pass.finish();
 }
 

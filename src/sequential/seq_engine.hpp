@@ -19,6 +19,7 @@
 // (used to validate the Markov model against reality).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "detect/detector.hpp"
@@ -49,6 +50,41 @@ struct SeqResult {
     SeqStats stats;
 };
 
+// Resumable sequential pass (DESIGN.md §9): the cooperative counterpart of
+// run_stream for callers that cannot block on a stream — a worker-pool engine
+// task appends arrivals to the store itself and calls drain() with a bounded
+// window quantum, parking the session between calls. Output through `sink` is
+// byte-identical to SequentialEngine::run over the final store contents, for
+// every interleaving of appends and drains (windows are processed in start
+// order exactly when the frontier — or end-of-stream — determines them).
+class SeqStepper {
+public:
+    // `store` is the session's ingestion frontier; the caller appends to it
+    // between drain() calls (reads stay below the frontier). `sink` receives
+    // complex events in window order.
+    SeqStepper(const detect::CompiledQuery* cq, const event::EventStore* store,
+               event::ResultSink sink);
+    ~SeqStepper();
+
+    SeqStepper(const SeqStepper&) = delete;
+    SeqStepper& operator=(const SeqStepper&) = delete;
+
+    // Processes fully-arrived windows at the store's current frontier, at
+    // most `max_windows` of them (the scheduling quantum). Returns true while
+    // another fully-arrived window is still pending — i.e. calling again
+    // would make progress without new input.
+    bool drain(std::size_t max_windows);
+
+    // Quiescent on a complete input: store closed, every window processed.
+    bool finished() const;
+
+private:
+    friend class SequentialEngine;  // batch/stream entry points reuse Impl
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    event::ResultSink sink_holder_;
+};
+
 class SequentialEngine {
 public:
     explicit SequentialEngine(const detect::CompiledQuery* cq);
@@ -71,7 +107,6 @@ public:
                          const event::ResultSink& sink) const;
 
 private:
-    struct Pass;
     SeqResult run_impl(const event::EventStore& store, const event::ResultSink* sink) const;
     SeqResult run_stream_impl(event::EventStream& live, event::EventStore& store,
                               const event::ResultSink* sink) const;

@@ -32,7 +32,8 @@ void set_nonblocking(int fd) {
 
 }  // namespace
 
-CepServer::CepServer(ServerConfig config) : config_(config) {
+CepServer::CepServer(ServerConfig config)
+    : config_(config), pool_(config.pool_workers) {
     listen_fd_ = net::listen_loopback(config_.port, config_.backlog, port_);
     set_nonblocking(listen_fd_);
 
@@ -59,6 +60,7 @@ CepServer::~CepServer() {
 void CepServer::start() {
     SPECTRE_REQUIRE(!started_, "CepServer::start called twice");
     started_ = true;
+    pool_.start();
     reactor_ = std::thread([this] { reactor_loop(); });
 }
 
@@ -68,11 +70,16 @@ void CepServer::stop() {
     stopping_.store(true, std::memory_order_release);
     wake();
     reactor_.join();
-    // Reactor is gone: sessions are single-threaded again except for their
-    // engine threads. Poison every send path first (so no engine can park on
-    // a dead client), then join.
+    // Reactor is gone; pool workers may still be running quanta. Abort every
+    // session first: poisons egress (a parked-on-egress task's wait resolves
+    // to "nothing left to send"), closes ingestion, and notifies the task so
+    // a parked one runs once more, sees the abort and finishes. Quanta are
+    // bounded, so the pool join below is prompt; tasks that never get a
+    // worker before the join are simply forgotten with the pool and
+    // destroyed with their sessions — no thread is parked inside them.
     for (auto& [id, session] : sessions_) session->abort();
-    for (auto& [id, session] : sessions_) session->join_engine();
+    pool_.stop();
+    counters_.sessions_live.store(0, std::memory_order_relaxed);
     sessions_.clear();
 }
 
@@ -83,6 +90,21 @@ ServerStats CepServer::stats() const {
     s.sessions_failed = counters_.sessions_failed.load(std::memory_order_relaxed);
     s.events_ingested = counters_.events_ingested.load(std::memory_order_relaxed);
     s.results_emitted = counters_.results_emitted.load(std::memory_order_relaxed);
+    s.sessions_live = counters_.sessions_live.load(std::memory_order_relaxed);
+    const auto pool = pool_.stats();
+    s.pool_workers = pool.workers;
+    s.quanta_executed = pool.quanta;
+    s.tasks_added = pool.tasks_added;
+    s.tasks_finished = pool.tasks_finished;
+    s.tasks_live = pool.tasks_live;
+    s.tasks_queued = pool.tasks_queued;
+    s.tasks_running = pool.tasks_running;
+    s.parks_input = counters_.parks_input.load(std::memory_order_relaxed);
+    s.parks_egress = counters_.parks_egress.load(std::memory_order_relaxed);
+    s.ingest_pauses = counters_.ingest_pauses.load(std::memory_order_relaxed);
+    s.egress_buffered_bytes =
+        counters_.egress_buffered_bytes.load(std::memory_order_relaxed);
+    s.egress_peak_bytes = counters_.egress_peak_bytes.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -91,6 +113,14 @@ void CepServer::wake() {
     // Best-effort: the eventfd is only ever full when the reactor already has
     // a pending wakeup, which is all we need.
     [[maybe_unused]] const ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void CepServer::post_cmd(std::uint64_t id, SessionCmd cmd) {
+    {
+        const std::lock_guard<std::mutex> lock(cmd_mutex_);
+        cmds_.emplace_back(id, cmd);
+    }
+    wake();
 }
 
 void CepServer::reactor_loop() {
@@ -107,9 +137,9 @@ void CepServer::reactor_loop() {
             if (tag == kListenTag)
                 accept_clients();
             else if (tag == kWakeTag)
-                drain_wake_and_reap();
+                drain_wake_and_commands();
             else
-                handle_session_event(tag);
+                handle_session_event(tag, events[i].events);
         }
     }
 }
@@ -124,15 +154,27 @@ void CepServer::accept_clients() {
             // kill the reactor; the client simply doesn't get a session.
             return;
         }
+        if (config_.session_sndbuf > 0 &&
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.session_sndbuf,
+                         sizeof(config_.session_sndbuf)) < 0) {
+            // The configured buffer bound is a correctness premise for the
+            // caller (backpressure engages at the cap, not in auto-tuned
+            // kernel buffers); refuse the connection rather than run
+            // silently unbounded.
+            ::close(fd);
+            continue;
+        }
         const auto id = next_session_id_++;
-        auto session = std::make_unique<ServerSession>(
-            id, fd, config_.session, &counters_, [this](std::uint64_t done_id) {
-                {
-                    const std::lock_guard<std::mutex> lock(done_mutex_);
-                    done_.push_back(done_id);
-                }
-                wake();
+        SessionHooks hooks;
+        hooks.post = [this](std::uint64_t sid, SessionCmd cmd) { post_cmd(sid, cmd); };
+        hooks.register_task = [this](std::uint64_t sid, EngineTask* task) {
+            pool_.add(sid, task, [this](std::uint64_t done_id) {
+                post_cmd(done_id, SessionCmd::TaskDone);
             });
+        };
+        hooks.notify_task = [this](std::uint64_t sid) { pool_.notify(sid); };
+        auto session = std::make_unique<ServerSession>(id, fd, config_.session,
+                                                       &counters_, std::move(hooks));
         epoll_event ev{};
         ev.events = EPOLLIN;
         ev.data.u64 = id;
@@ -140,43 +182,145 @@ void CepServer::accept_clients() {
             // Registration failed — drop the connection, keep the server.
             continue;  // session destructor closes fd
         }
+        session->set_armed_mask(EPOLLIN);
         counters_.sessions_accepted.fetch_add(1, std::memory_order_relaxed);
+        counters_.sessions_live.fetch_add(1, std::memory_order_relaxed);
         sessions_.emplace(id, std::move(session));
     }
 }
 
-void CepServer::handle_session_event(std::uint64_t id) {
-    const auto it = sessions_.find(id);
-    if (it == sessions_.end()) return;  // already reaped this batch
-    ServerSession& session = *it->second;
-    if (session.on_readable() == SessionStatus::Open) return;
-    // Input side is over (clean EOF, BYE'd out, or failed): stop watching the
-    // fd. Egress may still be running; the session object stays until its
-    // engine reports done.
-    struct epoll_event ev {};
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, session.fd(), &ev);
-    if (!session.engine_started()) sessions_.erase(it);
+void CepServer::handle_session_event(std::uint64_t id, std::uint32_t events) {
+    if (events & EPOLLOUT) handle_writable(id);
+    if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) handle_readable(id);
+    // A hung-up fd with a live engine would re-report ERR/HUP every wait
+    // (level-triggered) — detach it; completion still arrives via TaskDone.
+    if (events & (EPOLLERR | EPOLLHUP)) {
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end()) return;
+        ServerSession& s = *it->second;
+        if (!s.egress_pending()) {
+            epoll_event ev{};
+            ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, s.fd(), &ev);
+            s.set_armed_mask(0);
+        }
+    }
 }
 
-void CepServer::drain_wake_and_reap() {
+void CepServer::handle_readable(std::uint64_t id) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;  // reaped earlier this batch
+    ServerSession& s = *it->second;
+    if (s.input_done()) return;
+    for (;;) switch (s.on_readable()) {
+        case SessionStatus::Open:
+            update_interest(s);
+            return;
+        case SessionStatus::Paused:
+            // Ingest high watermark: stop reading; the task posts ResumeRead
+            // once it drains below the low watermark (§9 backpressure).
+            // Publish the pause, then re-check the queue level: the task may
+            // have drained past the watermark (and missed the flag) between
+            // the push that tripped the limit and now — pausing then would
+            // strand a session the task has already parked.
+            s.set_read_paused(true);
+            if (!s.ingest_above_low()) {
+                s.set_read_paused(false);
+                continue;  // keep reading — the task raced ahead
+            }
+            update_interest(s);
+            return;
+        case SessionStatus::Finished:
+            s.set_input_done();
+            // Input side is over (clean EOF, BYE'd out, or failed). Egress
+            // may still be running; the session stays until its task is done
+            // and its buffer drained.
+            if (!s.task_registered()) {
+                destroy_session(it);
+                return;
+            }
+            maybe_reap(id);
+            return;
+    }
+}
+
+void CepServer::handle_writable(std::uint64_t id) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    ServerSession& s = *it->second;
+    // flush_egress poisons + fails the session on a transport error and
+    // notifies a task parked on egress credit once room is available.
+    s.flush_egress();
+    maybe_reap(id);
+}
+
+void CepServer::drain_wake_and_commands() {
     std::uint64_t buf;
     while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
     }
-    std::vector<std::uint64_t> done;
+    std::vector<std::pair<std::uint64_t, SessionCmd>> cmds;
     {
-        const std::lock_guard<std::mutex> lock(done_mutex_);
-        done.swap(done_);
+        const std::lock_guard<std::mutex> lock(cmd_mutex_);
+        cmds.swap(cmds_);
     }
-    for (const auto id : done) reap(id);
+    for (const auto& [id, cmd] : cmds) {
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end()) continue;  // already reaped
+        ServerSession& s = *it->second;
+        switch (cmd) {
+            case SessionCmd::ResumeRead:
+                if (!s.input_done()) {
+                    update_interest(s);
+                    // Frames decoded before the pause may still be buffered;
+                    // dispatch them now — no new bytes will push them out.
+                    handle_readable(id);
+                }
+                break;
+            case SessionCmd::WatchWrite:
+                s.ack_watch_write();
+                // Opportunistic flush first — often drains without epoll.
+                s.flush_egress();
+                maybe_reap(id);
+                break;
+            case SessionCmd::TaskDone:
+                // Posted after the pool forgot the task and the final
+                // quantum returned — only now is destruction safe.
+                s.set_task_done();
+                maybe_reap(id);
+                break;
+        }
+    }
 }
 
-void CepServer::reap(std::uint64_t id) {
+void CepServer::maybe_reap(std::uint64_t id) {
     const auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
-    struct epoll_event ev {};
+    ServerSession& s = *it->second;
+    if (s.task_registered() && s.task_done() && s.egress_idle()) {
+        destroy_session(it);
+        return;
+    }
+    update_interest(s);
+}
+
+void CepServer::destroy_session(SessionMap::iterator it) {
+    epoll_event ev{};
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd(), &ev);  // may ENOENT
-    it->second->join_engine();
+    counters_.sessions_live.fetch_sub(1, std::memory_order_relaxed);
     sessions_.erase(it);
+}
+
+void CepServer::update_interest(ServerSession& s) {
+    std::uint32_t mask = 0;
+    if (!s.input_done() && !s.read_paused()) mask |= EPOLLIN;
+    if (s.egress_pending()) mask |= EPOLLOUT;
+    if (mask == s.armed_mask()) return;
+    epoll_event ev{};
+    ev.events = mask;
+    ev.data.u64 = s.id();
+    // MOD may fail with ENOENT after an ERR/HUP detach; that fd is done
+    // delivering events, so the stale mask is harmless.
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, s.fd(), &ev) == 0)
+        s.set_armed_mask(mask);
 }
 
 }  // namespace spectre::server

@@ -1,4 +1,4 @@
-// CepServer: the multi-session CEP server (DESIGN.md §8).
+// CepServer: the multi-session CEP server (DESIGN.md §8, §9).
 //
 // The paper deploys SPECTRE as middleware behind a TCP ingest (paper §4.1);
 // this subsystem generalizes the repo's one-connection pipeline to many
@@ -7,21 +7,25 @@
 //
 // Architecture (one box per thread):
 //
-//    ┌ reactor ───────────────────────────────┐   ┌ session engines ───────┐
-//    │ epoll: listen fd, wake eventfd, every  │   │ one thread per session │
-//    │ session fd. Accepts clients, reads     │──▶│ (plus its k operator-  │
-//    │ bytes, decodes typed frames, drives    │   │ instance workers and   │
-//    │ each session's state machine, reaps    │◀──│ feeder), emits RESULT  │
-//    │ finished sessions.                     │   │ frames via ResultSink. │
+//    ┌ reactor ───────────────────────────────┐   ┌ engine pool ───────────┐
+//    │ epoll: listen fd, wake eventfd, every  │   │ N workers multiplexing │
+//    │ session fd. Accepts clients, reads     │──▶│ every session's engine │
+//    │ bytes, decodes typed frames, drives    │   │ task in bounded quanta │
+//    │ each session's state machine, flushes  │◀──│ (§9); a waiting task   │
+//    │ egress on EPOLLOUT, reaps done ones.   │   │ parks, not a worker.   │
 //    └────────────────────────────────────────┘   └────────────────────────┘
 //
 // The reactor never blocks on a session: fds are non-blocking, corrupt input
-// fails only the offending session (ERROR frame + disconnect), and engine
-// completion is signaled back through the wake eventfd so joins happen on the
-// reactor thread. Result egress runs concurrently with ingestion — the
-// ordering guarantee (per-session RESULT stream byte-identical to a
-// sequential run of that session's input) is inherited from the engines'
-// retirement order (§8).
+// fails only the offending session (ERROR frame + disconnect), and pool
+// workers talk back through a command queue drained via the wake eventfd
+// (ResumeRead after an ingest pause, WatchWrite for pending egress, TaskDone
+// for reaping). Sessions are decoupled from OS threads: thousands of
+// sessions share the pool's N workers, ingest is bounded per session (a full
+// queue pauses that socket's reads — TCP backpressure), and egress is
+// bounded per session (an over-cap buffer parks that session's task until
+// EPOLLOUT drains it). The per-session ordering guarantee — RESULT stream
+// byte-identical to a sequential run of that session's input — is inherited
+// from the engines' retirement order (§8) and is independent of pool size.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "server/engine_pool.hpp"
 #include "server/session.hpp"
 
 namespace spectre::server {
@@ -38,16 +43,40 @@ namespace spectre::server {
 struct ServerConfig {
     std::uint16_t port = 0;  // 127.0.0.1:port; 0 = ephemeral
     int backlog = 64;
+    // Engine worker pool size (§9): sessions multiplex over this many
+    // threads regardless of how many clients connect.
+    int pool_workers = 4;
+    // SO_SNDBUF for accepted session fds; 0 keeps the kernel default
+    // (auto-tuned). Tests shrink it so egress backpressure engages at the
+    // configured cap instead of hiding inside megabytes of socket buffer.
+    int session_sndbuf = 0;
     SessionLimits session{};
 };
 
 // Snapshot of the server-wide counters.
 struct ServerStats {
     std::uint64_t sessions_accepted = 0;
-    std::uint64_t sessions_completed = 0;  // engine finished, BYE delivered
+    std::uint64_t sessions_completed = 0;  // engine finished, BYE buffered for delivery
     std::uint64_t sessions_failed = 0;     // corrupt frame / bad query / died mid-frame
     std::uint64_t events_ingested = 0;
-    std::uint64_t results_emitted = 0;     // RESULT frames delivered
+    std::uint64_t results_emitted = 0;     // RESULT frames buffered for delivery
+    std::size_t sessions_live = 0;         // currently connected / draining
+
+    // Engine pool (§9).
+    int pool_workers = 0;
+    std::uint64_t quanta_executed = 0;
+    std::uint64_t tasks_added = 0;
+    std::uint64_t tasks_finished = 0;
+    std::size_t tasks_live = 0;    // parked + queued + running
+    std::size_t tasks_queued = 0;
+    std::size_t tasks_running = 0;
+
+    // Backpressure (§9).
+    std::uint64_t parks_input = 0;       // task parked awaiting ingest
+    std::uint64_t parks_egress = 0;      // task parked awaiting egress credit
+    std::uint64_t ingest_pauses = 0;     // reactor paused a socket's reads
+    std::size_t egress_buffered_bytes = 0;  // currently buffered, all sessions
+    std::size_t egress_peak_bytes = 0;      // high-water mark of the above
 };
 
 class CepServer {
@@ -62,20 +91,30 @@ public:
     // eagerly so callers can connect as soon as start() returns).
     std::uint16_t port() const noexcept { return port_; }
 
-    // Spawns the reactor thread. Call once.
+    // Spawns the reactor thread and the engine pool. Call once.
     void start();
 
-    // Aborts live sessions, joins every engine and the reactor. Idempotent.
+    // Shutdown protocol (§9): join the reactor, abort every live session
+    // (poisons egress, closes ingestion, wakes parked tasks so they abandon
+    // their engines), join the pool workers, destroy the sessions. A session
+    // parked on a slow reader or on input never blocks stop(). Idempotent.
     void stop();
 
     ServerStats stats() const;
 
 private:
+    using SessionMap = std::unordered_map<std::uint64_t, std::unique_ptr<ServerSession>>;
+
     void reactor_loop();
     void accept_clients();
-    void handle_session_event(std::uint64_t id);
-    void drain_wake_and_reap();
-    void reap(std::uint64_t id);
+    void handle_session_event(std::uint64_t id, std::uint32_t events);
+    void handle_readable(std::uint64_t id);
+    void handle_writable(std::uint64_t id);
+    void drain_wake_and_commands();
+    void maybe_reap(std::uint64_t id);
+    void destroy_session(SessionMap::iterator it);
+    void update_interest(ServerSession& session);
+    void post_cmd(std::uint64_t id, SessionCmd cmd);
     void wake();
 
     ServerConfig config_;
@@ -84,19 +123,20 @@ private:
     int wake_fd_ = -1;
     std::uint16_t port_ = 0;
 
+    EnginePool pool_;
     std::thread reactor_;
     std::atomic<bool> stopping_{false};
     bool started_ = false;
     bool stopped_ = false;
 
     // Sessions are owned and touched by the reactor thread only (and by
-    // stop() after the reactor has been joined).
-    std::unordered_map<std::uint64_t, std::unique_ptr<ServerSession>> sessions_;
+    // stop() after reactor and pool have been joined).
+    SessionMap sessions_;
     std::uint64_t next_session_id_ = 2;  // 0 = listen tag, 1 = wake tag
 
-    // Engine threads report completion here; the reactor drains it.
-    std::mutex done_mutex_;
-    std::vector<std::uint64_t> done_;
+    // Pool workers post commands here; the reactor drains on wake.
+    std::mutex cmd_mutex_;
+    std::vector<std::pair<std::uint64_t, SessionCmd>> cmds_;
 
     ServerCounters counters_;
 };

@@ -1,0 +1,129 @@
+#include "server/engine_pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace spectre::server {
+
+EnginePool::EnginePool(int workers) : workers_count_(workers) {
+    SPECTRE_REQUIRE(workers >= 1, "EnginePool needs at least one worker");
+}
+
+EnginePool::~EnginePool() { stop(); }
+
+void EnginePool::start() {
+    SPECTRE_REQUIRE(!started_, "EnginePool::start called twice");
+    started_ = true;
+    workers_.reserve(static_cast<std::size_t>(workers_count_));
+    for (int i = 0; i < workers_count_; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+void EnginePool::stop() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.clear();
+    run_queue_.clear();
+}
+
+void EnginePool::add(std::uint64_t id, EngineTask* task,
+                     std::function<void(std::uint64_t)> on_done) {
+    SPECTRE_REQUIRE(task != nullptr, "EnginePool::add needs a task");
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto [it, inserted] =
+            tasks_.emplace(id, Entry{task, TaskState::Queued, std::move(on_done)});
+        SPECTRE_REQUIRE(inserted, "EnginePool::add: duplicate task id");
+        (void)it;
+        run_queue_.push_back(id);
+        ++added_;
+    }
+    cv_.notify_one();
+}
+
+void EnginePool::notify(std::uint64_t id) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = tasks_.find(id);
+        if (it == tasks_.end()) return;  // already finished
+        switch (it->second.state) {
+            case TaskState::Parked:
+                it->second.state = TaskState::Queued;
+                run_queue_.push_back(id);
+                break;
+            case TaskState::Running:
+                // Re-run after the in-flight quantum: the producer may have
+                // published work the quantum's checks already missed.
+                it->second.state = TaskState::RunningNotified;
+                return;
+            case TaskState::Queued:
+            case TaskState::RunningNotified:
+                return;  // a run is already pending
+        }
+    }
+    cv_.notify_one();
+}
+
+void EnginePool::worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        cv_.wait(lock, [this] { return stopping_ || !run_queue_.empty(); });
+        if (stopping_) return;
+        const std::uint64_t id = run_queue_.front();
+        run_queue_.pop_front();
+        const auto it = tasks_.find(id);
+        SPECTRE_CHECK(it != tasks_.end() && it->second.state == TaskState::Queued,
+                      "run queue holds a non-queued task");
+        it->second.state = TaskState::Running;
+        EngineTask* task = it->second.task;
+        ++running_;
+
+        lock.unlock();
+        const auto outcome = task->run_quantum();
+        lock.lock();
+
+        ++quanta_;
+        --running_;
+        const auto post = tasks_.find(id);
+        SPECTRE_CHECK(post != tasks_.end(), "task vanished mid-quantum");
+        if (outcome == EngineTask::Quantum::Done) {
+            auto on_done = std::move(post->second.on_done);
+            tasks_.erase(post);
+            ++finished_;
+            lock.unlock();
+            if (on_done) on_done(id);
+            lock.lock();
+            continue;
+        }
+        if (outcome == EngineTask::Quantum::MoreWork ||
+            post->second.state == TaskState::RunningNotified) {
+            // Round-robin fairness: back of the queue, behind other sessions.
+            post->second.state = TaskState::Queued;
+            run_queue_.push_back(id);
+            cv_.notify_one();
+        } else {
+            post->second.state = TaskState::Parked;
+        }
+    }
+}
+
+PoolStats EnginePool::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    PoolStats s;
+    s.workers = workers_count_;
+    s.quanta = quanta_;
+    s.tasks_added = added_;
+    s.tasks_finished = finished_;
+    s.tasks_live = tasks_.size();
+    s.tasks_queued = run_queue_.size();
+    s.tasks_running = running_;
+    return s;
+}
+
+}  // namespace spectre::server

@@ -3,46 +3,55 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <utility>
 
 #include "model/markov_model.hpp"
 #include "net/tcp.hpp"
 #include "query/parser.hpp"
-#include "sequential/seq_engine.hpp"
-#include "spectre/runtime.hpp"
 
 namespace spectre::server {
 
+namespace {
+
+// Degenerate knobs would wedge the scheduling loops (a < 2 ingest cap makes
+// the resume low-watermark zero — reads never resume; a zero quantum makes a
+// drain report pending work while processing nothing). Clamp, don't reject:
+// a session must never fail over a tuning value.
+SessionLimits sanitized(SessionLimits limits) {
+    limits.batch_events = std::max<std::size_t>(limits.batch_events, 1);
+    limits.quantum_steps = std::max<std::size_t>(limits.quantum_steps, 1);
+    limits.quantum_windows = std::max<std::size_t>(limits.quantum_windows, 1);
+    limits.ingest_queue_events = std::max<std::size_t>(limits.ingest_queue_events, 2);
+    limits.egress_buffer_bytes = std::max<std::size_t>(limits.egress_buffer_bytes, 1);
+    return limits;
+}
+
+}  // namespace
+
 ServerSession::ServerSession(std::uint64_t id, int fd, SessionLimits limits,
-                             ServerCounters* counters,
-                             std::function<void(std::uint64_t)> on_engine_done)
-    : id_(id), fd_(fd), limits_(limits), counters_(counters),
-      on_engine_done_(std::move(on_engine_done)) {}
+                             ServerCounters* counters, SessionHooks hooks)
+    : id_(id), fd_(fd), limits_(sanitized(limits)), counters_(counters),
+      hooks_(std::move(hooks)) {}
 
 ServerSession::~ServerSession() {
-    if (engine_.joinable()) engine_.join();
+    // Callers guarantee no worker is inside run_quantum (the task finished,
+    // or the pool was stopped first).
+    {
+        const std::lock_guard<std::mutex> lock(egress_mutex_);
+        account_egress(egress_.size() - egress_head_, 0);
+    }
     ::close(fd_);
 }
 
-void ServerSession::join_engine() {
-    if (engine_.joinable()) engine_.join();
-}
+// --- reactor side: ingest --------------------------------------------------
 
 SessionStatus ServerSession::on_readable() {
     std::uint8_t chunk[16384];
     for (;;) {
-        ssize_t n;
-        try {
-            n = net::read_some(fd_, chunk, sizeof(chunk));
-        } catch (const std::exception& e) {
-            // Peer reset / transport error: the client is gone, so there is
-            // nobody to send ERROR to.
-            return fail(std::string("read failed: ") + e.what(), /*send_error=*/false);
-        }
-        if (n < 0) return SessionStatus::Open;  // EAGAIN — drained for now
-        if (n == 0) return on_end_of_input();
-        reader_.feed(chunk, static_cast<std::size_t>(n));
+        // Frames already buffered first: a ResumeRead re-entry must not wait
+        // for new bytes to dispatch what was decoded before the pause.
         for (;;) {
             std::optional<net::SessionFrame> frame;
             try {
@@ -56,6 +65,17 @@ SessionStatus ServerSession::on_readable() {
             const auto status = dispatch(std::move(*frame));
             if (status != SessionStatus::Open) return status;
         }
+        ssize_t n;
+        try {
+            n = net::read_some(fd_, chunk, sizeof(chunk));
+        } catch (const std::exception& e) {
+            // Peer reset / transport error: the client is gone, so there is
+            // nobody to send ERROR to.
+            return fail(std::string("read failed: ") + e.what(), /*send_error=*/false);
+        }
+        if (n < 0) return SessionStatus::Open;  // EAGAIN — drained for now
+        if (n == 0) return on_end_of_input();
+        reader_.feed(chunk, static_cast<std::size_t>(n));
     }
 }
 
@@ -67,8 +87,16 @@ SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
             return fail("protocol error: expected HELLO", /*send_error=*/true);
         case State::Streaming:
             if (const auto* quote = std::get_if<net::WireQuote>(&frame)) {
-                live_.push(net::from_wire(*quote, vocab_));
+                // Symbol interning stays on the reactor thread (§8): the
+                // engine only ever sees interned ids.
+                const bool room = ingest_push(net::from_wire(*quote, vocab_));
                 counters_->events_ingested.fetch_add(1, std::memory_order_relaxed);
+                if (!room) {
+                    // High watermark hit: stop reading this socket — TCP
+                    // pushes back on the client while the task catches up.
+                    counters_->ingest_pauses.fetch_add(1, std::memory_order_relaxed);
+                    return SessionStatus::Paused;
+                }
                 return SessionStatus::Open;
             }
             if (std::get_if<net::ByeFrame>(&frame)) {
@@ -99,9 +127,30 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
         return fail(std::string("HELLO rejected: ") + e.what(), /*send_error=*/true);
     }
     instances_ = hello.instances;
+
+    event::ResultSink sink = [this](event::ComplexEvent&& ce) {
+        results_sent_.fetch_add(1, std::memory_order_relaxed);
+        if (egress_append(net::SessionFrame{net::to_result_frame(ce)}))
+            counters_->results_emitted.fetch_add(1, std::memory_order_relaxed);
+    };
+    if (instances_ == 0) {
+        // k = 0 subscribes the sequential reference engine — the ground
+        // truth the parallel runtime must match byte-for-byte.
+        stepper_ = std::make_unique<sequential::SeqStepper>(cq_.get(), &store_,
+                                                            std::move(sink));
+    } else {
+        core::RuntimeConfig cfg;
+        cfg.splitter.instances = static_cast<int>(instances_);
+        cfg.batch_events = limits_.batch_events;
+        runtime_ = std::make_unique<core::SpectreRuntime>(
+            &store_, cq_.get(), cfg,
+            std::make_unique<model::MarkovModel>(cq_->min_length(),
+                                                 model::MarkovParams{}));
+        runtime_->set_result_sink(std::move(sink));
+    }
     state_ = State::Streaming;
-    engine_started_ = true;
-    engine_ = std::thread([this] { engine_main(); });
+    task_registered_ = true;
+    hooks_.register_task(id_, this);  // schedules the first quantum
     return SessionStatus::Open;
 }
 
@@ -130,117 +179,302 @@ SessionStatus ServerSession::on_end_of_input() {
 
 SessionStatus ServerSession::fail(const std::string& message, bool send_error) {
     if (state_ == State::Failed) return SessionStatus::Finished;
-    // A session whose engine already delivered its BYE is complete; a
-    // protocol hiccup afterwards must not also count it failed.
-    if (!completed_.load(std::memory_order_acquire))
-        counters_->sessions_failed.fetch_add(1, std::memory_order_relaxed);
-    if (send_error && !send_dead_.load(std::memory_order_acquire)) {
-        // try_lock, not lock: the engine thread may hold the mutex parked in
-        // a blocked send to a non-reading client — the reactor must never
-        // wait on that. If contended, the client loses the ERROR frame but
-        // still sees the disconnect.
-        std::unique_lock<std::mutex> lock(send_mutex_, std::try_to_lock);
-        if (lock.owns_lock())
-            send_frame_best_effort(net::SessionFrame{net::ErrorFrame{message}});
+    count_failed_once();
+    if (send_error) {
+        // Best effort: buffer the ERROR frame and take one non-blocking
+        // flush pass. A client that is not reading loses it but still sees
+        // the disconnect.
+        egress_append(net::SessionFrame{net::ErrorFrame{message}});
+        egress_try_flush();
     }
-    send_dead_.store(true, std::memory_order_release);
-    close_ingestion();
-    // Unblocks an engine thread parked in send_all_bytes and tells the
-    // client the conversation is over.
-    ::shutdown(fd_, SHUT_RDWR);
+    // One teardown sequence for both failure and shutdown (poison, close
+    // ingestion, abort + wake the task, shut the socket down).
+    abort();
     state_ = State::Failed;
+    input_done_ = true;
     return SessionStatus::Finished;
 }
 
-bool ServerSession::send_frame(const net::SessionFrame& frame) {
-    const std::lock_guard<std::mutex> lock(send_mutex_);
-    return send_frame_locked(frame);
-}
-
-bool ServerSession::send_frame_locked(const net::SessionFrame& frame) {
-    if (send_dead_.load(std::memory_order_acquire)) return false;
-    std::vector<std::uint8_t> bytes;
-    try {
-        net::encode_frame(frame, bytes);
-        if (net::send_all_bytes(fd_, bytes.data(), bytes.size())) return true;
-    } catch (const std::exception&) {
-        // Transport error past EPIPE/ECONNRESET — treat identically: the
-        // peer is unreachable, stop sending.
-    }
-    send_dead_.store(true, std::memory_order_release);
-    return false;
-}
-
-void ServerSession::send_frame_best_effort(const net::SessionFrame& frame) {
-    // One pass over the bytes with no writability wait: the caller is the
-    // reactor, which must never park in poll() on a client whose socket
-    // buffer is full (send_all_bytes would). A short write poisons the send
-    // path — framing to this client is lost — which is fine here: the only
-    // best-effort frame is a pre-disconnect ERROR.
-    if (send_dead_.load(std::memory_order_acquire)) return;
-    std::vector<std::uint8_t> bytes;
-    net::encode_frame(frame, bytes);
-    std::size_t sent = 0;
-    while (sent < bytes.size()) {
-        const ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                                 MSG_NOSIGNAL | MSG_DONTWAIT);
-        if (w > 0) {
-            sent += static_cast<std::size_t>(w);
-            continue;
-        }
-        if (w < 0 && errno == EINTR) continue;
-        send_dead_.store(true, std::memory_order_release);
-        return;
-    }
-}
-
 void ServerSession::close_ingestion() {
-    if (ingestion_closed_) return;
-    ingestion_closed_ = true;
-    if (engine_started_) live_.close();
+    {
+        const std::lock_guard<std::mutex> lock(ingest_mutex_);
+        if (ingest_closed_) return;
+        ingest_closed_ = true;
+    }
+    if (parked_on_input_.exchange(false, std::memory_order_acq_rel))
+        hooks_.notify_task(id_);
 }
 
 void ServerSession::abort() {
-    send_dead_.store(true, std::memory_order_release);
+    egress_poison();
     close_ingestion();
+    abort_requested_.store(true, std::memory_order_release);
     ::shutdown(fd_, SHUT_RDWR);
+    if (task_registered_) hooks_.notify_task(id_);
 }
 
-void ServerSession::engine_main() {
-    try {
-        event::ResultSink sink = [this](event::ComplexEvent&& ce) {
-            if (send_frame(net::SessionFrame{net::to_result_frame(ce)}))
-                counters_->results_emitted.fetch_add(1, std::memory_order_relaxed);
-            results_sent_.fetch_add(1, std::memory_order_relaxed);
-        };
-        if (instances_ == 0) {
-            // k = 0 subscribes the sequential reference engine — the ground
-            // truth the parallel runtime must match byte-for-byte.
-            sequential::SequentialEngine engine(cq_.get());
-            engine.run_stream(live_, store_, sink);
-        } else {
-            core::RuntimeConfig cfg;
-            cfg.splitter.instances = static_cast<int>(instances_);
-            cfg.batch_events = limits_.batch_events;
-            core::SpectreRuntime runtime(
-                &store_, cq_.get(), cfg,
-                std::make_unique<model::MarkovModel>(cq_->min_length(),
-                                                     model::MarkovParams{}));
-            runtime.set_result_sink(std::move(sink));
-            runtime.run(live_);
+void ServerSession::count_failed_once() {
+    // A session whose engine already claimed the completed outcome must not
+    // also count failed, and reactor-side vs worker-side failure paths must
+    // not double-count — the single outcome latch settles both races.
+    if (!outcome_counted_.exchange(true, std::memory_order_acq_rel))
+        counters_->sessions_failed.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- ingest queue -----------------------------------------------------------
+
+bool ServerSession::ingest_push(event::Event e) {
+    std::size_t size;
+    {
+        const std::lock_guard<std::mutex> lock(ingest_mutex_);
+        ingest_.push_back(std::move(e));
+        size = ingest_.size();
+    }
+    if (parked_on_input_.exchange(false, std::memory_order_acq_rel))
+        hooks_.notify_task(id_);
+    return size < limits_.ingest_queue_events;
+}
+
+std::size_t ServerSession::pull_ingest() {
+    // Worker-only scratch; clear() keeps capacity across the (hot) steps.
+    pull_scratch_.clear();
+    bool close_store = false;
+    bool resume = false;
+    {
+        const std::lock_guard<std::mutex> lock(ingest_mutex_);
+        const std::size_t n = std::min(ingest_.size(), limits_.batch_events);
+        pull_scratch_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            pull_scratch_.push_back(std::move(ingest_.front()));
+            ingest_.pop_front();
         }
-        if (send_frame(net::SessionFrame{
-                net::ByeFrame{results_sent_.load(std::memory_order_relaxed)}})) {
-            completed_.store(true, std::memory_order_release);
-            counters_->sessions_completed.fetch_add(1, std::memory_order_relaxed);
+        close_store = ingest_closed_ && ingest_.empty();
+        resume = ingest_.size() < limits_.ingest_queue_events / 2;
+    }
+    for (auto& e : pull_scratch_) store_.append(std::move(e));
+    if (close_store && !store_.closed()) store_.close();
+    // Below the low watermark: hand the reactor its read interest back
+    // (exactly once per pause — the exchange is the dedup).
+    if (resume && read_paused_.exchange(false, std::memory_order_acq_rel))
+        hooks_.post(id_, SessionCmd::ResumeRead);
+    return pull_scratch_.size();
+}
+
+bool ServerSession::ingest_empty_and_open() {
+    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    return ingest_.empty() && !ingest_closed_;
+}
+
+bool ServerSession::ingest_above_low() const {
+    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    return ingest_.size() >= limits_.ingest_queue_events / 2;
+}
+
+// --- egress buffer ----------------------------------------------------------
+
+void ServerSession::account_egress(std::size_t before, std::size_t after) {
+    if (after > before) {
+        const std::size_t now =
+            counters_->egress_buffered_bytes.fetch_add(after - before,
+                                                       std::memory_order_relaxed) +
+            (after - before);
+        std::size_t peak = counters_->egress_peak_bytes.load(std::memory_order_relaxed);
+        while (now > peak &&
+               !counters_->egress_peak_bytes.compare_exchange_weak(
+                   peak, now, std::memory_order_relaxed)) {
+        }
+    } else if (before > after) {
+        counters_->egress_buffered_bytes.fetch_sub(before - after,
+                                                   std::memory_order_relaxed);
+    }
+}
+
+bool ServerSession::egress_append(const net::SessionFrame& frame) {
+    if (egress_dead_.load(std::memory_order_acquire)) return false;
+    std::vector<std::uint8_t> bytes;
+    net::encode_frame(frame, bytes);
+    const std::lock_guard<std::mutex> lock(egress_mutex_);
+    if (egress_dead_.load(std::memory_order_relaxed)) return false;
+    const std::size_t before = egress_.size() - egress_head_;
+    egress_.insert(egress_.end(), bytes.begin(), bytes.end());
+    account_egress(before, before + bytes.size());
+    return true;
+}
+
+bool ServerSession::egress_try_flush() {
+    const std::lock_guard<std::mutex> lock(egress_mutex_);
+    if (egress_dead_.load(std::memory_order_relaxed)) return false;
+    const std::size_t before = egress_.size() - egress_head_;
+    while (egress_head_ < egress_.size()) {
+        const ssize_t w = ::send(fd_, egress_.data() + egress_head_,
+                                 egress_.size() - egress_head_,
+                                 MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (w > 0) {
+            egress_head_ += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR) continue;
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        // Transport error (EPIPE, ECONNRESET, …): the peer is unreachable —
+        // poison the path, drop what it will never read, and abort the
+        // engine so the task stops burning pool quanta computing results
+        // nobody can receive. The fail_counted latch coordinates with the
+        // reactor's fail() so the session is counted failed exactly once
+        // (and never after its BYE was buffered).
+        account_egress(before, 0);
+        egress_.clear();
+        egress_head_ = 0;
+        egress_dead_.store(true, std::memory_order_release);
+        abort_requested_.store(true, std::memory_order_release);
+        count_failed_once();
+        return false;
+    }
+    if (egress_head_ == egress_.size()) {
+        egress_.clear();
+        egress_head_ = 0;
+    } else if (egress_head_ >= 64 * 1024) {
+        egress_.erase(egress_.begin(),
+                      egress_.begin() + static_cast<std::ptrdiff_t>(egress_head_));
+        egress_head_ = 0;
+    }
+    account_egress(before, egress_.size() - egress_head_);
+    return true;
+}
+
+void ServerSession::egress_poison() {
+    const std::lock_guard<std::mutex> lock(egress_mutex_);
+    account_egress(egress_.size() - egress_head_, 0);
+    egress_.clear();
+    egress_head_ = 0;
+    egress_dead_.store(true, std::memory_order_release);
+}
+
+bool ServerSession::egress_has_credit() const {
+    if (egress_dead_.load(std::memory_order_acquire)) return true;  // sink discards
+    const std::lock_guard<std::mutex> lock(egress_mutex_);
+    return egress_.size() - egress_head_ <= limits_.egress_buffer_bytes;
+}
+
+bool ServerSession::egress_idle() const {
+    if (egress_dead_.load(std::memory_order_acquire)) return true;
+    const std::lock_guard<std::mutex> lock(egress_mutex_);
+    return egress_head_ == egress_.size();
+}
+
+bool ServerSession::egress_pending() const {
+    if (egress_dead_.load(std::memory_order_acquire)) return false;
+    const std::lock_guard<std::mutex> lock(egress_mutex_);
+    return egress_head_ != egress_.size();
+}
+
+bool ServerSession::flush_egress() {
+    const bool ok = egress_try_flush();
+    if (!ok) {
+        // The write side died. If the session is still nominally healthy,
+        // fail it (poisons, aborts the task); a Failed session just reports.
+        if (state_ != State::Failed) fail("result write failed", /*send_error=*/false);
+        return false;
+    }
+    if (egress_has_credit() &&
+        parked_on_egress_.exchange(false, std::memory_order_acq_rel))
+        hooks_.notify_task(id_);
+    return true;
+}
+
+void ServerSession::request_watch_write() {
+    if (!egress_pending()) return;
+    if (!watch_write_requested_.exchange(true, std::memory_order_acq_rel))
+        hooks_.post(id_, SessionCmd::WatchWrite);
+}
+
+// --- pool worker side -------------------------------------------------------
+
+EngineTask::Quantum ServerSession::run_quantum() {
+    if (abort_requested_.load(std::memory_order_acquire)) {
+        // Dropped mid-flight (failure or server stop): abandon the engine.
+        // Cooperative stepping makes this trivial — no thread is inside it.
+        return Quantum::Done;
+    }
+    try {
+        for (std::size_t s = 0; s < limits_.quantum_steps; ++s) {
+            if (abort_requested_.load(std::memory_order_acquire)) return Quantum::Done;
+            // Egress credit gate (§9): a slow result reader parks this
+            // session, never a worker.
+            if (!egress_has_credit()) {
+                egress_try_flush();  // the socket may have drained meanwhile
+                if (!egress_has_credit()) {
+                    parked_on_egress_.store(true, std::memory_order_release);
+                    if (egress_has_credit()) {  // flushed concurrently — race lost
+                        parked_on_egress_.store(false, std::memory_order_relaxed);
+                    } else {
+                        counters_->parks_egress.fetch_add(1, std::memory_order_relaxed);
+                        request_watch_write();
+                        return Quantum::Parked;
+                    }
+                }
+            }
+            const std::size_t pulled = pull_ingest();
+            bool done = false;
+            bool quiescent = false;  // no further progress at this frontier
+            if (stepper_) {
+                const bool more = stepper_->drain(limits_.quantum_windows);
+                done = stepper_->finished();
+                quiescent = !more;
+            } else {
+                const auto p = runtime_->step();
+                done = p.done;
+                // A zero-event step at a fixed frontier leaves the runtime
+                // quiescent (its cycle drained the previous step's updates);
+                // with fresh appends the windows may not be discovered yet,
+                // so only an empty pull counts.
+                quiescent = pulled == 0 && p.events_processed == 0;
+            }
+            if (done) return finish_engine();
+            if (quiescent) {
+                // Park on input starvation. Publish intent first, then
+                // re-check: a reactor push between the check and the park
+                // flips the flag and re-queues us (no lost wakeup).
+                parked_on_input_.store(true, std::memory_order_release);
+                if (ingest_empty_and_open()) {
+                    counters_->parks_input.fetch_add(1, std::memory_order_relaxed);
+                    egress_try_flush();
+                    request_watch_write();
+                    return Quantum::Parked;
+                }
+                parked_on_input_.store(false, std::memory_order_relaxed);
+            }
         }
     } catch (const std::exception& e) {
         // Engine failure (e.g. a pathological query blowing an internal
         // limit) fails this session only.
-        send_frame(net::SessionFrame{net::ErrorFrame{std::string("engine error: ") + e.what()}});
-        counters_->sessions_failed.fetch_add(1, std::memory_order_relaxed);
+        return engine_failed(e.what());
     }
-    on_engine_done_(id_);
+    // Quantum exhausted with work left: yield the worker, rejoin the queue.
+    egress_try_flush();
+    request_watch_write();
+    return Quantum::MoreWork;
+}
+
+EngineTask::Quantum ServerSession::finish_engine() {
+    if (egress_append(net::SessionFrame{
+            net::ByeFrame{results_sent_.load(std::memory_order_relaxed)}}) &&
+        !outcome_counted_.exchange(true, std::memory_order_acq_rel)) {
+        counters_->sessions_completed.fetch_add(1, std::memory_order_relaxed);
+    }
+    egress_try_flush();
+    request_watch_write();
+    return Quantum::Done;
+}
+
+EngineTask::Quantum ServerSession::engine_failed(const std::string& what) {
+    count_failed_once();
+    egress_append(net::SessionFrame{net::ErrorFrame{std::string("engine error: ") + what}});
+    egress_try_flush();
+    // Tear the session down like every other failure path: without this a
+    // client that keeps streaming would fill the ingest queue, pause the
+    // reader, and linger as a zombie — no task exists anymore to resume it.
+    abort();
+    return Quantum::Done;
 }
 
 }  // namespace spectre::server

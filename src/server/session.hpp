@@ -1,11 +1,12 @@
 // Server-side session: one connected client of the multi-session CEP server
-// (DESIGN.md §8).
+// (DESIGN.md §8), scheduled on the shared engine worker pool (§9).
 //
 // A session owns everything one client subscribes: the schema its query text
-// is parsed against, the compiled query, a private EventStore + LiveStream
-// ingestion pair, and the engine thread detecting over them. The reactor
-// thread (server/cep_server.hpp) feeds raw socket bytes in; the session's
-// state machine decodes typed frames (net/session.hpp) and drives:
+// is parsed against, the compiled query, a private EventStore, and a
+// cooperatively-scheduled engine task (SpectreRuntime stepped inline with
+// HELLO's k operator instances, or the sequential SeqStepper when k = 0).
+// The reactor thread (server/cep_server.hpp) feeds raw socket bytes in; the
+// session's state machine decodes typed frames (net/session.hpp) and drives:
 //
 //   AwaitHello --HELLO--> Streaming --BYE / clean EOF--> Draining
 //        \                    \                             engine finishes,
@@ -16,59 +17,102 @@
 // protocol violation, death mid-frame — fails only this session; the reactor
 // loop never sees an exception (§8 session lifecycle).
 //
-// Threading: the reactor thread runs on_readable()/abort(); the engine
-// thread emits RESULT frames through the shared send path. Sends are
-// serialized by a mutex; the per-session schema is written only by the
-// reactor (symbol interning in from_wire) and never read by the engine during
-// detection — predicates are compiled to interned ids up front (DESIGN.md §2).
+// Threading (§9): the reactor runs on_readable()/flush_egress()/abort(); one
+// pool worker at a time runs run_quantum() (serialized by the pool's task
+// state machine — the engine state needs no locks). The two sides meet at
+// the bounded ingest queue (reactor pushes decoded events, the task drains
+// them into the store; a full queue pauses the *reader*, never a thread) and
+// at the bounded egress buffer (the task appends encoded RESULT/BYE frames
+// when it has credit, both sides flush non-blockingly; an over-cap buffer
+// parks the *task*, never a worker). Nothing in this file blocks on a
+// socket, and no per-session thread exists.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
+#include <vector>
 
 #include "data/stock.hpp"
 #include "detect/compiled_query.hpp"
 #include "event/stream.hpp"
 #include "net/session.hpp"
+#include "sequential/seq_engine.hpp"
+#include "server/engine_pool.hpp"
+#include "spectre/runtime.hpp"
 
 namespace spectre::server {
 
-// Server-wide counters, shared by all sessions (atomics: engine threads
-// increment results while the reactor increments ingestion).
+// Server-wide counters, shared by all sessions (atomics: pool workers
+// update engine-side counters while the reactor updates ingestion).
 struct ServerCounters {
     std::atomic<std::uint64_t> sessions_accepted{0};
     std::atomic<std::uint64_t> sessions_completed{0};
     std::atomic<std::uint64_t> sessions_failed{0};
     std::atomic<std::uint64_t> events_ingested{0};
     std::atomic<std::uint64_t> results_emitted{0};
+    // Backpressure observability (§9): cumulative park/pause decisions plus
+    // the current and peak bytes buffered for slow result readers.
+    std::atomic<std::uint64_t> parks_input{0};
+    std::atomic<std::uint64_t> parks_egress{0};
+    std::atomic<std::uint64_t> ingest_pauses{0};
+    std::atomic<std::size_t> egress_buffered_bytes{0};
+    std::atomic<std::size_t> egress_peak_bytes{0};
+    std::atomic<std::size_t> sessions_live{0};
 };
 
 struct SessionLimits {
-    int max_instances = 8;        // cap on HELLO's k
-    std::size_t batch_events = 64;  // SpectreRuntime batch granularity
+    int max_instances = 8;          // cap on HELLO's k
+    std::size_t batch_events = 64;  // engine batch + per-step ingest drain
+    // Pool scheduling quantum (§9): engine steps per run_quantum() — the
+    // slice after which a runnable session yields its worker.
+    std::size_t quantum_steps = 32;
+    // Sequential-engine windows per step; bounds the egress burst one credit
+    // check can miss (SPECTRE's burst is bounded by the splitter lookahead).
+    std::size_t quantum_windows = 4;
+    // Ingest-queue high watermark: at or above this many queued events the
+    // reactor stops reading the session's socket (TCP backpressure to the
+    // client); reading resumes below half of it.
+    std::size_t ingest_queue_events = 1024;
+    // Egress credit: while more than this many bytes are buffered for a slow
+    // result reader, the engine task parks (§9 backpressure).
+    std::size_t egress_buffer_bytes = 256 * 1024;
 };
 
 // What the reactor should do with the connection after feeding it input.
 enum class SessionStatus {
     Open,      // keep watching the fd for input
+    Paused,    // ingest queue full — stop reading until the task drains it
     Finished,  // stop watching; egress (if an engine runs) continues
 };
 
-class ServerSession {
+// Commands a session posts to the reactor from a pool worker (applied on the
+// reactor thread, which owns the epoll set).
+enum class SessionCmd : std::uint8_t {
+    ResumeRead,  // ingest queue drained below the low watermark
+    WatchWrite,  // egress bytes pending — arm EPOLLOUT
+    TaskDone,    // engine task finished — reap once egress drains
+};
+
+// How the session reaches the server: post a command + wake the reactor
+// (any thread), register the engine task on the pool (reactor thread, at
+// HELLO), schedule a parked task (any thread).
+struct SessionHooks {
+    std::function<void(std::uint64_t, SessionCmd)> post;
+    std::function<void(std::uint64_t, EngineTask*)> register_task;
+    std::function<void(std::uint64_t)> notify_task;
+};
+
+class ServerSession final : public EngineTask {
 public:
-    // Takes ownership of `fd` (non-blocking). `on_engine_done` is invoked
-    // from the engine thread as its last action, with this session's id —
-    // the server uses it to schedule the join/reap on the reactor thread.
+    // Takes ownership of `fd` (non-blocking).
     ServerSession(std::uint64_t id, int fd, SessionLimits limits, ServerCounters* counters,
-                  std::function<void(std::uint64_t)> on_engine_done);
-    // Joins the engine thread (callers normally joined already via
-    // join_engine) and closes the fd.
-    ~ServerSession();
+                  SessionHooks hooks);
+    ~ServerSession() override;  // closes the fd (callers stop the pool first)
 
     ServerSession(const ServerSession&) = delete;
     ServerSession& operator=(const ServerSession&) = delete;
@@ -76,20 +120,71 @@ public:
     std::uint64_t id() const noexcept { return id_; }
     int fd() const noexcept { return fd_; }
 
-    // Reactor: the fd is readable. Drains it (non-blocking), decodes and
-    // dispatches frames. Never throws — any failure fails this session only.
+    // --- reactor side --------------------------------------------------------
+
+    // The fd is readable (or a ResumeRead re-entry): polls frames already
+    // buffered, then drains the fd (non-blocking), dispatching each decoded
+    // frame. Never throws — any failure fails this session only.
     SessionStatus on_readable();
 
-    // True once HELLO started an engine thread; a finished session without an
-    // engine can be destroyed immediately, one with an engine is reaped after
-    // on_engine_done fires.
-    bool engine_started() const noexcept { return engine_started_; }
+    // The fd is writable: flush buffered egress bytes. Returns true when the
+    // flush made credit available or emptied the buffer (the reactor then
+    // notifies a task parked on egress). A transport error poisons egress.
+    bool flush_egress();
 
-    // Server shutdown: stop ingestion, unblock and poison the send path.
-    // Safe to call from the server thread at any point; idempotent.
+    // True once HELLO registered an engine task; a finished session without a
+    // task can be destroyed immediately, one with a task is reaped after its
+    // TaskDone command arrives.
+    bool task_registered() const noexcept { return task_registered_; }
+    // Reactor bookkeeping: its TaskDone command arrived. Reaping is gated on
+    // this — never on worker-side state — so a session is only destroyed
+    // after the pool has forgotten the task and the final quantum has fully
+    // returned (the TaskDone post happens-after both).
+    void set_task_done() noexcept { task_done_ = true; }
+    bool task_done() const noexcept { return task_done_; }
+    // Reap gate: nothing left to send (or nobody to send it to).
+    bool egress_idle() const;
+    // Bytes currently buffered for this client (reactor interest mask).
+    bool egress_pending() const;
+
+    // Resume-read gate, owned by the reactor: true while the reactor has
+    // stopped reading this fd (set on Paused, cleared when ResumeRead is
+    // applied). The task uses it to post ResumeRead exactly once.
+    void set_read_paused(bool paused) noexcept {
+        read_paused_.store(paused, std::memory_order_release);
+    }
+    bool read_paused() const noexcept {
+        return read_paused_.load(std::memory_order_acquire);
+    }
+    // Pause double-check (§9, reactor side): after publishing read_paused,
+    // the reactor verifies the queue is still at or above the low watermark —
+    // the task may have drained it (and missed the flag) in between. Below
+    // the watermark the reactor unpauses and keeps reading instead.
+    bool ingest_above_low() const;
+
+    // Reactor bookkeeping: input side finished (EOF / BYE'd out / failed).
+    bool input_done() const noexcept { return input_done_; }
+    void set_input_done() noexcept { input_done_ = true; }
+    // Epoll interest currently armed for this fd.
+    std::uint32_t armed_mask() const noexcept { return armed_mask_; }
+    void set_armed_mask(std::uint32_t mask) noexcept { armed_mask_ = mask; }
+    // The reactor handled this session's WatchWrite command; the task may
+    // post another when new egress bytes appear.
+    void ack_watch_write() noexcept {
+        watch_write_requested_.store(false, std::memory_order_release);
+    }
+
+    // Server shutdown: poison egress, close ingestion, shut the socket down,
+    // and ask the task to abandon its engine on its next quantum. Safe from
+    // the server thread at any point; idempotent.
     void abort();
 
-    void join_engine();
+    // --- pool worker side ----------------------------------------------------
+
+    // One bounded engine quantum (EngineTask). Pulls ingest into the store,
+    // steps the engine, emits results into the egress buffer; parks on input
+    // starvation or missing egress credit (§9).
+    Quantum run_quantum() override;
 
 private:
     enum class State { AwaitHello, Streaming, Draining, Failed };
@@ -97,49 +192,90 @@ private:
     SessionStatus dispatch(net::SessionFrame&& frame);
     SessionStatus on_hello(net::HelloFrame&& hello);
     SessionStatus on_end_of_input();
-    // Fails the session: optionally sends an ERROR frame, closes ingestion,
-    // shuts the socket down (which also unblocks an engine-side send).
+    // Fails the session: optionally buffers an ERROR frame (flushed
+    // best-effort), poisons egress, closes ingestion, shuts the socket down
+    // and wakes the task so it can abandon its engine.
     SessionStatus fail(const std::string& message, bool send_error);
-    bool send_frame(const net::SessionFrame& frame);
-    bool send_frame_locked(const net::SessionFrame& frame);
-    // Reactor-side single-attempt send: never waits for writability (the
-    // reactor must not block on one client's full socket buffer).
-    void send_frame_best_effort(const net::SessionFrame& frame);
     void close_ingestion();
-    void engine_main();
+    // sessions_failed exactly once per session, and never after its BYE.
+    void count_failed_once();
+
+    // Ingest queue (reactor → task).
+    bool ingest_push(event::Event e);  // false once the high watermark is hit
+    // Moves up to `max_events` into the store; closes the store once the
+    // queue is both closed and drained. Returns events appended.
+    std::size_t pull_ingest();
+    bool ingest_empty_and_open();  // park predicate, under the queue lock
+
+    // Egress buffer (task → reactor/socket).
+    bool egress_append(const net::SessionFrame& frame);  // false when poisoned
+    // Non-blocking flush of buffered bytes into the socket; returns false on
+    // a transport error (egress poisoned). Either side may call it.
+    bool egress_try_flush();
+    void egress_poison();
+    bool egress_has_credit() const;
+    void account_egress(std::size_t before, std::size_t after);
+
+    // run_quantum helpers.
+    Quantum finish_engine();         // BYE, counters, Done
+    Quantum engine_failed(const std::string& what);
+    void request_watch_write();
 
     const std::uint64_t id_;
     const int fd_;
     const SessionLimits limits_;
     ServerCounters* counters_;
-    std::function<void(std::uint64_t)> on_engine_done_;
+    SessionHooks hooks_;
 
     State state_ = State::AwaitHello;
     net::FrameReader reader_;
-
-    // Send path, shared by reactor (ERROR) and engine thread (RESULT/BYE).
-    // The poison flag is atomic so the reactor can kill the path without
-    // taking the mutex (the engine may hold it parked in a blocked send —
-    // shutdown() on the fd is what unblocks it).
-    std::mutex send_mutex_;
-    std::atomic<bool> send_dead_{false};
+    // Reactor-thread-only bookkeeping (no locks needed).
+    bool input_done_ = false;
+    bool task_done_ = false;
+    std::uint32_t armed_mask_ = 0;
 
     // Set on HELLO.
     data::StockVocab vocab_;
     std::unique_ptr<detect::CompiledQuery> cq_;
     std::uint32_t instances_ = 0;
+    bool task_registered_ = false;
 
+    // Engine (exactly one of the two after HELLO), stepped by run_quantum.
     event::EventStore store_;
-    event::LiveStream live_;
-    bool ingestion_closed_ = false;  // reactor-side latch (live_.close() once)
+    std::unique_ptr<sequential::SeqStepper> stepper_;
+    std::unique_ptr<core::SpectreRuntime> runtime_;
 
-    bool engine_started_ = false;
-    std::thread engine_;
+    // Ingest queue: reactor pushes decoded events, the task drains them into
+    // the store. Bounded by the high watermark (soft — the reactor finishes
+    // decoding the chunk in flight, then pauses reading).
+    mutable std::mutex ingest_mutex_;
+    std::deque<event::Event> ingest_;
+    bool ingest_closed_ = false;
+    std::atomic<bool> read_paused_{false};
+    // Worker-only drain scratch (outside the lock), reused across steps.
+    std::vector<event::Event> pull_scratch_;
+
+    // Egress buffer: encoded frames waiting for the socket. `egress_head_`
+    // is the flushed prefix (compacted periodically).
+    mutable std::mutex egress_mutex_;
+    std::vector<std::uint8_t> egress_;
+    std::size_t egress_head_ = 0;
+    std::atomic<bool> egress_dead_{false};
+
+    // Park/wake handshake (§9): the task publishes why it parked; producers
+    // (reactor) exchange the flag before notifying, so a wakeup is never
+    // lost and never duplicated.
+    std::atomic<bool> parked_on_input_{false};
+    std::atomic<bool> parked_on_egress_{false};
+    std::atomic<bool> watch_write_requested_{false};
+
+    std::atomic<bool> abort_requested_{false};
+    // Single-winner outcome latch: a session with an engine is counted
+    // exactly once, as either completed (BYE buffered) or failed — whichever
+    // exchanges the latch first. Closes the race between the worker
+    // finishing and the reactor failing the same session concurrently.
+    std::atomic<bool> outcome_counted_{false};
     std::atomic<std::uint64_t> results_sent_{0};
-    // Latched by the engine thread once its BYE was delivered; fail() reads
-    // it so a post-completion protocol hiccup never double-counts the
-    // session as both completed and failed.
-    std::atomic<bool> completed_{false};
 };
 
 }  // namespace spectre::server

@@ -62,6 +62,23 @@ RunResult SpectreRuntime::run_threads() {
     return result;
 }
 
+SpectreRuntime::StepProgress SpectreRuntime::step() {
+    StepProgress p;
+    if (splitter_.done()) {
+        p.done = true;
+        return p;
+    }
+    // Cycle first, then the instance batches: the cycle drains the updates
+    // the previous step's batches buffered (including WindowFinished) and
+    // retires what they finished, so a zero-event step leaves the runtime
+    // quiescent for the current frontier.
+    splitter_.run_cycle();
+    for (auto& inst : splitter_.instances())
+        p.events_processed += inst->run_batch(config_.batch_events);
+    p.done = splitter_.done();
+    return p;
+}
+
 RunResult SpectreRuntime::run() {
     splitter_.mark_input_complete();
     return run_threads();

@@ -2,16 +2,23 @@
 // pinned to the splitter, k threads pinned to operator instances, all over
 // shared memory).
 //
-// Two entry points:
+// Three entry points:
 //   * run() — batch replay over an already-materialized store;
 //   * run(EventStream&) — ingest-while-detect (§4.1's deployment shape): a
 //     feeder thread drains the stream into the store while the splitter and
 //     operator instances are already detecting over the growing frontier;
-//     terminates at end-of-stream + quiescence.
+//     terminates at end-of-stream + quiescence;
+//   * step() — cooperative single-thread driving (DESIGN.md §9): no threads
+//     are spawned; each call runs one splitter maintenance/scheduling cycle
+//     plus one bounded batch on every operator instance, inline. A worker
+//     pool multiplexing many sessions calls step() in quanta, appending
+//     arrivals to the store itself between calls, and parks the session when
+//     a step reports no progress on an open store.
 //
-// Both block until the whole input is processed and return the emitted
-// complex events — byte-identical, including order, to the sequential
-// engine's output (the framework's correctness goal, §2.3).
+// The blocking entry points return the emitted complex events; all three are
+// byte-identical, including order, to the sequential engine's output (the
+// framework's correctness goal, §2.3) — the interleaving of step() calls and
+// appends never changes the output.
 #pragma once
 
 #include <memory>
@@ -60,6 +67,23 @@ public:
     // Ingest-while-detect: consumes `live` into the store concurrently with
     // detection; returns after end-of-stream once all windows retired.
     RunResult run(event::EventStream& live);
+
+    // --- cooperative stepping (worker pool, DESIGN.md §9) -------------------
+
+    // What one step() accomplished; the scheduler's park decision hinges on
+    // `events_processed`: once a step processes zero events at a fixed
+    // frontier, the runtime is quiescent until the store grows or closes
+    // (updates and retirements drained by that step's cycle).
+    struct StepProgress {
+        std::size_t events_processed = 0;  // instance work done this step
+        bool done = false;                 // input complete + all windows retired
+    };
+
+    // One splitter cycle + one bounded batch (config.batch_events) on each
+    // operator instance, inline on the calling thread. Input completeness is
+    // derived from EventStore::close() (or mark via splitter). Callers must
+    // not mix step() with the blocking run()/run(EventStream&) entry points.
+    StepProgress step();
 
 private:
     RunResult run_threads();

@@ -1,0 +1,79 @@
+// Shared helpers for the multi-session server suites (test_server,
+// test_pool_differential, test_pool_stress): wire-encoded synthetic inputs,
+// the offline sequential ground truth, and the byte-identity assertion the
+// parity invariant (DESIGN.md §8/§9) is stated in.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/nyse_synth.hpp"
+#include "harness/oracle.hpp"
+#include "net/session.hpp"
+
+namespace spectre::testing {
+
+// Wire-encodes a synthetic NYSE day (the client's view of its input).
+inline std::vector<net::WireQuote> wire_events(std::uint64_t n, std::uint64_t seed,
+                                               std::uint64_t symbols = 40,
+                                               double up_prob = 0.6) {
+    const auto vocab = data::StockVocab::create(std::make_shared<event::Schema>());
+    data::NyseSynthConfig cfg;
+    cfg.events = n;
+    cfg.symbols = symbols;
+    cfg.up_prob = up_prob;
+    cfg.seed = seed;
+    std::vector<net::WireQuote> wire;
+    for (const auto& e : data::generate_nyse(vocab, cfg)) wire.push_back(net::to_wire(e, vocab));
+    return wire;
+}
+
+// Ground truth: the shared sequential oracle (harness/oracle.hpp) — the
+// same definition the bench acceptance gate uses.
+inline std::vector<event::ComplexEvent> sequential_ground_truth(
+    const std::string& query_text, const std::vector<net::WireQuote>& wire) {
+    return harness::sequential_oracle(query_text, wire);
+}
+
+inline void expect_byte_identical(const std::vector<event::ComplexEvent>& expected,
+                                  const std::vector<event::ComplexEvent>& actual,
+                                  const std::string& label) {
+    ASSERT_EQ(expected.size(), actual.size()) << label;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i].window_id, actual[i].window_id) << label << " @" << i;
+        EXPECT_EQ(expected[i].constituents, actual[i].constituents) << label << " @" << i;
+        EXPECT_EQ(expected[i].payload, actual[i].payload) << label << " @" << i;
+    }
+}
+
+inline constexpr const char* kRisingPairQuery =
+    "PATTERN (R1 R2) "
+    "DEFINE R1 AS R1.close > R1.open, R2 AS R2.close > R2.open "
+    "WITHIN 40 EVENTS FROM EVERY 10 EVENTS "
+    "CONSUME ALL";
+
+inline constexpr const char* kRisingTripleQuery =
+    "PATTERN (R1 R2 R3) "
+    "DEFINE R1 AS R1.close > R1.open, R2 AS R2.close > R2.open, "
+    "       R3 AS R3.close > R3.open "
+    "WITHIN 30 EVENTS FROM EVERY 6 EVENTS "
+    "CONSUME ALL "
+    "EMIT gain = R3.close - R1.open";
+
+inline constexpr const char* kFallingPairQuery =
+    "PATTERN (F1 F2) "
+    "DEFINE F1 AS F1.close < F1.open, F2 AS F2.close < F2.open "
+    "WITHIN 24 EVENTS FROM EVERY 8 EVENTS "
+    "CONSUME (F1 F2)";
+
+inline constexpr const char* kLeaderQuery =
+    "PATTERN (MLE RE1 RE2) "
+    "DEFINE MLE AS SYMBOL IN ('AAPL','IBM','MSFT') AND MLE.close > MLE.open, "
+    "       RE1 AS RE1.close > RE1.open, RE2 AS RE2.close > RE2.open "
+    "WITHIN 60 EVENTS FROM MLE "
+    "CONSUME ALL";
+
+}  // namespace spectre::testing

@@ -1,0 +1,144 @@
+// Randomized differential stress test for the engine worker pool
+// (DESIGN.md §9): ~50 random query/stream/k/pool-size combinations, each
+// session's RESULT stream received over TCP must be byte-identical to a
+// SequentialEngine run offline over the same input. This is the
+// reverse-engineering/differential style of middleware verification: the
+// sequential engine is the oracle, the pooled server the system under test,
+// and randomization walks the configuration space a hand-written suite
+// would never cover — pool sizes from 1 to 4 workers, scheduling quanta
+// from tiny (maximal interleaving) to large, ingest/egress caps from
+// backpressure-always to backpressure-never, and engines from the
+// sequential stepper (k = 0) to speculative SPECTRE with k up to 3.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "harness/load_gen.hpp"
+#include "server/cep_server.hpp"
+#include "server_test_util.hpp"
+
+using namespace spectre;
+using namespace spectre::testing;
+
+namespace {
+
+const char* kQueries[] = {
+    kRisingPairQuery,
+    kRisingTripleQuery,
+    kFallingPairQuery,
+    kLeaderQuery,
+    // Wider sliding window, coarse slide.
+    "PATTERN (A B) DEFINE A AS A.close > A.open, B AS B.close < B.open "
+    "WITHIN 50 EVENTS FROM EVERY 25 EVENTS CONSUME ALL",
+    // Tight window, no consumption (pure detection).
+    "PATTERN (U1 U2) DEFINE U1 AS U1.close > U1.open, U2 AS U2.close > U2.open "
+    "WITHIN 12 EVENTS FROM EVERY 4 EVENTS "
+    "EMIT jump = U2.close - U1.close",
+};
+
+struct Combo {
+    harness::LoadGenSession spec;
+    std::string label;
+};
+
+}  // namespace
+
+TEST(PoolDifferential, FiftyRandomSessionsMatchSequentialForEveryPoolSize) {
+    std::mt19937_64 rng(20260728);
+    const int pool_sizes[] = {1, 2, 3, 4};
+    const std::size_t sessions_per_server[] = {12, 13, 12, 13};  // 50 total
+
+    std::size_t combo_index = 0;
+    for (std::size_t p = 0; p < 4; ++p) {
+        server::ServerConfig cfg;
+        cfg.pool_workers = pool_sizes[p];
+        // Shake the scheduler: small quanta maximize session interleaving,
+        // small queues/buffers force the backpressure paths; the output must
+        // not depend on any of it.
+        cfg.session.quantum_steps = (p % 2 == 0) ? 4 : 32;
+        cfg.session.quantum_windows = (p % 2 == 0) ? 1 : 4;
+        cfg.session.batch_events = (p % 2 == 0) ? 16 : 64;
+        cfg.session.ingest_queue_events = (p % 2 == 0) ? 48 : 1024;
+        cfg.session.egress_buffer_bytes = (p % 2 == 0) ? 4096 : 256 * 1024;
+        server::CepServer srv(cfg);
+        srv.start();
+
+        std::vector<Combo> combos(sessions_per_server[p]);
+        for (auto& c : combos) {
+            const auto query_idx = rng() % (sizeof(kQueries) / sizeof(kQueries[0]));
+            const std::uint64_t events = 120 + rng() % 300;
+            const std::uint64_t seed = rng();
+            const std::uint64_t symbols = 20 + 10 * (rng() % 3);
+            const double up_prob = 0.4 + 0.1 * static_cast<double>(rng() % 3);
+            c.spec.query = kQueries[query_idx];
+            c.spec.instances = static_cast<std::uint32_t>(rng() % 4);  // 0 = sequential
+            c.spec.events = wire_events(events, seed, symbols, up_prob);
+            c.label = "combo " + std::to_string(combo_index++) + " (pool=" +
+                      std::to_string(pool_sizes[p]) + " q=" + std::to_string(query_idx) +
+                      " k=" + std::to_string(c.spec.instances) +
+                      " n=" + std::to_string(events) + ")";
+        }
+
+        std::vector<harness::LoadGenSession> specs;
+        specs.reserve(combos.size());
+        for (const auto& c : combos) specs.push_back(c.spec);
+
+        harness::LoadGenClient client("127.0.0.1", srv.port());
+        const auto outcomes = client.run(specs);
+
+        for (std::size_t i = 0; i < combos.size(); ++i) {
+            const auto& out = outcomes[i];
+            const auto& label = combos[i].label;
+            EXPECT_TRUE(out.error.empty()) << label << ": " << out.error;
+            EXPECT_TRUE(out.completed) << label;
+            EXPECT_EQ(out.server_reported_results, out.results.size()) << label;
+            expect_byte_identical(
+                sequential_ground_truth(combos[i].spec.query, combos[i].spec.events),
+                out.results, label);
+        }
+
+        srv.stop();
+        const auto stats = srv.stats();
+        EXPECT_EQ(stats.sessions_accepted, sessions_per_server[p]);
+        EXPECT_EQ(stats.sessions_completed, sessions_per_server[p]);
+        EXPECT_EQ(stats.sessions_failed, 0u);
+        EXPECT_EQ(stats.pool_workers, pool_sizes[p]);
+        // Every task drained; the pool holds nothing back.
+        EXPECT_EQ(stats.tasks_live, 0u);
+        EXPECT_EQ(stats.tasks_added, stats.tasks_finished);
+        EXPECT_EQ(stats.sessions_live, 0u);
+    }
+}
+
+// Sessions outnumbering workers many-fold: 24 concurrent sessions on a
+// single worker still multiplex (no per-session thread exists to save them)
+// and still match the oracle byte for byte.
+TEST(PoolDifferential, TwentyFourSessionsOnOneWorker) {
+    server::ServerConfig cfg;
+    cfg.pool_workers = 1;
+    cfg.session.quantum_steps = 8;
+    server::CepServer srv(cfg);
+    srv.start();
+
+    std::mt19937_64 rng(7);
+    std::vector<harness::LoadGenSession> specs(24);
+    for (auto& spec : specs) {
+        spec.query = kQueries[rng() % (sizeof(kQueries) / sizeof(kQueries[0]))];
+        spec.instances = static_cast<std::uint32_t>(rng() % 3);
+        spec.events = wire_events(100 + rng() % 150, rng());
+    }
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    const auto outcomes = client.run(specs);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::string label = "session " + std::to_string(i);
+        EXPECT_TRUE(outcomes[i].completed) << label << ": " << outcomes[i].error;
+        expect_byte_identical(sequential_ground_truth(specs[i].query, specs[i].events),
+                              outcomes[i].results, label);
+    }
+    srv.stop();
+    EXPECT_EQ(srv.stats().sessions_completed, 24u);
+    EXPECT_EQ(srv.stats().tasks_live, 0u);
+}

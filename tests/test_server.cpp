@@ -1,92 +1,21 @@
-// Multi-session CEP server (DESIGN.md §8): many concurrent clients, each with
-// its own query and engine, over one epoll reactor. The acceptance bar is the
-// parity invariant extended to the wire: each session's RESULT stream —
-// received over TCP, in arrival order — must be byte-identical (events,
-// payloads, window order) to a SequentialEngine run over that session's
-// input, and results must observably arrive before the client ends its
-// stream (streaming egress).
+// Multi-session CEP server (DESIGN.md §8, §9): many concurrent clients, each
+// with its own query and engine, over one epoll reactor and a shared engine
+// worker pool. The acceptance bar is the parity invariant extended to the
+// wire: each session's RESULT stream — received over TCP, in arrival order —
+// must be byte-identical (events, payloads, window order) to a
+// SequentialEngine run over that session's input, and results must
+// observably arrive before the client ends its stream (streaming egress).
 #include <gtest/gtest.h>
 
 #include <string>
 #include <vector>
 
-#include "data/nyse_synth.hpp"
 #include "harness/load_gen.hpp"
-#include "query/parser.hpp"
-#include "sequential/seq_engine.hpp"
 #include "server/cep_server.hpp"
+#include "server_test_util.hpp"
 
 using namespace spectre;
-
-namespace {
-
-// Wire-encodes a synthetic NYSE day (the client's view of its input).
-std::vector<net::WireQuote> wire_events(std::uint64_t n, std::uint64_t seed,
-                                        std::uint64_t symbols = 40,
-                                        double up_prob = 0.6) {
-    const auto vocab = data::StockVocab::create(std::make_shared<event::Schema>());
-    data::NyseSynthConfig cfg;
-    cfg.events = n;
-    cfg.symbols = symbols;
-    cfg.up_prob = up_prob;
-    cfg.seed = seed;
-    std::vector<net::WireQuote> wire;
-    for (const auto& e : data::generate_nyse(vocab, cfg)) wire.push_back(net::to_wire(e, vocab));
-    return wire;
-}
-
-// Ground truth: exactly what the server does per session — fresh schema +
-// vocab, parse the query text, decode the DATA frames in arrival order,
-// sequential pass over the resulting store.
-std::vector<event::ComplexEvent> sequential_ground_truth(
-    const std::string& query_text, const std::vector<net::WireQuote>& wire) {
-    const auto vocab = data::StockVocab::create(std::make_shared<event::Schema>());
-    auto query = query::parse_query(query_text, vocab.schema);
-    const auto cq = detect::CompiledQuery::compile(std::move(query));
-    event::EventStore store;
-    for (const auto& q : wire) store.append(net::from_wire(q, vocab));
-    return sequential::SequentialEngine(&cq).run(store).complex_events;
-}
-
-void expect_byte_identical(const std::vector<event::ComplexEvent>& expected,
-                           const std::vector<event::ComplexEvent>& actual,
-                           const std::string& label) {
-    ASSERT_EQ(expected.size(), actual.size()) << label;
-    for (std::size_t i = 0; i < expected.size(); ++i) {
-        EXPECT_EQ(expected[i].window_id, actual[i].window_id) << label << " @" << i;
-        EXPECT_EQ(expected[i].constituents, actual[i].constituents) << label << " @" << i;
-        EXPECT_EQ(expected[i].payload, actual[i].payload) << label << " @" << i;
-    }
-}
-
-const char* kRisingPairQuery =
-    "PATTERN (R1 R2) "
-    "DEFINE R1 AS R1.close > R1.open, R2 AS R2.close > R2.open "
-    "WITHIN 40 EVENTS FROM EVERY 10 EVENTS "
-    "CONSUME ALL";
-
-const char* kRisingTripleQuery =
-    "PATTERN (R1 R2 R3) "
-    "DEFINE R1 AS R1.close > R1.open, R2 AS R2.close > R2.open, "
-    "       R3 AS R3.close > R3.open "
-    "WITHIN 30 EVENTS FROM EVERY 6 EVENTS "
-    "CONSUME ALL "
-    "EMIT gain = R3.close - R1.open";
-
-const char* kFallingPairQuery =
-    "PATTERN (F1 F2) "
-    "DEFINE F1 AS F1.close < F1.open, F2 AS F2.close < F2.open "
-    "WITHIN 24 EVENTS FROM EVERY 8 EVENTS "
-    "CONSUME (F1 F2)";
-
-const char* kLeaderQuery =
-    "PATTERN (MLE RE1 RE2) "
-    "DEFINE MLE AS SYMBOL IN ('AAPL','IBM','MSFT') AND MLE.close > MLE.open, "
-    "       RE1 AS RE1.close > RE1.open, RE2 AS RE2.close > RE2.open "
-    "WITHIN 60 EVENTS FROM MLE "
-    "CONSUME ALL";
-
-}  // namespace
+using namespace spectre::testing;
 
 // ---------------------------------------------------------------------------
 // The acceptance-criteria test: >= 4 concurrent clients, different queries,
@@ -129,6 +58,13 @@ TEST(CepServer, FourConcurrentSessionsMatchSequentialByteForByte) {
     EXPECT_EQ(stats.sessions_completed, 4u);
     EXPECT_EQ(stats.sessions_failed, 0u);
     EXPECT_EQ(stats.events_ingested, 600u + 500 + 550 + 450);
+    // Pool hygiene (§9): the engines multiplexed over the shared workers and
+    // every task drained.
+    EXPECT_GE(stats.quanta_executed, 4u);
+    EXPECT_EQ(stats.tasks_added, 4u);
+    EXPECT_EQ(stats.tasks_finished, 4u);
+    EXPECT_EQ(stats.tasks_live, 0u);
+    EXPECT_EQ(stats.sessions_live, 0u);
 }
 
 // ---------------------------------------------------------------------------
