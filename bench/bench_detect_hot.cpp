@@ -1,0 +1,317 @@
+// E-hotpath — detector inner-loop microbench: compiled predicate programs
+// vs the tree-walking evaluator (DESIGN.md §5.1).
+//
+// Drives the Detector directly (no engine, no threads): for each paper query
+// shape (Q1 predicate-open, Q2 chart pattern, Plus deep cross-event Kleene,
+// Set Q3) and each active-match budget, every window of a synthetic stream is
+// replayed through the detector and the wall-clock events/second recorded —
+// once with EvalMode::Tree (the seed evaluator, the "before" row) and once
+// with EvalMode::Compiled (the flat bytecode, the "after" row).
+//
+// Parity guard: independent of scale, each workload's first events are also
+// run through BOTH modes in lockstep at smoke volume and every Feedback
+// compared field-by-field (payload doubles by bit pattern). Any divergence
+// makes the bench exit non-zero — this is the §5.1 acceptance gate and runs
+// in ctest / CI at SPECTRE_BENCH_SCALE=0.05.
+//
+// One JSON line per row; pass an output path as argv[1] to also append the
+// rows to a file (CI writes BENCH_hotpath.json at the repo root this way).
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_workloads.hpp"
+#include "detect/detector.hpp"
+#include "queries/paper_queries.hpp"
+#include "query/window.hpp"
+
+using namespace spectre;
+using namespace spectre::detect;
+
+namespace {
+
+struct Workload {
+    std::string name;
+    query::Query q;
+    event::EventStore store;
+};
+
+// Deep cross-event Kleene shape: A anchors the price level, B+ must stay in
+// a band derived from A (three BoundAttr comparisons per evaluation), C exits
+// far above it. This is the chart-pattern idiom (§5 related work) tuned for
+// the many-live-partial-matches regime the paper's scalability figures
+// exercise: the C exit is rare and nothing is consumed, so every active
+// match keeps evaluating its deep band predicate on every event of the
+// window — the configuration where predicate evaluation dominates the
+// detector step.
+query::Query make_plus_chart(const data::StockVocab& v) {
+    using query::BinOp;
+    const auto close = v.close_slot;
+    const auto open = v.open_slot;
+    const auto volume = v.volume_slot;
+    // Seven band conditions over all three attributes relative to the anchor
+    // A — the multi-condition price/volume band shape of chart-pattern
+    // queries ("rising within a tolerance band on comparable volume").
+    const auto cond = [](BinOp op, event::AttrSlot slot, event::AttrSlot ref,
+                         double delta) {
+        return query::binary(op, query::attr(slot),
+                             query::binary(delta < 0 ? BinOp::Sub : BinOp::Add,
+                                           query::bound_attr(0, ref),
+                                           query::constant(std::abs(delta))));
+    };
+    auto band = query::binary(
+        BinOp::Ge, query::attr(volume),
+        query::binary(BinOp::Sub, query::bound_attr(0, volume), query::constant(1e9)));
+    band = query::binary(BinOp::And, cond(BinOp::Le, volume, volume, 1e9), band);
+    band = query::binary(BinOp::And, cond(BinOp::Ge, close, close, -2.0), band);
+    band = query::binary(BinOp::And, cond(BinOp::Le, open, open, 9.0), band);
+    band = query::binary(BinOp::And, cond(BinOp::Ge, open, open, -4.0), band);
+    band = query::binary(BinOp::And, cond(BinOp::Lt, close, close, 8.0), band);
+    band = query::binary(
+        BinOp::And,
+        query::binary(BinOp::Gt, query::attr(close), query::bound_attr(0, close)), band);
+    query::QueryBuilder b(v.schema);
+    b.single("A", query::binary(BinOp::Lt, query::attr(close), query::constant(100.0)));
+    b.plus("B", band);
+    b.single("C", query::binary(BinOp::Gt, query::attr(close),
+                                query::binary(BinOp::Add, query::bound_attr(0, close),
+                                              query::constant(20.0))));
+    b.window(query::WindowSpec::sliding_count(400, 80));
+    b.consume_none();
+    b.emit("rise", query::binary(BinOp::Sub, query::bound_attr(2, close),
+                                 query::bound_attr(0, close)));
+    return b.build();
+}
+
+std::vector<Workload> make_workloads() {
+    std::vector<Workload> w;
+    {
+        auto vocab = bench::fresh_vocab();
+        queries::Q1Params p;
+        p.q = 20;
+        p.ws = 2000;
+        Workload wl{"Q1", queries::make_q1(vocab, p),
+                    bench::nyse_store(vocab, bench::scaled(100'000), 11)};
+        w.push_back(std::move(wl));
+    }
+    {
+        auto vocab = bench::fresh_vocab();
+        Workload wl{"Q2", queries::make_q2(vocab, queries::Q2Params{}),
+                    bench::nyse_store_reverting(vocab, bench::scaled(60'000), 12)};
+        w.push_back(std::move(wl));
+    }
+    {
+        auto vocab = bench::fresh_vocab();
+        Workload wl{"Plus", make_plus_chart(vocab),
+                    bench::nyse_store_reverting(vocab, bench::scaled(100'000), 13)};
+        w.push_back(std::move(wl));
+    }
+    {
+        auto vocab = bench::fresh_vocab();
+        Workload wl{"Set", queries::make_q3(vocab, queries::Q3Params{}),
+                    bench::rand_store(vocab, bench::scaled(50'000), 14)};
+        w.push_back(std::move(wl));
+    }
+    return w;
+}
+
+struct RunStats {
+    double secs = 0;
+    std::uint64_t fed = 0;
+    std::uint64_t completed = 0;
+    double avg_active = 0;
+};
+
+RunStats drive(const CompiledQuery& cq, const event::EventStore& store,
+               const std::vector<query::WindowInfo>& windows, EvalMode mode) {
+    Detector det(&cq, mode);
+    Feedback fb;
+    RunStats rs;
+    std::uint64_t active_sum = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& w : windows) {
+        const event::Seq end = std::min<event::Seq>(w.last, store.size() - 1);
+        det.begin_window(w);
+        for (event::Seq pos = w.first; pos <= end; ++pos) {
+            fb.clear();
+            det.on_event(store.at(pos), fb);
+            rs.completed += fb.completed.size();
+            active_sum += det.active_matches();
+            ++rs.fed;
+        }
+        fb.clear();
+        det.end_window(fb);
+    }
+    rs.secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    rs.avg_active = rs.fed ? static_cast<double>(active_sum) / static_cast<double>(rs.fed) : 0;
+    return rs;
+}
+
+bool feedback_identical(const Feedback& a, const Feedback& b) {
+    if (a.created.size() != b.created.size() || a.bound.size() != b.bound.size() ||
+        a.completed.size() != b.completed.size() ||
+        a.abandoned.size() != b.abandoned.size() ||
+        a.transitions.size() != b.transitions.size())
+        return false;
+    for (std::size_t i = 0; i < a.created.size(); ++i)
+        if (a.created[i].id != b.created[i].id || a.created[i].delta != b.created[i].delta ||
+            a.created[i].consumable != b.created[i].consumable)
+            return false;
+    for (std::size_t i = 0; i < a.bound.size(); ++i)
+        if (a.bound[i].id != b.bound[i].id || a.bound[i].seq != b.bound[i].seq ||
+            a.bound[i].consumable != b.bound[i].consumable ||
+            a.bound[i].delta_after != b.bound[i].delta_after)
+            return false;
+    for (std::size_t i = 0; i < a.completed.size(); ++i) {
+        const auto& ca = a.completed[i];
+        const auto& cb = b.completed[i];
+        if (ca.id != cb.id || ca.consumed != cb.consumed) return false;
+        if (ca.complex_event.window_id != cb.complex_event.window_id ||
+            ca.complex_event.constituents != cb.complex_event.constituents ||
+            ca.complex_event.payload.size() != cb.complex_event.payload.size())
+            return false;
+        for (std::size_t j = 0; j < ca.complex_event.payload.size(); ++j) {
+            if (ca.complex_event.payload[j].first != cb.complex_event.payload[j].first)
+                return false;
+            // Bit comparison: a NaN payload must match the other mode's NaN.
+            if (std::bit_cast<std::uint64_t>(ca.complex_event.payload[j].second) !=
+                std::bit_cast<std::uint64_t>(cb.complex_event.payload[j].second))
+                return false;
+        }
+    }
+    for (std::size_t i = 0; i < a.abandoned.size(); ++i)
+        if (a.abandoned[i].id != b.abandoned[i].id ||
+            a.abandoned[i].reason != b.abandoned[i].reason)
+            return false;
+    for (std::size_t i = 0; i < a.transitions.size(); ++i)
+        if (a.transitions[i].from != b.transitions[i].from ||
+            a.transitions[i].to != b.transitions[i].to)
+            return false;
+    return true;
+}
+
+// Lockstep smoke run: both modes see the same windows/events; any Feedback
+// divergence is a §5.1 parity break.
+bool parity_check(const CompiledQuery& cq, const event::EventStore& store,
+                  const std::vector<query::WindowInfo>& windows,
+                  std::uint64_t max_events) {
+    Detector dc(&cq, EvalMode::Compiled);
+    Detector dt(&cq, EvalMode::Tree);
+    Feedback fc, ft;
+    std::uint64_t fed = 0;
+    for (const auto& w : windows) {
+        if (fed >= max_events) break;
+        const event::Seq end = std::min<event::Seq>(w.last, store.size() - 1);
+        dc.begin_window(w);
+        dt.begin_window(w);
+        for (event::Seq pos = w.first; pos <= end; ++pos) {
+            fc.clear();
+            ft.clear();
+            dc.on_event(store.at(pos), fc);
+            dt.on_event(store.at(pos), ft);
+            ++fed;
+            if (!feedback_identical(fc, ft)) {
+                std::fprintf(stderr,
+                             "PARITY BREAK: window %llu event %llu (compiled vs tree)\n",
+                             static_cast<unsigned long long>(w.id),
+                             static_cast<unsigned long long>(pos));
+                return false;
+            }
+        }
+        fc.clear();
+        ft.clear();
+        dc.end_window(fc);
+        dt.end_window(ft);
+        if (!feedback_identical(fc, ft)) {
+            std::fprintf(stderr, "PARITY BREAK: end_window %llu\n",
+                         static_cast<unsigned long long>(w.id));
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    harness::print_header("E-hotpath",
+                          "detector inner loop: compiled programs vs tree evaluator");
+
+    std::ofstream json_out;
+    if (argc > 1) {
+        json_out.open(argv[1], std::ios::trunc);
+        if (!json_out) {
+            std::fprintf(stderr, "cannot open %s\n", argv[1]);
+            return 1;
+        }
+    }
+
+    const int caps[] = {1, 8, 32};
+    harness::Table table({"shape", "max_matches", "avg active", "events", "eps tree",
+                          "eps compiled", "speedup", "parity"});
+    bool all_parity_ok = true;
+    double best_speedup = 0;
+
+    auto workloads = make_workloads();
+    for (auto& wl : workloads) {
+        const auto windows = query::assign_windows(wl.store, wl.q.window);
+        for (const int cap : caps) {
+            query::Query q = wl.q;
+            if (cap != 1) {
+                q.selection = query::SelectionPolicy::Each;
+                q.max_matches_per_window = cap;
+            }
+            const auto cq = CompiledQuery::compile(std::move(q));
+
+            // Smoke-level lockstep differential first (always, every scale).
+            const bool parity = parity_check(cq, wl.store, windows, 50'000);
+            all_parity_ok = all_parity_ok && parity;
+
+            // Two reps per mode, best-of (the container shares its core).
+            RunStats tree = drive(cq, wl.store, windows, EvalMode::Tree);
+            RunStats comp = drive(cq, wl.store, windows, EvalMode::Compiled);
+            const RunStats tree2 = drive(cq, wl.store, windows, EvalMode::Tree);
+            const RunStats comp2 = drive(cq, wl.store, windows, EvalMode::Compiled);
+            if (tree2.secs < tree.secs) tree = tree2;
+            if (comp2.secs < comp.secs) comp = comp2;
+            if (tree.completed != comp.completed) {
+                std::fprintf(stderr, "PARITY BREAK: completion counts diverge (%s)\n",
+                             wl.name.c_str());
+                all_parity_ok = false;
+            }
+
+            const double eps_tree = tree.fed / tree.secs;
+            const double eps_comp = comp.fed / comp.secs;
+            const double speedup = eps_comp / eps_tree;
+            if (speedup > best_speedup) best_speedup = speedup;
+
+            table.row({wl.name, std::to_string(cap), harness::fmt_double(comp.avg_active, 2),
+                       std::to_string(comp.fed), harness::fmt_eps(eps_tree),
+                       harness::fmt_eps(eps_comp), harness::fmt_double(speedup, 2) + "x",
+                       parity ? "ok" : "BROKEN"});
+
+            harness::JsonLine row("E-hotpath");
+            row.field("shape", wl.name)
+                .field("max_matches", cap)
+                .field("avg_active", comp.avg_active)
+                .field("events", comp.fed)
+                .field("completions", comp.completed)
+                .field("eps_tree", eps_tree)
+                .field("eps_compiled", eps_comp)
+                .field("speedup", speedup)
+                .field("scale", bench::bench_scale())
+                .field("parity", std::string(parity ? "ok" : "broken"));
+            row.print();
+            if (json_out) json_out << row.str() << "\n";
+        }
+    }
+
+    table.print();
+    std::printf("best speedup: %.2fx — parity: %s\n", best_speedup,
+                all_parity_ok ? "ok" : "BROKEN");
+    return all_parity_ok ? 0 : 1;
+}

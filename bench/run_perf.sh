@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Performance sweep for the hot-path record (DESIGN.md §5.1 methodology):
+# runs the detector microbench plus the two macro benches and collects every
+# JSON-lines row into BENCH_hotpath.json at the repo root.
+#
+#   bench/run_perf.sh [build-dir] [output-json] [scale]
+#
+# Defaults: build dir `build`, output `BENCH_hotpath.json` next to this
+# script's repo root, SPECTRE_BENCH_SCALE from the environment (or 0.3 — big
+# enough for stable events/s on one core, small enough to finish in minutes).
+# Exits non-zero if any bench fails, which includes bench_detect_hot's
+# tree-vs-compiled parity guard and bench_server_throughput's per-row
+# sequential parity check.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out="${2:-$repo_root/BENCH_hotpath.json}"
+export SPECTRE_BENCH_SCALE="${3:-${SPECTRE_BENCH_SCALE:-0.3}}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run() {
+    local bench="$1"
+    echo "=== $bench (scale $SPECTRE_BENCH_SCALE)" >&2
+    # JSON-lines rows start with '{'; everything else is human tables.
+    "$build_dir/$bench" | tee /dev/stderr | grep '^{' >> "$tmp" || {
+        echo "FAILED: $bench" >&2
+        exit 1
+    }
+}
+
+run bench_detect_hot
+run bench_streaming_ingest
+run bench_server_throughput
+
+mv "$tmp" "$out"
+trap - EXIT
+echo "wrote $(wc -l < "$out") rows to $out" >&2

@@ -50,6 +50,49 @@ CompiledQuery CompiledQuery::compile(query::Query q) {
 
     cq.min_length_ = pattern.min_length();
     cq.binding_count_ = pattern.binding_count();
+
+    // §5.1: lower every expression the detector evaluates into bytecode and
+    // record the worst-case value-stack need across all of them.
+    const auto track = [&cq](const ExprProgram& p) {
+        if (p.stack_depth() > cq.eval_stack_depth_) cq.eval_stack_depth_ = p.stack_depth();
+    };
+    cq.element_programs_.resize(pattern.elements.size());
+    cq.guard_programs_.resize(pattern.elements.size());
+    cq.member_programs_.resize(pattern.elements.size());
+    for (std::size_t i = 0; i < pattern.elements.size(); ++i) {
+        const auto& el = pattern.elements[i];
+        if (el.pred) {
+            cq.element_programs_[i] = ExprProgram::compile(el.pred);
+            track(cq.element_programs_[i]);
+        }
+        if (el.guard) {
+            cq.guard_programs_[i] = ExprProgram::compile(el.guard);
+            track(cq.guard_programs_[i]);
+        }
+        cq.member_programs_[i].resize(el.members.size());
+        for (std::size_t j = 0; j < el.members.size(); ++j) {
+            cq.member_programs_[i][j] = ExprProgram::compile(el.members[j].pred);
+            track(cq.member_programs_[i][j]);
+        }
+    }
+    cq.payload_programs_.reserve(cq.q_.payload.size());
+    cq.payload_proto_.reserve(cq.q_.payload.size());
+    for (const auto& def : cq.q_.payload) {
+        cq.payload_programs_.push_back(ExprProgram::compile(def.expr));
+        track(cq.payload_programs_.back());
+        cq.payload_proto_.emplace_back(def.name, 0.0);
+    }
+
+    // Suffix requirement sums: δ(m) = suffix_required_[m.elem] minus what the
+    // current element has already absorbed (detector.cpp, delta_of).
+    cq.suffix_required_.assign(pattern.elements.size() + 1, 0);
+    for (std::size_t i = pattern.elements.size(); i-- > 0;) {
+        const auto& el = pattern.elements[i];
+        const int req = el.kind == query::ElementKind::Set
+                            ? static_cast<int>(el.members.size())
+                            : 1;
+        cq.suffix_required_[i] = cq.suffix_required_[i + 1] + req;
+    }
     return cq;
 }
 

@@ -1,15 +1,21 @@
 // CompiledQuery: a Query post-processed for the hot matching path.
 //
 // Compilation resolves the consumption policy into per-element / per-member
-// flags (is a binding to this element consumed when the match completes?)
-// and precomputes the pattern's minimum length (the initial δ of the Markov
-// model). A CompiledQuery is immutable after construction and shared by all
-// operator-instance threads of an engine.
+// flags (is a binding to this element consumed when the match completes?),
+// precomputes the pattern's minimum length (the initial δ of the Markov
+// model), lowers every element predicate, Set-member predicate, negation
+// guard and payload expression into a flat ExprProgram (DESIGN.md §5.1), and
+// precomputes the suffix-requirement table that makes the detector's δ
+// computation O(1). A CompiledQuery is immutable after construction and
+// shared by all operator-instance threads of an engine.
 #pragma once
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "detect/expr_program.hpp"
 #include "query/query.hpp"
 
 namespace spectre::detect {
@@ -25,12 +31,53 @@ public:
     // element itself / a Plus absorption) consumed on match completion?
     bool consumes(std::size_t elem, int member) const;
 
+    // Unchecked variant for the detector's inner loop, where the indices come
+    // from the pattern itself and are valid by construction.
+    bool consumes_unchecked(std::size_t elem, int member) const noexcept {
+        if (member < 0) return consume_element_[elem] != 0;
+        return consume_element_[elem] != 0 ||
+               consume_member_[elem][static_cast<std::size_t>(member)] != 0;
+    }
+
     int min_length() const noexcept { return min_length_; }
     int binding_count() const noexcept { return binding_count_; }
 
     // True if any binding can be consumed at all; engines without pending
     // consumption can skip the dependency machinery entirely.
     bool consumes_anything() const noexcept { return consumes_anything_; }
+
+    // --- compiled predicate programs (§5.1) ---------------------------------
+    // One program per Single/Plus element predicate (invalid for Set).
+    const ExprProgram& element_program(std::size_t elem) const {
+        return element_programs_[elem];
+    }
+    // One program per Set member predicate.
+    const ExprProgram& member_program(std::size_t elem, std::size_t member) const {
+        return member_programs_[elem][member];
+    }
+    // Negation guard program; !valid() when the element has no guard.
+    const ExprProgram& guard_program(std::size_t elem) const {
+        return guard_programs_[elem];
+    }
+    // One program per payload definition (same order as query().payload).
+    const ExprProgram& payload_program(std::size_t i) const {
+        return payload_programs_[i];
+    }
+    // Max value-stack need over every program of this query; evaluators size
+    // their EvalScratch once from this.
+    std::size_t eval_stack_depth() const noexcept { return eval_stack_depth_; }
+
+    // Σ of per-element event requirements from element `elem` to the end
+    // (elem == elements.size() → 0): Single/Plus contribute 1, Set its member
+    // count. The detector derives δ from this in O(1).
+    int suffix_required(std::size_t elem) const { return suffix_required_[elem]; }
+
+    // Prototype payload vector — names resolved once here so completing a
+    // match copies a prebuilt {name, 0.0} vector and fills in the values
+    // instead of re-copying PayloadDef strings one by one.
+    const std::vector<std::pair<std::string, double>>& payload_proto() const noexcept {
+        return payload_proto_;
+    }
 
 private:
     query::Query q_;
@@ -39,6 +86,14 @@ private:
     int min_length_ = 0;
     int binding_count_ = 0;
     bool consumes_anything_ = false;
+
+    std::vector<ExprProgram> element_programs_;
+    std::vector<ExprProgram> guard_programs_;
+    std::vector<std::vector<ExprProgram>> member_programs_;
+    std::vector<ExprProgram> payload_programs_;
+    std::vector<int> suffix_required_;  // size elements()+1, last entry 0
+    std::vector<std::pair<std::string, double>> payload_proto_;
+    std::size_t eval_stack_depth_ = 0;
 };
 
 }  // namespace spectre::detect

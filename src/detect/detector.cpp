@@ -20,14 +20,61 @@ bool Feedback::empty() const {
            transitions.empty();
 }
 
-Detector::Detector(const CompiledQuery* cq) : cq_(cq) {
-    SPECTRE_REQUIRE(cq != nullptr, "Detector needs a compiled query");
+int Detector::PartialMatch::set_count() const {
+    int n = 0;
+    for (const auto w : set_mask) n += std::popcount(w);
+    return n;
 }
+
+Detector::Detector(const CompiledQuery* cq, EvalMode mode) : cq_(cq), mode_(mode) {
+    SPECTRE_REQUIRE(cq != nullptr, "Detector needs a compiled query");
+    eval_scratch_.ensure(cq->eval_stack_depth());
+    consumed_bits_.assign(1, 0);  // valid (empty) view until begin_window
+}
+
+// --- pool ------------------------------------------------------------------
+
+Detector::Handle Detector::acquire() {
+    std::uint32_t idx;
+    if (!free_.empty()) {
+        idx = free_.back();
+        free_.pop_back();
+    } else {
+        idx = static_cast<std::uint32_t>(pool_.size());
+        pool_.emplace_back();
+    }
+    PartialMatch& m = pool_[idx];
+    m.id = 0;
+    m.elem = 0;
+    m.plus_entered = false;
+    m.complete = false;
+    m.set_mask.clear();
+    m.bound.clear();
+    m.slots.assign(static_cast<std::size_t>(cq_->binding_count()), nullptr);
+    return Handle{idx, m.gen};
+}
+
+void Detector::release(Handle h) {
+    PartialMatch& m = deref(h);
+    ++m.gen;  // invalidate outstanding handles to this slot
+    free_.push_back(h.idx);
+}
+
+Detector::PartialMatch& Detector::deref(Handle h) {
+    PartialMatch& m = pool_[h.idx];
+    SPECTRE_CHECK(m.gen == h.gen, "stale partial-match handle");
+    return m;
+}
+
+// --- window lifecycle ------------------------------------------------------
 
 void Detector::begin_window(const query::WindowInfo& w) {
     win_ = w;
-    matches_.clear();
-    local_consumed_.clear();
+    for (const auto h : active_) release(h);
+    active_.clear();
+    SPECTRE_CHECK(spawned_.empty(), "spawned matches leaked across windows");
+    const std::uint64_t len = w.last - w.first + 1;
+    consumed_bits_.assign((len + 63) / 64, 0);
     matches_started_ = 0;
     // MatchIds keep increasing across begin_window calls so a rolled-back
     // window version never reuses an id — engines map ids to consumption
@@ -36,38 +83,26 @@ void Detector::begin_window(const query::WindowInfo& w) {
 
 int Detector::min_delta() const {
     int best = -1;
-    for (const auto& m : matches_) {
-        const int d = delta_of(m);
+    for (const auto h : active_) {
+        const int d = delta_of(pool_[h.idx]);
         if (best < 0 || d < best) best = d;
     }
     return best;
 }
 
 int Detector::delta_of(const PartialMatch& m) const {
+    // O(1) via the compile-time suffix table: the tail elements' full
+    // requirements minus what the current element has already absorbed.
+    int d = cq_->suffix_required(m.elem);
     const auto& elements = cq_->pattern().elements;
-    int delta = 0;
-    for (std::size_t i = m.elem; i < elements.size(); ++i) {
-        const auto& el = elements[i];
-        switch (el.kind) {
-            case query::ElementKind::Single:
-                delta += 1;
-                break;
-            case query::ElementKind::Plus:
-                // A Plus that already absorbed an event needs nothing more
-                // (it can exit via the next element).
-                delta += (i == m.elem && m.plus_entered) ? 0 : 1;
-                break;
-            case query::ElementKind::Set: {
-                const auto total = static_cast<int>(el.members.size());
-                if (i == m.elem)
-                    delta += total - m.set_count();
-                else
-                    delta += total;
-                break;
-            }
-        }
+    if (m.elem < elements.size()) {
+        const auto& el = elements[m.elem];
+        if (el.kind == query::ElementKind::Plus && m.plus_entered)
+            d -= 1;  // an entered Plus needs nothing more to exit
+        else if (el.kind == query::ElementKind::Set)
+            d -= m.set_count();
     }
-    return delta;
+    return d;
 }
 
 bool Detector::match_done(const PartialMatch& m) const {
@@ -78,17 +113,32 @@ bool Detector::match_done(const PartialMatch& m) const {
            m.plus_entered;
 }
 
-query::EvalContext Detector::ctx(const PartialMatch& m, const event::Event* current) const {
-    query::EvalContext c;
-    c.current = current;
-    c.bound = m.slots;
-    return c;
-}
-
 bool Detector::match_limit_reached() const {
     const int limit = cq_->query().max_matches_per_window;
     return limit > 0 && matches_started_ >= limit;
 }
+
+// --- expression evaluation (§5.1 mode switch) ------------------------------
+
+bool Detector::eval_entry(const query::Expr& tree, const ExprProgram& prog,
+                          const PartialMatch& m, const event::Event* current) {
+    if (mode_ == EvalMode::Compiled) return prog.run_bool(current, m.slots, eval_scratch_);
+    query::EvalContext c;
+    c.current = current;
+    c.bound = m.slots;
+    return query::eval_bool(tree, c);
+}
+
+double Detector::eval_payload(std::size_t i, const PartialMatch& m, bool& ok) {
+    if (mode_ == EvalMode::Compiled)
+        return cq_->payload_program(i).run(nullptr, m.slots, ok, eval_scratch_);
+    query::EvalContext c;
+    c.current = nullptr;
+    c.bound = m.slots;
+    return query::eval(*cq_->query().payload[i].expr, c, ok);
+}
+
+// --- matching --------------------------------------------------------------
 
 void Detector::bind(PartialMatch& m, std::size_t elem, int member, int slot,
                     const event::Event& e, Feedback& fb) {
@@ -102,7 +152,8 @@ void Detector::bind(PartialMatch& m, std::size_t elem, int member, int slot,
         const auto eslot = static_cast<std::size_t>(cq_->pattern().element_slot(elem));
         if (m.slots[eslot] == nullptr) m.slots[eslot] = &e;
     }
-    fb.bound.push_back(Feedback::Bound{m.id, e.seq, cq_->consumes(elem, member), delta_of(m)});
+    fb.bound.push_back(
+        Feedback::Bound{m.id, e.seq, cq_->consumes_unchecked(elem, member), delta_of(m)});
 }
 
 bool Detector::try_enter(PartialMatch& m, std::size_t elem, const event::Event& e,
@@ -110,7 +161,7 @@ bool Detector::try_enter(PartialMatch& m, std::size_t elem, const event::Event& 
     const auto& el = cq_->pattern().elements[elem];
     switch (el.kind) {
         case query::ElementKind::Single:
-            if (!query::eval_bool(el.pred, ctx(m, &e))) return false;
+            if (!eval_entry(el.pred, cq_->element_program(elem), m, &e)) return false;
             m.elem = elem;
             bind(m, elem, -1, cq_->pattern().element_slot(elem), e, fb);
             m.elem = elem + 1;
@@ -118,7 +169,7 @@ bool Detector::try_enter(PartialMatch& m, std::size_t elem, const event::Event& 
             m.set_mask.clear();
             return true;
         case query::ElementKind::Plus:
-            if (!query::eval_bool(el.pred, ctx(m, &e))) return false;
+            if (!eval_entry(el.pred, cq_->element_program(elem), m, &e)) return false;
             m.elem = elem;
             bind(m, elem, -1, cq_->pattern().element_slot(elem), e, fb);
             m.plus_entered = true;
@@ -127,7 +178,8 @@ bool Detector::try_enter(PartialMatch& m, std::size_t elem, const event::Event& 
         case query::ElementKind::Set: {
             for (std::size_t j = 0; j < el.members.size(); ++j) {
                 if (elem == m.elem && m.set_bit(j)) continue;
-                if (!query::eval_bool(el.members[j].pred, ctx(m, &e))) continue;
+                if (!eval_entry(el.members[j].pred, cq_->member_program(elem, j), m, &e))
+                    continue;
                 if (elem != m.elem) m.set_mask.clear();
                 m.elem = elem;
                 m.mark_bit(j, el.members.size());
@@ -151,7 +203,8 @@ Detector::StepResult Detector::step(PartialMatch& m, const event::Event& e, Feed
     SPECTRE_CHECK(m.elem < elements.size(), "stepping a completed match");
     const auto& cur = elements[m.elem];
 
-    if (cur.guard && query::eval_bool(cur.guard, ctx(m, &e))) return StepResult::GuardAbandoned;
+    if (cur.guard && eval_entry(cur.guard, cq_->guard_program(m.elem), m, &e))
+        return StepResult::GuardAbandoned;
 
     // Advance-first: an entered Plus prefers handing the event to the next
     // element over absorbing it (DESIGN.md §5).
@@ -167,36 +220,40 @@ Detector::StepResult Detector::step(PartialMatch& m, const event::Event& e, Feed
     return StepResult::NoMatch;
 }
 
-void Detector::spawn_sticky_successor(const PartialMatch& m, Feedback& fb,
-                                      std::vector<PartialMatch>& spawned) {
+void Detector::spawn_sticky_successor(const PartialMatch& m, Feedback& fb) {
     const auto& elements = cq_->pattern().elements;
     std::size_t prefix = 0;
     while (prefix < elements.size() && elements[prefix].sticky) ++prefix;
     if (prefix == 0) return;
 
-    PartialMatch s;
+    // pool_ is a deque: acquiring never invalidates `m` (a live slot).
+    const Handle h = acquire();
+    PartialMatch& s = deref(h);
     s.id = next_id_;
     s.elem = prefix;
-    s.slots.assign(static_cast<std::size_t>(cq_->binding_count()), nullptr);
     for (std::size_t i = 0; i < prefix; ++i) {
         const auto slot = static_cast<std::size_t>(cq_->pattern().element_slot(i));
         const event::Event* e = m.slots[slot];
         SPECTRE_CHECK(e != nullptr, "sticky element unbound in a completed match");
         // A consumed sticky event cannot be correlated again.
-        if (local_consumed_.count(e->seq)) return;
+        if (consumed_here(e->seq)) {
+            release(h);
+            return;
+        }
         s.slots[slot] = e;
         s.bound.push_back(BoundEvent{e->seq, static_cast<std::uint16_t>(i), -1});
     }
     ++next_id_;  // successors do not count against max_matches_per_window
-    fb.created.push_back(Feedback::Created{s.id, delta_of(s), cq_->consumes_anything()});
+    s.delta = delta_of(s);
+    fb.created.push_back(Feedback::Created{s.id, s.delta, cq_->consumes_anything()});
     for (const auto& b : s.bound)
         fb.bound.push_back(
-            Feedback::Bound{s.id, b.seq, cq_->consumes(b.elem, b.member), delta_of(s)});
-    spawned.push_back(std::move(s));
+            Feedback::Bound{s.id, b.seq, cq_->consumes(b.elem, b.member), s.delta});
+    spawned_.push_back(h);
 }
 
-void Detector::complete_match(PartialMatch& m, Feedback& fb,
-                              std::vector<PartialMatch>& spawned) {
+void Detector::complete_match(Handle h, Feedback& fb) {
+    PartialMatch& m = deref(h);
     m.complete = true;
 
     event::ComplexEvent ce;
@@ -205,21 +262,29 @@ void Detector::complete_match(PartialMatch& m, Feedback& fb,
     for (const auto& b : m.bound) ce.constituents.push_back(b.seq);
     std::sort(ce.constituents.begin(), ce.constituents.end());
 
-    for (const auto& def : cq_->query().payload) {
+    // Payload names were resolved into the prototype once at compile time;
+    // fill in the values (unbound reference ⇒ 0.0, exactly like the tree
+    // evaluator's ok flag).
+    ce.payload = cq_->payload_proto();
+    for (std::size_t i = 0; i < ce.payload.size(); ++i) {
         bool ok = true;
-        const double v = query::eval(*def.expr, ctx(m, nullptr), ok);
-        ce.payload.emplace_back(def.name, ok ? v : 0.0);
+        const double v = eval_payload(i, m, ok);
+        ce.payload[i].second = ok ? v : 0.0;
     }
 
-    std::vector<event::Seq> consumed;
+    consumed_scratch_.clear();
     for (const auto& b : m.bound)
-        if (cq_->consumes(b.elem, b.member)) consumed.push_back(b.seq);
-    std::sort(consumed.begin(), consumed.end());
-    consumed.erase(std::unique(consumed.begin(), consumed.end()), consumed.end());
-    for (const auto seq : consumed) local_consumed_.insert(seq);
+        if (cq_->consumes_unchecked(b.elem, b.member)) consumed_scratch_.push_back(b.seq);
+    std::sort(consumed_scratch_.begin(), consumed_scratch_.end());
+    consumed_scratch_.erase(
+        std::unique(consumed_scratch_.begin(), consumed_scratch_.end()),
+        consumed_scratch_.end());
+    for (const auto seq : consumed_scratch_) mark_consumed(seq);
 
-    fb.completed.push_back(Feedback::Completed{m.id, std::move(ce), std::move(consumed)});
-    spawn_sticky_successor(m, fb, spawned);
+    // The Completed entry owns its consumed list (it escapes to the engines);
+    // the scratch keeps its capacity for the next completion.
+    fb.completed.push_back(Feedback::Completed{m.id, std::move(ce), consumed_scratch_});
+    spawn_sticky_successor(m, fb);
 }
 
 void Detector::on_event(const event::Event& e, Feedback& fb) {
@@ -227,21 +292,22 @@ void Detector::on_event(const event::Event& e, Feedback& fb) {
                     "event outside the current window");
     // Events consumed by an earlier completed match in this window are
     // invisible to further matching (§2.1).
-    if (local_consumed_.count(e.seq)) return;
+    if (consumed_here(e.seq)) return;
 
     // Events consumed by completions earlier in this very pass. Matches are
     // visited in creation order, so older matches win contended events —
     // deterministically, the way a sequential engine would resolve it.
-    std::vector<event::Seq> newly_consumed;
+    newly_consumed_.clear();
     const auto is_newly_consumed = [&](event::Seq s) {
-        return std::find(newly_consumed.begin(), newly_consumed.end(), s) !=
-               newly_consumed.end();
+        return std::find(newly_consumed_.begin(), newly_consumed_.end(), s) !=
+               newly_consumed_.end();
     };
-    std::vector<PartialMatch> spawned;  // sticky successors, appended after the loop
+    SPECTRE_CHECK(spawned_.empty(), "spawned matches leaked across events");
 
-    for (auto& m : matches_) {
+    for (const Handle h : active_) {
+        PartialMatch& m = deref(h);
         if (m.complete) continue;
-        if (!newly_consumed.empty()) {
+        if (!newly_consumed_.empty()) {
             // A completion earlier in this pass consumed an event this match
             // had bound: the match can no longer become a distinct instance.
             const bool hit = std::any_of(
@@ -251,71 +317,86 @@ void Detector::on_event(const event::Event& e, Feedback& fb) {
                 fb.abandoned.push_back(
                     Feedback::Abandoned{m.id, AbandonReason::ConsumedElsewhere});
                 m.complete = true;
-                m.bound.clear();
                 continue;
             }
             if (is_newly_consumed(e.seq)) {
                 // The event itself was just consumed; this match sees nothing.
-                const int d = delta_of(m);
-                fb.transitions.push_back(DeltaTransition{d, d});
+                fb.transitions.push_back(DeltaTransition{m.delta, m.delta});
                 continue;
             }
         }
-        const int d_before = delta_of(m);
+        const int d_before = m.delta;  // δ cache == delta_of(current state)
         const StepResult r = step(m, e, fb);
         switch (r) {
             case StepResult::GuardAbandoned:
                 fb.abandoned.push_back(Feedback::Abandoned{m.id, AbandonReason::Guard});
                 m.complete = true;  // mark for removal below
-                m.bound.clear();
                 fb.transitions.push_back(DeltaTransition{d_before, d_before});
                 break;
             case StepResult::Completed: {
                 fb.transitions.push_back(DeltaTransition{d_before, 0});
-                complete_match(m, fb, spawned);
+                complete_match(h, fb);
                 for (const auto& c : fb.completed.back().consumed)
-                    newly_consumed.push_back(c);
+                    newly_consumed_.push_back(c);
                 break;
             }
             case StepResult::Bound:
             case StepResult::NoMatch:
-                fb.transitions.push_back(DeltaTransition{d_before, delta_of(m)});
+                m.delta = delta_of(m);
+                fb.transitions.push_back(DeltaTransition{d_before, m.delta});
                 break;
         }
     }
 
-    std::erase_if(matches_, [](const PartialMatch& m) { return m.complete; });
-    for (auto& s : spawned) matches_.push_back(std::move(s));
-    spawned.clear();
+    // Compact: drop completed matches (recycling their slots), then append
+    // the sticky successors spawned during the pass — same visit order the
+    // erase_if + push_back sequence used to produce.
+    std::size_t out = 0;
+    for (const Handle h : active_) {
+        if (pool_[h.idx].complete)
+            release(h);
+        else
+            active_[out++] = h;
+    }
+    active_.resize(out);
+    for (const Handle h : spawned_) active_.push_back(h);
+    spawned_.clear();
 
     // Try to start a new match with this event (selection policy permitting).
-    if (!match_limit_reached() && !local_consumed_.count(e.seq)) {
-        PartialMatch trial;
+    if (!match_limit_reached() && !consumed_here(e.seq)) {
+        const Handle th = acquire();
+        PartialMatch& trial = deref(th);
         trial.id = next_id_;
-        trial.slots.assign(static_cast<std::size_t>(cq_->binding_count()), nullptr);
-        Feedback trial_fb;
-        if (try_enter(trial, 0, e, trial_fb)) {
+        trial_fb_.clear();
+        if (try_enter(trial, 0, e, trial_fb_)) {
             ++next_id_;
             ++matches_started_;
+            trial.delta = delta_of(trial);
             fb.created.push_back(
-                Feedback::Created{trial.id, delta_of(trial), cq_->consumes_anything()});
-            fb.transitions.push_back(DeltaTransition{cq_->min_length(), delta_of(trial)});
-            for (auto& b : trial_fb.bound) fb.bound.push_back(b);
+                Feedback::Created{trial.id, trial.delta, cq_->consumes_anything()});
+            fb.transitions.push_back(DeltaTransition{cq_->min_length(), trial.delta});
+            for (const auto& b : trial_fb_.bound) fb.bound.push_back(b);
 
             if (match_done(trial)) {
-                complete_match(trial, fb, spawned);
-                for (auto& s : spawned) matches_.push_back(std::move(s));
+                complete_match(th, fb);
+                release(th);
+                for (const Handle h : spawned_) active_.push_back(h);
+                spawned_.clear();
             } else {
-                matches_.push_back(std::move(trial));
+                active_.push_back(th);
             }
+        } else {
+            release(th);
         }
     }
 }
 
 void Detector::end_window(Feedback& fb) {
-    for (auto& m : matches_)
-        fb.abandoned.push_back(Feedback::Abandoned{m.id, AbandonReason::WindowEnd});
-    matches_.clear();
+    for (const Handle h : active_) {
+        fb.abandoned.push_back(Feedback::Abandoned{pool_[h.idx].id, AbandonReason::WindowEnd});
+        release(h);
+    }
+    active_.clear();
 }
 
 }  // namespace spectre::detect

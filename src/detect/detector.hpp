@@ -18,10 +18,17 @@
 // binding within the same window, and concurrently active matches that had
 // bound a now-consumed event are abandoned — an event participates in at
 // most one pattern instance.
+//
+// Hot-path discipline (DESIGN.md §5.1): after warm-up the per-event path is
+// allocation-free. Partial matches live in a generation-checked pool whose
+// bound/slot vectors are recycled through a free list; the per-window
+// consumed set is a window-relative bitmap; predicate and payload programs
+// run on a reused value stack; every per-event temporary is a cleared (not
+// reallocated) member scratch buffer.
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
+#include <deque>
 #include <vector>
 
 #include "detect/compiled_query.hpp"
@@ -29,6 +36,13 @@
 namespace spectre::detect {
 
 using MatchId = std::uint64_t;
+
+// How the detector evaluates predicates / payloads: Compiled runs the flat
+// ExprPrograms (the production path); Tree walks the shared_ptr expression
+// trees via query::eval. Tree exists as the differential baseline — the
+// randomized tests and bench_detect_hot's parity guard run both and require
+// byte-identical Feedback.
+enum class EvalMode { Compiled, Tree };
 
 // Why a partial match went away (maps to consumptionGroupAbandoned reasons in
 // §3.1: end of window, or a negation guard firing; ConsumedElsewhere is the
@@ -72,13 +86,16 @@ struct Feedback {
     std::vector<Abandoned> abandoned;
     std::vector<DeltaTransition> transitions;
 
+    // Drops the entries but keeps every buffer's high-water capacity, so a
+    // caller reusing one Feedback across events stops allocating once the
+    // workload's per-event peak has been seen.
     void clear();
     bool empty() const;
 };
 
 class Detector {
 public:
-    explicit Detector(const CompiledQuery* cq);
+    explicit Detector(const CompiledQuery* cq, EvalMode mode = EvalMode::Compiled);
 
     // Starts (or restarts) processing of window `w`. Resets all state; this
     // is also the rollback path (§3.3: "rolled back to the start").
@@ -95,7 +112,8 @@ public:
     void end_window(Feedback& fb);
 
     const query::WindowInfo& window() const noexcept { return win_; }
-    std::size_t active_matches() const noexcept { return matches_.size(); }
+    std::size_t active_matches() const noexcept { return active_.size(); }
+    EvalMode eval_mode() const noexcept { return mode_; }
 
     // Smallest δ over active matches, or -1 if none (diagnostics only).
     int min_delta() const;
@@ -107,14 +125,18 @@ private:
         std::int16_t member;  // -1 unless a SET member binding
     };
 
+    // Pool slot. The vectors are recycled: releasing a match clears them but
+    // keeps their capacity, so re-acquiring a slot binds without malloc.
     struct PartialMatch {
         MatchId id = 0;
         std::size_t elem = 0;          // current element index
         bool plus_entered = false;     // current Plus absorbed >= 1 event
+        bool complete = false;
+        std::uint32_t gen = 0;         // bumped on release; stale handles throw
+        int delta = 0;                 // δ cache: delta_of(state after last step)
         // Matched members of the current Set element, one bit per member
         // (multi-word: Q3-style sets can exceed 64 members).
         std::vector<std::uint64_t> set_mask;
-        bool complete = false;
         std::vector<BoundEvent> bound;
         std::vector<const event::Event*> slots;  // binding slot -> first event
 
@@ -126,14 +148,21 @@ private:
             set_mask.resize((total + 63) / 64, 0);
             set_mask[j / 64] |= 1ull << (j % 64);
         }
-        int set_count() const {
-            int n = 0;
-            for (const auto w : set_mask) n += std::popcount(w);
-            return n;
-        }
+        int set_count() const;
+    };
+
+    // Generation-checked reference into pool_: catches use of a handle whose
+    // slot was recycled (the pooled equivalent of a dangling pointer).
+    struct Handle {
+        std::uint32_t idx = 0;
+        std::uint32_t gen = 0;
     };
 
     enum class StepResult { NoMatch, Bound, Completed, GuardAbandoned };
+
+    Handle acquire();
+    void release(Handle h);
+    PartialMatch& deref(Handle h);
 
     int delta_of(const PartialMatch& m) const;
     bool match_done(const PartialMatch& m) const;
@@ -142,19 +171,47 @@ private:
     StepResult step(PartialMatch& m, const event::Event& e, Feedback& fb);
     void bind(PartialMatch& m, std::size_t elem, int member, int slot,
               const event::Event& e, Feedback& fb);
-    void complete_match(PartialMatch& m, Feedback& fb,
-                        std::vector<PartialMatch>& spawned);
+    void complete_match(Handle h, Feedback& fb);
     // Builds the successor match carrying the sticky prefix of `m`, if the
-    // pattern has one and none of its events were consumed.
-    void spawn_sticky_successor(const PartialMatch& m, Feedback& fb,
-                                std::vector<PartialMatch>& spawned);
-    query::EvalContext ctx(const PartialMatch& m, const event::Event* current) const;
+    // pattern has one and none of its events were consumed (appended to
+    // spawned_).
+    void spawn_sticky_successor(const PartialMatch& m, Feedback& fb);
     bool match_limit_reached() const;
 
+    // --- predicate / payload evaluation (mode switch) -----------------------
+    bool eval_entry(const query::Expr& tree, const ExprProgram& prog,
+                    const PartialMatch& m, const event::Event* current);
+    double eval_payload(std::size_t i, const PartialMatch& m, bool& ok);
+
+    // --- per-window consumed set (window-relative bitmap) -------------------
+    bool consumed_here(event::Seq seq) const {
+        const std::uint64_t off = seq - win_.first;
+        return (consumed_bits_[off / 64] >> (off % 64)) & 1u;
+    }
+    void mark_consumed(event::Seq seq) {
+        const std::uint64_t off = seq - win_.first;
+        consumed_bits_[off / 64] |= 1ull << (off % 64);
+    }
+
     const CompiledQuery* cq_;
+    EvalMode mode_;
     query::WindowInfo win_{};
-    std::vector<PartialMatch> matches_;
-    std::unordered_set<event::Seq> local_consumed_;
+
+    // Pool storage: deque gives stable references, so acquiring a slot never
+    // invalidates a PartialMatch& held across the call.
+    std::deque<PartialMatch> pool_;
+    std::vector<std::uint32_t> free_;
+    std::vector<Handle> active_;   // live matches in creation order
+    std::vector<Handle> spawned_;  // sticky successors, appended after the pass
+
+    std::vector<std::uint64_t> consumed_bits_;  // window-relative, grow-only
+
+    // Per-event scratch (cleared, never reallocated in steady state).
+    std::vector<event::Seq> newly_consumed_;
+    std::vector<event::Seq> consumed_scratch_;  // complete_match sort buffer
+    Feedback trial_fb_;
+    EvalScratch eval_scratch_;
+
     MatchId next_id_ = 1;
     int matches_started_ = 0;
 };

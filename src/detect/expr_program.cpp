@@ -1,0 +1,602 @@
+#include "detect/expr_program.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace spectre::detect {
+
+using query::BinOp;
+using query::ExprNode;
+using query::UnOp;
+
+namespace {
+
+OpCode arith_op(BinOp op) {
+    switch (op) {
+        case BinOp::Add: return OpCode::Add;
+        case BinOp::Sub: return OpCode::Sub;
+        case BinOp::Mul: return OpCode::Mul;
+        case BinOp::Div: return OpCode::Div;
+        case BinOp::Lt: return OpCode::Lt;
+        case BinOp::Le: return OpCode::Le;
+        case BinOp::Gt: return OpCode::Gt;
+        case BinOp::Ge: return OpCode::Ge;
+        case BinOp::Eq: return OpCode::Eq;
+        case BinOp::Ne: return OpCode::Ne;
+        default: break;
+    }
+    SPECTRE_CHECK(false, "logical operator reached arith_op");
+}
+
+bool cmp_kind_of(BinOp op, CmpKind& out) {
+    switch (op) {
+        case BinOp::Lt: out = CmpKind::Lt; return true;
+        case BinOp::Le: out = CmpKind::Le; return true;
+        case BinOp::Gt: out = CmpKind::Gt; return true;
+        case BinOp::Ge: out = CmpKind::Ge; return true;
+        case BinOp::Eq: out = CmpKind::Eq; return true;
+        case BinOp::Ne: out = CmpKind::Ne; return true;
+        default: return false;
+    }
+}
+
+std::size_t node_count(const ExprNode& e) {
+    std::size_t n = 1;
+    if (e.lhs) n += node_count(*e.lhs);
+    if (e.rhs) n += node_count(*e.rhs);
+    return n;
+}
+
+// An op whose result is always {0|1, ok=true}: the closing Boolize of an
+// And/Or whose rhs ends in one of these is a no-op and gets elided.
+bool canonical_bool(OpCode c) {
+    switch (c) {
+        case OpCode::Boolize:
+        case OpCode::TypeIs:
+        case OpCode::SubjectIn:
+        case OpCode::CmpAC:
+        case OpCode::CmpAA:
+            return true;
+        default:
+            return false;
+    }
+}
+
+// And-variant of a jump-threadable producing op (Invalid sentinel: Const).
+OpCode and_variant(OpCode c) {
+    switch (c) {
+        case OpCode::CmpAC: return OpCode::AndCmpAC;
+        case OpCode::CmpAA: return OpCode::AndCmpAA;
+        case OpCode::CmpAB: return OpCode::AndCmpAB;
+        case OpCode::CmpBA: return OpCode::AndCmpBA;
+        case OpCode::CmpBC: return OpCode::AndCmpBC;
+        case OpCode::CmpABC: return OpCode::AndCmpABC;
+        case OpCode::TypeIs: return OpCode::AndTypeIs;
+        case OpCode::SubjectIn: return OpCode::AndSubjectIn;
+        default: return OpCode::Const;
+    }
+}
+
+}  // namespace
+
+ExprProgram ExprProgram::compile(const query::Expr& e) {
+    SPECTRE_REQUIRE(e != nullptr, "ExprProgram::compile on null expression");
+    ExprProgram p;
+    p.depth_ = p.emit(*e);
+    SPECTRE_CHECK(p.ops_.size() <= UINT16_MAX, "expression too large to compile");
+    // Record the binding slots the program can dereference so run() can take
+    // the no-ok fast path when all of them are bound.
+    for (const auto& op : p.ops_) {
+        std::uint16_t el = UINT16_MAX;
+        switch (op.code) {
+            case OpCode::BoundAttr:
+            case OpCode::CmpAB:
+            case OpCode::CmpBA:
+            case OpCode::CmpBC:
+            case OpCode::CmpABC:
+            case OpCode::AndCmpAB:
+            case OpCode::AndCmpBA:
+            case OpCode::AndCmpBC:
+            case OpCode::AndCmpABC:
+                el = op.a;
+                break;
+            default:
+                break;
+        }
+        if (el == UINT16_MAX || p.n_bound_refs_ == kTooManyRefs) continue;
+        const std::uint16_t* begin = p.bound_refs_.data();
+        const std::uint16_t* end = begin + p.n_bound_refs_;
+        if (std::find(begin, end, el) != end) continue;
+        if (p.n_bound_refs_ == kMaxTrackedRefs) {
+            p.n_bound_refs_ = kTooManyRefs;  // too many: always use general loop
+            continue;
+        }
+        p.bound_refs_[p.n_bound_refs_++] = el;
+    }
+    return p;
+}
+
+// Peephole fusion of the comparison shapes that dominate real predicates.
+// Operand ranges are exact (lhs is ops_[lhs_start, rhs_start), rhs is
+// ops_[rhs_start, end)), so a pattern can never straddle an operand boundary
+// or swallow part of an And/Or subtree (those end in Boolize, which no
+// pattern contains). Jump targets are unaffected: every pattern replaced here
+// was emitted after the last patched jump's target.
+bool ExprProgram::try_fuse(BinOp bop, std::size_t lhs_start, std::size_t rhs_start) {
+    CmpKind cmp;
+    if (!cmp_kind_of(bop, cmp)) return false;
+    const std::size_t lhs_len = rhs_start - lhs_start;
+    const std::size_t rhs_len = ops_.size() - rhs_start;
+    const auto code_at = [&](std::size_t i) { return ops_[i].code; };
+
+    Op fused;
+    fused.b = static_cast<std::uint32_t>(cmp);
+
+    if (lhs_len == 1 && code_at(lhs_start) == OpCode::Attr) {
+        const Op lhs = ops_[lhs_start];
+        if (rhs_len == 1 && code_at(rhs_start) == OpCode::Const) {
+            fused.code = OpCode::CmpAC;
+            fused.slot = lhs.slot;
+            fused.value = ops_[rhs_start].value;
+        } else if (rhs_len == 1 && code_at(rhs_start) == OpCode::Attr) {
+            fused.code = OpCode::CmpAA;
+            fused.slot = lhs.slot;
+            fused.b |= static_cast<std::uint32_t>(ops_[rhs_start].slot) << 8;
+        } else if (rhs_len == 1 && code_at(rhs_start) == OpCode::BoundAttr) {
+            fused.code = OpCode::CmpAB;
+            fused.slot = lhs.slot;
+            fused.a = ops_[rhs_start].a;
+            fused.b |= static_cast<std::uint32_t>(ops_[rhs_start].slot) << 8;
+        } else if (rhs_len == 3 && code_at(rhs_start) == OpCode::BoundAttr &&
+                   code_at(rhs_start + 1) == OpCode::Const &&
+                   (code_at(rhs_start + 2) == OpCode::Add ||
+                    code_at(rhs_start + 2) == OpCode::Sub)) {
+            fused.code = OpCode::CmpABC;
+            fused.slot = lhs.slot;
+            fused.a = ops_[rhs_start].a;
+            fused.b |= static_cast<std::uint32_t>(ops_[rhs_start].slot) << 8;
+            if (code_at(rhs_start + 2) == OpCode::Sub) fused.b |= 1u << 16;
+            fused.value = ops_[rhs_start + 1].value;
+        } else {
+            return false;
+        }
+    } else if (lhs_len == 1 && code_at(lhs_start) == OpCode::BoundAttr) {
+        const Op lhs = ops_[lhs_start];
+        if (rhs_len == 1 && code_at(rhs_start) == OpCode::Const) {
+            fused.code = OpCode::CmpBC;
+            fused.slot = lhs.slot;
+            fused.a = lhs.a;
+            fused.value = ops_[rhs_start].value;
+        } else if (rhs_len == 1 && code_at(rhs_start) == OpCode::Attr) {
+            fused.code = OpCode::CmpBA;
+            fused.slot = lhs.slot;
+            fused.a = lhs.a;
+            fused.b |= static_cast<std::uint32_t>(ops_[rhs_start].slot) << 8;
+        } else {
+            return false;
+        }
+    } else {
+        return false;
+    }
+
+    ops_.resize(lhs_start);
+    ops_.push_back(fused);
+    return true;
+}
+
+std::size_t ExprProgram::emit(const ExprNode& e) {
+    switch (e.kind) {
+        case ExprNode::Kind::Const: {
+            Op op;
+            op.code = OpCode::Const;
+            op.value = e.value;
+            ops_.push_back(op);
+            return 1;
+        }
+        case ExprNode::Kind::Attr: {
+            SPECTRE_CHECK(e.slot < event::kMaxAttrs, "attr slot out of range");
+            Op op;
+            op.code = OpCode::Attr;
+            op.slot = static_cast<std::uint8_t>(e.slot);
+            ops_.push_back(op);
+            return 1;
+        }
+        case ExprNode::Kind::BoundAttr: {
+            SPECTRE_CHECK(e.slot < event::kMaxAttrs, "attr slot out of range");
+            SPECTRE_CHECK(e.element >= 0 && e.element < UINT16_MAX,
+                          "bound element out of range");
+            Op op;
+            op.code = OpCode::BoundAttr;
+            op.slot = static_cast<std::uint8_t>(e.slot);
+            op.a = static_cast<std::uint16_t>(e.element);
+            ops_.push_back(op);
+            return 1;
+        }
+        case ExprNode::Kind::SubjectIn: {
+            SPECTRE_CHECK(e.subjects.size() <= UINT16_MAX, "subject set too large");
+            Op op;
+            op.code = OpCode::SubjectIn;
+            op.a = static_cast<std::uint16_t>(e.subjects.size());
+            op.b = static_cast<std::uint32_t>(subjects_.size());
+            // The factory already sorted + deduped; keep the invariant local
+            // so the evaluator's binary search never depends on tree state.
+            subjects_.insert(subjects_.end(), e.subjects.begin(), e.subjects.end());
+            SPECTRE_CHECK(std::is_sorted(subjects_.end() - e.subjects.size(),
+                                         subjects_.end()),
+                          "SubjectIn subjects must be sorted");
+            ops_.push_back(op);
+            return 1;
+        }
+        case ExprNode::Kind::TypeIs: {
+            Op op;
+            op.code = OpCode::TypeIs;
+            op.b = e.type;
+            ops_.push_back(op);
+            return 1;
+        }
+        case ExprNode::Kind::Unary: {
+            const std::size_t d = emit(*e.lhs);
+            Op op;
+            op.code = e.uop == UnOp::Neg ? OpCode::Neg : OpCode::Not;
+            ops_.push_back(op);
+            return d;
+        }
+        case ExprNode::Kind::Binary: {
+            if (e.bop == BinOp::And || e.bop == BinOp::Or) {
+                const std::size_t dl = emit(*e.lhs);
+                // Jump-thread a conjunction: fold the AndJump into the op that
+                // produced the lhs, so a failed band condition costs one
+                // dispatch and a passing one pushes nothing. Guarded so the
+                // packed 15-bit jump target cannot overflow.
+                std::size_t jump_at = ops_.size();
+                bool folded = false;
+                // Never fold when the lhs is itself an And/Or: its internal
+                // jumps target the position right after the lhs — they expect
+                // the subtree result to be pushed and control to continue
+                // there, and folding would turn that landing site into the
+                // outer rhs (executed with the false lhs still stacked).
+                const bool lhs_is_logical =
+                    e.lhs->kind == ExprNode::Kind::Binary &&
+                    (e.lhs->bop == BinOp::And || e.lhs->bop == BinOp::Or);
+                if (e.bop == BinOp::And && !lhs_is_logical &&
+                    and_variant(ops_.back().code) != OpCode::Const &&
+                    ops_.size() + 3 * node_count(*e.rhs) + 4 < (1u << 15)) {
+                    ops_.back().code = and_variant(ops_.back().code);
+                    jump_at = ops_.size() - 1;
+                    folded = true;
+                } else {
+                    Op op;
+                    op.code = e.bop == BinOp::And ? OpCode::AndJump : OpCode::OrJump;
+                    ops_.push_back(op);
+                }
+                const std::size_t dr = emit(*e.rhs);
+                if (!canonical_bool(ops_.back().code)) {
+                    Op boolize;
+                    boolize.code = OpCode::Boolize;
+                    ops_.push_back(boolize);
+                }
+                const auto target = static_cast<std::uint16_t>(ops_.size());
+                Op& j = ops_[jump_at];
+                if (!folded || j.code == OpCode::AndTypeIs)
+                    j.a = target;
+                else if (j.code == OpCode::AndSubjectIn)
+                    j.value = target;
+                else
+                    j.b |= static_cast<std::uint32_t>(target) << 17;
+                // The rhs starts on the same stack base as the lhs (lhs was
+                // popped by the jump), so the need is the max of both sides.
+                return std::max({dl, dr, std::size_t{1}});
+            }
+            const std::size_t lhs_start = ops_.size();
+            const std::size_t dl = emit(*e.lhs);
+            const std::size_t rhs_start = ops_.size();
+            const std::size_t dr = emit(*e.rhs);
+            if (try_fuse(e.bop, lhs_start, rhs_start)) return 1;
+            Op op;
+            op.code = arith_op(e.bop);
+            ops_.push_back(op);
+            // rhs evaluates on top of the still-stacked lhs result.
+            return std::max(dl, dr + 1);
+        }
+    }
+    SPECTRE_CHECK(false, "unhandled expression kind");
+}
+
+// The evaluation loop, instantiated twice: kAllBound = true is the fast path
+// taken when every referenced binding slot is known bound before the run —
+// no ok bookkeeping at all (BoundAttr is the only op that can clear ok).
+template <bool kAllBound>
+double ExprProgram::run_impl(const event::Event* current,
+                             std::span<const event::Event* const> bound, bool& ok,
+                             EvalScratch& scratch) const {
+    double* sv = scratch.v.data();
+    std::uint8_t* sk = scratch.ok.data();
+    const Op* ops = ops_.data();
+    const std::size_t n = ops_.size();
+    std::size_t pc = 0;
+    std::size_t sp = 0;
+
+    const auto push = [&](double v, bool v_ok) {
+        sv[sp] = v;
+        if constexpr (!kAllBound) sk[sp] = v_ok;
+        ++sp;
+    };
+    // Bound event under kAllBound is non-null by precondition.
+    const auto bound_at = [&](std::uint16_t el) -> const event::Event* {
+        if constexpr (kAllBound) return bound[el];
+        return el < bound.size() ? bound[el] : nullptr;
+    };
+
+    while (pc < n) {
+        const Op& op = ops[pc];
+        switch (op.code) {
+            case OpCode::Const:
+                push(op.value, true);
+                ++pc;
+                break;
+            case OpCode::Attr:
+                SPECTRE_CHECK(current != nullptr, "Attr evaluated without current event");
+                push(current->attr(op.slot), true);
+                ++pc;
+                break;
+            case OpCode::BoundAttr: {
+                const event::Event* be = bound_at(op.a);
+                if constexpr (kAllBound) {
+                    push(be->attr(op.slot), true);
+                } else {
+                    if (be == nullptr)
+                        push(0.0, false);
+                    else
+                        push(be->attr(op.slot), true);
+                }
+                ++pc;
+                break;
+            }
+            case OpCode::SubjectIn: {
+                SPECTRE_CHECK(current != nullptr,
+                              "SubjectIn evaluated without current event");
+                const auto* first = subjects_.data() + op.b;
+                const bool hit = std::binary_search(first, first + op.a, current->subject);
+                push(hit ? 1.0 : 0.0, true);
+                ++pc;
+                break;
+            }
+            case OpCode::TypeIs:
+                SPECTRE_CHECK(current != nullptr, "TypeIs evaluated without current event");
+                push(current->type == op.b ? 1.0 : 0.0, true);
+                ++pc;
+                break;
+            case OpCode::Neg:
+                sv[sp - 1] = -sv[sp - 1];
+                ++pc;
+                break;
+            case OpCode::Not:
+                sv[sp - 1] = sv[sp - 1] == 0.0 ? 1.0 : 0.0;
+                ++pc;
+                break;
+            case OpCode::AndJump: {
+                --sp;
+                const bool truthy =
+                    sv[sp] != 0.0 && (kAllBound || sk[sp]);
+                if (!truthy) {
+                    push(0.0, true);
+                    pc = op.a;
+                } else {
+                    ++pc;
+                }
+                break;
+            }
+            case OpCode::OrJump: {
+                --sp;
+                const bool truthy =
+                    sv[sp] != 0.0 && (kAllBound || sk[sp]);
+                if (truthy) {
+                    push(1.0, true);
+                    pc = op.a;
+                } else {
+                    ++pc;
+                }
+                break;
+            }
+            case OpCode::Boolize: {
+                const bool truthy =
+                    sv[sp - 1] != 0.0 && (kAllBound || sk[sp - 1]);
+                sv[sp - 1] = truthy ? 1.0 : 0.0;
+                if constexpr (!kAllBound) sk[sp - 1] = 1;
+                ++pc;
+                break;
+            }
+            case OpCode::CmpAC:
+                SPECTRE_CHECK(current != nullptr, "Attr evaluated without current event");
+                push(apply_cmp(static_cast<CmpKind>(op.b & 0xff), current->attr(op.slot),
+                               op.value),
+                     true);
+                ++pc;
+                break;
+            case OpCode::CmpAA:
+                SPECTRE_CHECK(current != nullptr, "Attr evaluated without current event");
+                push(apply_cmp(static_cast<CmpKind>(op.b & 0xff), current->attr(op.slot),
+                               current->attr((op.b >> 8) & 0xff)),
+                     true);
+                ++pc;
+                break;
+            case OpCode::CmpAB: {
+                SPECTRE_CHECK(current != nullptr, "Attr evaluated without current event");
+                const event::Event* be = bound_at(op.a);
+                const double l = current->attr(op.slot);
+                const double r = be ? be->attr((op.b >> 8) & 0xff) : 0.0;
+                push(apply_cmp(static_cast<CmpKind>(op.b & 0xff), l, r), be != nullptr);
+                ++pc;
+                break;
+            }
+            case OpCode::CmpBA: {
+                SPECTRE_CHECK(current != nullptr, "Attr evaluated without current event");
+                const event::Event* be = bound_at(op.a);
+                const double l = be ? be->attr(op.slot) : 0.0;
+                const double r = current->attr((op.b >> 8) & 0xff);
+                push(apply_cmp(static_cast<CmpKind>(op.b & 0xff), l, r), be != nullptr);
+                ++pc;
+                break;
+            }
+            case OpCode::CmpBC: {
+                const event::Event* be = bound_at(op.a);
+                const double l = be ? be->attr(op.slot) : 0.0;
+                push(apply_cmp(static_cast<CmpKind>(op.b & 0xff), l, op.value),
+                     be != nullptr);
+                ++pc;
+                break;
+            }
+            case OpCode::CmpABC: {
+                SPECTRE_CHECK(current != nullptr, "Attr evaluated without current event");
+                const event::Event* be = bound_at(op.a);
+                const double b0 = be ? be->attr((op.b >> 8) & 0xff) : 0.0;
+                const double r = (op.b & (1u << 16)) ? b0 - op.value : b0 + op.value;
+                push(apply_cmp(static_cast<CmpKind>(op.b & 0xff), current->attr(op.slot), r),
+                     be != nullptr);
+                ++pc;
+                break;
+            }
+            case OpCode::AndCmpAC: {
+                SPECTRE_CHECK(current != nullptr, "Attr evaluated without current event");
+                const double v = apply_cmp(static_cast<CmpKind>(op.b & 0xff),
+                                           current->attr(op.slot), op.value);
+                if (v != 0.0) {
+                    ++pc;
+                } else {
+                    push(0.0, true);
+                    pc = op.b >> 17;
+                }
+                break;
+            }
+            case OpCode::AndCmpAA: {
+                SPECTRE_CHECK(current != nullptr, "Attr evaluated without current event");
+                const double v = apply_cmp(static_cast<CmpKind>(op.b & 0xff),
+                                           current->attr(op.slot),
+                                           current->attr((op.b >> 8) & 0xff));
+                if (v != 0.0) {
+                    ++pc;
+                } else {
+                    push(0.0, true);
+                    pc = op.b >> 17;
+                }
+                break;
+            }
+            case OpCode::AndCmpAB: {
+                SPECTRE_CHECK(current != nullptr, "Attr evaluated without current event");
+                const event::Event* be = bound_at(op.a);
+                const double r = be ? be->attr((op.b >> 8) & 0xff) : 0.0;
+                const double v = apply_cmp(static_cast<CmpKind>(op.b & 0xff),
+                                           current->attr(op.slot), r);
+                if (v != 0.0 && (kAllBound || be != nullptr)) {
+                    ++pc;
+                } else {
+                    push(0.0, true);
+                    pc = op.b >> 17;
+                }
+                break;
+            }
+            case OpCode::AndCmpBA: {
+                SPECTRE_CHECK(current != nullptr, "Attr evaluated without current event");
+                const event::Event* be = bound_at(op.a);
+                const double l = be ? be->attr(op.slot) : 0.0;
+                const double v = apply_cmp(static_cast<CmpKind>(op.b & 0xff), l,
+                                           current->attr((op.b >> 8) & 0xff));
+                if (v != 0.0 && (kAllBound || be != nullptr)) {
+                    ++pc;
+                } else {
+                    push(0.0, true);
+                    pc = op.b >> 17;
+                }
+                break;
+            }
+            case OpCode::AndCmpBC: {
+                const event::Event* be = bound_at(op.a);
+                const double l = be ? be->attr(op.slot) : 0.0;
+                const double v =
+                    apply_cmp(static_cast<CmpKind>(op.b & 0xff), l, op.value);
+                if (v != 0.0 && (kAllBound || be != nullptr)) {
+                    ++pc;
+                } else {
+                    push(0.0, true);
+                    pc = op.b >> 17;
+                }
+                break;
+            }
+            case OpCode::AndCmpABC: {
+                SPECTRE_CHECK(current != nullptr, "Attr evaluated without current event");
+                const event::Event* be = bound_at(op.a);
+                const double b0 = be ? be->attr((op.b >> 8) & 0xff) : 0.0;
+                const double r = (op.b & (1u << 16)) ? b0 - op.value : b0 + op.value;
+                const double v = apply_cmp(static_cast<CmpKind>(op.b & 0xff),
+                                           current->attr(op.slot), r);
+                if (v != 0.0 && (kAllBound || be != nullptr)) {
+                    ++pc;
+                } else {
+                    push(0.0, true);
+                    pc = op.b >> 17;
+                }
+                break;
+            }
+            case OpCode::AndTypeIs: {
+                SPECTRE_CHECK(current != nullptr, "TypeIs evaluated without current event");
+                if (current->type == op.b) {
+                    ++pc;
+                } else {
+                    push(0.0, true);
+                    pc = op.a;
+                }
+                break;
+            }
+            case OpCode::AndSubjectIn: {
+                SPECTRE_CHECK(current != nullptr,
+                              "SubjectIn evaluated without current event");
+                const auto* first = subjects_.data() + op.b;
+                if (std::binary_search(first, first + op.a, current->subject)) {
+                    ++pc;
+                } else {
+                    push(0.0, true);
+                    pc = static_cast<std::size_t>(op.value);
+                }
+                break;
+            }
+            default: {
+                const double r = sv[--sp];
+                const double l = sv[sp - 1];
+                double out = 0.0;
+                switch (op.code) {
+                    case OpCode::Add: out = l + r; break;
+                    case OpCode::Sub: out = l - r; break;
+                    case OpCode::Mul: out = l * r; break;
+                    case OpCode::Div: out = l / r; break;
+                    case OpCode::Lt: out = l < r ? 1.0 : 0.0; break;
+                    case OpCode::Le: out = l <= r ? 1.0 : 0.0; break;
+                    case OpCode::Gt: out = l > r ? 1.0 : 0.0; break;
+                    case OpCode::Ge: out = l >= r ? 1.0 : 0.0; break;
+                    case OpCode::Eq: out = l == r ? 1.0 : 0.0; break;
+                    case OpCode::Ne: out = l != r ? 1.0 : 0.0; break;
+                    default: SPECTRE_CHECK(false, "unhandled opcode");
+                }
+                sv[sp - 1] = out;
+                if constexpr (!kAllBound) sk[sp - 1] = sk[sp - 1] && sk[sp];
+                ++pc;
+                break;
+            }
+        }
+    }
+
+    SPECTRE_CHECK(sp == 1, "program left a non-singleton stack");
+    if constexpr (kAllBound) return sv[0];
+    ok = ok && sk[0] != 0;
+    return sv[0];
+}
+
+// run() lives in the header; the loop bodies are instantiated here once.
+template double ExprProgram::run_impl<true>(const event::Event*,
+                                            std::span<const event::Event* const>,
+                                            bool&, EvalScratch&) const;
+template double ExprProgram::run_impl<false>(const event::Event*,
+                                             std::span<const event::Event* const>,
+                                             bool&, EvalScratch&) const;
+
+}  // namespace spectre::detect

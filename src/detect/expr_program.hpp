@@ -1,0 +1,241 @@
+// ExprProgram: predicate / payload expressions lowered to flat bytecode.
+//
+// The tree evaluator (query/predicate.hpp) walks a shared_ptr<const ExprNode>
+// graph — every node is a pointer chase and a recursive call, paid per active
+// match per event in the detector's inner loop. An ExprProgram is the same
+// expression lowered once, at CompiledQuery::compile time, into a contiguous
+// postfix op vector (constants inlined into the ops, SubjectIn sets in one
+// side pool) executed by a small fixed-size value stack: no recursion, no
+// shared_ptr dereference chains, no allocation at eval time (DESIGN.md §5.1).
+//
+// Two compile-time optimizations carry the speedup over the tree:
+//   * peephole fusion — the comparison shapes that dominate real predicates
+//     (attr⋈const, attr⋈attr, attr⋈bound, attr⋈bound±const, bound⋈const)
+//     collapse into single superops, so the common 3-to-5-node subtree costs
+//     one dispatch instead of three to five;
+//   * an all-bound fast path — the program records which binding slots its
+//     BoundAttr ops reference; when every one is bound (the overwhelmingly
+//     common case mid-match) evaluation runs a loop with no ok-bit tracking
+//     at all. Otherwise the general loop tracks a per-value ok bit.
+//
+// Semantics are bit-identical to query::eval / eval_bool, including:
+//   * unbound BoundAttr short-circuit — an unbound reference contributes
+//     0.0 with ok=false, propagating exactly like eval()'s by-ref `ok`
+//     (predicate → false, payload → 0.0);
+//   * And/Or short-circuit via jump ops, so a subtree the tree evaluator
+//     never visits is never executed here either (same crash/check behavior,
+//     same ok scoping: a logical op always yields {0|1, ok=true});
+//   * IEEE division (div-by-zero → ±inf/NaN) and comparison results exactly
+//     as the tree computes them.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "query/predicate.hpp"
+#include "util/assert.hpp"
+
+namespace spectre::detect {
+
+enum class OpCode : std::uint8_t {
+    Const,      // push {value, true}
+    Attr,       // push {current->attr(slot), true}
+    BoundAttr,  // push {bound[a]->attr(slot), true} or {0.0, false} if unbound
+    SubjectIn,  // push {current->subject ∈ subjects[b, b+a), true}
+    TypeIs,     // push {current->type == b, true}
+    Neg,        // top.v = -top.v           (ok unchanged)
+    Not,        // top.v = (v==0 ? 1 : 0)   (ok unchanged)
+    Add, Sub, Mul, Div,              // pop r, pop l → push {l∘r, l.ok && r.ok}
+    Lt, Le, Gt, Ge, Eq, Ne,          // pop r, pop l → push {0|1, l.ok && r.ok}
+    AndJump,    // pop l; if !(l.ok && l.v!=0) push {0.0, true}, pc = a
+    OrJump,     // pop l; if  (l.ok && l.v!=0) push {1.0, true}, pc = a
+    Boolize,    // top = {top.ok && top.v!=0 ? 1 : 0, true}  (closes And/Or rhs)
+    // --- fused superops (peephole, §5.1) -----------------------------------
+    CmpAC,      // push attr(slot) ⋈ value                       (⋈ in b)
+    CmpAA,      // push attr(slot) ⋈ attr(b>>8)
+    CmpAB,      // push attr(slot) ⋈ bound[a].attr(b>>8)         (ok from bound)
+    CmpBA,      // push bound[a].attr(slot) ⋈ attr(b>>8)         (ok from bound)
+    CmpBC,      // push bound[a].attr(slot) ⋈ value              (ok from bound)
+    CmpABC,     // push attr(slot) ⋈ (bound[a].attr(b>>8) ± value); ± in b>>16
+    // --- jump-threaded conjunction superops (§5.1) -------------------------
+    // The And-lhs test folded into the producing op: truthy → fall through
+    // pushing nothing; false/unbound → push {0.0, true}, pc = jump target.
+    // Target lives in b bits 17..31 (AndTypeIs: in a; AndSubjectIn: in value).
+    AndCmpAC, AndCmpAA, AndCmpAB, AndCmpBA, AndCmpBC, AndCmpABC,
+    AndTypeIs, AndSubjectIn,
+};
+
+// Comparison kind carried in the low byte of Op::b for the fused superops.
+enum class CmpKind : std::uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
+
+// One 16-byte instruction; `value` doubles as the inline constant pool.
+struct Op {
+    OpCode code = OpCode::Const;
+    std::uint8_t slot = 0;   // Attr/BoundAttr/fused: first schema attribute slot
+    std::uint16_t a = 0;     // BoundAttr/fused: element · jumps: target · SubjectIn: count
+    std::uint32_t b = 0;     // TypeIs: type · SubjectIn: offset · fused: cmp|slot2<<8|sub<<16
+    double value = 0.0;      // Const / fused constant operand
+};
+
+// Per-evaluator scratch: one value stack reused across every program of a
+// query (sized once from CompiledQuery::eval_stack_depth). Parallel arrays
+// rather than an array-of-pairs keep the doubles densely packed.
+struct EvalScratch {
+    std::vector<double> v;
+    std::vector<std::uint8_t> ok;
+
+    void ensure(std::size_t depth) {
+        if (v.size() < depth) {
+            v.resize(depth);
+            ok.resize(depth);
+        }
+    }
+};
+
+class ExprProgram {
+public:
+    ExprProgram() = default;  // invalid (absent guard)
+
+    // Lowers `e` (must be non-null) into a program.
+    static ExprProgram compile(const query::Expr& e);
+
+    bool valid() const noexcept { return !ops_.empty(); }
+    std::size_t size() const noexcept { return ops_.size(); }
+    // Value-stack slots an evaluation needs (EvalScratch must be ≥ this).
+    std::size_t stack_depth() const noexcept { return depth_; }
+
+    // Numeric evaluation against the same context shape as query::eval:
+    // `current` is the event under test (null for payloads), `bound` the
+    // per-binding-slot first events. On an unbound reference on an evaluated
+    // non-logical path, `ok` is set false (never reset to true). Inline so
+    // the per-call preamble (scratch sizing + all-bound precheck) fuses into
+    // the detector's inner loop.
+    double run(const event::Event* current, std::span<const event::Event* const> bound,
+               bool& ok, EvalScratch& scratch) const {
+        SPECTRE_CHECK(valid(), "running an empty ExprProgram");
+        scratch.ensure(depth_);
+        // Fast path: every referenced binding slot bound ⇒ ok can never turn
+        // false ⇒ skip ok bookkeeping entirely. (An unevaluated short-
+        // circuited BoundAttr makes the precheck conservative, never wrong.)
+        bool all_bound = n_bound_refs_ != kTooManyRefs;
+        for (std::uint8_t i = 0; all_bound && i < n_bound_refs_; ++i) {
+            const auto el = bound_refs_[i];
+            all_bound = el < bound.size() && bound[el] != nullptr;
+        }
+        if (all_bound) return run_impl<true>(current, bound, ok, scratch);
+        return run_impl<false>(current, bound, ok, scratch);
+    }
+
+    // Truthiness with unbound references mapping to false (query::eval_bool).
+    // Single-op programs (a bare TypeIs / SubjectIn / fused comparison — the
+    // whole of Q1's REs and Q3's members) skip the stack machine entirely.
+    bool run_bool(const event::Event* current,
+                  std::span<const event::Event* const> bound,
+                  EvalScratch& scratch) const {
+        if (ops_.size() == 1) {
+            const Op& op = ops_[0];
+            switch (op.code) {
+                case OpCode::TypeIs:
+                    SPECTRE_CHECK(current != nullptr,
+                                  "TypeIs evaluated without current event");
+                    return current->type == op.b;
+                case OpCode::SubjectIn: {
+                    SPECTRE_CHECK(current != nullptr,
+                                  "SubjectIn evaluated without current event");
+                    const auto* first = subjects_.data() + op.b;
+                    return std::binary_search(first, first + op.a, current->subject);
+                }
+                case OpCode::CmpAC:
+                    SPECTRE_CHECK(current != nullptr,
+                                  "Attr evaluated without current event");
+                    return cmp_op(op.b, current->attr(op.slot), op.value);
+                case OpCode::CmpAA:
+                    SPECTRE_CHECK(current != nullptr,
+                                  "Attr evaluated without current event");
+                    return cmp_op(op.b, current->attr(op.slot),
+                                  current->attr((op.b >> 8) & 0xff));
+                case OpCode::CmpAB: {
+                    SPECTRE_CHECK(current != nullptr,
+                                  "Attr evaluated without current event");
+                    const event::Event* be = bound_of(bound, op.a);
+                    return be != nullptr &&
+                           cmp_op(op.b, current->attr(op.slot),
+                                  be->attr((op.b >> 8) & 0xff));
+                }
+                case OpCode::CmpBA: {
+                    SPECTRE_CHECK(current != nullptr,
+                                  "Attr evaluated without current event");
+                    const event::Event* be = bound_of(bound, op.a);
+                    return be != nullptr &&
+                           cmp_op(op.b, be->attr(op.slot),
+                                  current->attr((op.b >> 8) & 0xff));
+                }
+                case OpCode::CmpBC: {
+                    const event::Event* be = bound_of(bound, op.a);
+                    return be != nullptr && cmp_op(op.b, be->attr(op.slot), op.value);
+                }
+                case OpCode::CmpABC: {
+                    SPECTRE_CHECK(current != nullptr,
+                                  "Attr evaluated without current event");
+                    const event::Event* be = bound_of(bound, op.a);
+                    if (be == nullptr) return false;
+                    const double b0 = be->attr((op.b >> 8) & 0xff);
+                    const double r = (op.b & (1u << 16)) ? b0 - op.value : b0 + op.value;
+                    return cmp_op(op.b, current->attr(op.slot), r);
+                }
+                default:
+                    break;  // Const/Attr/BoundAttr etc.: general path below
+            }
+        }
+        bool ok = true;
+        const double v = run(current, bound, ok, scratch);
+        return ok && v != 0.0;
+    }
+
+private:
+    template <bool kAllBound>
+    double run_impl(const event::Event* current,
+                    std::span<const event::Event* const> bound, bool& ok,
+                    EvalScratch& scratch) const;
+
+    // The single comparison dispatch shared by the stack machine, the fused
+    // superops, and the single-op fast path.
+    static double apply_cmp(CmpKind k, double l, double r) {
+        switch (k) {
+            case CmpKind::Lt: return l < r ? 1.0 : 0.0;
+            case CmpKind::Le: return l <= r ? 1.0 : 0.0;
+            case CmpKind::Gt: return l > r ? 1.0 : 0.0;
+            case CmpKind::Ge: return l >= r ? 1.0 : 0.0;
+            case CmpKind::Eq: return l == r ? 1.0 : 0.0;
+            case CmpKind::Ne: return l != r ? 1.0 : 0.0;
+        }
+        return 0.0;
+    }
+    // Fused-op flavor: kind in the low byte of b, boolean result.
+    static bool cmp_op(std::uint32_t b, double l, double r) {
+        return apply_cmp(static_cast<CmpKind>(b & 0xff), l, r) != 0.0;
+    }
+    static const event::Event* bound_of(std::span<const event::Event* const> bound,
+                                        std::uint16_t el) {
+        return el < bound.size() ? bound[el] : nullptr;
+    }
+
+    std::size_t emit(const query::ExprNode& e);  // returns subtree stack need
+    bool try_fuse(query::BinOp op, std::size_t lhs_start, std::size_t rhs_start);
+
+    std::vector<Op> ops_;
+    std::vector<event::SubjectId> subjects_;   // SubjectIn pool (sorted ranges)
+    // Unique binding slots the program references, inline (no heap hop on the
+    // per-eval precheck). Programs with more refs than the array holds just
+    // lose the fast path (n_bound_refs_ = kTooManyRefs ⇒ general loop).
+    static constexpr std::size_t kMaxTrackedRefs = 8;
+    static constexpr std::uint8_t kTooManyRefs = 0xff;
+    std::array<std::uint16_t, kMaxTrackedRefs> bound_refs_{};
+    std::uint8_t n_bound_refs_ = 0;
+    std::size_t depth_ = 0;
+};
+
+}  // namespace spectre::detect

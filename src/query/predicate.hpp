@@ -7,6 +7,12 @@
 // pattern elements — which is what makes cross-event constraints such as
 // "A.x > B.x" (chart patterns, §5 related work) and computed payloads such as
 // QE's `Factor = B.change / A.change` expressible.
+//
+// The detector's hot path does NOT walk these trees: CompiledQuery lowers
+// them into flat detect::ExprProgram bytecode (DESIGN.md §5.1). eval() /
+// eval_bool() remain the reference semantics — the parser, the window-open
+// predicates, and the EvalMode::Tree differential baseline that the
+// randomized tests and bench_detect_hot hold the bytecode bit-identical to.
 #pragma once
 
 #include <memory>

@@ -7,7 +7,8 @@
 
 namespace spectre::sequential {
 
-SequentialEngine::SequentialEngine(const detect::CompiledQuery* cq) : cq_(cq) {
+SequentialEngine::SequentialEngine(const detect::CompiledQuery* cq, detect::EvalMode mode)
+    : cq_(cq), mode_(mode) {
     SPECTRE_REQUIRE(cq != nullptr, "SequentialEngine needs a compiled query");
 }
 
@@ -28,9 +29,10 @@ struct SeqStepper::Impl {
     SeqResult result;
 
     Impl(const detect::CompiledQuery* cq_in, const event::EventStore& store_in,
-         const event::ResultSink* sink_in)
+         const event::ResultSink* sink_in,
+         detect::EvalMode mode = detect::EvalMode::Compiled)
         : cq(cq_in), store(store_in), sink(sink_in), assigner(cq_in->query().window),
-          detector(cq_in) {}
+          detector(cq_in, mode) {}
 
     // Processes at most `max_windows` fully-arrived windows at `frontier`;
     // returns true while another fully-arrived window is still pending.
@@ -114,7 +116,7 @@ bool SeqStepper::finished() const {
 
 SeqResult SequentialEngine::run_impl(const event::EventStore& store,
                                      const event::ResultSink* sink) const {
-    SeqStepper::Impl pass(cq_, store, sink);
+    SeqStepper::Impl pass(cq_, store, sink, mode_);
     pass.drain(store.size(), /*closed=*/true, SIZE_MAX);
     return pass.finish();
 }
@@ -132,7 +134,7 @@ SeqResult SequentialEngine::run_stream_impl(event::EventStream& live,
                                             event::EventStore& store,
                                             const event::ResultSink* sink) const {
     SPECTRE_REQUIRE(!store.closed(), "run_stream needs an open store");
-    SeqStepper::Impl pass(cq_, store, sink);
+    SeqStepper::Impl pass(cq_, store, sink, mode_);
     while (auto e = live.next()) {
         store.append(*e);
         pass.drain(store.size(), /*closed=*/false, SIZE_MAX);

@@ -87,7 +87,11 @@ private:
 
 class SequentialEngine {
 public:
-    explicit SequentialEngine(const detect::CompiledQuery* cq);
+    // `mode` selects the detector's predicate evaluator (DESIGN.md §5.1):
+    // Compiled bytecode by default; Tree keeps the reference tree-walking
+    // evaluator alive for differential tests and the hot-path bench baseline.
+    explicit SequentialEngine(const detect::CompiledQuery* cq,
+                              detect::EvalMode mode = detect::EvalMode::Compiled);
 
     // Runs the full pass over `store`, treating its contents as the whole
     // input. Windows are assigned from the query's window spec; consumption
@@ -111,6 +115,7 @@ private:
     SeqResult run_stream_impl(event::EventStream& live, event::EventStore& store,
                               const event::ResultSink* sink) const;
     const detect::CompiledQuery* cq_;
+    detect::EvalMode mode_;
 };
 
 }  // namespace spectre::sequential

@@ -55,7 +55,7 @@ bool OperatorInstance::is_suppressed(WindowVersion& wv, event::Seq seq) {
     return false;
 }
 
-void OperatorInstance::handle_feedback(WindowVersion& wv, const detect::Feedback& fb) {
+void OperatorInstance::handle_feedback(WindowVersion& wv, detect::Feedback& fb) {
     auto& st = wv.processing();
 
     for (const auto& c : fb.created) {
@@ -78,8 +78,8 @@ void OperatorInstance::handle_feedback(WindowVersion& wv, const detect::Feedback
         it->second->set_delta(b.delta_after);
     }
 
-    for (const auto& done : fb.completed) {
-        st.output.push_back(done.complex_event);
+    for (auto& done : fb.completed) {
+        st.output.push_back(std::move(done.complex_event));
         const auto it = st.own_groups.find(done.id);
         if (it != st.own_groups.end()) {
             it->second->resolve(CgOutcome::Completed);

@@ -64,7 +64,9 @@ public:
 private:
     bool is_suppressed(WindowVersion& wv, event::Seq seq);
     void refresh_caches(WindowVersion& wv);
-    void handle_feedback(WindowVersion& wv, const detect::Feedback& fb);
+    // Consumes `fb`: completed complex events are moved out (the caller
+    // clears the buffer before its next use anyway).
+    void handle_feedback(WindowVersion& wv, detect::Feedback& fb);
     bool consistency_check(WindowVersion& wv);
     void rollback(WindowVersion& wv);
     void finish_window(WindowVersion& wv);

@@ -1,0 +1,136 @@
+// Heap discipline of the detection inner loop (DESIGN.md §5.1): after
+// warm-up, Detector::on_event must be allocation-free on the Q1 workload —
+// the acceptance gate for the flattened hot path. Every global operator new
+// in this binary bumps a counter; the test brackets each on_event call and
+// requires zero allocations for every steady-state event that does not
+// complete a match (a completion hands an escaping ComplexEvent + consumed
+// list to the caller, which inherently allocates — that is per-completion,
+// not per-event).
+//
+// Skipped under sanitizers: their allocator interposition changes what a
+// "heap allocation" is, and the sanitizer jobs run correctness suites anyway.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "data/nyse_synth.hpp"
+#include "detect/detector.hpp"
+#include "queries/paper_queries.hpp"
+#include "query/window.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SPECTRE_ALLOC_TEST_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define SPECTRE_ALLOC_TEST_DISABLED 1
+#endif
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+#ifndef SPECTRE_ALLOC_TEST_DISABLED
+
+void* operator new(std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+    return ::operator new(size, tag);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#endif  // !SPECTRE_ALLOC_TEST_DISABLED
+
+using namespace spectre;
+
+TEST(DetectorAlloc, Q1SteadyStateIsAllocationFreePerEvent) {
+#ifdef SPECTRE_ALLOC_TEST_DISABLED
+    GTEST_SKIP() << "allocation counting is not meaningful under sanitizers";
+#else
+    // Q1 at reduced scale: 100 symbols so the 16 leaders (and hence windows)
+    // recur every few events, pattern MLE + 5 rising quotes, ws 400.
+    const auto vocab = data::StockVocab::create(std::make_shared<event::Schema>());
+    queries::Q1Params params;
+    params.q = 5;
+    params.ws = 400;
+    const auto q = queries::make_q1(vocab, params);
+    const auto cq = detect::CompiledQuery::compile(q);
+
+    data::NyseSynthConfig cfg;
+    cfg.events = 20'000;
+    cfg.symbols = 100;
+    cfg.up_prob = 0.5;
+    cfg.seed = 7;
+    event::EventStore store;
+    data::generate_nyse(vocab, cfg, store);
+
+    const auto windows = query::assign_windows(store, q.window);
+    ASSERT_GT(windows.size(), 20u) << "workload must open enough Q1 windows";
+
+    detect::Detector det(&cq);
+    detect::Feedback fb;
+
+    // Warm-up: the pool, the scratch buffers, the Feedback capacities and the
+    // consumed bitmap all reach their high-water marks during the first
+    // windows; everything after must run out of recycled storage.
+    const std::size_t warmup_windows = windows.size() / 3;
+    std::uint64_t steady_events = 0, dirty_events = 0, completions = 0;
+
+    for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+        const auto& w = windows[wi];
+        const event::Seq end = std::min<event::Seq>(w.last, store.size() - 1);
+        det.begin_window(w);
+        for (event::Seq pos = w.first; pos <= end; ++pos) {
+            fb.clear();
+            const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+            det.on_event(store.at(pos), fb);
+            const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+            if (wi < warmup_windows) continue;
+            ++steady_events;
+            if (!fb.completed.empty()) {
+                ++completions;  // escaping ComplexEvent: allocation allowed
+            } else if (after != before) {
+                ++dirty_events;
+            }
+        }
+        fb.clear();
+        det.end_window(fb);
+    }
+
+    EXPECT_GT(steady_events, 5000u);
+    EXPECT_GT(completions, 0u) << "Q1 workload must actually complete matches";
+    EXPECT_EQ(dirty_events, 0u)
+        << "steady-state Detector::on_event allocated on a non-completing event";
+#endif
+}
+
+TEST(DetectorAlloc, CounterSeesOrdinaryAllocations) {
+#ifdef SPECTRE_ALLOC_TEST_DISABLED
+    GTEST_SKIP() << "allocation counting is not meaningful under sanitizers";
+#else
+    const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    auto* p = new std::vector<int>(100);
+    const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+    delete p;
+    EXPECT_GT(after, before) << "operator new interposition is not active";
+#endif
+}
