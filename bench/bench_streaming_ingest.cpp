@@ -74,7 +74,8 @@ int main() {
         core::RuntimeConfig cfg;
         cfg.splitter.instances = k;
 
-        std::vector<double> batch_eps, stream_eps;
+        std::vector<double> batch_eps, stream_eps, decode_secs, feed_secs;
+        std::vector<double> splitter_sleeps, instance_sleeps;
         for (const auto seed : seeds) {
             data::NyseSynthConfig gen;
             gen.events = events_n;
@@ -84,12 +85,15 @@ int main() {
             const auto events = data::generate_nyse(vocab, gen);
 
             // Materialize-then-process: the old pipeline shape — drain the
-            // whole stream into the store, then start the engines.
+            // whole stream into the store, then start the engines. The decode
+            // phase runs alone here; its wall time is the feeder-stall
+            // baseline the streaming feeder is compared against.
             {
                 const auto t0 = std::chrono::steady_clock::now();
                 event::EventStore store;
                 DecodingStream src(events, vocab);
                 store.append_all(src);
+                decode_secs.push_back(seconds_since(t0));
                 core::SpectreRuntime rt(&store, &cq, cfg, model_for(cq));
                 (void)rt.run();
                 batch_eps.push_back(static_cast<double>(events.size()) / seconds_since(t0));
@@ -102,31 +106,50 @@ int main() {
                 event::EventStore store;
                 DecodingStream src(events, vocab);
                 core::SpectreRuntime rt(&store, &cq, cfg, model_for(cq));
-                (void)rt.run(src);
+                const auto rr = rt.run(src);
                 stream_eps.push_back(static_cast<double>(events.size()) / seconds_since(t0));
+                feed_secs.push_back(rr.feed_seconds);
+                splitter_sleeps.push_back(static_cast<double>(rr.splitter_idle_sleeps));
+                instance_sleeps.push_back(static_cast<double>(rr.instance_idle_sleeps));
             }
         }
 
         const double batch_med = util::percentile(batch_eps, 50);
         const double stream_med = util::percentile(stream_eps, 50);
         const double gain = batch_med > 0 ? stream_med / batch_med : 0.0;
+        const double decode_med = util::percentile(decode_secs, 50);
+        const double feed_med = util::percentile(feed_secs, 50);
+        // Feeder stall factor: how much longer the feeder took next to a
+        // running engine than decoding alone. ≈1 = detection overlapped for
+        // free; ≫1 = detection spin starved the feeder (the pre-fix failure
+        // mode at k ≥ 4 on few cores, DESIGN.md §6).
+        const double feed_stall = decode_med > 0 ? feed_med / decode_med : 0.0;
 
         table.row({"materialize_then_process", std::to_string(k),
                    harness::fmt_candle(batch_eps), "1.0x"});
         table.row({"ingest_while_detect", std::to_string(k),
-                   harness::fmt_candle(stream_eps), harness::fmt_double(gain, 2) + "x"});
+                   harness::fmt_candle(stream_eps),
+                   harness::fmt_double(gain, 2) + "x (feed stall " +
+                       harness::fmt_double(feed_stall, 2) + "x)"});
 
         json_rows.emplace_back(harness::JsonLine("E-stream")
                                    .field("mode", "materialize_then_process")
                                    .field("k", k)
                                    .field("events", events_n)
-                                   .field("eps_p50", batch_med));
+                                   .field("eps_p50", batch_med)
+                                   .field("decode_seconds_p50", decode_med));
         json_rows.emplace_back(harness::JsonLine("E-stream")
                                    .field("mode", "ingest_while_detect")
                                    .field("k", k)
                                    .field("events", events_n)
                                    .field("eps_p50", stream_med)
-                                   .field("overlap_gain", gain));
+                                   .field("overlap_gain", gain)
+                                   .field("feed_seconds_p50", feed_med)
+                                   .field("feed_stall", feed_stall)
+                                   .field("splitter_idle_sleeps_p50",
+                                          util::percentile(splitter_sleeps, 50))
+                                   .field("instance_idle_sleeps_p50",
+                                          util::percentile(instance_sleeps, 50)));
     }
 
     table.print();
@@ -137,6 +160,9 @@ int main() {
         "overlaps the ingestion (decode) time instead of waiting for the full\n"
         "store. On a single core the modes tie (same total work, no overlap\n"
         "capacity); the streaming mode's win there is latency, not throughput:\n"
-        "early windows retire while the tail of the stream is still arriving.\n");
+        "early windows retire while the tail of the stream is still arriving.\n"
+        "feed stall ≈ 1.0x means the feeder decoded at full speed next to the\n"
+        "engine; values well above 1 with few idle sleeps would mean detection\n"
+        "spin is starving the feeder again (DESIGN.md §6 contention fix).\n");
     return 0;
 }

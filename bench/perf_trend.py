@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Warn-only perf trend for CI (ci.yml, Release leg).
+
+Compares a freshly generated smoke-scale bench record against the committed
+BENCH_hotpath.json and prints a markdown ratio table for the job summary.
+Rows are keyed by their identity fields (experiment, shape, mode, engine,
+k, shards, ...); the first throughput metric present in both rows is
+compared. This NEVER fails the job — shared-runner noise and the scale
+difference (the committed record is generated at SPECTRE_BENCH_SCALE=0.3,
+the CI smoke at 0.05) make absolute speed assertions meaningless here; the
+table exists so a human can spot a trend, not so CI can flap.
+
+Usage: perf_trend.py <committed-baseline.json> <fresh.json>
+"""
+import json
+import sys
+
+# Throughput metrics, most specific first; the first present in both rows of
+# a pair is the one compared.
+METRICS = ["eps_compiled", "eps_p50", "eps"]
+
+# Everything measured rather than configured: excluded from row identity.
+NON_IDENTITY = {
+    "eps", "eps_p50", "eps_tree", "eps_compiled", "speedup", "speedup_vs_s1",
+    "overlap_gain", "feed_seconds_p50", "feed_stall", "decode_seconds_p50",
+    "splitter_idle_sleeps_p50", "instance_idle_sleeps_p50",
+    "first_result_ms_p50", "results", "quanta", "parks_input", "parks_egress",
+    "parity_ok", "parity", "scale", "events", "completions", "avg_active",
+    "keys", "events_per_session", "sessions_per_worker",
+}
+
+WARN_BELOW = 0.75  # flag rows slower than this ratio (warn-only)
+
+
+def load(path):
+    rows = {}
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line.startswith("{"):
+                    continue
+                row = json.loads(line)
+                key = tuple(sorted((k, v) for k, v in row.items()
+                                   if k not in NON_IDENTITY))
+                rows[key] = row
+    except OSError as e:
+        print(f"perf-trend: cannot read {path}: {e} (skipping)", file=sys.stderr)
+    return rows
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 0  # warn-only: never fail the job
+    baseline = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+    if not baseline or not fresh:
+        print("perf-trend: nothing to compare (missing or empty record)")
+        return 0
+
+    print("### Perf trend vs committed BENCH_hotpath.json")
+    print()
+    print("_Warn-only. Committed record is full-scale (0.3), this run is the"
+          " CI smoke scale — compare trends, not absolutes._")
+    print()
+    print("| row | committed | fresh | ratio | |")
+    print("|---|---|---|---|---|")
+    compared = 0
+    for key, base_row in sorted(baseline.items()):
+        fresh_row = fresh.get(key)
+        if fresh_row is None:
+            continue
+        metric = next((m for m in METRICS if m in base_row and m in fresh_row), None)
+        if metric is None or not base_row[metric]:
+            continue
+        ratio = fresh_row[metric] / base_row[metric]
+        flag = "⚠️" if ratio < WARN_BELOW else ""
+        print(f"| {fmt_key(key)} ({metric}) | {base_row[metric]:.3g} "
+              f"| {fresh_row[metric]:.3g} | {ratio:.2f}x | {flag} |")
+        compared += 1
+    print()
+    print(f"_{compared} rows compared; "
+          f"{len(baseline)} committed, {len(fresh)} fresh._")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)  # consumer closed the pipe; warn-only means never fail
+    except Exception as e:  # noqa: BLE001 — warn-only by contract
+        print(f"perf-trend: {e} (skipping)", file=sys.stderr)
+        sys.exit(0)

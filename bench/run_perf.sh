@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Performance sweep for the hot-path record (DESIGN.md §5.1 methodology):
-# runs the detector microbench plus the two macro benches and collects every
-# JSON-lines row into BENCH_hotpath.json at the repo root.
+# runs the detector microbench plus the macro benches (streaming ingest,
+# server throughput, shard scaling) and collects every JSON-lines row into
+# BENCH_hotpath.json at the repo root.
 #
 #   bench/run_perf.sh [build-dir] [output-json] [scale]
 #
@@ -9,8 +10,9 @@
 # script's repo root, SPECTRE_BENCH_SCALE from the environment (or 0.3 — big
 # enough for stable events/s on one core, small enough to finish in minutes).
 # Exits non-zero if any bench fails, which includes bench_detect_hot's
-# tree-vs-compiled parity guard and bench_server_throughput's per-row
-# sequential parity check.
+# tree-vs-compiled parity guard, bench_server_throughput's per-row
+# sequential parity check, and bench_shard_scaling's merged-vs-reference
+# parity gate (DESIGN.md §10).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -34,6 +36,7 @@ run() {
 run bench_detect_hot
 run bench_streaming_ingest
 run bench_server_throughput
+run bench_shard_scaling
 
 mv "$tmp" "$out"
 trap - EXIT

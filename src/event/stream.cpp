@@ -111,4 +111,11 @@ EventRange EventStore::range(Seq first, Seq last) const {
     return EventRange(this, first, last - first + 1);
 }
 
+Seq MappedStore::append_mapped(Event e, Seq parent_seq) {
+    SPECTRE_REQUIRE(parent_of_.empty() || parent_of_.back() < parent_seq,
+                    "MappedStore parent seqs must be strictly increasing");
+    parent_of_.push_back(parent_seq);
+    return store_.append(std::move(e));
+}
+
 }  // namespace spectre::event

@@ -180,4 +180,44 @@ inline const Event& EventRange::operator[](std::size_t i) const {
     return store_->slot(first_ + i);
 }
 
+// A sub-stream of a larger stream, materialized as its own EventStore with a
+// record of where each local event sits in the parent stream. Engines running
+// over the sub-store see dense local seqs (append() renumbers); results they
+// emit are translated back into parent seqs before leaving the sub-stream —
+// the key-partitioned lanes of DESIGN.md §10 are built on this.
+//
+// Concurrency: the wrapped store() keeps the full EventStore single-writer/
+// multi-reader contract, but the seq MAPPING is owning-thread only — append
+// and to_parent()/translate() must run on the same thread (a §10 lane's
+// shard task does both). Unlike the chunked store, the mapping's deque may
+// relocate its internal directory on growth, so cross-thread translation
+// would need its own synchronization — add chunked rows before handing the
+// mapping to concurrent readers (e.g. future lane stealing).
+class MappedStore {
+public:
+    // Appends `e` (its seq is overwritten with the local position) and
+    // records that it is event `parent_seq` of the parent stream.
+    Seq append_mapped(Event e, Seq parent_seq);
+
+    void close() noexcept { store_.close(); }
+    bool closed() const noexcept { return store_.closed(); }
+
+    EventStore& store() noexcept { return store_; }
+    const EventStore& store() const noexcept { return store_; }
+
+    // Parent seq of local event `local` (must be below the frontier).
+    Seq to_parent(Seq local) const { return parent_of_[static_cast<std::size_t>(local)]; }
+
+    // Rewrites a vector of local seqs (e.g. ComplexEvent::constituents) into
+    // parent seqs in place. Local seqs ascending implies parent seqs
+    // ascending — the mapping is strictly monotone by construction.
+    void translate(std::vector<Seq>& seqs) const {
+        for (auto& s : seqs) s = to_parent(s);
+    }
+
+private:
+    EventStore store_;
+    std::deque<Seq> parent_of_;  // owning-thread only (see class comment)
+};
+
 }  // namespace spectre::event

@@ -144,7 +144,8 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
     try {
         // SO_RCVBUF must be set before connect to bound the TCP window.
         d.connect(host, port, spec.rcvbuf);
-        d.send_frame(net::SessionFrame{net::HelloFrame{spec.query, spec.instances}});
+        d.send_frame(net::SessionFrame{
+            net::HelloFrame{spec.query, spec.instances, spec.shards, spec.partition_by}});
         d.first_data = Clock::now();
         bool corrupted = false;
         for (std::size_t i = 0; i < spec.events.size() && !d.terminal; ++i) {

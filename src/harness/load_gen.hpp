@@ -53,6 +53,10 @@ struct LoadGenSession {
     // bytes stop flowing at a known small bound instead of vanishing into
     // auto-tuned loopback buffers.
     int rcvbuf = 0;
+
+    // Sharded HELLO fields (DESIGN.md §10).
+    std::uint32_t shards = 0;     // HELLO shard count; 0 leaves it to the query
+    std::string partition_by;     // HELLO partition key; "" = from query text
 };
 
 struct LoadGenOutcome {

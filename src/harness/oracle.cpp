@@ -7,6 +7,7 @@
 #include "detect/compiled_query.hpp"
 #include "query/parser.hpp"
 #include "sequential/seq_engine.hpp"
+#include "shard/sharded_engine.hpp"
 
 namespace spectre::harness {
 
@@ -18,6 +19,20 @@ std::vector<event::ComplexEvent> sequential_oracle(
     event::EventStore store;
     for (const auto& q : wire) store.append(net::from_wire(q, vocab));
     return sequential::SequentialEngine(&cq).run(store).complex_events;
+}
+
+std::vector<event::ComplexEvent> partitioned_oracle(const std::string& query_text,
+                                                    const std::vector<net::WireQuote>& wire,
+                                                    const std::string& partition_by) {
+    const auto vocab = data::StockVocab::create(std::make_shared<event::Schema>());
+    auto query = query::parse_query(query_text, vocab.schema);
+    if (!partition_by.empty())
+        query.partition = query::resolve_partition_key(partition_by, *vocab.schema);
+    const auto cq = detect::CompiledQuery::compile(std::move(query));
+    std::vector<event::Event> events;
+    events.reserve(wire.size());
+    for (const auto& q : wire) events.push_back(net::from_wire(q, vocab));
+    return shard::reference_partitioned_run(cq, events);
 }
 
 bool results_identical(const std::vector<event::ComplexEvent>& a,

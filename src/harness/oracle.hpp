@@ -18,6 +18,14 @@ namespace spectre::harness {
 std::vector<event::ComplexEvent> sequential_oracle(const std::string& query_text,
                                                    const std::vector<net::WireQuote>& wire);
 
+// Ground truth for a *sharded* session (DESIGN.md §10): same session setup,
+// partition key optionally overridden as HELLO does, then the unsharded
+// per-key sequential reference — what a sharded session's merged RESULT
+// stream must equal for every shard count.
+std::vector<event::ComplexEvent> partitioned_oracle(const std::string& query_text,
+                                                    const std::vector<net::WireQuote>& wire,
+                                                    const std::string& partition_by = "");
+
 // Byte-identity in the §8 sense: window ids, constituent seqs, payloads, and
 // order all equal.
 bool results_identical(const std::vector<event::ComplexEvent>& a,

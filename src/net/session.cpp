@@ -44,6 +44,8 @@ void encode_frame(const SessionFrame& f, std::vector<std::uint8_t>& out) {
         out.push_back(static_cast<std::uint8_t>(FrameType::Hello));
         put_string(out, hello->query, kMaxQueryLength, "query");
         put(out, hello->instances);
+        put(out, hello->shards);
+        put_string(out, hello->partition_by, kMaxPartitionKeyLength, "partition key");
     } else if (const auto* data = std::get_if<WireQuote>(&f)) {
         out.push_back(static_cast<std::uint8_t>(FrameType::Data));
         encode(*data, out);
@@ -78,8 +80,12 @@ std::optional<SessionFrame> decode_frame(const std::vector<std::uint8_t>& buffer
             auto query = get_string(buffer, off, kMaxQueryLength, "query");
             if (!query) return std::nullopt;
             hello.query = std::move(*query);
-            if (!have(buffer, off, sizeof(std::uint32_t))) return std::nullopt;
+            if (!have(buffer, off, 2 * sizeof(std::uint32_t))) return std::nullopt;
             hello.instances = get<std::uint32_t>(buffer, off);
+            hello.shards = get<std::uint32_t>(buffer, off);
+            auto partition = get_string(buffer, off, kMaxPartitionKeyLength, "partition key");
+            if (!partition) return std::nullopt;
+            hello.partition_by = std::move(*partition);
             offset = off;
             return SessionFrame{std::move(hello)};
         }

@@ -52,6 +52,16 @@ struct HelloFrame {
     std::string query;            // query::parse_query text
     std::uint32_t instances = 0;  // k operator instances; 0 = sequential engine
 
+    // Partition-parallel sharding (DESIGN.md §10): with shards > 1 the
+    // session runs the partitioned query as that many shard tasks on the
+    // server's engine pool — a per-session deployment knob, no rebuild. The
+    // query must declare a partition key: either PARTITION BY in the query
+    // text or `partition_by` here ("SUBJECT" or an attribute name, resolved
+    // against the session schema; overrides the text declaration when set).
+    // shards == 0 means unsharded unless the query text itself partitions.
+    std::uint32_t shards = 0;
+    std::string partition_by;
+
     bool operator==(const HelloFrame&) const = default;
 };
 
@@ -84,6 +94,7 @@ using SessionFrame = std::variant<HelloFrame, WireQuote, ResultFrame, ByeFrame, 
 // Sanity bounds; decode throws std::runtime_error beyond them (corrupt frame).
 inline constexpr std::size_t kMaxQueryLength = 1 << 16;
 inline constexpr std::size_t kMaxErrorLength = 1 << 16;
+inline constexpr std::size_t kMaxPartitionKeyLength = 256;
 inline constexpr std::size_t kMaxResultConstituents = 1 << 20;
 inline constexpr std::size_t kMaxResultPayload = 1 << 10;
 inline constexpr std::size_t kMaxPayloadNameLength = 256;

@@ -133,6 +133,7 @@ public:
         attach_definitions(q);
         expect_keyword("WITHIN");
         parse_window(q);
+        if (is_keyword("PARTITION")) parse_partition(q);
         if (is_keyword("SELECT")) parse_select(q);
         if (is_keyword("STICKY")) parse_sticky(q);
         if (is_keyword("CONSUME")) parse_consume(q);
@@ -287,6 +288,17 @@ private:
             return false;
         }
         lex_.fail("expected unit EVENTS or TIME");
+    }
+
+    void parse_partition(Query& q) {
+        expect_keyword("PARTITION");
+        expect_keyword("BY");
+        const std::string key = expect_ident("partition key (SUBJECT or attribute name)");
+        try {
+            q.partition = resolve_partition_key(key, *schema_);
+        } catch (const std::invalid_argument& e) {
+            lex_.fail(e.what());
+        }
     }
 
     void parse_select(Query& q) {

@@ -8,6 +8,7 @@
 //                [DEFINE def {',' def}]
 //                [GUARD gdef {',' gdef}]
 //                WITHIN num (EVENTS|TIME) FROM (EVERY num (EVENTS|TIME) | name)
+//                [PARTITION BY (SUBJECT | attr-name)]
 //                [SELECT (FIRST|EACH)]
 //                [CONSUME (ALL | NONE | '(' name {name} ')')]
 //                [EMIT name '=' expr {',' name '=' expr}]

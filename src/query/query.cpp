@@ -1,5 +1,8 @@
 #include "query/query.hpp"
 
+#include <cctype>
+#include <stdexcept>
+
 #include "util/assert.hpp"
 
 namespace spectre::query {
@@ -25,6 +28,20 @@ void Query::validate() const {
     }
     for (const auto& p : payload)
         SPECTRE_REQUIRE(p.expr != nullptr, "payload definition needs an expression: " + p.name);
+    if (partition.kind == PartitionBy::Kind::Attr)
+        SPECTRE_REQUIRE(partition.slot < schema->attr_count(),
+                        "partition key attribute slot is not in the schema");
+}
+
+PartitionBy resolve_partition_key(const std::string& name, const event::Schema& schema) {
+    std::string up = name;
+    for (char& c : up) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (up == "SUBJECT") return PartitionBy::subject();
+    const auto slot = schema.lookup_attr(name);
+    if (slot >= event::kMaxAttrs || slot >= schema.attr_count())
+        throw std::invalid_argument("unknown partition key '" + name +
+                                    "' (expected SUBJECT or a schema attribute)");
+    return PartitionBy::attr(slot);
 }
 
 QueryBuilder::QueryBuilder(std::shared_ptr<event::Schema> schema) {
@@ -74,6 +91,16 @@ QueryBuilder& QueryBuilder::sticky() {
 QueryBuilder& QueryBuilder::window(WindowSpec spec) {
     q_.window = std::move(spec);
     window_set_ = true;
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::partition_by_subject() {
+    q_.partition = PartitionBy::subject();
+    return *this;
+}
+
+QueryBuilder& QueryBuilder::partition_by_attr(event::AttrSlot slot) {
+    q_.partition = PartitionBy::attr(slot);
     return *this;
 }
 

@@ -21,6 +21,31 @@ struct PayloadDef {
     Expr expr;         // evaluated over the bound constituent events
 };
 
+// Key-based data parallelism declaration (DESIGN.md §10). A query with a
+// partition key applies independently to each distinct key value's
+// sub-stream: windows, matches, selection/consumption state and match
+// budgets are all scoped per key (the MATCH_RECOGNIZE "PARTITION BY"
+// semantics). The key is either the event subject or one numeric attribute
+// (grouped by exact bit pattern). Because every key's sub-stream is
+// independent, a sharded runtime may distribute keys over any number of
+// shards without changing the output (shard/sharded_engine.hpp).
+struct PartitionBy {
+    enum class Kind { None, Subject, Attr };
+    Kind kind = Kind::None;
+    event::AttrSlot slot = 0;  // Attr only
+
+    bool active() const noexcept { return kind != Kind::None; }
+    static PartitionBy none() { return {}; }
+    static PartitionBy subject() { return {Kind::Subject, 0}; }
+    static PartitionBy attr(event::AttrSlot slot) { return {Kind::Attr, slot}; }
+    bool operator==(const PartitionBy&) const = default;
+};
+
+// Resolves a partition-key name against the schema: "SUBJECT" (any case)
+// selects the event subject, anything else must be an interned attribute
+// name. Throws std::invalid_argument on an unknown attribute.
+PartitionBy resolve_partition_key(const std::string& name, const event::Schema& schema);
+
 struct Query {
     std::shared_ptr<event::Schema> schema;
     Pattern pattern;
@@ -28,6 +53,7 @@ struct Query {
     SelectionPolicy selection = SelectionPolicy::First;
     ConsumptionPolicy consumption = ConsumptionPolicy::none();
     std::vector<PayloadDef> payload;
+    PartitionBy partition;  // None = the whole stream is one partition
 
     // Upper bound on partial-match attempts (= consumption groups) started
     // per window. 0 means unbounded. SelectionPolicy::First forces 1.
@@ -56,6 +82,8 @@ public:
     QueryBuilder& sticky();
 
     QueryBuilder& window(WindowSpec spec);
+    QueryBuilder& partition_by_subject();
+    QueryBuilder& partition_by_attr(event::AttrSlot slot);
     QueryBuilder& select(SelectionPolicy policy);
     QueryBuilder& consume_none();
     QueryBuilder& consume_all();

@@ -263,7 +263,10 @@ void CepServer::drain_wake_and_commands() {
         cmds.swap(cmds_);
     }
     for (const auto& [id, cmd] : cmds) {
-        const auto it = sessions_.find(id);
+        // TaskDone commands carry a *task* id; a sharded session owns one
+        // task per shard, all mapping back to its session id (§10).
+        const auto sid = session_of_task(id);
+        const auto it = sessions_.find(sid);
         if (it == sessions_.end()) continue;  // already reaped
         ServerSession& s = *it->second;
         switch (cmd) {
@@ -272,20 +275,21 @@ void CepServer::drain_wake_and_commands() {
                     update_interest(s);
                     // Frames decoded before the pause may still be buffered;
                     // dispatch them now — no new bytes will push them out.
-                    handle_readable(id);
+                    handle_readable(sid);
                 }
                 break;
             case SessionCmd::WatchWrite:
                 s.ack_watch_write();
                 // Opportunistic flush first — often drains without epoll.
                 s.flush_egress();
-                maybe_reap(id);
+                maybe_reap(sid);
                 break;
             case SessionCmd::TaskDone:
                 // Posted after the pool forgot the task and the final
-                // quantum returned — only now is destruction safe.
-                s.set_task_done();
-                maybe_reap(id);
+                // quantum returned — only once every task of the session is
+                // done is destruction safe.
+                s.note_task_done();
+                maybe_reap(sid);
                 break;
         }
     }

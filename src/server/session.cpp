@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <stdexcept>
 #include <utility>
 
 #include "model/markov_model.hpp"
@@ -89,6 +90,24 @@ SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
             if (const auto* quote = std::get_if<net::WireQuote>(&frame)) {
                 // Symbol interning stays on the reactor thread (§8): the
                 // engine only ever sees interned ids.
+                if (sharded_) {
+                    // §10: the reactor routes straight into the shard queues
+                    // (the router must see arrivals in global order, and this
+                    // is the only thread that does). A worker-side abort may
+                    // close the input before the reactor learns the session
+                    // failed — those trailing events are dropped, not fatal.
+                    if (sharded_->input_closed()) return SessionStatus::Open;
+                    const auto info = sharded_->ingest(net::from_wire(*quote, vocab_));
+                    counters_->events_ingested.fetch_add(1, std::memory_order_relaxed);
+                    if (shard_parked_input_[info.shard].exchange(
+                            false, std::memory_order_acq_rel))
+                        hooks_.notify_task(shard_task_id(id_, info.shard));
+                    if (info.queued >= limits_.ingest_queue_events) {
+                        counters_->ingest_pauses.fetch_add(1, std::memory_order_relaxed);
+                        return SessionStatus::Paused;
+                    }
+                    return SessionStatus::Open;
+                }
                 const bool room = ingest_push(net::from_wire(*quote, vocab_));
                 counters_->events_ingested.fetch_add(1, std::memory_order_relaxed);
                 if (!room) {
@@ -118,9 +137,18 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
     if (hello.instances > static_cast<std::uint32_t>(limits_.max_instances))
         return fail("HELLO rejected: instances exceed server limit",
                     /*send_error=*/true);
+    if (hello.shards > static_cast<std::uint32_t>(limits_.max_shards))
+        return fail("HELLO rejected: shards exceed server limit", /*send_error=*/true);
     try {
         vocab_ = data::StockVocab::create(std::make_shared<event::Schema>());
         auto query = query::parse_query(hello.query, vocab_.schema);
+        // HELLO's partition key (§10) overrides/supplies the query text's
+        // PARTITION BY; sharding without any partition key is meaningless.
+        if (!hello.partition_by.empty())
+            query.partition = query::resolve_partition_key(hello.partition_by,
+                                                           *vocab_.schema);
+        if (hello.shards > 1 && !query.partition.active())
+            throw std::invalid_argument("shards > 1 needs a partition key");
         cq_ = std::make_unique<detect::CompiledQuery>(
             detect::CompiledQuery::compile(std::move(query)));
     } catch (const std::exception& e) {
@@ -133,6 +161,33 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
         if (egress_append(net::SessionFrame{net::to_result_frame(ce)}))
             counters_->results_emitted.fetch_add(1, std::memory_order_relaxed);
     };
+    if (cq_->query().partition.active()) {
+        // Partitioned query (§10): per-key lanes behind a ShardedEngine, one
+        // cooperatively-scheduled pool task per shard. The session scales
+        // across the pool's workers without owning a single thread.
+        shard::ShardedConfig cfg;
+        cfg.shards = std::max<std::uint32_t>(hello.shards, 1);
+        cfg.instances = instances_;
+        cfg.batch_events = limits_.batch_events;
+        sharded_ = std::make_unique<shard::ShardedEngine>(cq_.get(), cfg,
+                                                          std::move(sink));
+        tasks_expected_ = cfg.shards;
+        shard_parked_input_ = std::make_unique<std::atomic<bool>[]>(cfg.shards);
+        shard_parked_egress_ = std::make_unique<std::atomic<bool>[]>(cfg.shards);
+        for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+            shard_parked_input_[s].store(false, std::memory_order_relaxed);
+            shard_parked_egress_[s].store(false, std::memory_order_relaxed);
+            auto task = std::make_unique<ShardSubTask>();
+            task->session = this;
+            task->shard = s;
+            shard_tasks_.push_back(std::move(task));
+        }
+        state_ = State::Streaming;
+        task_registered_ = true;
+        for (std::uint32_t s = 0; s < cfg.shards; ++s)
+            hooks_.register_task(shard_task_id(id_, s), shard_tasks_[s].get());
+        return SessionStatus::Open;
+    }
     if (instances_ == 0) {
         // k = 0 subscribes the sequential reference engine — the ground
         // truth the parallel runtime must match byte-for-byte.
@@ -150,6 +205,7 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
     }
     state_ = State::Streaming;
     task_registered_ = true;
+    tasks_expected_ = 1;
     hooks_.register_task(id_, this);  // schedules the first quantum
     return SessionStatus::Open;
 }
@@ -201,6 +257,16 @@ void ServerSession::close_ingestion() {
         if (ingest_closed_) return;
         ingest_closed_ = true;
     }
+    if (sharded_) {
+        // §10: publish end-of-stream, then wake every parked shard for its
+        // EOS drain (a task parking concurrently re-checks shard_idle, which
+        // reads the closed flag — no lost wakeup either way).
+        sharded_->close_input();
+        for (std::uint32_t s = 0; s < tasks_expected_; ++s)
+            if (shard_parked_input_[s].exchange(false, std::memory_order_acq_rel))
+                hooks_.notify_task(shard_task_id(id_, s));
+        return;
+    }
     if (parked_on_input_.exchange(false, std::memory_order_acq_rel))
         hooks_.notify_task(id_);
 }
@@ -210,7 +276,13 @@ void ServerSession::abort() {
     close_ingestion();
     abort_requested_.store(true, std::memory_order_release);
     ::shutdown(fd_, SHUT_RDWR);
-    if (task_registered_) hooks_.notify_task(id_);
+    if (task_registered_) {
+        if (sharded_)
+            for (std::uint32_t s = 0; s < tasks_expected_; ++s)
+                hooks_.notify_task(shard_task_id(id_, s));
+        else
+            hooks_.notify_task(id_);
+    }
 }
 
 void ServerSession::count_failed_once() {
@@ -266,6 +338,7 @@ bool ServerSession::ingest_empty_and_open() {
 }
 
 bool ServerSession::ingest_above_low() const {
+    if (sharded_) return sharded_->queued_total() >= limits_.ingest_queue_events / 2;
     const std::lock_guard<std::mutex> lock(ingest_mutex_);
     return ingest_.size() >= limits_.ingest_queue_events / 2;
 }
@@ -375,9 +448,15 @@ bool ServerSession::flush_egress() {
         if (state_ != State::Failed) fail("result write failed", /*send_error=*/false);
         return false;
     }
-    if (egress_has_credit() &&
-        parked_on_egress_.exchange(false, std::memory_order_acq_rel))
-        hooks_.notify_task(id_);
+    if (egress_has_credit()) {
+        if (sharded_) {
+            for (std::uint32_t s = 0; s < tasks_expected_; ++s)
+                if (shard_parked_egress_[s].exchange(false, std::memory_order_acq_rel))
+                    hooks_.notify_task(shard_task_id(id_, s));
+        } else if (parked_on_egress_.exchange(false, std::memory_order_acq_rel)) {
+            hooks_.notify_task(id_);
+        }
+    }
     return true;
 }
 
@@ -464,6 +543,74 @@ EngineTask::Quantum ServerSession::finish_engine() {
     egress_try_flush();
     request_watch_write();
     return Quantum::Done;
+}
+
+// --- sharded session (§10) --------------------------------------------------
+
+void ServerSession::maybe_resume_read_sharded() {
+    if (sharded_->queued_total() < limits_.ingest_queue_events / 2 &&
+        read_paused_.exchange(false, std::memory_order_acq_rel))
+        hooks_.post(id_, SessionCmd::ResumeRead);
+}
+
+EngineTask::Quantum ServerSession::run_shard_quantum(std::uint32_t shard) {
+    if (abort_requested_.load(std::memory_order_acquire)) return Quantum::Done;
+    try {
+        for (std::size_t s = 0; s < limits_.quantum_steps; ++s) {
+            if (abort_requested_.load(std::memory_order_acquire)) return Quantum::Done;
+            // Egress credit gate (§9): the buffer is shared by all shard
+            // tasks — a slow result reader parks each of them as it arrives
+            // here, never a worker.
+            if (!egress_has_credit()) {
+                egress_try_flush();
+                if (!egress_has_credit()) {
+                    shard_parked_egress_[shard].store(true, std::memory_order_release);
+                    if (egress_has_credit()) {  // flushed concurrently — race lost
+                        shard_parked_egress_[shard].store(false, std::memory_order_relaxed);
+                    } else {
+                        counters_->parks_egress.fetch_add(1, std::memory_order_relaxed);
+                        request_watch_write();
+                        return Quantum::Parked;
+                    }
+                }
+            }
+            const auto res = sharded_->step_shard(shard, limits_.batch_events);
+            maybe_resume_read_sharded();
+            if (res.all_finished) {
+                // Whole-session completion observed: exactly one shard task
+                // sends the BYE (every result is already in the egress
+                // buffer — the merge that set all_finished emitted them).
+                if (!bye_sent_.exchange(true, std::memory_order_acq_rel))
+                    return finish_engine();
+                egress_try_flush();
+                request_watch_write();
+                return Quantum::Done;
+            }
+            if (res.shard_finished) {
+                // This shard is drained; peers still run (and will merge any
+                // results this shard buffered).
+                egress_try_flush();
+                request_watch_write();
+                return Quantum::Done;
+            }
+            if (res.idle) {
+                // Park on input starvation, publish-then-recheck (§9).
+                shard_parked_input_[shard].store(true, std::memory_order_release);
+                if (sharded_->shard_idle(shard)) {
+                    counters_->parks_input.fetch_add(1, std::memory_order_relaxed);
+                    egress_try_flush();
+                    request_watch_write();
+                    return Quantum::Parked;
+                }
+                shard_parked_input_[shard].store(false, std::memory_order_relaxed);
+            }
+        }
+    } catch (const std::exception& e) {
+        return engine_failed(e.what());
+    }
+    egress_try_flush();
+    request_watch_write();
+    return Quantum::MoreWork;
 }
 
 EngineTask::Quantum ServerSession::engine_failed(const std::string& what) {

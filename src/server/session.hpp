@@ -43,9 +43,21 @@
 #include "net/session.hpp"
 #include "sequential/seq_engine.hpp"
 #include "server/engine_pool.hpp"
+#include "shard/sharded_engine.hpp"
 #include "spectre/runtime.hpp"
 
 namespace spectre::server {
+
+// Pool task ids (§10): a session owns one engine task per shard (one total
+// when unsharded). The session id lives in the low 48 bits, the shard index
+// in the high 16 — commands posted with a task id map back to their session.
+inline constexpr std::uint64_t kTaskSessionMask = (std::uint64_t{1} << 48) - 1;
+inline std::uint64_t shard_task_id(std::uint64_t session, std::uint32_t shard) {
+    return session | (std::uint64_t{shard} << 48);
+}
+inline std::uint64_t session_of_task(std::uint64_t task_id) {
+    return task_id & kTaskSessionMask;
+}
 
 // Server-wide counters, shared by all sessions (atomics: pool workers
 // update engine-side counters while the reactor updates ingestion).
@@ -67,6 +79,7 @@ struct ServerCounters {
 
 struct SessionLimits {
     int max_instances = 8;          // cap on HELLO's k
+    int max_shards = 16;            // cap on HELLO's shard count (§10)
     std::size_t batch_events = 64;  // engine batch + per-step ingest drain
     // Pool scheduling quantum (§9): engine steps per run_quantum() — the
     // slice after which a runnable session yields its worker.
@@ -132,16 +145,19 @@ public:
     // notifies a task parked on egress). A transport error poisons egress.
     bool flush_egress();
 
-    // True once HELLO registered an engine task; a finished session without a
-    // task can be destroyed immediately, one with a task is reaped after its
-    // TaskDone command arrives.
+    // True once HELLO registered engine task(s); a finished session without a
+    // task can be destroyed immediately, one with tasks is reaped after every
+    // task's TaskDone command arrives.
     bool task_registered() const noexcept { return task_registered_; }
-    // Reactor bookkeeping: its TaskDone command arrived. Reaping is gated on
-    // this — never on worker-side state — so a session is only destroyed
-    // after the pool has forgotten the task and the final quantum has fully
-    // returned (the TaskDone post happens-after both).
-    void set_task_done() noexcept { task_done_ = true; }
-    bool task_done() const noexcept { return task_done_; }
+    // Reactor bookkeeping: one task's TaskDone command arrived (a sharded
+    // session owns one task per shard, §10). Reaping is gated on all of them
+    // — never on worker-side state — so a session is only destroyed after
+    // the pool has forgotten every task and each final quantum has fully
+    // returned (the TaskDone posts happen-after both).
+    void note_task_done() noexcept { ++tasks_done_; }
+    bool task_done() const noexcept {
+        return tasks_expected_ > 0 && tasks_done_ >= tasks_expected_;
+    }
     // Reap gate: nothing left to send (or nobody to send it to).
     bool egress_idle() const;
     // Bytes currently buffered for this client (reactor interest mask).
@@ -183,11 +199,20 @@ public:
 
     // One bounded engine quantum (EngineTask). Pulls ingest into the store,
     // steps the engine, emits results into the egress buffer; parks on input
-    // starvation or missing egress credit (§9).
+    // starvation or missing egress credit (§9). Unsharded sessions only —
+    // sharded ones schedule one ShardSubTask per shard instead (§10).
     Quantum run_quantum() override;
 
 private:
     enum class State { AwaitHello, Streaming, Draining, Failed };
+
+    // One shard's cooperatively-scheduled slice of a sharded session (§10):
+    // same parking/backpressure protocol as run_quantum, scoped to shard `s`.
+    struct ShardSubTask final : EngineTask {
+        ServerSession* session = nullptr;
+        std::uint32_t shard = 0;
+        Quantum run_quantum() override { return session->run_shard_quantum(shard); }
+    };
 
     SessionStatus dispatch(net::SessionFrame&& frame);
     SessionStatus on_hello(net::HelloFrame&& hello);
@@ -221,6 +246,10 @@ private:
     Quantum engine_failed(const std::string& what);
     void request_watch_write();
 
+    // Sharded path (§10).
+    Quantum run_shard_quantum(std::uint32_t shard);
+    void maybe_resume_read_sharded();
+
     const std::uint64_t id_;
     const int fd_;
     const SessionLimits limits_;
@@ -231,7 +260,8 @@ private:
     net::FrameReader reader_;
     // Reactor-thread-only bookkeeping (no locks needed).
     bool input_done_ = false;
-    bool task_done_ = false;
+    std::uint32_t tasks_expected_ = 0;  // 1, or the shard count (§10)
+    std::uint32_t tasks_done_ = 0;
     std::uint32_t armed_mask_ = 0;
 
     // Set on HELLO.
@@ -240,10 +270,20 @@ private:
     std::uint32_t instances_ = 0;
     bool task_registered_ = false;
 
-    // Engine (exactly one of the two after HELLO), stepped by run_quantum.
+    // Engine: exactly one of the three after HELLO. Unsharded sessions step
+    // stepper_/runtime_ from run_quantum; a partitioned query gets a
+    // ShardedEngine driven by tasks_expected_ ShardSubTasks (§10).
     event::EventStore store_;
     std::unique_ptr<sequential::SeqStepper> stepper_;
     std::unique_ptr<core::SpectreRuntime> runtime_;
+    std::unique_ptr<shard::ShardedEngine> sharded_;
+    std::vector<std::unique_ptr<ShardSubTask>> shard_tasks_;
+    // Per-shard park/wake flags (§9 protocol, one lane per shard task).
+    std::unique_ptr<std::atomic<bool>[]> shard_parked_input_;
+    std::unique_ptr<std::atomic<bool>[]> shard_parked_egress_;
+    // Exactly one shard task sends the session's BYE (the one whose merge
+    // observed completion first).
+    std::atomic<bool> bye_sent_{false};
 
     // Ingest queue: reactor pushes decoded events, the task drains them into
     // the store. Bounded by the high watermark (soft — the reactor finishes

@@ -1,0 +1,417 @@
+#include "shard/sharded_engine.hpp"
+
+#include <bit>
+#include <iterator>
+
+#include "model/markov_model.hpp"
+#include "util/assert.hpp"
+
+namespace spectre::shard {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t key_bits(const event::Event& e, const query::PartitionBy& part) {
+    if (part.kind == query::PartitionBy::Kind::Subject)
+        return static_cast<std::uint64_t>(e.subject);
+    // Attr keys group by exact bit pattern (query.hpp): distinct NaN payloads
+    // or signed zeros are distinct keys, which keeps the grouping total.
+    return std::bit_cast<std::uint64_t>(e.attr(part.slot));
+}
+
+}  // namespace
+
+// One key's independent sub-stream and engine — the semantic unit of
+// partitioned detection. Owned and driven by exactly one shard task.
+struct ShardedEngine::KeyLane {
+    std::uint32_t key = 0;
+    event::MappedStore store;
+    std::unique_ptr<sequential::SeqStepper> stepper;  // instances == 0
+    std::unique_ptr<core::SpectreRuntime> runtime;    // instances > 0
+};
+
+struct ShardedEngine::Pending {
+    event::Seq g = 0;
+    std::uint32_t key = 0;
+    event::Event e;
+};
+
+struct ShardedEngine::TaggedResult {
+    MergeTag tag;
+    event::ComplexEvent ce;
+};
+
+struct ShardedEngine::ShardState {
+    // `mutex` guards the feeder↔task queue, the merger-visible progress
+    // fields, and the task→merger result buffer.
+    mutable std::mutex mutex;
+    std::deque<Pending> queue;
+    // Authoritative end-of-input gate for THIS shard's queue: set under the
+    // lock by close_input(), checked under the lock by ingest() — so no
+    // event can slip in behind the close, and the EOS drain can begin the
+    // moment the queue is observed empty with this set. (The engine-level
+    // atomic is only the cheap unfenced pre-check.)
+    bool input_closed = false;
+    MergeTag inflight = kInfTag;  // tag being processed right now
+    bool eos_started = false;
+    bool eos_done = false;
+    std::uint32_t eos_key = 0;  // lower bound on future EOS tags
+    std::deque<TaggedResult> results;
+
+    // Task-private (only the owning shard task touches these; the lane sinks
+    // run on the task thread during a drain).
+    std::map<std::uint32_t, std::unique_ptr<KeyLane>> lanes;  // by key index
+    std::uint32_t eos_next_key = 0;
+    MergeTag current_tag;
+};
+
+ShardedEngine::ShardedEngine(const detect::CompiledQuery* cq, ShardedConfig cfg,
+                             event::ResultSink sink)
+    : cq_(cq), cfg_(cfg), sink_(std::move(sink)) {
+    SPECTRE_REQUIRE(cq_ != nullptr, "ShardedEngine needs a compiled query");
+    SPECTRE_REQUIRE(cq_->query().partition.active(),
+                    "ShardedEngine needs a query with PARTITION BY");
+    SPECTRE_REQUIRE(cfg_.shards >= 1, "ShardedEngine needs at least one shard");
+    SPECTRE_REQUIRE(static_cast<bool>(sink_), "ShardedEngine needs a result sink");
+    shards_.reserve(cfg_.shards);
+    for (std::uint32_t s = 0; s < cfg_.shards; ++s)
+        shards_.push_back(std::make_unique<ShardState>());
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+ShardedEngine::IngestInfo ShardedEngine::ingest(event::Event e) {
+    const auto bits = key_bits(e, cq_->query().partition);
+    const auto [it, fresh] =
+        key_index_.try_emplace(bits, static_cast<std::uint32_t>(key_index_.size()));
+    const std::uint32_t key = it->second;
+    if (fresh)
+        key_shard_.push_back(static_cast<std::uint32_t>(splitmix64(bits) % cfg_.shards));
+    const std::uint32_t shard = key_shard_[key];
+    event::Seq g;
+    {
+        const std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+        // A worker-side abort may close the input concurrently with the
+        // feeder (server failure paths); the per-shard gate makes the race
+        // benign — a trailing event is dropped, never enqueued behind an
+        // EOS drain (which would break merge-tag ordering) and never fatal.
+        if (shards_[shard]->input_closed)
+            return IngestInfo{shard, queued_.load(std::memory_order_acquire)};
+        g = next_g_++;
+        shards_[shard]->queue.push_back(Pending{g, key, std::move(e)});
+    }
+    const std::size_t queued = queued_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    // Publish after the push: a merger that reads frontier_ >= g+1 and finds
+    // the shard's queue empty knows event g was already processed.
+    frontier_.store(g + 1, std::memory_order_release);
+    return IngestInfo{shard, queued};
+}
+
+void ShardedEngine::close_input() {
+    // Engine-level flag first (the merger's bound logic and idle pre-checks
+    // read it), then the authoritative per-shard gates: once a shard's gate
+    // is set under its lock, no further ingest can enqueue there, so an EOS
+    // result can never be followed by a smaller arrival tag.
+    closed_.store(true, std::memory_order_release);
+    for (const auto& shp : shards_) {
+        const std::lock_guard<std::mutex> lock(shp->mutex);
+        shp->input_closed = true;
+    }
+}
+
+bool ShardedEngine::shard_idle(std::uint32_t s) const {
+    const ShardState& sh = *shards_[s];
+    const std::lock_guard<std::mutex> lock(sh.mutex);
+    return sh.queue.empty() && !sh.input_closed;
+}
+
+std::uint32_t ShardedEngine::key_count() const {
+    return static_cast<std::uint32_t>(key_shard_.size());
+}
+
+ShardedEngine::KeyLane& ShardedEngine::get_lane(ShardState& sh, std::uint32_t key) {
+    auto it = sh.lanes.find(key);
+    if (it == sh.lanes.end()) {
+        auto lane = std::make_unique<KeyLane>();
+        KeyLane* lp = lane.get();
+        lp->key = key;
+        // The lane sink runs on the shard task thread mid-drain: translate
+        // constituents back to global stream positions, then hand the result
+        // to the merger tagged with the trigger currently being processed.
+        event::ResultSink lane_sink = [this, &sh, lp](event::ComplexEvent&& ce) {
+            lp->store.translate(ce.constituents);
+            const std::lock_guard<std::mutex> lock(sh.mutex);
+            sh.results.push_back(TaggedResult{sh.current_tag, std::move(ce)});
+        };
+        if (cfg_.instances == 0) {
+            lp->stepper = std::make_unique<sequential::SeqStepper>(
+                cq_, &lp->store.store(), std::move(lane_sink));
+        } else {
+            core::RuntimeConfig rc;
+            rc.splitter.instances = static_cast<int>(cfg_.instances);
+            rc.batch_events = cfg_.batch_events;
+            lp->runtime = std::make_unique<core::SpectreRuntime>(
+                &lp->store.store(), cq_, rc,
+                std::make_unique<model::MarkovModel>(cq_->min_length(),
+                                                     model::MarkovParams{}));
+            lp->runtime->set_result_sink(std::move(lane_sink));
+        }
+        it = sh.lanes.emplace(key, std::move(lane)).first;
+    }
+    return *it->second;
+}
+
+void ShardedEngine::drain_lane_quiescent(KeyLane& lane) {
+    if (lane.stepper) {
+        // One unbounded drain processes every fully-arrived window.
+        while (lane.stepper->drain(~std::size_t{0})) {
+        }
+        return;
+    }
+    // Cooperative SPECTRE: a zero-event step leaves the runtime quiescent for
+    // the current frontier (§9); a second zero step is cheap insurance that
+    // the retirement of the last batch has also been drained and emitted —
+    // emissions must land under the current trigger tag.
+    int zero_steps = 0;
+    while (zero_steps < 2) {
+        const auto p = lane.runtime->step();
+        if (p.done) break;
+        zero_steps = p.events_processed == 0 ? zero_steps + 1 : 0;
+    }
+}
+
+void ShardedEngine::process_event(ShardState& sh, Pending&& p) {
+    KeyLane& lane = get_lane(sh, p.key);
+    sh.current_tag = MergeTag{p.g, p.key};
+    lane.store.append_mapped(std::move(p.e), p.g);
+    drain_lane_quiescent(lane);
+}
+
+bool ShardedEngine::eos_step(ShardState& sh, std::size_t& budget) {
+    while (budget > 0) {
+        const auto it = sh.lanes.lower_bound(sh.eos_next_key);
+        if (it == sh.lanes.end()) {
+            const std::lock_guard<std::mutex> lock(sh.mutex);
+            sh.eos_done = true;
+            return false;
+        }
+        KeyLane& lane = *it->second;
+        {
+            const std::lock_guard<std::mutex> lock(sh.mutex);
+            sh.eos_key = it->first;
+        }
+        sh.current_tag = MergeTag{kEosG, it->first};
+        if (!lane.store.closed()) lane.store.close();
+        bool lane_done = false;
+        if (lane.stepper) {
+            // Budget counts windows here — the unit the stepper bounds by.
+            const bool more = lane.stepper->drain(budget);
+            lane_done = lane.stepper->finished();
+            if (more) budget = 0;
+        } else {
+            std::size_t steps = budget;
+            while (steps > 0) {
+                --steps;
+                if (lane.runtime->step().done) {
+                    lane_done = true;
+                    break;
+                }
+            }
+            budget = steps;
+        }
+        if (!lane_done) {
+            if (budget == 0) return false;
+            continue;  // same lane again
+        }
+        sh.eos_next_key = it->first + 1;
+        if (budget > 0) --budget;  // charge the lane switch
+    }
+    return false;
+}
+
+ShardedEngine::StepResult ShardedEngine::step_shard(std::uint32_t s,
+                                                    std::size_t max_events) {
+    StepResult r;
+    ShardState& sh = *shards_[s];
+    std::size_t budget = max_events > 0 ? max_events : 1;
+    while (budget > 0) {
+        bool have = false;
+        Pending p;
+        {
+            const std::lock_guard<std::mutex> lock(sh.mutex);
+            if (!sh.queue.empty()) {
+                p = std::move(sh.queue.front());
+                sh.queue.pop_front();
+                // Visible to the merger before the queue entry disappears:
+                // results for p.g are still pending until we clear this.
+                sh.inflight = MergeTag{p.g, p.key};
+                have = true;
+            }
+        }
+        if (have) {
+            process_event(sh, std::move(p));
+            {
+                const std::lock_guard<std::mutex> lock(sh.mutex);
+                sh.inflight = kInfTag;
+            }
+            queued_.fetch_sub(1, std::memory_order_acq_rel);
+            ++r.events;
+            --budget;
+            continue;
+        }
+        if (!input_closed()) {
+            r.idle = true;
+            break;
+        }
+        bool done = false;
+        bool can_eos = false;
+        bool queue_empty = true;
+        {
+            const std::lock_guard<std::mutex> lock(sh.mutex);
+            done = sh.eos_done;
+            queue_empty = sh.queue.empty();
+            // The per-shard gate, not the engine-level flag, authorizes the
+            // EOS drain: once it is set (under this lock) no ingest can
+            // enqueue here, so an EOS tag can never be followed by a
+            // smaller arrival tag.
+            can_eos = sh.input_closed && queue_empty;
+            if (!done && can_eos) sh.eos_started = true;
+        }
+        if (done) break;
+        if (!can_eos) {
+            if (!queue_empty) continue;  // an arrival raced in — go pop it
+            r.idle = true;  // close in flight, gate not set yet — re-run on notify
+            break;
+        }
+        eos_step(sh, budget);
+    }
+    merge_locked(r);
+    {
+        const std::lock_guard<std::mutex> lock(sh.mutex);
+        r.shard_finished = sh.eos_done;
+    }
+    return r;
+}
+
+void ShardedEngine::merge_locked(StepResult& r) {
+    const std::lock_guard<std::mutex> merge_lock(merge_mutex_);
+    // Frontier before queues: an event routed before this load is either
+    // still queued/inflight (bounding below) or fully processed (its results
+    // already pushed).
+    const event::Seq frontier = frontier_.load(std::memory_order_acquire);
+    const bool closed = input_closed();
+
+    // One lock round per shard: compute its lower bound AND splice off the
+    // releasable prefix of its result buffer (tags within a shard ascend, so
+    // the prefix below the eventual min bound is contiguous). Splicing the
+    // whole buffer here and merging locally keeps the release loop lock-free
+    // — O(results) work under merge_mutex_ only, not O(results × shards)
+    // lock traffic.
+    std::vector<std::deque<TaggedResult>> pending(shards_.size());
+    MergeTag min_bound = kInfTag;
+    bool eos_all_done = closed;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        ShardState& t = *shards_[i];
+        MergeTag b = kInfTag;
+        const std::lock_guard<std::mutex> lock(t.mutex);
+        if (t.eos_done) {
+            b = kInfTag;
+        } else if (t.eos_started) {
+            // Sound only because eos_started is gated on the shard's
+            // input_closed flag: no arrival tag can follow.
+            b = MergeTag{kEosG, t.eos_key};
+            eos_all_done = false;
+        } else {
+            if (!t.queue.empty()) b = MergeTag{t.queue.front().g, 0};
+            if (t.inflight < b) b = t.inflight;
+            // Even after close a not-yet-EOS shard is bounded by the
+            // frontier, not by the EOS band — a trailing arrival may still
+            // be racing the close gate.
+            if (b == kInfTag) b = MergeTag{frontier, 0};
+            eos_all_done = false;
+        }
+        if (b < min_bound) min_bound = b;
+        pending[i].swap(t.results);
+    }
+
+    // K-way merge of the spliced buffers in ascending tag order; whatever is
+    // not releasable yet goes back to its shard afterwards (prepend — the
+    // owner may have pushed newer results meanwhile).
+    for (;;) {
+        std::size_t best = pending.size();
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            if (!pending[i].empty() &&
+                (best == pending.size() || pending[i].front().tag < pending[best].front().tag))
+                best = i;
+        if (best == pending.size() || !(pending[best].front().tag < min_bound)) break;
+        TaggedResult tr = std::move(pending[best].front());
+        pending[best].pop_front();
+        emitted_.fetch_add(1, std::memory_order_relaxed);
+        sink_(std::move(tr.ce));
+    }
+    bool buffers_empty = true;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (pending[i].empty()) continue;
+        ShardState& t = *shards_[i];
+        const std::lock_guard<std::mutex> lock(t.mutex);
+        t.results.insert(t.results.begin(),
+                         std::make_move_iterator(pending[i].begin()),
+                         std::make_move_iterator(pending[i].end()));
+        buffers_empty = false;
+    }
+
+    if (eos_all_done && buffers_empty) all_finished_.store(true, std::memory_order_release);
+    r.all_finished = finished();
+}
+
+std::vector<event::ComplexEvent> reference_partitioned_run(
+    const detect::CompiledQuery& cq, const std::vector<event::Event>& events) {
+    SPECTRE_REQUIRE(cq.query().partition.active(),
+                    "reference_partitioned_run needs a query with PARTITION BY");
+    struct RefLane {
+        event::MappedStore store;
+        std::unique_ptr<sequential::SeqStepper> stepper;
+    };
+    std::vector<event::ComplexEvent> out;
+    std::unordered_map<std::uint64_t, std::uint32_t> index;
+    std::vector<std::unique_ptr<RefLane>> lanes;  // key-first-appearance order
+
+    const auto lane_for = [&](const event::Event& e) -> RefLane& {
+        const auto bits = key_bits(e, cq.query().partition);
+        const auto [it, fresh] =
+            index.try_emplace(bits, static_cast<std::uint32_t>(lanes.size()));
+        if (fresh) {
+            auto lane = std::make_unique<RefLane>();
+            RefLane* lp = lane.get();
+            lane->stepper = std::make_unique<sequential::SeqStepper>(
+                &cq, &lp->store.store(), [&out, lp](event::ComplexEvent&& ce) {
+                    lp->store.translate(ce.constituents);
+                    out.push_back(std::move(ce));
+                });
+            lanes.push_back(std::move(lane));
+        }
+        return *lanes[it->second];
+    };
+
+    event::Seq g = 0;
+    for (const auto& e : events) {
+        RefLane& lane = lane_for(e);
+        lane.store.append_mapped(e, g++);
+        while (lane.stepper->drain(~std::size_t{0})) {
+        }
+    }
+    for (const auto& lane : lanes) {
+        lane->store.close();
+        while (lane->stepper->drain(~std::size_t{0})) {
+        }
+    }
+    return out;
+}
+
+}  // namespace spectre::shard

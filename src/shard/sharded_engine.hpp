@@ -1,0 +1,174 @@
+// Partition-parallel sharded detection (DESIGN.md §10).
+//
+// A query that declares PARTITION BY (query::PartitionBy) applies
+// independently to each distinct key value's sub-stream. That independence is
+// what makes key-based data parallelism semantically free: a ShardedEngine
+// hash-distributes the keys over S shards, each shard hosts the per-key
+// engine lanes of the keys it owns (a lane = MappedStore + SeqStepper, or a
+// cooperative SpectreRuntime when instances > 0 — the §9 step interfaces, so
+// shards are pool tasks, never threads), and a deterministic merger
+// interleaves the per-shard results back into ONE result stream that is
+// byte-identical to the unsharded sequential run of the same input for every
+// shard count and every schedule.
+//
+// Determinism comes from merge tags. The single-threaded reference
+// (reference_partitioned_run) processes arrivals in global order: append
+// event g to its key's lane, drain that lane to quiescence (emitting every
+// window the arrival completed), move to g+1; at end-of-stream it drains the
+// lanes in key-first-appearance order. Every emitted complex event therefore
+// has a well-defined *trigger tag*: (g, key) for an arrival-driven emission,
+// (EOS, key) for an end-of-stream one. A sharded run produces the exact same
+// tagged results per key (same lane code, same sub-stream); the merger
+// releases a result only once no shard can still produce a smaller tag —
+// tracked by per-shard lower bounds (head of the shard's pending queue, the
+// tag in flight, the router frontier for an idle shard, the EOS key cursor) —
+// and emits in ascending tag order. Constituent seqs are translated back to
+// global stream positions on the way out (event::MappedStore), so the output
+// is indistinguishable from an engine that saw the whole stream.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/compiled_query.hpp"
+#include "event/stream.hpp"
+#include "sequential/seq_engine.hpp"
+#include "spectre/runtime.hpp"
+
+namespace spectre::shard {
+
+struct ShardedConfig {
+    std::uint32_t shards = 1;
+    // Per-lane engine: 0 = sequential stepper (the throughput path);
+    // > 0 = cooperative SpectreRuntime with that many operator instances.
+    std::uint32_t instances = 0;
+    std::size_t batch_events = 64;  // SpectreRuntime lane batch per step
+};
+
+class ShardedEngine {
+public:
+    // `cq` must outlive the engine and its query must declare a partition
+    // key. `sink` receives the merged result stream (called under the merge
+    // lock, from whichever shard task merges; it must not re-enter the
+    // engine).
+    ShardedEngine(const detect::CompiledQuery* cq, ShardedConfig cfg,
+                  event::ResultSink sink);
+    ~ShardedEngine();
+
+    ShardedEngine(const ShardedEngine&) = delete;
+    ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+    std::uint32_t shards() const noexcept { return cfg_.shards; }
+
+    // --- feeder side (exactly one thread) -----------------------------------
+
+    struct IngestInfo {
+        std::uint32_t shard = 0;     // where the event went (notify its task)
+        std::size_t queued = 0;      // total pending events after the push
+    };
+    // Routes one event to its key's shard. Must not be called after
+    // close_input().
+    IngestInfo ingest(event::Event e);
+
+    // Publishes end-of-stream (idempotent). Callers then notify every shard
+    // task so parked ones run their end-of-stream drains.
+    void close_input();
+    bool input_closed() const noexcept {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+    // Total events routed but not yet processed (ingest backpressure).
+    std::size_t queued_total() const noexcept {
+        return queued_.load(std::memory_order_acquire);
+    }
+
+    // --- shard task side (one logical caller per shard) ---------------------
+
+    struct StepResult {
+        std::size_t events = 0;      // arrivals processed this call
+        bool idle = false;           // no pending work and input still open
+        bool shard_finished = false; // this shard fully drained incl. EOS
+        bool all_finished = false;   // every shard done and every result merged
+    };
+    // One bounded quantum of shard `s`: process up to `max_events` pending
+    // arrivals (append to lane, drain lane to quiescence, tag results), run
+    // the end-of-stream drains once the input closed, then merge. Never
+    // blocks on I/O; serialize calls per shard (the pool's task state machine
+    // already does).
+    StepResult step_shard(std::uint32_t s, std::size_t max_events);
+
+    // Park predicate for shard `s`'s task: nothing to do until more input
+    // arrives or the input closes.
+    bool shard_idle(std::uint32_t s) const;
+
+    bool finished() const noexcept {
+        return all_finished_.load(std::memory_order_acquire);
+    }
+    std::uint64_t results_emitted() const noexcept {
+        return emitted_.load(std::memory_order_relaxed);
+    }
+    std::uint32_t key_count() const;
+
+private:
+    // Merge tag: (g, key) for arrival-driven emissions, (kEosG, key) for
+    // end-of-stream drains, kInfTag = "nothing further".
+    struct MergeTag {
+        std::uint64_t g = 0;
+        std::uint32_t key = 0;
+        bool operator<(const MergeTag& o) const {
+            return g != o.g ? g < o.g : key < o.key;
+        }
+        bool operator==(const MergeTag&) const = default;
+    };
+    static constexpr std::uint64_t kEosG = ~std::uint64_t{0} - 1;
+    static constexpr MergeTag kInfTag{~std::uint64_t{0}, ~std::uint32_t{0}};
+
+    struct KeyLane;
+    struct Pending;
+    struct TaggedResult;
+    struct ShardState;
+
+    KeyLane& get_lane(ShardState& sh, std::uint32_t key);
+    void process_event(ShardState& sh, Pending&& p);
+    void drain_lane_quiescent(KeyLane& lane);
+    // Runs end-of-stream lane drains for up to `budget` units; returns false
+    // once the budget is exhausted with work left.
+    bool eos_step(ShardState& sh, std::size_t& budget);
+    void merge_locked(StepResult& r);
+
+    const detect::CompiledQuery* cq_;
+    const ShardedConfig cfg_;
+    event::ResultSink sink_;
+    std::vector<std::unique_ptr<ShardState>> shards_;
+
+    // Feeder-private router state.
+    std::unordered_map<std::uint64_t, std::uint32_t> key_index_;  // bits → dense
+    std::vector<std::uint32_t> key_shard_;                        // dense → shard
+    event::Seq next_g_ = 0;
+
+    // Published router frontier: every event with g < frontier_ is visible in
+    // its shard's queue (or beyond); idle shards can produce nothing below it.
+    std::atomic<event::Seq> frontier_{0};
+    std::atomic<bool> closed_{false};
+    std::atomic<std::size_t> queued_{0};
+    std::atomic<std::uint64_t> emitted_{0};
+    std::atomic<bool> all_finished_{false};
+
+    std::mutex merge_mutex_;
+};
+
+// The parity oracle: the unsharded sequential run of a partitioned query —
+// per-key SeqStepper lanes driven single-threadedly in global arrival order,
+// end-of-stream drains in key-first-appearance order. A sharded run of any
+// shard count reproduces this byte-identically; on a single-key stream it is
+// itself byte-identical to SequentialEngine::run over the whole input.
+std::vector<event::ComplexEvent> reference_partitioned_run(
+    const detect::CompiledQuery& cq, const std::vector<event::Event>& events);
+
+}  // namespace spectre::shard

@@ -24,19 +24,33 @@ SpectreRuntime::SpectreRuntime(event::EventStore* store, const detect::CompiledQ
 
 RunResult SpectreRuntime::run_threads() {
     std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> instance_idle_sleeps{0};
+    std::uint64_t splitter_idle_sleeps = 0;
     std::vector<std::thread> workers;
     workers.reserve(splitter_.instances().size());
+    const auto backoff = std::chrono::microseconds(config_.idle_backoff_us);
 
     const auto t0 = std::chrono::steady_clock::now();
 
     for (auto& inst : splitter_.instances()) {
-        workers.emplace_back([&stop, inst = inst.get(), batch = config_.batch_events] {
+        workers.emplace_back([&, inst = inst.get(), batch = config_.batch_events] {
+            int idle_streak = 0;
             while (!stop.load(std::memory_order_acquire)) {
                 if (inst->run_batch(batch) == 0) {
                     // Idle: no assignment, version busy elsewhere, or stalled
-                    // at the ingestion frontier — yield instead of spinning
-                    // hot on small machines.
-                    std::this_thread::yield();
+                    // at the ingestion frontier. While the input is still
+                    // arriving, a persistent spinner would steal the CPU the
+                    // feeder's decode needs (the §6 contention fix) — sleep;
+                    // otherwise just yield as before.
+                    if (config_.idle_backoff_us > 0 && ++idle_streak >= 2 &&
+                        !splitter_.input_complete()) {
+                        instance_idle_sleeps.fetch_add(1, std::memory_order_relaxed);
+                        std::this_thread::sleep_for(backoff);
+                    } else {
+                        std::this_thread::yield();
+                    }
+                } else {
+                    idle_streak = 0;
                 }
             }
         });
@@ -44,7 +58,14 @@ RunResult SpectreRuntime::run_threads() {
 
     while (splitter_.run_cycle()) {
         // Splitter runs its maintenance/scheduling loop continuously, as in
-        // the paper's deployment (it owns a dedicated core).
+        // the paper's deployment (it owns a dedicated core there). On shared
+        // cores a no-progress cycle during live ingestion backs off instead
+        // of spinning against the feeder (§6).
+        if (config_.idle_backoff_us > 0 && !splitter_.last_cycle_progressed() &&
+            !splitter_.input_complete()) {
+            ++splitter_idle_sleeps;
+            std::this_thread::sleep_for(backoff);
+        }
     }
     stop.store(true, std::memory_order_release);
     for (auto& w : workers) w.join();
@@ -59,6 +80,8 @@ RunResult SpectreRuntime::run_threads() {
     result.throughput_eps =
         result.wall_seconds > 0 ? static_cast<double>(store_->size()) / result.wall_seconds
                                 : 0.0;
+    result.splitter_idle_sleeps = splitter_idle_sleeps;
+    result.instance_idle_sleeps = instance_idle_sleeps.load(std::memory_order_relaxed);
     return result;
 }
 
@@ -95,17 +118,22 @@ RunResult SpectreRuntime::run(event::EventStream& live) {
     // still close the store — otherwise the detection loop would wait for a
     // frontier that never completes — and then surface to the caller.
     std::exception_ptr feed_error;
-    std::thread feeder([this, &live, &feed_error] {
+    double feed_seconds = 0.0;
+    std::thread feeder([this, &live, &feed_error, &feed_seconds] {
+        const auto f0 = std::chrono::steady_clock::now();
         try {
             while (auto e = live.next()) mutable_store_->append(*e);
         } catch (...) {
             feed_error = std::current_exception();
         }
         mutable_store_->close();
+        feed_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - f0).count();
     });
     RunResult result = run_threads();
     feeder.join();
     if (feed_error) std::rethrow_exception(feed_error);
+    result.feed_seconds = feed_seconds;
     return result;
 }
 

@@ -32,6 +32,12 @@ struct RuntimeConfig {
     // Events an instance processes per batch before re-checking its
     // assignment and the stop flag.
     std::size_t batch_events = 256;
+    // Streaming-mode contention fix (DESIGN.md §6): while the input is still
+    // arriving, an idle spinner (a splitter cycle that made no progress, an
+    // instance batch that processed no events) sleeps this long instead of
+    // burning the core the feeder thread needs for decode. 0 restores the
+    // pure spin. Batch replay (input complete up front) never backs off.
+    std::size_t idle_backoff_us = 50;
 };
 
 struct RunResult {
@@ -40,6 +46,15 @@ struct RunResult {
     std::vector<InstanceStats> instance_stats;
     double wall_seconds = 0.0;
     double throughput_eps = 0.0;  // source events per (real) second
+    // Feeder-stall observability (DESIGN.md §6): how long the feeder thread
+    // needed to drain the source (0 in batch mode — there is no feeder), and
+    // how often the detection threads backed off while starved for arrivals.
+    // feed_seconds ≈ wall_seconds with many idle sleeps = the detection side
+    // was waiting on ingest; feed_seconds ≫ the materialize-mode decode time
+    // with few sleeps = the feeder was starved of CPU by detection spin.
+    double feed_seconds = 0.0;
+    std::uint64_t splitter_idle_sleeps = 0;
+    std::uint64_t instance_idle_sleeps = 0;
 };
 
 class SpectreRuntime {

@@ -135,6 +135,7 @@ std::size_t Splitter::effective_lookahead() const {
 
 void Splitter::apply_updates() {
     auto batch = updates_.drain();
+    metrics_.updates_applied += batch.size();
 
     // Reorder the batch to maximize state-preserving clones without changing
     // semantics: (1) splice resolutions of already-attached groups first, so
@@ -369,12 +370,17 @@ bool Splitter::run_cycle() {
     if (done_) return false;
     ++metrics_.cycles;
 
+    const std::uint64_t work_before = metrics_.updates_applied + metrics_.windows_opened +
+                                      metrics_.windows_retired + windows_.size();
     apply_updates();
     retire_finished_roots();
     discover_windows();
     open_windows();
     model_->refresh();
     schedule();
+    last_cycle_progressed_ = metrics_.updates_applied + metrics_.windows_opened +
+                                 metrics_.windows_retired + windows_.size() !=
+                             work_before;
 
     metrics_.max_tree_versions =
         std::max(metrics_.max_tree_versions, tree_.stats().max_versions);

@@ -61,6 +61,7 @@ struct SplitterMetrics {
     std::uint64_t versions_dropped = 0;
     std::uint64_t copies_cloned = 0;   // subtree copies that kept progress
     std::uint64_t copies_fresh = 0;    // subtree copies restarted
+    std::uint64_t updates_applied = 0; // instance updates drained and applied
 };
 
 class Splitter {
@@ -76,6 +77,13 @@ public:
     bool run_cycle();
 
     bool done() const noexcept { return done_; }
+
+    // True if the last run_cycle applied updates, discovered, opened or
+    // retired windows. A no-progress cycle at an unchanged frontier means the
+    // splitter is waiting on arrivals or on instance batches — the streaming
+    // driver backs off instead of spinning a core the feeder needs
+    // (DESIGN.md §6).
+    bool last_cycle_progressed() const noexcept { return last_cycle_progressed_; }
 
     // Declares the store's current contents to be the whole input. Batch
     // runtimes call this before their first cycle (the store was materialized
@@ -152,6 +160,7 @@ private:
     // ranges (operator instances stripe below 2^20 per instance).
     std::uint64_t next_clone_cg_id_ = 1ull << 40;
     bool done_ = false;
+    bool last_cycle_progressed_ = true;
     SplitterMetrics metrics_;
 };
 

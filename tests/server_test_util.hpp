@@ -11,10 +11,24 @@
 #include <vector>
 
 #include "data/nyse_synth.hpp"
+#include "harness/load_gen.hpp"
 #include "harness/oracle.hpp"
 #include "net/session.hpp"
 
 namespace spectre::testing {
+
+// Builds the common session spec without positional aggregate init (the
+// struct keeps growing — HELLO sharding fields arrived with DESIGN.md §10).
+inline harness::LoadGenSession make_session(std::string query, std::uint32_t instances,
+                                            std::vector<net::WireQuote> events,
+                                            std::size_t wait_result_after = SIZE_MAX) {
+    harness::LoadGenSession s;
+    s.query = std::move(query);
+    s.instances = instances;
+    s.events = std::move(events);
+    s.wait_result_after = wait_result_after;
+    return s;
+}
 
 // Wire-encodes a synthetic NYSE day (the client's view of its input).
 inline std::vector<net::WireQuote> wire_events(std::uint64_t n, std::uint64_t seed,

@@ -149,8 +149,12 @@ SessionFrame round_trip(const SessionFrame& f) {
 }  // namespace
 
 TEST(SessionFrame, ControlFramesRoundTrip) {
-    HelloFrame hello{"PATTERN (A B) DEFINE ...", 4};
+    HelloFrame hello{"PATTERN (A B) DEFINE ...", 4, 0, ""};
     EXPECT_EQ(std::get<HelloFrame>(round_trip(SessionFrame{hello})), hello);
+
+    // Sharded HELLO (DESIGN.md §10): shard count and partition key survive.
+    HelloFrame sharded{"PATTERN (A B) DEFINE ...", 2, 8, "SUBJECT"};
+    EXPECT_EQ(std::get<HelloFrame>(round_trip(SessionFrame{sharded})), sharded);
 
     ResultFrame result;
     result.window_id = 42;
@@ -179,7 +183,7 @@ TEST(SessionFrame, PartialControlFramesReturnNullopt) {
     result.constituents = {1, 2, 3};
     result.payload = {{"x", 1.0}};
     for (const auto& frame :
-         {SessionFrame{HelloFrame{"PATTERN (A)", 2}}, SessionFrame{result},
+         {SessionFrame{HelloFrame{"PATTERN (A)", 2, 0, ""}}, SessionFrame{result},
           SessionFrame{ByeFrame{7}}, SessionFrame{ErrorFrame{"oops"}}}) {
         std::vector<std::uint8_t> buf;
         encode_frame(frame, buf);
@@ -202,7 +206,7 @@ TEST(SessionFrame, UnknownTagThrows) {
 TEST(SessionFrame, CorruptLengthsThrow) {
     // HELLO whose query length exceeds the sanity bound.
     std::vector<std::uint8_t> hello;
-    encode_frame(SessionFrame{HelloFrame{"q", 1}}, hello);
+    encode_frame(SessionFrame{HelloFrame{"q", 1, 0, ""}}, hello);
     hello[1] = 0xff;  // query length bytes sit right after the tag
     hello[2] = 0xff;
     hello[3] = 0xff;
@@ -233,7 +237,7 @@ TEST(SessionFrame, CorruptLengthsThrow) {
 
 TEST(SessionFrame, DecodeAdvancesAcrossMixedFrames) {
     std::vector<std::uint8_t> buf;
-    encode_frame(SessionFrame{HelloFrame{"PATTERN (A)", 0}}, buf);
+    encode_frame(SessionFrame{HelloFrame{"PATTERN (A)", 0, 0, ""}}, buf);
     WireQuote q;
     q.ts = 1;
     q.symbol = "A";

@@ -68,13 +68,13 @@ TEST(PoolStress, SlowConsumerParksOnlyItsOwnSession) {
     std::vector<harness::LoadGenSession> specs(4);
     // The slow one: ~hundreds of fat RESULT frames, none read until the gate
     // opens — far more bytes than cap + both kernel socket buffers hold.
-    specs[0] = {kFatResultQuery, 0, wire_events(1500, 11, 40, 0.7)};
+    specs[0] = make_session(kFatResultQuery, 0, wire_events(1500, 11, 40, 0.7));
     specs[0].read_gate = gate;
     specs[0].rcvbuf = 8192;
     // Three well-behaved neighbours, mixed engines.
-    specs[1] = {kRisingTripleQuery, 2, wire_events(400, 22)};
-    specs[2] = {kFallingPairQuery, 0, wire_events(350, 33, 30, 0.4)};
-    specs[3] = {kRisingPairQuery, 1, wire_events(300, 44)};
+    specs[1] = make_session(kRisingTripleQuery, 2, wire_events(400, 22));
+    specs[2] = make_session(kFallingPairQuery, 0, wire_events(350, 33, 30, 0.4));
+    specs[3] = make_session(kRisingPairQuery, 1, wire_events(300, 44));
 
     harness::LoadGenClient client("127.0.0.1", srv.port());
     std::vector<harness::LoadGenOutcome> outcomes;
@@ -136,16 +136,16 @@ TEST(PoolStress, SessionChurnLeavesZeroLeakedTasks) {
         std::vector<harness::LoadGenSession> specs(5);
         // Abandon mid-DATA, mid-frame: the server must surface a stream
         // error and drop the task without leaking it.
-        specs[0] = {kRisingPairQuery, 1, wire_events(200, 100 + round)};
+        specs[0] = make_session(kRisingPairQuery, 1, wire_events(200, 100 + round));
         specs[0].truncate_frame_at_event = 20 + round;
         // Corrupt framing mid-stream.
-        specs[1] = {kRisingTripleQuery, 2, wire_events(200, 200 + round)};
+        specs[1] = make_session(kRisingTripleQuery, 2, wire_events(200, 200 + round));
         specs[1].corrupt_after = 15 + round;
         // Abandon before HELLO's engine even exists (bad query).
-        specs[2] = {"PATTERN (oops", 0, wire_events(5, 300 + round)};
+        specs[2] = make_session("PATTERN (oops", 0, wire_events(5, 300 + round));
         // Two clean sessions riding along.
-        specs[3] = {kFallingPairQuery, 0, wire_events(80, 400 + round, 30, 0.4)};
-        specs[4] = {kRisingPairQuery, 2, wire_events(80, 500 + round)};
+        specs[3] = make_session(kFallingPairQuery, 0, wire_events(80, 400 + round, 30, 0.4));
+        specs[4] = make_session(kRisingPairQuery, 2, wire_events(80, 500 + round));
         const auto outcomes = client.run(specs);
         expect_failed += 3;
         expect_completed += 2;
@@ -173,7 +173,7 @@ TEST(PoolStress, SessionChurnLeavesZeroLeakedTasks) {
 
     // The survivor check: a fresh session on the churned server still
     // matches the oracle.
-    harness::LoadGenSession spec{kRisingTripleQuery, 2, wire_events(150, 999)};
+    harness::LoadGenSession spec = make_session(kRisingTripleQuery, 2, wire_events(150, 999));
     const auto out = client.run_one(spec);
     ASSERT_TRUE(out.completed) << out.error;
     expect_byte_identical(sequential_ground_truth(spec.query, spec.events), out.results,
@@ -197,7 +197,7 @@ TEST(PoolStress, StopWhileParkedOnEgressReturnsPromptly) {
     srv->start();
 
     auto gate = std::make_shared<std::atomic<bool>>(false);
-    harness::LoadGenSession spec{kFatResultQuery, 0, wire_events(1200, 77, 40, 0.7)};
+    harness::LoadGenSession spec = make_session(kFatResultQuery, 0, wire_events(1200, 77, 40, 0.7));
     spec.read_gate = gate;
     spec.rcvbuf = 8192;
     harness::LoadGenClient client("127.0.0.1", srv->port());
@@ -231,7 +231,7 @@ TEST(PoolStress, StopWhileParkedOnInputReturnsPromptly) {
     net::TcpClient conn("127.0.0.1", srv->port());
     {
         std::vector<std::uint8_t> bytes;
-        net::encode_frame(net::SessionFrame{net::HelloFrame{kRisingPairQuery, 1}}, bytes);
+        net::encode_frame(net::SessionFrame{net::HelloFrame{kRisingPairQuery, 1, 0, ""}}, bytes);
         for (const auto& q : wire_events(25, 5))
             net::encode_frame(net::SessionFrame{q}, bytes);
         conn.send_raw(bytes.data(), bytes.size());

@@ -31,11 +31,11 @@ TEST(CepServer, FourConcurrentSessionsMatchSequentialByteForByte) {
     // (k=0) and speculative SPECTRE (k>0) engines. Each blocks mid-stream
     // until its first RESULT arrives, proving egress precedes end-of-stream.
     std::vector<harness::LoadGenSession> specs(4);
-    specs[0] = {kRisingPairQuery, 0, wire_events(600, 11), /*wait_result_after=*/300};
-    specs[1] = {kRisingTripleQuery, 2, wire_events(500, 22), /*wait_result_after=*/250};
-    specs[2] = {kFallingPairQuery, 1, wire_events(550, 33, 30, 0.4),
-                /*wait_result_after=*/275};
-    specs[3] = {kLeaderQuery, 2, wire_events(450, 44), /*wait_result_after=*/225};
+    specs[0] = make_session(kRisingPairQuery, 0, wire_events(600, 11), /*wait_result_after=*/300);
+    specs[1] = make_session(kRisingTripleQuery, 2, wire_events(500, 22), /*wait_result_after=*/250);
+    specs[2] = make_session(kFallingPairQuery, 1, wire_events(550, 33, 30, 0.4),
+                /*wait_result_after=*/275);
+    specs[3] = make_session(kLeaderQuery, 2, wire_events(450, 44), /*wait_result_after=*/225);
 
     harness::LoadGenClient client("127.0.0.1", srv.port());
     const auto outcomes = client.run(specs);
@@ -76,10 +76,10 @@ TEST(CepServer, CorruptFrameFailsOnlyThatSession) {
     srv.start();
 
     std::vector<harness::LoadGenSession> specs(3);
-    specs[0] = {kRisingPairQuery, 0, wire_events(400, 55)};
-    specs[1] = {kRisingPairQuery, 2, wire_events(400, 66)};
+    specs[0] = make_session(kRisingPairQuery, 0, wire_events(400, 55));
+    specs[1] = make_session(kRisingPairQuery, 2, wire_events(400, 66));
     specs[1].corrupt_after = 100;  // injects an invalid frame tag mid-stream
-    specs[2] = {kRisingTripleQuery, 0, wire_events(400, 77)};
+    specs[2] = make_session(kRisingTripleQuery, 0, wire_events(400, 77));
 
     harness::LoadGenClient client("127.0.0.1", srv.port());
     const auto outcomes = client.run(specs);
@@ -112,9 +112,9 @@ TEST(CepServer, ClientDeathMidFrameIsIsolated) {
     srv.start();
 
     std::vector<harness::LoadGenSession> specs(2);
-    specs[0] = {kRisingPairQuery, 1, wire_events(300, 88)};
+    specs[0] = make_session(kRisingPairQuery, 1, wire_events(300, 88));
     specs[0].truncate_frame_at_event = 150;  // dies halfway through a frame
-    specs[1] = {kRisingPairQuery, 0, wire_events(300, 99)};
+    specs[1] = make_session(kRisingPairQuery, 0, wire_events(300, 99));
 
     harness::LoadGenClient client("127.0.0.1", srv.port());
     const auto outcomes = client.run(specs);
@@ -178,8 +178,8 @@ TEST(CepServer, SequentialAndSpectreSessionsAgree) {
     harness::LoadGenClient client("127.0.0.1", srv.port());
 
     std::vector<harness::LoadGenSession> specs(2);
-    specs[0] = {kRisingTripleQuery, 0, wire};  // sequential reference
-    specs[1] = {kRisingTripleQuery, 3, wire};  // speculative SPECTRE, k=3
+    specs[0] = make_session(kRisingTripleQuery, 0, wire);  // sequential reference
+    specs[1] = make_session(kRisingTripleQuery, 3, wire);  // speculative SPECTRE, k=3
     const auto outcomes = client.run(specs);
 
     ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
