@@ -152,6 +152,18 @@ int main() {
                     .field("quanta", stats.quanta_executed)
                     .field("parks_input", stats.parks_input)
                     .field("parks_egress", stats.parks_egress)
+                    // Ready-instance scheduler observability (§11); all-zero
+                    // on sequential rows (no speculative session reports).
+                    .field("sched_steps", stats.sched_steps)
+                    .field("sched_cycles", stats.sched_cycles)
+                    .field("sched_cycles_skipped", stats.sched_cycles_skipped)
+                    .field("sched_batches", stats.sched_batches)
+                    .field("sched_batch_events", stats.sched_batch_events)
+                    .field("sched_ready_depth_max", stats.sched_ready_depth_max)
+                    .field("sched_ready_depth_p50", stats.sched_ready_depth_p50)
+                    .field("sched_instances_retired", stats.sched_instances_retired)
+                    .field("sched_instances_cancelled", stats.sched_instances_cancelled)
+                    .field("sched_wasted_events", stats.sched_wasted_events)
                     .field("parity_ok", parity_ok ? 1 : 0));
         }
     }

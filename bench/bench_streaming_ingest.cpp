@@ -75,7 +75,7 @@ int main() {
         cfg.splitter.instances = k;
 
         std::vector<double> batch_eps, stream_eps, decode_secs, feed_secs;
-        std::vector<double> splitter_sleeps, instance_sleeps;
+        std::vector<double> splitter_sleeps, instance_sleeps, wasted_events;
         for (const auto seed : seeds) {
             data::NyseSynthConfig gen;
             gen.events = events_n;
@@ -111,6 +111,8 @@ int main() {
                 feed_secs.push_back(rr.feed_seconds);
                 splitter_sleeps.push_back(static_cast<double>(rr.splitter_idle_sleeps));
                 instance_sleeps.push_back(static_cast<double>(rr.instance_idle_sleeps));
+                wasted_events.push_back(
+                    static_cast<double>(rr.sched.speculation_wasted_events));
             }
         }
 
@@ -149,7 +151,9 @@ int main() {
                                    .field("splitter_idle_sleeps_p50",
                                           util::percentile(splitter_sleeps, 50))
                                    .field("instance_idle_sleeps_p50",
-                                          util::percentile(instance_sleeps, 50)));
+                                          util::percentile(instance_sleeps, 50))
+                                   .field("speculation_wasted_events_p50",
+                                          util::percentile(wasted_events, 50)));
     }
 
     table.print();

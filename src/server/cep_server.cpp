@@ -105,6 +105,24 @@ ServerStats CepServer::stats() const {
     s.egress_buffered_bytes =
         counters_.egress_buffered_bytes.load(std::memory_order_relaxed);
     s.egress_peak_bytes = counters_.egress_peak_bytes.load(std::memory_order_relaxed);
+    s.sched_sessions = counters_.sched_sessions.load(std::memory_order_relaxed);
+    s.sched_steps = counters_.sched_steps.load(std::memory_order_relaxed);
+    s.sched_cycles = counters_.sched_cycles.load(std::memory_order_relaxed);
+    s.sched_cycles_skipped = counters_.sched_cycles_skipped.load(std::memory_order_relaxed);
+    s.sched_batches = counters_.sched_batches.load(std::memory_order_relaxed);
+    s.sched_batch_events = counters_.sched_batch_events.load(std::memory_order_relaxed);
+    s.sched_ready_depth_max =
+        counters_.sched_ready_depth_max.load(std::memory_order_relaxed);
+    if (s.sched_sessions > 0)
+        s.sched_ready_depth_p50 =
+            static_cast<double>(
+                counters_.sched_ready_p50_milli.load(std::memory_order_relaxed)) /
+            (1000.0 * static_cast<double>(s.sched_sessions));
+    s.sched_instances_retired =
+        counters_.sched_instances_retired.load(std::memory_order_relaxed);
+    s.sched_instances_cancelled =
+        counters_.sched_instances_cancelled.load(std::memory_order_relaxed);
+    s.sched_wasted_events = counters_.sched_wasted_events.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -197,6 +197,10 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
         core::RuntimeConfig cfg;
         cfg.splitter.instances = static_cast<int>(instances_);
         cfg.batch_events = limits_.batch_events;
+        // Fairness on the shared pool (DESIGN.md §11): one step advances at
+        // most one ingest batch worth of window positions, so a speculative
+        // session's quantum stays comparable to a sequential one's.
+        cfg.quantum_budget = limits_.batch_events;
         runtime_ = std::make_unique<core::SpectreRuntime>(
             &store_, cq_.get(), cfg,
             std::make_unique<model::MarkovModel>(cq_->min_length(),
@@ -502,11 +506,11 @@ EngineTask::Quantum ServerSession::run_quantum() {
             } else {
                 const auto p = runtime_->step();
                 done = p.done;
-                // A zero-event step at a fixed frontier leaves the runtime
-                // quiescent (its cycle drained the previous step's updates);
-                // with fresh appends the windows may not be discovered yet,
-                // so only an empty pull counts.
-                quiescent = pulled == 0 && p.events_processed == 0;
+                // step() reports quiescence explicitly: the scheduling loop
+                // reached a fixed point for the current frontier. With fresh
+                // appends the windows may not be discovered yet, so only an
+                // empty pull counts toward parking.
+                quiescent = pulled == 0 && p.quiescent;
             }
             if (done) return finish_engine();
             if (quiescent) {
@@ -534,7 +538,35 @@ EngineTask::Quantum ServerSession::run_quantum() {
     return Quantum::MoreWork;
 }
 
+void ServerSession::flush_sched_stats() {
+    // Worker-side only: finish_engine/engine_failed run on the pool worker
+    // that owns the final quantum, so reading the runtime is race-free.
+    if (!runtime_ || sched_flushed_.exchange(true, std::memory_order_acq_rel)) return;
+    const core::SchedStats s = runtime_->sched_stats();
+    counters_->sched_sessions.fetch_add(1, std::memory_order_relaxed);
+    counters_->sched_steps.fetch_add(s.steps, std::memory_order_relaxed);
+    counters_->sched_cycles.fetch_add(s.cycles, std::memory_order_relaxed);
+    counters_->sched_cycles_skipped.fetch_add(s.cycles_skipped, std::memory_order_relaxed);
+    counters_->sched_batches.fetch_add(s.batches, std::memory_order_relaxed);
+    counters_->sched_batch_events.fetch_add(s.batch_events, std::memory_order_relaxed);
+    counters_->sched_instances_retired.fetch_add(s.instances_retired,
+                                                 std::memory_order_relaxed);
+    counters_->sched_instances_cancelled.fetch_add(s.instances_cancelled,
+                                                   std::memory_order_relaxed);
+    counters_->sched_wasted_events.fetch_add(s.speculation_wasted_events,
+                                             std::memory_order_relaxed);
+    counters_->sched_ready_p50_milli.fetch_add(
+        static_cast<std::uint64_t>(s.ready_depth_p50 * 1000.0),
+        std::memory_order_relaxed);
+    auto& mx = counters_->sched_ready_depth_max;
+    std::uint64_t cur = mx.load(std::memory_order_relaxed);
+    while (s.ready_depth_max > cur &&
+           !mx.compare_exchange_weak(cur, s.ready_depth_max, std::memory_order_relaxed)) {
+    }
+}
+
 EngineTask::Quantum ServerSession::finish_engine() {
+    flush_sched_stats();
     if (egress_append(net::SessionFrame{
             net::ByeFrame{results_sent_.load(std::memory_order_relaxed)}}) &&
         !outcome_counted_.exchange(true, std::memory_order_acq_rel)) {
@@ -614,6 +646,7 @@ EngineTask::Quantum ServerSession::run_shard_quantum(std::uint32_t shard) {
 }
 
 EngineTask::Quantum ServerSession::engine_failed(const std::string& what) {
+    flush_sched_stats();
     count_failed_once();
     egress_append(net::SessionFrame{net::ErrorFrame{std::string("engine error: ") + what}});
     egress_try_flush();

@@ -75,6 +75,21 @@ struct ServerCounters {
     std::atomic<std::size_t> egress_buffered_bytes{0};
     std::atomic<std::size_t> egress_peak_bytes{0};
     std::atomic<std::size_t> sessions_live{0};
+    // Ready-instance scheduler observability (§11): aggregated from each
+    // unsharded speculative session's SchedStats when its engine task ends
+    // (finished or failed), flushed exactly once per session by the worker
+    // that owns the final quantum.
+    std::atomic<std::uint64_t> sched_sessions{0};  // sessions that reported
+    std::atomic<std::uint64_t> sched_steps{0};
+    std::atomic<std::uint64_t> sched_cycles{0};
+    std::atomic<std::uint64_t> sched_cycles_skipped{0};
+    std::atomic<std::uint64_t> sched_batches{0};
+    std::atomic<std::uint64_t> sched_batch_events{0};
+    std::atomic<std::uint64_t> sched_ready_depth_max{0};  // max over sessions
+    std::atomic<std::uint64_t> sched_ready_p50_milli{0};  // Σ per-session p50 × 1000
+    std::atomic<std::uint64_t> sched_instances_retired{0};
+    std::atomic<std::uint64_t> sched_instances_cancelled{0};
+    std::atomic<std::uint64_t> sched_wasted_events{0};
 };
 
 struct SessionLimits {
@@ -245,6 +260,9 @@ private:
     Quantum finish_engine();         // BYE, counters, Done
     Quantum engine_failed(const std::string& what);
     void request_watch_write();
+    // Adds this session's SchedStats into the server counters, once, from
+    // the worker side (the only side that may touch the runtime).
+    void flush_sched_stats();
 
     // Sharded path (§10).
     Quantum run_shard_quantum(std::uint32_t shard);
@@ -315,6 +333,7 @@ private:
     // exchanges the latch first. Closes the race between the worker
     // finishing and the reactor failing the same session concurrently.
     std::atomic<bool> outcome_counted_{false};
+    std::atomic<bool> sched_flushed_{false};
     std::atomic<std::uint64_t> results_sent_{0};
 };
 

@@ -174,15 +174,13 @@ void ShardedEngine::drain_lane_quiescent(KeyLane& lane) {
         }
         return;
     }
-    // Cooperative SPECTRE: a zero-event step leaves the runtime quiescent for
-    // the current frontier (§9); a second zero step is cheap insurance that
-    // the retirement of the last batch has also been drained and emitted —
-    // emissions must land under the current trigger tag.
-    int zero_steps = 0;
-    while (zero_steps < 2) {
+    // Cooperative SPECTRE: step() now reports quiescence explicitly — the
+    // scheduling loop has driven the dependency graph to a fixed point for
+    // the current frontier, with every buffered update drained and every
+    // eligible retirement emitted (under the current trigger tag).
+    for (;;) {
         const auto p = lane.runtime->step();
-        if (p.done) break;
-        zero_steps = p.events_processed == 0 ? zero_steps + 1 : 0;
+        if (p.done || p.quiescent) break;
     }
 }
 

@@ -54,6 +54,7 @@ void DependencyTree::drop_subtree(std::unique_ptr<TreeNode> node) {
         node->wv->mark_dropped();
         index_.erase(node->wv->version_id());
         ++stats_.versions_dropped;
+        stats_.wasted_events += node->wv->progress();
         drop_subtree(std::move(node->child));
     } else {
         auto& vec = group_index_[node->cg->id()];

@@ -65,6 +65,9 @@ struct TreeStats {
     std::uint64_t copies_cloned = 0;  // subtree copies that kept their progress
     std::uint64_t copies_fresh = 0;   // subtree copies restarted from scratch
     std::size_t max_versions = 0;  // peak live version count (Fig. 10(f))
+    // Window positions processed by versions that were later dropped — the
+    // speculation the scheduler wasted (lazily cancelled, never emitted).
+    std::uint64_t wasted_events = 0;
 };
 
 class DependencyTree {

@@ -1,5 +1,7 @@
 #include "spectre/operator_instance.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace spectre::core {
@@ -45,14 +47,25 @@ void OperatorInstance::refresh_caches(WindowVersion& wv) {
         cache.events.clear();
         cache.events.insert(events.begin(), events.end());
         cache.snapshot_version = version;
+        st.supp_dirty = true;
     }
 }
 
-bool OperatorInstance::is_suppressed(WindowVersion& wv, event::Seq seq) {
-    const auto& st = wv.processing();
-    for (const auto& cache : st.caches)
-        if (cache.events.count(seq)) return true;
-    return false;
+void OperatorInstance::rebuild_suppressed_sorted(WindowVersion& wv) {
+    auto& st = wv.processing();
+    st.suppressed_sorted.clear();
+    const auto first = wv.window().first;
+    const auto last = wv.window().last;
+    for (const auto& cache : st.caches) {
+        for (const auto seq : cache.events)
+            if (seq >= first && seq <= last)
+                st.suppressed_sorted.push_back(seq - first);
+    }
+    std::sort(st.suppressed_sorted.begin(), st.suppressed_sorted.end());
+    st.suppressed_sorted.erase(
+        std::unique(st.suppressed_sorted.begin(), st.suppressed_sorted.end()),
+        st.suppressed_sorted.end());
+    st.supp_dirty = false;
 }
 
 void OperatorInstance::handle_feedback(WindowVersion& wv, detect::Feedback& fb) {
@@ -127,6 +140,7 @@ bool OperatorInstance::consistency_check(WindowVersion& wv) {
         cache.events.clear();
         cache.events.insert(events.begin(), events.end());
         cache.snapshot_version = version;
+        st.supp_dirty = true;  // membership moved: the run index is stale
         for (const auto seq : events) {
             if (seq < wv.window().first || seq > wv.window().last) continue;
             if (st.used[seq - wv.window().first]) {
@@ -176,12 +190,27 @@ void OperatorInstance::finish_window(WindowVersion& wv) {
     ++stats_.versions_finished;
 }
 
-std::size_t OperatorInstance::run_batch(std::size_t max_events) {
+BatchResult OperatorInstance::run_batch(std::size_t max_events) {
+    BatchResult r;
     WvPtr wv = assignment();
-    if (!wv || wv->dropped() || wv->finished()) return 0;
+    if (!wv) {
+        r.outcome = BatchResult::Outcome::NoAssignment;
+        return r;
+    }
+    if (wv->dropped()) {
+        r.outcome = BatchResult::Outcome::Dropped;
+        return r;
+    }
+    if (wv->finished()) {
+        r.outcome = BatchResult::Outcome::Finished;
+        return r;
+    }
     // Another instance may still be inside a batch on this version right
     // after a reassignment; back off and retry next batch.
-    if (!wv->try_acquire(index_)) return 0;
+    if (!wv->try_acquire(index_)) {
+        r.outcome = BatchResult::Outcome::Busy;
+        return r;
+    }
     struct Release {
         WindowVersion* wv;
         ~Release() { wv->release_ownership(); }
@@ -190,52 +219,92 @@ std::size_t OperatorInstance::run_batch(std::size_t max_events) {
 
     refresh_caches(*wv);
     auto& st = wv->processing();
-    std::size_t advanced = 0;
 
     // Read the completion latch *before* the frontier: if it reads true, the
     // frontier read below is the stream's final length (DESIGN.md §6).
     const bool complete = input_complete_->load(std::memory_order_acquire);
     const event::Seq frontier = store_->size();
+    const std::uint64_t win_len = wv->window().length();
+    const event::Seq first = wv->window().first;
 
-    while (advanced < max_events) {
-        if (wv->dropped()) break;
-        if (st.next_offset >= wv->window().length()) {
-            finish_window(*wv);
+    // The batch advances in contiguous runs: each run ends at the window
+    // extent, the ingestion frontier, the event budget, the consistency-check
+    // cadence, or the next suppressed position — whichever is closest. Inside
+    // a run the compiled detector programs execute back to back with no
+    // membership probes, and progress is published once at the run boundary.
+    while (r.advanced < max_events) {
+        if (wv->dropped()) {
+            r.outcome = BatchResult::Outcome::Dropped;
             break;
         }
-        const event::Seq seq = wv->window().first + st.next_offset;
+        if (st.next_offset >= win_len) {
+            finish_window(*wv);
+            r.outcome = BatchResult::Outcome::Finished;
+            break;
+        }
+        const event::Seq seq = first + st.next_offset;
         if (seq >= frontier) {
             // The next window position has not arrived yet. On a complete
             // input it never will — the window's extent bound reaches past
             // end-of-stream, so it finishes here (the batch engines' clamp);
             // on a live input, stall until the frontier advances.
-            if (complete) finish_window(*wv);
+            if (complete) {
+                finish_window(*wv);
+                r.outcome = BatchResult::Outcome::Finished;
+            } else {
+                r.outcome = BatchResult::Outcome::Stalled;
+                r.wait_seq = seq;
+            }
             break;
         }
-        if (is_suppressed(*wv, seq)) {
-            ++stats_.events_suppressed;
-        } else {
-            fb_.clear();
-            st.detector.on_event(store_->at(seq), fb_);
-            handle_feedback(*wv, fb_);
-            st.used[st.next_offset] = true;
-            ++stats_.events_processed;
-        }
-        ++st.next_offset;
-        wv->set_progress(st.next_offset);
-        ++advanced;
+        if (st.supp_dirty) rebuild_suppressed_sorted(*wv);
 
-        if (++st.steps_since_check >= config_.consistency_check_freq) {
+        std::uint64_t run = std::min<std::uint64_t>(win_len - st.next_offset,
+                                                    frontier - seq);
+        run = std::min<std::uint64_t>(run, max_events - r.advanced);
+        run = std::min<std::uint64_t>(
+            run, config_.consistency_check_freq - st.steps_since_check);
+        const auto supp_it =
+            std::lower_bound(st.suppressed_sorted.begin(), st.suppressed_sorted.end(),
+                             st.next_offset);
+        bool hit_suppressed = false;
+        if (supp_it != st.suppressed_sorted.end() && *supp_it < st.next_offset + run) {
+            run = *supp_it - st.next_offset;
+            hit_suppressed = true;
+        }
+
+        for (std::uint64_t i = 0; i < run; ++i) {
+            fb_.clear();
+            st.detector.on_event(store_->at(seq + i), fb_);
+            handle_feedback(*wv, fb_);
+            st.used[st.next_offset + i] = true;
+        }
+        stats_.events_processed += run;
+        st.next_offset += run;
+        st.steps_since_check += run;
+        r.advanced += run;
+        if (hit_suppressed && r.advanced < max_events &&
+            st.steps_since_check < config_.consistency_check_freq) {
+            // The boundary position itself is suppressed: skip it.
+            ++stats_.events_suppressed;
+            ++st.next_offset;
+            ++st.steps_since_check;
+            ++r.advanced;
+        }
+        wv->set_progress(st.next_offset);
+
+        if (st.steps_since_check >= config_.consistency_check_freq) {
             st.steps_since_check = 0;
             if (consistency_check(*wv)) {
                 rollback(*wv);
+                r.outcome = BatchResult::Outcome::RolledBack;
                 break;  // restart the version in the next batch
             }
         }
     }
 
     flush_stats(*wv);
-    return advanced;
+    return r;
 }
 
 }  // namespace spectre::core

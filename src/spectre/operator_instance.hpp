@@ -40,6 +40,25 @@ struct InstanceStats {
     std::uint64_t batches = 0;
 };
 
+// What one run_batch() accomplished and — when it stopped early — why. The
+// cooperative scheduler (sched_graph.hpp) files the instance under the
+// matching dependency: Stalled waits on the frontier sentinel at `wait_seq`;
+// everything else that yields no runnable work waits on the splitter.
+struct BatchResult {
+    enum class Outcome : std::uint8_t {
+        Progress,      // budget exhausted mid-window; more work immediately
+        NoAssignment,  // slot empty — needs a scheduling cycle
+        Busy,          // version batch-locked by another owner; retry later
+        Stalled,       // next window position not yet arrived (see wait_seq)
+        Finished,      // version finished (this batch or before)
+        Dropped,       // assignment was dropped — dead speculation
+        RolledBack,    // inconsistency detected; version restarts next batch
+    };
+    std::size_t advanced = 0;  // window positions advanced (fed + suppressed)
+    Outcome outcome = Outcome::Progress;
+    event::Seq wait_seq = 0;  // Stalled only: first sequence not yet arrived
+};
+
 class OperatorInstance {
 public:
     // `input_complete` is the splitter's end-of-input latch: once it reads
@@ -55,14 +74,19 @@ public:
     WvPtr assignment() const;
 
     // --- worker side ---------------------------------------------------------
-    // Processes up to `max_events` events of the current assignment. Returns
-    // the number of window positions advanced (0 when idle / finished).
-    std::size_t run_batch(std::size_t max_events);
+    // Processes up to `max_events` events of the current assignment. Events
+    // are fed to the compiled detector in contiguous runs between suppressed
+    // positions (the per-event membership probe of the old loop is replaced
+    // by one sorted-suppression cursor per run); progress is published once
+    // per run. Returns how far the batch advanced and why it stopped.
+    BatchResult run_batch(std::size_t max_events);
 
     const InstanceStats& stats() const noexcept { return stats_; }
 
 private:
-    bool is_suppressed(WindowVersion& wv, event::Seq seq);
+    // Rebuilds the sorted union of suppressed offsets for the version's
+    // window (the run boundaries of the batched inner loop).
+    void rebuild_suppressed_sorted(WindowVersion& wv);
     void refresh_caches(WindowVersion& wv);
     // Consumes `fb`: completed complex events are moved out (the caller
     // clears the buffer before its next use anyway).

@@ -1,5 +1,6 @@
 #include "spectre/runtime.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -12,7 +13,8 @@ SpectreRuntime::SpectreRuntime(const event::EventStore* store,
                                const detect::CompiledQuery* cq, RuntimeConfig config,
                                std::unique_ptr<model::CompletionModel> model)
     : store_(store), config_(config),
-      splitter_(store, cq, config.splitter, std::move(model)) {}
+      splitter_(store, cq, config.splitter, std::move(model)),
+      sched_(static_cast<std::size_t>(config.splitter.instances)) {}
 
 SpectreRuntime::SpectreRuntime(event::EventStore* store, const detect::CompiledQuery* cq,
                                RuntimeConfig config,
@@ -36,7 +38,7 @@ RunResult SpectreRuntime::run_threads() {
         workers.emplace_back([&, inst = inst.get(), batch = config_.batch_events] {
             int idle_streak = 0;
             while (!stop.load(std::memory_order_acquire)) {
-                if (inst->run_batch(batch) == 0) {
+                if (inst->run_batch(batch).advanced == 0) {
                     // Idle: no assignment, version busy elsewhere, or stalled
                     // at the ingestion frontier. While the input is still
                     // arriving, a persistent spinner would steal the CPU the
@@ -82,6 +84,7 @@ RunResult SpectreRuntime::run_threads() {
                                 : 0.0;
     result.splitter_idle_sleeps = splitter_idle_sleeps;
     result.instance_idle_sleeps = instance_idle_sleeps.load(std::memory_order_relaxed);
+    result.sched = sched_stats();
     return result;
 }
 
@@ -89,17 +92,85 @@ SpectreRuntime::StepProgress SpectreRuntime::step() {
     StepProgress p;
     if (splitter_.done()) {
         p.done = true;
+        p.quiescent = true;
         return p;
     }
-    // Cycle first, then the instance batches: the cycle drains the updates
-    // the previous step's batches buffered (including WindowFinished) and
-    // retires what they finished, so a zero-event step leaves the runtime
-    // quiescent for the current frontier.
-    splitter_.run_cycle();
-    for (auto& inst : splitter_.instances())
-        p.events_processed += inst->run_batch(config_.batch_events);
-    p.done = splitter_.done();
+    ++sched_stats_.steps;
+    sched_.check_invariants();
+    const std::size_t budget =
+        config_.quantum_budget > 0 ? config_.quantum_budget : config_.batch_events;
+    bool cycled = false;
+    // Dependency-graph scheduling loop (DESIGN.md §11): cycle only when the
+    // splitter's dirty predicate fires, then drain the ready queue. Exits on
+    // budget exhaustion, completion, or a fixed point (quiescence).
+    for (;;) {
+        if (splitter_.needs_cycle()) {
+            splitter_.run_cycle();
+            ++sched_stats_.cycles;
+            cycled = true;
+            if (splitter_.done()) {
+                p.done = true;
+                p.quiescent = true;
+                sched_.retire_all();  // lazy retirement: graph frees its edges
+                break;
+            }
+            // Assignments may have moved anywhere (top-k reshuffle, rollback
+            // rebuilds): instances with a live version re-enter the queue.
+            auto& insts = splitter_.instances();
+            sched_.requeue_after_cycle([&](int i) {
+                const WvPtr wv = insts[static_cast<std::size_t>(i)]->assignment();
+                return wv && !wv->dropped() && !wv->finished();
+            });
+        }
+        sched_.wake_frontier(store_->size());
+        const int idx = sched_.pop_ready();
+        if (idx < 0) {
+            if (splitter_.needs_cycle()) continue;  // batches buffered updates
+            p.quiescent = true;  // no ready instance, no cycle work: fixed point
+            break;
+        }
+        auto& inst = *splitter_.instances()[static_cast<std::size_t>(idx)];
+        const std::size_t want =
+            std::min(config_.batch_events, budget - p.events_processed);
+        const auto r = inst.run_batch(want);
+        ++sched_stats_.batches;
+        sched_stats_.batch_events += r.advanced;
+        p.events_processed += r.advanced;
+        switch (r.outcome) {
+            case BatchResult::Outcome::Progress:
+            case BatchResult::Outcome::RolledBack:
+                // Mid-window (or restarting from the window start): events
+                // below the frontier remain — immediately ready again.
+                sched_.mark_ready(idx);
+                break;
+            case BatchResult::Outcome::Stalled:
+                sched_.mark_stalled(idx, r.wait_seq);
+                break;
+            case BatchResult::Outcome::Finished:
+                ++sched_stats_.instances_retired;
+                sched_.mark_waiting_assignment(idx);
+                break;
+            case BatchResult::Outcome::Dropped:
+                ++sched_stats_.instances_cancelled;
+                sched_.mark_waiting_assignment(idx);
+                break;
+            case BatchResult::Outcome::NoAssignment:
+            case BatchResult::Outcome::Busy:
+                sched_.mark_waiting_assignment(idx);
+                break;
+        }
+        if (p.events_processed >= budget) break;  // quantum spent — yield
+    }
+    if (!cycled) ++sched_stats_.cycles_skipped;
     return p;
+}
+
+SchedStats SpectreRuntime::sched_stats() const {
+    SchedStats s = sched_stats_;
+    s.ready_depth_max = sched_.ready_max();
+    s.ready_depth_p50 = sched_.ready_p50();
+    s.speculation_wasted_events = splitter_.metrics().speculation_wasted_events;
+    return s;
 }
 
 RunResult SpectreRuntime::run() {

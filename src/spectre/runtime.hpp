@@ -23,6 +23,7 @@
 
 #include <memory>
 
+#include "spectre/sched_graph.hpp"
 #include "spectre/splitter.hpp"
 
 namespace spectre::core {
@@ -32,12 +33,35 @@ struct RuntimeConfig {
     // Events an instance processes per batch before re-checking its
     // assignment and the stop flag.
     std::size_t batch_events = 256;
+    // Per-step work bound for the cooperative scheduler (DESIGN.md §11):
+    // step() returns once it has advanced this many window positions, so a
+    // pool quantum (quantum_steps × this) stays short enough that
+    // co-scheduled sessions are never starved by one speculative session.
+    // 0 falls back to batch_events.
+    std::size_t quantum_budget = 1024;
     // Streaming-mode contention fix (DESIGN.md §6): while the input is still
     // arriving, an idle spinner (a splitter cycle that made no progress, an
     // instance batch that processed no events) sleeps this long instead of
     // burning the core the feeder thread needs for decode. 0 restores the
     // pure spin. Batch replay (input complete up front) never backs off.
     std::size_t idle_backoff_us = 50;
+};
+
+// Observability of the ready-instance scheduler (DESIGN.md §11): what the
+// dependency-graph step loop actually did. Populated by step()-driven runs;
+// threaded runs fill only the speculation-waste field (their instances spin
+// freely, there is no ready queue to measure).
+struct SchedStats {
+    std::uint64_t steps = 0;           // step() calls
+    std::uint64_t cycles = 0;          // splitter cycles the dirty gate ran
+    std::uint64_t cycles_skipped = 0;  // steps that skipped the cycle entirely
+    std::uint64_t batches = 0;         // instance batches scheduled
+    std::uint64_t batch_events = 0;    // window positions those batches advanced
+    std::uint64_t ready_depth_max = 0; // peak ready-queue depth at pop time
+    double ready_depth_p50 = 0.0;      // median ready-queue depth at pop time
+    std::uint64_t instances_retired = 0;    // batches that finished their version
+    std::uint64_t instances_cancelled = 0;  // batches that found dead speculation
+    std::uint64_t speculation_wasted_events = 0;  // work on later-dropped versions
 };
 
 struct RunResult {
@@ -55,6 +79,7 @@ struct RunResult {
     double feed_seconds = 0.0;
     std::uint64_t splitter_idle_sleeps = 0;
     std::uint64_t instance_idle_sleeps = 0;
+    SchedStats sched;  // ready-instance scheduler observability
 };
 
 class SpectreRuntime {
@@ -83,22 +108,32 @@ public:
     // detection; returns after end-of-stream once all windows retired.
     RunResult run(event::EventStream& live);
 
-    // --- cooperative stepping (worker pool, DESIGN.md §9) -------------------
+    // --- cooperative stepping (worker pool, DESIGN.md §9/§11) ---------------
 
-    // What one step() accomplished; the scheduler's park decision hinges on
-    // `events_processed`: once a step processes zero events at a fixed
-    // frontier, the runtime is quiescent until the store grows or closes
-    // (updates and retirements drained by that step's cycle).
+    // What one step() accomplished; the pool's park decision hinges on
+    // `quiescent`: a quiescent step has driven the dependency graph to a
+    // fixed point for the current frontier — no instance is ready, no
+    // splitter cycle could make progress — so nothing changes until the
+    // store grows or closes. (quiescent may hold even when events were
+    // processed: the step did work and then ran dry before its budget.)
     struct StepProgress {
         std::size_t events_processed = 0;  // instance work done this step
-        bool done = false;                 // input complete + all windows retired
+        bool done = false;       // input complete + all windows retired
+        bool quiescent = false;  // fixed point at the current frontier
     };
 
-    // One splitter cycle + one bounded batch (config.batch_events) on each
-    // operator instance, inline on the calling thread. Input completeness is
-    // derived from EventStore::close() (or mark via splitter). Callers must
-    // not mix step() with the blocking run()/run(EventStream&) entry points.
+    // Dependency-graph scheduling loop (DESIGN.md §11), inline on the calling
+    // thread: runs the splitter cycle only when its dirty predicate says the
+    // tree changed, then drains the ready queue in bounded batches until the
+    // quantum budget (config.quantum_budget) is spent or the graph reaches a
+    // fixed point. Input completeness is derived from EventStore::close() (or
+    // mark via splitter). Callers must not mix step() with the blocking
+    // run()/run(EventStream&) entry points.
     StepProgress step();
+
+    // Scheduler observability (current totals; valid during and after a
+    // step()-driven run — threaded runs only fill the speculation waste).
+    SchedStats sched_stats() const;
 
 private:
     RunResult run_threads();
@@ -107,6 +142,8 @@ private:
     event::EventStore* mutable_store_ = nullptr;  // set by the streaming ctor
     RuntimeConfig config_;
     Splitter splitter_;
+    InstanceScheduler sched_;
+    SchedStats sched_stats_;
 };
 
 }  // namespace spectre::core

@@ -61,7 +61,7 @@ SimResult SimRuntime::run() {
             cost = config_.splitter_cycle_ns;
         } else {
             auto& inst = *splitter_.instances()[actor - 1];
-            const std::size_t advanced = inst.run_batch(config_.batch_events);
+            const std::size_t advanced = inst.run_batch(config_.batch_events).advanced;
             cost = advanced > 0 ? static_cast<double>(advanced) * config_.ns_per_event
                                 : config_.idle_poll_ns;
             busy[actor] = advanced > 0;

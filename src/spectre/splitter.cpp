@@ -287,20 +287,49 @@ void Splitter::retire_finished_roots() {
 }
 
 void Splitter::discover_windows() {
-    if (assigner_.exhausted()) return;
     // A closed store implies a complete input; latch the flag so the operator
     // instances (which read it through a pointer) see it with one acquire.
+    // Latch even when the assigner is exhausted — trailing windows finish at
+    // end-of-stream only once the instances observe completeness.
     if (!input_complete_.load(std::memory_order_relaxed) && store_->closed())
         input_complete_.store(true, std::memory_order_release);
     const bool complete = input_complete_.load(std::memory_order_relaxed);
-    const std::size_t before = windows_.size();
-    assigner_.poll(*store_, store_->size(), complete, windows_);
-    // The dependency definition requires window ends monotone in starts
-    // (DESIGN.md §5); all our window kinds satisfy it, assert anyway.
-    for (std::size_t i = std::max<std::size_t>(before, 1); i < windows_.size(); ++i)
-        SPECTRE_CHECK(windows_[i].last >= windows_[i - 1].last &&
-                          windows_[i].first >= windows_[i - 1].first,
-                      "window ends must be monotone in starts");
+    const event::Seq frontier = store_->size();
+    if (!assigner_.exhausted()) {
+        const std::size_t before = windows_.size();
+        assigner_.poll(*store_, frontier, complete, windows_);
+        // The dependency definition requires window ends monotone in starts
+        // (DESIGN.md §5); all our window kinds satisfy it, assert anyway.
+        for (std::size_t i = std::max<std::size_t>(before, 1); i < windows_.size(); ++i)
+            SPECTRE_CHECK(windows_[i].last >= windows_[i - 1].last &&
+                              windows_[i].first >= windows_[i - 1].first,
+                          "window ends must be monotone in starts");
+    }
+    last_polled_frontier_ = frontier;
+    last_polled_complete_ = complete;
+}
+
+bool Splitter::needs_cycle() const {
+    if (done_) return false;
+    // Buffered instance feedback: groups to attach/resolve, finish marks,
+    // rollbacks, statistics.
+    if (!updates_.empty()) return true;
+    // A finished root whose WindowFinished update was already drained is
+    // eligible to retire (and retirement may cascade: child becomes root).
+    if (const WindowVersion* root = tree_.front_root())
+        if (root->finished() && finished_versions_.count(root->version_id()))
+            return true;
+    // The input state or the frontier moved since the last discovery poll:
+    // the end-of-stream latch must be taken / new windows may be determined.
+    const bool complete =
+        input_complete_.load(std::memory_order_relaxed) || store_->closed();
+    if (complete != last_polled_complete_ || store_->size() != last_polled_frontier_)
+        return true;
+    // Discovered windows are waiting and there is capacity to open them.
+    if (next_window_ < windows_.size() && (next_window_ - retired_) < effective_lookahead() &&
+        tree_.live_versions() < config_.max_tree_versions)
+        return true;
+    return false;
 }
 
 void Splitter::open_windows() {
@@ -387,6 +416,7 @@ bool Splitter::run_cycle() {
     metrics_.versions_dropped = tree_.stats().versions_dropped;
     metrics_.copies_cloned = tree_.stats().copies_cloned;
     metrics_.copies_fresh = tree_.stats().copies_fresh;
+    metrics_.speculation_wasted_events = tree_.stats().wasted_events;
 
     // Done only at quiescence on a complete input: no window still to be
     // discovered by arrivals, none waiting to open, none live in the tree.

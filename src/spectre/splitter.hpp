@@ -62,6 +62,9 @@ struct SplitterMetrics {
     std::uint64_t copies_cloned = 0;   // subtree copies that kept progress
     std::uint64_t copies_fresh = 0;    // subtree copies restarted
     std::uint64_t updates_applied = 0; // instance updates drained and applied
+    // Window positions processed on versions later dropped (dead speculation
+    // cancelled lazily by the scheduler; mirrors TreeStats::wasted_events).
+    std::uint64_t speculation_wasted_events = 0;
 };
 
 class Splitter {
@@ -77,6 +80,16 @@ public:
     bool run_cycle();
 
     bool done() const noexcept { return done_; }
+
+    // Dirty predicate for the cooperative scheduler (DESIGN.md §11): true iff
+    // a maintenance/scheduling cycle could make progress right now — buffered
+    // instance updates to apply, a finished root eligible to retire, an
+    // end-of-stream latch to take, arrivals the window discovery has not
+    // polled yet, or discovered windows with open capacity. When it returns
+    // false, a cycle would be a no-op walk: the step scheduler skips it and
+    // runs ready instances instead. The threaded runtime keeps cycling
+    // unconditionally (the splitter owns a core in the paper's deployment).
+    bool needs_cycle() const;
 
     // True if the last run_cycle applied updates, discovered, opened or
     // retired windows. A no-progress cycle at an unchanged frontier means the
@@ -143,6 +156,10 @@ private:
     std::vector<query::WindowInfo> windows_;  // grows as arrivals determine them
     std::size_t next_window_ = 0;  // next window to open
     std::size_t retired_ = 0;
+    // (frontier, completeness) the last discovery poll saw; needs_cycle()
+    // compares against the store so steady-state steps skip the cycle.
+    event::Seq last_polled_frontier_ = UINT64_MAX;
+    bool last_polled_complete_ = false;
     // Consumed events from completed groups that may fall into windows not
     // yet opened (trimmed as the open frontier advances).
     std::set<event::Seq> consumed_tail_;

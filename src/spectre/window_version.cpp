@@ -25,6 +25,8 @@ void WindowVersion::clone_processing_from(const WindowVersion& src) {
     // The suppression set differs from the source's; rebuild the cache slots
     // and force full re-validation on the next consistency check.
     state_->caches.assign(suppressed_.size(), Processing::CgCache{});
+    state_->suppressed_sorted.clear();
+    state_->supp_dirty = true;  // the copied run index reflects src's groups
     progress_.store(src.progress(), std::memory_order_relaxed);
     finished_.store(src.finished(), std::memory_order_release);
 }
@@ -44,6 +46,7 @@ void WindowVersion::reset_processing() {
     // Keep the suppression caches' membership (still valid) but force the
     // next consistency check to re-verify everything.
     for (auto& cache : state_->caches) cache.checked_version = UINT64_MAX;
+    state_->supp_dirty = true;
     finished_.store(false, std::memory_order_release);
     progress_.store(0, std::memory_order_relaxed);
 }

@@ -133,6 +133,14 @@ struct WindowVersion::Processing {
     };
     std::vector<CgCache> caches;  // parallel to suppressed()
 
+    // Batched-run suppression index: the union of all cached memberships that
+    // fall inside the window, as sorted offsets. The operator instance feeds
+    // the detector in contiguous runs between these offsets instead of
+    // probing a hash set per event; rebuilt (supp_dirty) whenever any cache
+    // snapshot refreshes.
+    std::vector<std::uint64_t> suppressed_sorted;
+    bool supp_dirty = true;
+
     // Consumption groups created by this version's detector, by match id.
     std::unordered_map<detect::MatchId, CgPtr> own_groups;
     // Groups this version completed, in completion order. Used by the clone

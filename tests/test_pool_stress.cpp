@@ -182,6 +182,69 @@ TEST(PoolStress, SessionChurnLeavesZeroLeakedTasks) {
 }
 
 // ---------------------------------------------------------------------------
+// Quantum-budget fairness (DESIGN.md §11): a speculative session sharing one
+// worker with a tiny sequential neighbour must yield often enough that the
+// neighbour completes promptly. Before the ready-instance scheduler, one
+// step() ran a bounded batch on *every* instance — k × batch_events window
+// positions per step, so a k = 4 session consumed its whole quantum k times
+// faster than the budget intends, and needed ~k× fewer quanta to finish
+// (starving co-scheduled sessions in between). The budget caps every step at
+// quantum_budget positions regardless of k.
+// ---------------------------------------------------------------------------
+
+TEST(PoolStress, QuantumBudgetKeepsSpeculativeSessionsFair) {
+    server::ServerConfig cfg;
+    cfg.pool_workers = 1;           // everyone shares a single worker
+    cfg.session.batch_events = 16;  // quantum_budget follows batch_events (§11)
+    cfg.session.quantum_steps = 8;
+    server::CepServer srv(cfg);
+    srv.start();
+
+    // Heavy speculative session: k = 4 over overlapping windows (40 events
+    // every 10 → 4 live windows) — tens of thousands of window positions.
+    std::vector<harness::LoadGenSession> specs(2);
+    specs[0] = make_session(kRisingPairQuery, 4, wire_events(6000, 311));
+    // Tiny sequential neighbour on the same worker.
+    specs[1] = make_session(kFallingPairQuery, 0, wire_events(60, 322, 30, 0.4));
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    std::vector<harness::LoadGenOutcome> outcomes;
+    std::thread driver([&] { outcomes = client.run(specs); });
+
+    // Co-scheduling: the tiny session finishes long before the heavy one.
+    EXPECT_TRUE(eventually(30.0, [&] { return srv.stats().sessions_completed >= 1; }))
+        << "tiny session starved behind the speculative one";
+
+    driver.join();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::string label = "session " + std::to_string(i);
+        EXPECT_TRUE(outcomes[i].completed) << label << ": " << outcomes[i].error;
+        expect_byte_identical(sequential_ground_truth(specs[i].query, specs[i].events),
+                              outcomes[i].results, label);
+    }
+
+    srv.stop();
+    const auto s = srv.stats();
+    EXPECT_EQ(s.sessions_completed, 2u);
+    EXPECT_EQ(s.sessions_failed, 0u);
+    // The speculative session reported its scheduler stats exactly once.
+    ASSERT_EQ(s.sched_sessions, 1u);
+    ASSERT_GT(s.sched_steps, 0u);
+    // Overlapping windows mean far more window positions than input events.
+    EXPECT_GE(s.sched_batch_events, 6000u);
+    // The §11 budget, aggregated over the whole run: no step advances more
+    // than quantum_budget (= batch_events) window positions. The pre-§11
+    // round-robin did k × batch_events per step and fails this by ~4x.
+    EXPECT_LE(s.sched_batch_events, s.sched_steps * cfg.session.batch_events);
+    // Starvation floor: the work therefore spreads over at least
+    // positions / (quantum_steps × budget) pool quanta — each a point where
+    // the neighbour could run. (The old step shape needed ~k× fewer.)
+    EXPECT_GE(s.quanta_executed,
+              s.sched_batch_events /
+                  (cfg.session.quantum_steps * cfg.session.batch_events));
+}
+
+// ---------------------------------------------------------------------------
 // Shutdown regression: stop() while a session is parked on egress credit
 // (slow reader) or on input (silent client) must poison the waits and drain
 // the tasks — it must never hang on a parked session.
