@@ -26,6 +26,7 @@
 
 #include "bench_workloads.hpp"
 #include "detect/detector.hpp"
+#include "obs/metrics.hpp"
 #include "queries/paper_queries.hpp"
 #include "query/window.hpp"
 
@@ -129,6 +130,12 @@ struct RunStats {
 RunStats drive(const CompiledQuery& cq, const event::EventStore& store,
                const std::vector<query::WindowInfo>& windows, EvalMode mode) {
     Detector det(&cq, mode);
+    // Measure the instrumented loop by default so the reported events/second
+    // carries the metrics cost; SPECTRE_OBS_OFF=1 is the uninstrumented
+    // baseline run_perf.sh's overhead row compares against.
+    static obs::Registry registry;
+    static const obs::ShardPtr shard = registry.make_shard();
+    if (obs::enabled()) det.bind_obs(shard.get());
     Feedback fb;
     RunStats rs;
     std::uint64_t active_sum = 0;
@@ -305,6 +312,9 @@ int main(int argc, char** argv) {
                 .field("speedup", speedup)
                 .field("scale", bench::bench_scale())
                 .field("parity", std::string(parity ? "ok" : "broken"));
+            // Tag uninstrumented rows so perf_trend.py never compares an
+            // obs-off overhead pass against the committed instrumented rows.
+            if (!obs::enabled()) row.field("obs", std::string("off"));
             row.print();
             if (json_out) json_out << row.str() << "\n";
         }

@@ -20,6 +20,7 @@
 #include "bench_workloads.hpp"
 #include "harness/load_gen.hpp"
 #include "harness/oracle.hpp"
+#include "obs/metrics.hpp"
 #include "server/cep_server.hpp"
 #include "util/stats.hpp"
 
@@ -95,6 +96,13 @@ int main() {
                     .count();
             srv.stop();
             const auto stats = srv.stats();
+            // Lifecycle histograms (§12): retired session shards fold into the
+            // registry's retained block, so the latency distributions survive
+            // stop() and come from the same source of truth as stats().
+            const auto snap = srv.registry().snapshot();
+            const auto q = [&snap](std::uint32_t idx, double p) {
+                return snap.quantile(obs::Series{idx}, p);
+            };
 
             std::uint64_t total_events = 0, total_results = 0;
             std::vector<double> first_result_ms;
@@ -164,6 +172,13 @@ int main() {
                     .field("sched_instances_retired", stats.sched_instances_retired)
                     .field("sched_instances_cancelled", stats.sched_instances_cancelled)
                     .field("sched_wasted_events", stats.sched_wasted_events)
+                    // Registry histograms (§12), nanoseconds.
+                    .field("result_latency_ns_p50", q(obs::sid::kResultLatencyNs, 0.50))
+                    .field("result_latency_ns_p99", q(obs::sid::kResultLatencyNs, 0.99))
+                    .field("first_result_ns_p50", q(obs::sid::kFirstResultLatencyNs, 0.50))
+                    .field("pool_queue_wait_ns_p50", q(obs::sid::kPoolQueueWaitNs, 0.50))
+                    .field("quantum_ns_p50", q(obs::sid::kQuantumNs, 0.50))
+                    .field("egress_stall_ns_p99", q(obs::sid::kEgressStallNs, 0.99))
                     .field("parity_ok", parity_ok ? 1 : 0));
         }
     }

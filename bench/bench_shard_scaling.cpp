@@ -17,6 +17,7 @@
 
 #include "bench_workloads.hpp"
 #include "harness/oracle.hpp"
+#include "obs/metrics.hpp"
 #include "queries/paper_queries.hpp"
 #include "query/parser.hpp"
 #include "server/engine_pool.hpp"
@@ -51,6 +52,9 @@ int main() {
         std::vector<double> eps_samples;
         std::size_t results_n = 0;
         std::uint32_t keys = 0;
+        // One metrics scope per row: both seeds' pools bind here, so the
+        // queue-wait / quantum histograms below cover exactly this shard count.
+        obs::Registry obs_registry;
         for (const auto seed : seeds) {
             data::NyseSynthConfig gen;
             gen.events = events_n;
@@ -60,6 +64,7 @@ int main() {
             const auto events = data::generate_nyse(vocab, gen);
 
             server::EnginePool pool(pool_workers);
+            pool.bind_obs(&obs_registry);
             pool.start();
             std::vector<event::ComplexEvent> out;
             std::mutex out_mutex;
@@ -108,6 +113,14 @@ int main() {
                                    .field("results", static_cast<std::uint64_t>(results_n))
                                    .field("eps_p50", eps)
                                    .field("speedup_vs_s1", base_eps > 0 ? eps / base_eps : 0.0)
+                                   // Registry histograms (§12), nanoseconds;
+                                   // 0 when SPECTRE_OBS_OFF=1.
+                                   .field("pool_queue_wait_ns_p50",
+                                          obs_registry.snapshot().quantile(
+                                              obs::Series{obs::sid::kPoolQueueWaitNs}, 0.50))
+                                   .field("quantum_ns_p50",
+                                          obs_registry.snapshot().quantile(
+                                              obs::Series{obs::sid::kQuantumNs}, 0.50))
                                    .field("parity_ok", parity_ok ? 1 : 0));
     }
 

@@ -13,6 +13,7 @@
 
 #include "bench_workloads.hpp"
 #include "net/frame.hpp"
+#include "obs/metrics.hpp"
 #include "queries/paper_queries.hpp"
 #include "spectre/runtime.hpp"
 
@@ -74,6 +75,11 @@ int main() {
         core::RuntimeConfig cfg;
         cfg.splitter.instances = k;
 
+        // One metrics scope per row: the streaming runs bind this shard, so
+        // the splitter-cycle histogram below covers exactly this k's seeds.
+        obs::Registry obs_registry;
+        const obs::ShardPtr obs_shard = obs_registry.make_shard();
+
         std::vector<double> batch_eps, stream_eps, decode_secs, feed_secs;
         std::vector<double> splitter_sleeps, instance_sleeps, wasted_events;
         for (const auto seed : seeds) {
@@ -106,6 +112,7 @@ int main() {
                 event::EventStore store;
                 DecodingStream src(events, vocab);
                 core::SpectreRuntime rt(&store, &cq, cfg, model_for(cq));
+                if (obs::enabled()) rt.bind_obs(obs_shard.get());
                 const auto rr = rt.run(src);
                 stream_eps.push_back(static_cast<double>(events.size()) / seconds_since(t0));
                 feed_secs.push_back(rr.feed_seconds);
@@ -153,7 +160,13 @@ int main() {
                                    .field("instance_idle_sleeps_p50",
                                           util::percentile(instance_sleeps, 50))
                                    .field("speculation_wasted_events_p50",
-                                          util::percentile(wasted_events, 50)));
+                                          util::percentile(wasted_events, 50))
+                                   // Registry histogram (§12), nanoseconds; 0
+                                   // when SPECTRE_OBS_OFF=1 (nothing bound).
+                                   .field("splitter_cycle_ns_p50",
+                                          obs_registry.snapshot().quantile(
+                                              obs::Series{obs::sid::kSplitterCycleNs},
+                                              0.50)));
     }
 
     table.print();

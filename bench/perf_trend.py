@@ -54,6 +54,12 @@ NON_IDENTITY = {
     "sched_wasted_events",
     "parity_ok", "parity", "scale", "events", "completions", "avg_active",
     "keys", "events_per_session", "sessions_per_worker",
+    # Registry-sourced latency histograms (DESIGN.md §12). Note "obs" is NOT
+    # here: the obs=off overhead rows must key separately from the
+    # (default, instrumented) committed rows.
+    "result_latency_ns_p50", "result_latency_ns_p99", "first_result_ns_p50",
+    "pool_queue_wait_ns_p50", "quantum_ns_p50", "egress_stall_ns_p99",
+    "splitter_cycle_ns_p50",
 }
 
 WARN_BELOW = 0.75  # flag rows slower than this ratio (warn-only)

@@ -34,9 +34,31 @@ run() {
 }
 
 run bench_detect_hot
+# Metrics-overhead row (DESIGN.md §12, warn-only): the same microbench with
+# the obs kill switch flipped. Rows carry "obs":"off" so perf_trend.py keys
+# them separately from the instrumented record; the ratio printed below is
+# advisory — the <3% budget is judged on the committed full-scale record.
+SPECTRE_OBS_OFF=1 run bench_detect_hot
 run bench_streaming_ingest
 run bench_server_throughput
 run bench_shard_scaling
+
+python3 - "$tmp" >&2 <<'EOF' || true
+import json, sys
+on, off = {}, {}
+for line in open(sys.argv[1]):
+    row = json.loads(line)
+    if row.get("experiment") != "E-hotpath":
+        continue
+    key = (row.get("shape"), row.get("max_matches"))
+    (off if row.get("obs") == "off" else on)[key] = row.get("eps_compiled", 0)
+pairs = [(on[k], off[k]) for k in on if k in off and on[k] and off[k]]
+if pairs:
+    worst = min(i / u for i, u in pairs)
+    print(f"metrics overhead (warn-only): instrumented/uninstrumented "
+          f"eps_compiled worst ratio {worst:.3f} over {len(pairs)} rows"
+          + (" — above 3% budget, investigate" if worst < 0.97 else ""))
+EOF
 
 mv "$tmp" "$out"
 trap - EXIT

@@ -69,6 +69,9 @@ int main() {
     // the streaming egress visible: detection output comes back while the
     // bulk of the stream is still unsent.
     for (auto& spec : specs) spec.wait_result_after = spec.events.size() / 2;
+    // The momentum subscriber also queries live metrics mid-stream (§12):
+    // the STATS reply interleaves with its RESULT frames.
+    specs[0].stats_after = specs[0].events.size() / 2;
 
     harness::LoadGenClient client("127.0.0.1", srv.port());
     const auto outcomes = client.run(specs);
@@ -87,6 +90,9 @@ int main() {
             "(%zu before end-of-stream) in %.2fs\n",
             kNames[i], out.events_sent, out.results.size(), out.results_before_bye,
             out.wall_seconds);
+        if (!out.stats_json.empty())
+            std::printf("%-14s mid-stream STATS reply: %.120s...\n", kNames[i],
+                        out.stats_json.front().c_str());
     }
 
     srv.stop();

@@ -76,6 +76,8 @@ void Detector::begin_window(const query::WindowInfo& w) {
     const std::uint64_t len = w.last - w.first + 1;
     consumed_bits_.assign((len + 63) / 64, 0);
     matches_started_ = 0;
+    obs_window_events_ = 0;
+    obs_window_matches_ = 0;
     // MatchIds keep increasing across begin_window calls so a rolled-back
     // window version never reuses an id — engines map ids to consumption
     // groups and must be able to tell re-created matches apart.
@@ -255,6 +257,7 @@ void Detector::spawn_sticky_successor(const PartialMatch& m, Feedback& fb) {
 void Detector::complete_match(Handle h, Feedback& fb) {
     PartialMatch& m = deref(h);
     m.complete = true;
+    if (obs_) ++obs_window_matches_;
 
     event::ComplexEvent ce;
     ce.window_id = win_.id;
@@ -290,6 +293,7 @@ void Detector::complete_match(Handle h, Feedback& fb) {
 void Detector::on_event(const event::Event& e, Feedback& fb) {
     SPECTRE_REQUIRE(e.seq >= win_.first && e.seq <= win_.last,
                     "event outside the current window");
+    if (obs_) ++obs_window_events_;  // plain member; cells touched at end_window
     // Events consumed by an earlier completed match in this window are
     // invisible to further matching (§2.1).
     if (consumed_here(e.seq)) return;
@@ -397,6 +401,14 @@ void Detector::end_window(Feedback& fb) {
         release(h);
     }
     active_.clear();
+    if (obs_) {
+        obs_->add(obs::Series{obs::sid::kDetectorEvents}, obs_window_events_);
+        obs_->add(obs::Series{obs::sid::kDetectorWindows}, 1);
+        obs_->add(obs::Series{obs::sid::kDetectorMatches}, obs_window_matches_);
+        obs_->observe(obs::Series{obs::sid::kDetectorWindowEvents}, obs_window_events_);
+        obs_window_events_ = 0;
+        obs_window_matches_ = 0;
+    }
 }
 
 }  // namespace spectre::detect

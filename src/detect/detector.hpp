@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "detect/compiled_query.hpp"
+#include "obs/metrics.hpp"
 
 namespace spectre::detect {
 
@@ -114,6 +115,13 @@ public:
     const query::WindowInfo& window() const noexcept { return win_; }
     std::size_t active_matches() const noexcept { return active_.size(); }
     EvalMode eval_mode() const noexcept { return mode_; }
+
+    // Metrics plane (DESIGN.md §12), window-granularity by design: per event
+    // the detector only bumps a plain member; the shard's cells are touched
+    // once per end_window (events/windows/matches counters + the
+    // events-per-window histogram), so the allocation-free §5.1 hot loop
+    // stays atomic-free. nullptr (the default) disables it.
+    void bind_obs(obs::Shard* shard) noexcept { obs_ = shard; }
 
     // Smallest δ over active matches, or -1 if none (diagnostics only).
     int min_delta() const;
@@ -214,6 +222,11 @@ private:
 
     MatchId next_id_ = 1;
     int matches_started_ = 0;
+
+    // Metrics (window-granularity, see bind_obs).
+    obs::Shard* obs_ = nullptr;
+    std::uint64_t obs_window_events_ = 0;
+    std::uint64_t obs_window_matches_ = 0;
 };
 
 }  // namespace spectre::detect

@@ -79,6 +79,8 @@ struct Driver {
             out.completed = true;
             out.server_reported_results = bye->results;
             terminal = true;
+        } else if (auto* stats = std::get_if<net::StatsFrame>(&f)) {
+            out.stats_json.push_back(std::move(stats->json));
         } else if (auto* error = std::get_if<net::ErrorFrame>(&f)) {
             out.error = std::move(error->message);
             terminal = true;
@@ -171,6 +173,14 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
             else
                 d.send_frame(net::SessionFrame{spec.events[i]});
             ++d.out.events_sent;
+            if (d.out.events_sent == spec.stats_after) {
+                // Mid-stream STATS request: the reply interleaves with RESULTs.
+                if (spec.read_gate)
+                    d.send_frame_gated(*spec.read_gate,
+                                       net::SessionFrame{net::StatsFrame{}});
+                else
+                    d.send_frame(net::SessionFrame{net::StatsFrame{}});
+            }
             if (!spec.read_gate || spec.read_gate->load(std::memory_order_acquire))
                 d.drain_nonblocking();
             if (i == spec.wait_result_after)

@@ -33,6 +33,11 @@ struct LoadGenSession {
     // SIZE_MAX disables the wait.
     std::size_t wait_result_after = SIZE_MAX;
 
+    // After sending this many DATA frames, send a STATS request (DESIGN.md
+    // §12); the reply rides the ordinary egress stream, interleaved with
+    // RESULT frames, and lands in outcome.stats_json. SIZE_MAX disables.
+    std::size_t stats_after = SIZE_MAX;
+
     // After sending this many DATA frames, send garbage bytes instead of the
     // rest (protocol-corruption fault injection). SIZE_MAX disables.
     std::size_t corrupt_after = SIZE_MAX;
@@ -61,6 +66,7 @@ struct LoadGenSession {
 
 struct LoadGenOutcome {
     std::vector<event::ComplexEvent> results;  // RESULT frames, arrival order
+    std::vector<std::string> stats_json;       // STATS replies, arrival order
     std::size_t results_before_bye = 0;        // received before BYE was sent
     std::uint64_t server_reported_results = 0; // count in the server's BYE
     bool completed = false;                    // server BYE received

@@ -62,6 +62,9 @@ void encode_frame(const SessionFrame& f, std::vector<std::uint8_t>& out) {
     } else if (const auto* bye = std::get_if<ByeFrame>(&f)) {
         out.push_back(static_cast<std::uint8_t>(FrameType::Bye));
         put(out, bye->results);
+    } else if (const auto* stats = std::get_if<StatsFrame>(&f)) {
+        out.push_back(static_cast<std::uint8_t>(FrameType::Stats));
+        put_string(out, stats->json, kMaxStatsLength, "stats body");
     } else {
         const auto& error = std::get<ErrorFrame>(f);
         out.push_back(static_cast<std::uint8_t>(FrameType::Error));
@@ -132,6 +135,12 @@ std::optional<SessionFrame> decode_frame(const std::vector<std::uint8_t>& buffer
             if (!message) return std::nullopt;
             offset = off;
             return SessionFrame{ErrorFrame{std::move(*message)}};
+        }
+        case FrameType::Stats: {
+            auto json = get_string(buffer, off, kMaxStatsLength, "stats body");
+            if (!json) return std::nullopt;
+            offset = off;
+            return SessionFrame{StatsFrame{std::move(*json)}};
         }
     }
     throw std::runtime_error("corrupt frame: unknown frame type " + std::to_string(tag));

@@ -21,6 +21,12 @@
 //   ERROR  (server → client)  the session failed (bad query, corrupt frame,
 //                             protocol violation); the server closes only
 //                             this session afterwards.
+//   STATS  (both directions)  client: requests a metrics snapshot (empty
+//                             body payload); server: replies with a JSON
+//                             object — server-wide registry series plus this
+//                             session's live counters and latency histograms
+//                             (DESIGN.md §12). May be interleaved with DATA;
+//                             the reply rides the ordinary egress stream.
 //
 // encode_frame/decode_frame are pure functions like net::encode/decode, so
 // the protocol is unit-testable without sockets; FrameReader is the
@@ -46,6 +52,7 @@ enum class FrameType : std::uint8_t {
     Result = 3,
     Bye = 4,
     Error = 5,
+    Stats = 6,
 };
 
 struct HelloFrame {
@@ -88,8 +95,18 @@ struct ErrorFrame {
     bool operator==(const ErrorFrame&) const = default;
 };
 
+// Metrics snapshot exchange (DESIGN.md §12). As a request (client → server)
+// `json` is empty; as a response it carries one flat JSON object of series
+// name → value (histograms as {count, sum, p50, p99} sub-objects).
+struct StatsFrame {
+    std::string json;
+
+    bool operator==(const StatsFrame&) const = default;
+};
+
 // DATA frames reuse WireQuote as their body.
-using SessionFrame = std::variant<HelloFrame, WireQuote, ResultFrame, ByeFrame, ErrorFrame>;
+using SessionFrame =
+    std::variant<HelloFrame, WireQuote, ResultFrame, ByeFrame, ErrorFrame, StatsFrame>;
 
 // Sanity bounds; decode throws std::runtime_error beyond them (corrupt frame).
 inline constexpr std::size_t kMaxQueryLength = 1 << 16;
@@ -98,6 +115,7 @@ inline constexpr std::size_t kMaxPartitionKeyLength = 256;
 inline constexpr std::size_t kMaxResultConstituents = 1 << 20;
 inline constexpr std::size_t kMaxResultPayload = 1 << 10;
 inline constexpr std::size_t kMaxPayloadNameLength = 256;
+inline constexpr std::size_t kMaxStatsLength = 1 << 20;
 
 // Appends the typed encoding of `f` to `out`.
 void encode_frame(const SessionFrame& f, std::vector<std::uint8_t>& out);

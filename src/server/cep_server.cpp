@@ -6,10 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "net/tcp.hpp"
 #include "util/assert.hpp"
@@ -20,6 +22,11 @@ namespace {
 
 constexpr std::uint64_t kListenTag = 0;
 constexpr std::uint64_t kWakeTag = 1;
+constexpr std::uint64_t kAdminListenTag = 2;
+
+// Admin request bytes tolerated before the connection is dropped (a scrape
+// request is one line plus a few headers).
+constexpr std::size_t kMaxAdminRequest = 16 * 1024;
 
 [[noreturn]] void fail(const std::string& what) {
     throw std::runtime_error(what + ": " + std::strerror(errno));
@@ -34,8 +41,29 @@ void set_nonblocking(int fd) {
 
 CepServer::CepServer(ServerConfig config)
     : config_(config), pool_(config.pool_workers) {
+    // Per-shard-index lane series (§12) must be registered before any
+    // session's shard exists — a shard only carries cells for series known
+    // at its creation. Bounded by the shard limit, not by session churn.
+    const int lane_max = std::min(config_.session.max_shards, 16);
+    for (int s = 0; s < lane_max; ++s) {
+        const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+        registry_.add("lane_depth_peak" + label, obs::Kind::PeakGauge,
+                      "peak queued events on this shard index");
+        registry_.add("lane_sched_steps" + label, obs::Kind::Counter,
+                      "scheduler steps on this shard index's lanes");
+        registry_.add("lane_sched_batch_events" + label, obs::Kind::Counter,
+                      "window positions advanced on this shard index's lanes");
+        registry_.add("lane_sched_wasted_events" + label, obs::Kind::Counter,
+                      "dead-speculation work on this shard index's lanes");
+    }
+    server_shard_ = registry_.make_shard();
+    pool_.bind_obs(&registry_);
+
     listen_fd_ = net::listen_loopback(config_.port, config_.backlog, port_);
     set_nonblocking(listen_fd_);
+    admin_listen_fd_ =
+        net::listen_loopback(config_.admin_port, config_.backlog, admin_port_);
+    set_nonblocking(admin_listen_fd_);
 
     epoll_fd_ = ::epoll_create1(0);
     if (epoll_fd_ < 0) fail("epoll_create1");
@@ -48,13 +76,19 @@ CepServer::CepServer(ServerConfig config)
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) fail("epoll_ctl(listen)");
     ev.data.u64 = kWakeTag;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) fail("epoll_ctl(wake)");
+    ev.data.u64 = kAdminListenTag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, admin_listen_fd_, &ev) < 0)
+        fail("epoll_ctl(admin listen)");
 }
 
 CepServer::~CepServer() {
     stop();
+    for (auto& [id, conn] : admin_conns_) ::close(conn.fd);
+    admin_conns_.clear();
     if (epoll_fd_ >= 0) ::close(epoll_fd_);
     if (wake_fd_ >= 0) ::close(wake_fd_);
     if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (admin_listen_fd_ >= 0) ::close(admin_listen_fd_);
 }
 
 void CepServer::start() {
@@ -79,18 +113,23 @@ void CepServer::stop() {
     // destroyed with their sessions — no thread is parked inside them.
     for (auto& [id, session] : sessions_) session->abort();
     pool_.stop();
-    counters_.sessions_live.store(0, std::memory_order_relaxed);
-    sessions_.clear();
+    sessions_.clear();  // destructors retire each session's metrics shard
+    server_shard_->set(obs::Series{obs::sid::kSessionsLive}, 0);
 }
 
 ServerStats CepServer::stats() const {
+    // One source of truth (§12): every migrated counter comes out of the
+    // registry snapshot; only the pool's instantaneous task-state fields
+    // (exact under its mutex) are read from the pool directly.
+    const obs::Snapshot snap = registry_.snapshot();
+    const auto v = [&snap](std::uint32_t idx) { return snap.value(obs::Series{idx}); };
     ServerStats s;
-    s.sessions_accepted = counters_.sessions_accepted.load(std::memory_order_relaxed);
-    s.sessions_completed = counters_.sessions_completed.load(std::memory_order_relaxed);
-    s.sessions_failed = counters_.sessions_failed.load(std::memory_order_relaxed);
-    s.events_ingested = counters_.events_ingested.load(std::memory_order_relaxed);
-    s.results_emitted = counters_.results_emitted.load(std::memory_order_relaxed);
-    s.sessions_live = counters_.sessions_live.load(std::memory_order_relaxed);
+    s.sessions_accepted = v(obs::sid::kSessionsAccepted);
+    s.sessions_completed = v(obs::sid::kSessionsCompleted);
+    s.sessions_failed = v(obs::sid::kSessionsFailed);
+    s.events_ingested = v(obs::sid::kEventsIngested);
+    s.results_emitted = v(obs::sid::kResultsEmitted);
+    s.sessions_live = v(obs::sid::kSessionsLive);
     const auto pool = pool_.stats();
     s.pool_workers = pool.workers;
     s.quanta_executed = pool.quanta;
@@ -99,30 +138,25 @@ ServerStats CepServer::stats() const {
     s.tasks_live = pool.tasks_live;
     s.tasks_queued = pool.tasks_queued;
     s.tasks_running = pool.tasks_running;
-    s.parks_input = counters_.parks_input.load(std::memory_order_relaxed);
-    s.parks_egress = counters_.parks_egress.load(std::memory_order_relaxed);
-    s.ingest_pauses = counters_.ingest_pauses.load(std::memory_order_relaxed);
-    s.egress_buffered_bytes =
-        counters_.egress_buffered_bytes.load(std::memory_order_relaxed);
-    s.egress_peak_bytes = counters_.egress_peak_bytes.load(std::memory_order_relaxed);
-    s.sched_sessions = counters_.sched_sessions.load(std::memory_order_relaxed);
-    s.sched_steps = counters_.sched_steps.load(std::memory_order_relaxed);
-    s.sched_cycles = counters_.sched_cycles.load(std::memory_order_relaxed);
-    s.sched_cycles_skipped = counters_.sched_cycles_skipped.load(std::memory_order_relaxed);
-    s.sched_batches = counters_.sched_batches.load(std::memory_order_relaxed);
-    s.sched_batch_events = counters_.sched_batch_events.load(std::memory_order_relaxed);
-    s.sched_ready_depth_max =
-        counters_.sched_ready_depth_max.load(std::memory_order_relaxed);
+    s.parks_input = v(obs::sid::kParksInput);
+    s.parks_egress = v(obs::sid::kParksEgress);
+    s.ingest_pauses = v(obs::sid::kIngestPauses);
+    s.egress_buffered_bytes = v(obs::sid::kEgressBufferedBytes);
+    s.egress_peak_bytes = v(obs::sid::kEgressPeakBytes);
+    s.sched_sessions = v(obs::sid::kSchedSessions);
+    s.sched_steps = v(obs::sid::kSchedSteps);
+    s.sched_cycles = v(obs::sid::kSchedCycles);
+    s.sched_cycles_skipped = v(obs::sid::kSchedCyclesSkipped);
+    s.sched_batches = v(obs::sid::kSchedBatches);
+    s.sched_batch_events = v(obs::sid::kSchedBatchEvents);
+    s.sched_ready_depth_max = v(obs::sid::kSchedReadyDepthMax);
     if (s.sched_sessions > 0)
         s.sched_ready_depth_p50 =
-            static_cast<double>(
-                counters_.sched_ready_p50_milli.load(std::memory_order_relaxed)) /
+            static_cast<double>(v(obs::sid::kSchedReadyP50Milli)) /
             (1000.0 * static_cast<double>(s.sched_sessions));
-    s.sched_instances_retired =
-        counters_.sched_instances_retired.load(std::memory_order_relaxed);
-    s.sched_instances_cancelled =
-        counters_.sched_instances_cancelled.load(std::memory_order_relaxed);
-    s.sched_wasted_events = counters_.sched_wasted_events.load(std::memory_order_relaxed);
+    s.sched_instances_retired = v(obs::sid::kSchedInstancesRetired);
+    s.sched_instances_cancelled = v(obs::sid::kSchedInstancesCancelled);
+    s.sched_wasted_events = v(obs::sid::kSchedWastedEvents);
     return s;
 }
 
@@ -156,6 +190,10 @@ void CepServer::reactor_loop() {
                 accept_clients();
             else if (tag == kWakeTag)
                 drain_wake_and_commands();
+            else if (tag == kAdminListenTag)
+                accept_admin_clients();
+            else if (admin_conns_.count(tag))
+                handle_admin_event(tag, events[i].events);
             else
                 handle_session_event(tag, events[i].events);
         }
@@ -191,20 +229,117 @@ void CepServer::accept_clients() {
             });
         };
         hooks.notify_task = [this](std::uint64_t sid) { pool_.notify(sid); };
-        auto session = std::make_unique<ServerSession>(id, fd, config_.session,
-                                                       &counters_, std::move(hooks));
+        auto session = std::make_unique<ServerSession>(
+            id, fd, config_.session, &registry_, registry_.make_shard(),
+            std::move(hooks));
         epoll_event ev{};
         ev.events = EPOLLIN;
         ev.data.u64 = id;
         if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
             // Registration failed — drop the connection, keep the server.
-            continue;  // session destructor closes fd
+            continue;  // session destructor closes fd (and retires the shard)
         }
         session->set_armed_mask(EPOLLIN);
-        counters_.sessions_accepted.fetch_add(1, std::memory_order_relaxed);
-        counters_.sessions_live.fetch_add(1, std::memory_order_relaxed);
+        server_shard_->add(obs::Series{obs::sid::kSessionsAccepted}, 1);
+        server_shard_->add(obs::Series{obs::sid::kSessionsLive}, 1);
         sessions_.emplace(id, std::move(session));
     }
+}
+
+// --- admin scrape endpoint (§12) --------------------------------------------
+
+void CepServer::accept_admin_clients() {
+    for (;;) {
+        const int fd = ::accept4(admin_listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            return;  // EAGAIN or a transient failure — nothing to accept
+        }
+        const auto id = next_session_id_++;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = id;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+            ::close(fd);
+            continue;
+        }
+        AdminConn conn;
+        conn.fd = fd;
+        admin_conns_.emplace(id, std::move(conn));
+    }
+}
+
+void CepServer::close_admin(std::uint64_t id) {
+    const auto it = admin_conns_.find(id);
+    if (it == admin_conns_.end()) return;
+    epoll_event ev{};
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, &ev);
+    ::close(it->second.fd);
+    admin_conns_.erase(it);
+}
+
+void CepServer::handle_admin_event(std::uint64_t id, std::uint32_t events) {
+    const auto it = admin_conns_.find(id);
+    if (it == admin_conns_.end()) return;
+    AdminConn& conn = it->second;
+    if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) && conn.out.empty()) {
+        bool eof = false;
+        char chunk[4096];
+        for (;;) {
+            const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+            if (n < 0 && errno == EINTR) continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+            if (n <= 0) {
+                eof = true;  // EOF or hard error: no more request bytes coming
+                break;
+            }
+            conn.in.append(chunk, static_cast<std::size_t>(n));
+            if (conn.in.size() > kMaxAdminRequest) {
+                close_admin(id);
+                return;
+            }
+            if (conn.in.find("\r\n\r\n") != std::string::npos) break;
+        }
+        const bool complete = conn.in.find("\r\n\r\n") != std::string::npos;
+        if (!complete) {
+            // A bare scrape may write "GET / HTTP/1.0\r\n\r\n" then half-close,
+            // or skip headers entirely; treat EOF-with-bytes as a request.
+            // EOF with nothing received (or headers still in flight) ends here.
+            if (!eof) return;
+            if (conn.in.empty()) {
+                close_admin(id);
+                return;
+            }
+        }
+        // A live snapshot: aggregates every session/worker shard while they
+        // keep writing — no worker stops, no session pauses (§12).
+        const std::string body = registry_.prometheus();
+        conn.out = "HTTP/1.0 200 OK\r\n"
+                   "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                   "Content-Length: " + std::to_string(body.size()) + "\r\n"
+                   "Connection: close\r\n\r\n";
+        conn.out += body;
+        epoll_event ev{};
+        ev.events = EPOLLOUT;
+        ev.data.u64 = id;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    }
+    if (conn.out.empty()) return;
+    // Flush the response; close when done (Connection: close semantics).
+    while (conn.off < conn.out.size()) {
+        const ssize_t w = ::send(conn.fd, conn.out.data() + conn.off,
+                                 conn.out.size() - conn.off,
+                                 MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (w > 0) {
+            conn.off += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR) continue;
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // EPOLLOUT armed
+        close_admin(id);
+        return;
+    }
+    close_admin(id);
 }
 
 void CepServer::handle_session_event(std::uint64_t id, std::uint32_t events) {
@@ -327,7 +462,7 @@ void CepServer::maybe_reap(std::uint64_t id) {
 void CepServer::destroy_session(SessionMap::iterator it) {
     epoll_event ev{};
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd(), &ev);  // may ENOENT
-    counters_.sessions_live.fetch_sub(1, std::memory_order_relaxed);
+    server_shard_->sub(obs::Series{obs::sid::kSessionsLive}, 1);
     sessions_.erase(it);
 }
 

@@ -31,10 +31,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "server/engine_pool.hpp"
 #include "server/session.hpp"
 
@@ -42,6 +44,10 @@ namespace spectre::server {
 
 struct ServerConfig {
     std::uint16_t port = 0;  // 127.0.0.1:port; 0 = ephemeral
+    // Admin/scrape port (DESIGN.md §12): a second loopback listener hosted
+    // by the same reactor serving the Prometheus text exposition of the
+    // metrics registry over minimal HTTP. 0 = ephemeral (see admin_port()).
+    std::uint16_t admin_port = 0;
     int backlog = 64;
     // Engine worker pool size (§9): sessions multiplex over this many
     // threads regardless of how many clients connect.
@@ -101,9 +107,16 @@ public:
     CepServer(const CepServer&) = delete;
     CepServer& operator=(const CepServer&) = delete;
 
-    // Bound port (valid after construction — the listen socket is set up
+    // Bound ports (valid after construction — the listen sockets are set up
     // eagerly so callers can connect as soon as start() returns).
     std::uint16_t port() const noexcept { return port_; }
+    // Metrics scrape endpoint (§12): GET on this loopback port returns the
+    // Prometheus text exposition of a live snapshot — no worker stops.
+    std::uint16_t admin_port() const noexcept { return admin_port_; }
+
+    // The metrics plane (§12). Live for the server's lifetime; benches and
+    // tests may snapshot it directly instead of going through a socket.
+    obs::Registry& registry() noexcept { return registry_; }
 
     // Spawns the reactor thread and the engine pool. Call once.
     void start();
@@ -119,8 +132,20 @@ public:
 private:
     using SessionMap = std::unordered_map<std::uint64_t, std::unique_ptr<ServerSession>>;
 
+    // One admin (scrape) connection: minimal HTTP/1.0 — read until the blank
+    // line, reply with one fresh prometheus() snapshot, close when drained.
+    struct AdminConn {
+        int fd = -1;
+        std::string in;       // request bytes until the header terminator
+        std::string out;      // response; empty until the request completes
+        std::size_t off = 0;  // flushed prefix of `out`
+    };
+
     void reactor_loop();
     void accept_clients();
+    void accept_admin_clients();
+    void handle_admin_event(std::uint64_t id, std::uint32_t events);
+    void close_admin(std::uint64_t id);
     void handle_session_event(std::uint64_t id, std::uint32_t events);
     void handle_readable(std::uint64_t id);
     void handle_writable(std::uint64_t id);
@@ -133,9 +158,17 @@ private:
 
     ServerConfig config_;
     int listen_fd_ = -1;
+    int admin_listen_fd_ = -1;
     int epoll_fd_ = -1;
     int wake_fd_ = -1;
     std::uint16_t port_ = 0;
+    std::uint16_t admin_port_ = 0;
+
+    // Declared before the pool and the sessions: both hold shards of (and
+    // pointers into) the registry, so it must be destroyed last. The server
+    // scope's own shard carries the reactor-side series (accepts, live).
+    obs::Registry registry_;
+    obs::ShardPtr server_shard_;
 
     EnginePool pool_;
     std::thread reactor_;
@@ -146,13 +179,13 @@ private:
     // Sessions are owned and touched by the reactor thread only (and by
     // stop() after reactor and pool have been joined).
     SessionMap sessions_;
-    std::uint64_t next_session_id_ = 2;  // 0 = listen tag, 1 = wake tag
+    // Admin (scrape) connections share the tag space with sessions.
+    std::unordered_map<std::uint64_t, AdminConn> admin_conns_;
+    std::uint64_t next_session_id_ = 3;  // 0 = listen, 1 = wake, 2 = admin listen
 
     // Pool workers post commands here; the reactor drains on wake.
     std::mutex cmd_mutex_;
     std::vector<std::pair<std::uint64_t, SessionCmd>> cmds_;
-
-    ServerCounters counters_;
 };
 
 }  // namespace spectre::server

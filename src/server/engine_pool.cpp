@@ -10,6 +10,12 @@ EnginePool::EnginePool(int workers) : workers_count_(workers) {
 
 EnginePool::~EnginePool() { stop(); }
 
+void EnginePool::bind_obs(obs::Registry* registry) {
+    SPECTRE_REQUIRE(!started_, "EnginePool::bind_obs after start");
+    obs_registry_ = registry;
+    pool_shard_ = registry ? registry->make_shard() : nullptr;
+}
+
 void EnginePool::start() {
     SPECTRE_REQUIRE(!started_, "EnginePool::start called twice");
     started_ = true;
@@ -38,11 +44,13 @@ void EnginePool::add(std::uint64_t id, EngineTask* task,
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         const auto [it, inserted] =
-            tasks_.emplace(id, Entry{task, TaskState::Queued, std::move(on_done)});
+            tasks_.emplace(id, Entry{task, TaskState::Queued, std::move(on_done),
+                                     pool_shard_ ? obs::now_ns() : 0});
         SPECTRE_REQUIRE(inserted, "EnginePool::add: duplicate task id");
         (void)it;
         run_queue_.push_back(id);
         ++added_;
+        if (pool_shard_) pool_shard_->add(obs::Series{obs::sid::kPoolTasksAdded}, 1);
     }
     cv_.notify_one();
 }
@@ -55,6 +63,7 @@ void EnginePool::notify(std::uint64_t id) {
         switch (it->second.state) {
             case TaskState::Parked:
                 it->second.state = TaskState::Queued;
+                it->second.ready_ns = pool_shard_ ? obs::now_ns() : 0;
                 run_queue_.push_back(id);
                 break;
             case TaskState::Running:
@@ -71,10 +80,14 @@ void EnginePool::notify(std::uint64_t id) {
 }
 
 void EnginePool::worker_loop() {
+    // Per-worker metrics scope (§12): this worker's histograms contend with
+    // nobody; retired (folded into the registry's retained block) on exit so
+    // pool counters stay monotone across restarts.
+    obs::ShardPtr wshard = obs_registry_ ? obs_registry_->make_shard() : nullptr;
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
         cv_.wait(lock, [this] { return stopping_ || !run_queue_.empty(); });
-        if (stopping_) return;
+        if (stopping_) break;
         const std::uint64_t id = run_queue_.front();
         run_queue_.pop_front();
         const auto it = tasks_.find(id);
@@ -82,10 +95,19 @@ void EnginePool::worker_loop() {
                       "run queue holds a non-queued task");
         it->second.state = TaskState::Running;
         EngineTask* task = it->second.task;
+        const std::uint64_t ready_ns = it->second.ready_ns;
         ++running_;
 
         lock.unlock();
+        const std::uint64_t t0 = wshard ? obs::now_ns() : 0;
+        if (t0 != 0 && ready_ns != 0)
+            wshard->observe(obs::Series{obs::sid::kPoolQueueWaitNs}, t0 - ready_ns);
         const auto outcome = task->run_quantum();
+        if (wshard) {
+            if (t0 != 0)
+                wshard->observe(obs::Series{obs::sid::kQuantumNs}, obs::now_ns() - t0);
+            wshard->add(obs::Series{obs::sid::kPoolQuanta}, 1);
+        }
         lock.lock();
 
         ++quanta_;
@@ -96,6 +118,7 @@ void EnginePool::worker_loop() {
             auto on_done = std::move(post->second.on_done);
             tasks_.erase(post);
             ++finished_;
+            if (wshard) wshard->add(obs::Series{obs::sid::kPoolTasksFinished}, 1);
             lock.unlock();
             if (on_done) on_done(id);
             lock.lock();
@@ -105,12 +128,15 @@ void EnginePool::worker_loop() {
             post->second.state == TaskState::RunningNotified) {
             // Round-robin fairness: back of the queue, behind other sessions.
             post->second.state = TaskState::Queued;
+            post->second.ready_ns = wshard ? obs::now_ns() : 0;
             run_queue_.push_back(id);
             cv_.notify_one();
         } else {
             post->second.state = TaskState::Parked;
         }
     }
+    lock.unlock();
+    if (wshard && obs_registry_) obs_registry_->retire(wshard);
 }
 
 PoolStats EnginePool::stats() const {

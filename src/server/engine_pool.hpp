@@ -36,6 +36,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace spectre::server {
 
 // One session's cooperatively-scheduled engine work.
@@ -89,12 +91,20 @@ public:
 
     PoolStats stats() const;
 
+    // Metrics plane (DESIGN.md §12): call before start(). Each worker gets
+    // its own shard (queue-wait + quantum-duration histograms, quanta
+    // counter); task add/finish counters land on a pool-scope shard. The
+    // registry must outlive the pool's stop().
+    void bind_obs(obs::Registry* registry);
+
 private:
     enum class TaskState { Parked, Queued, Running, RunningNotified };
     struct Entry {
         EngineTask* task = nullptr;
         TaskState state = TaskState::Parked;
         std::function<void(std::uint64_t)> on_done;
+        // When the task last became runnable (0 = obs off): queue-wait base.
+        std::uint64_t ready_ns = 0;
     };
 
     void worker_loop();
@@ -107,6 +117,8 @@ private:
     std::vector<std::thread> workers_;
     bool started_ = false;
     bool stopping_ = false;
+    obs::Registry* obs_registry_ = nullptr;
+    obs::ShardPtr pool_shard_;
     std::uint64_t quanta_ = 0;
     std::uint64_t added_ = 0;
     std::uint64_t finished_ = 0;

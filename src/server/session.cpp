@@ -32,17 +32,26 @@ SessionLimits sanitized(SessionLimits limits) {
 }  // namespace
 
 ServerSession::ServerSession(std::uint64_t id, int fd, SessionLimits limits,
-                             ServerCounters* counters, SessionHooks hooks)
-    : id_(id), fd_(fd), limits_(sanitized(limits)), counters_(counters),
-      hooks_(std::move(hooks)) {}
+                             obs::Registry* registry, obs::ShardPtr shard,
+                             SessionHooks hooks)
+    : id_(id), fd_(fd), limits_(sanitized(limits)), registry_(registry),
+      shard_(std::move(shard)), hooks_(std::move(hooks)) {}
 
 ServerSession::~ServerSession() {
     // Callers guarantee no worker is inside run_quantum (the task finished,
     // or the pool was stopped first).
     {
         const std::lock_guard<std::mutex> lock(egress_mutex_);
-        account_egress(egress_.size() - egress_head_, 0);
+        account_egress(0);
+        egress_.clear();
+        egress_head_ = 0;
     }
+    // Last chance to publish engine stats (§12): covers sharded failure
+    // paths and server-stop teardown, where no worker-side flush point was
+    // safe. Then retire the shard — counters fold into the registry's
+    // retained block, so server totals stay monotone across session churn.
+    flush_sched_stats();
+    registry_->retire(shard_);
     ::close(fd_);
 }
 
@@ -85,6 +94,9 @@ SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
         case State::AwaitHello:
             if (auto* hello = std::get_if<net::HelloFrame>(&frame))
                 return on_hello(std::move(*hello));
+            // A pure monitoring client may query server-wide stats without
+            // ever subscribing a query (§12).
+            if (std::get_if<net::StatsFrame>(&frame)) return on_stats();
             return fail("protocol error: expected HELLO", /*send_error=*/true);
         case State::Streaming:
             if (const auto* quote = std::get_if<net::WireQuote>(&frame)) {
@@ -97,27 +109,37 @@ SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
                     // close the input before the reactor learns the session
                     // failed — those trailing events are dropped, not fatal.
                     if (sharded_->input_closed()) return SessionStatus::Open;
+                    stamp_arrival();
                     const auto info = sharded_->ingest(net::from_wire(*quote, vocab_));
-                    counters_->events_ingested.fetch_add(1, std::memory_order_relaxed);
+                    shard_->add(obs::Series{obs::sid::kEventsIngested}, 1);
+                    if (obs::enabled()) {
+                        shard_->observe(obs::Series{obs::sid::kLaneDepth}, info.queued);
+                        if (info.shard < lane_series_.size())
+                            shard_->set_peak(lane_series_[info.shard].depth_peak,
+                                             info.queued);
+                        sample_lane_skew();
+                    }
                     if (shard_parked_input_[info.shard].exchange(
                             false, std::memory_order_acq_rel))
                         hooks_.notify_task(shard_task_id(id_, info.shard));
                     if (info.queued >= limits_.ingest_queue_events) {
-                        counters_->ingest_pauses.fetch_add(1, std::memory_order_relaxed);
+                        shard_->add(obs::Series{obs::sid::kIngestPauses}, 1);
                         return SessionStatus::Paused;
                     }
                     return SessionStatus::Open;
                 }
+                stamp_arrival();
                 const bool room = ingest_push(net::from_wire(*quote, vocab_));
-                counters_->events_ingested.fetch_add(1, std::memory_order_relaxed);
+                shard_->add(obs::Series{obs::sid::kEventsIngested}, 1);
                 if (!room) {
                     // High watermark hit: stop reading this socket — TCP
                     // pushes back on the client while the task catches up.
-                    counters_->ingest_pauses.fetch_add(1, std::memory_order_relaxed);
+                    shard_->add(obs::Series{obs::sid::kIngestPauses}, 1);
                     return SessionStatus::Paused;
                 }
                 return SessionStatus::Open;
             }
+            if (std::get_if<net::StatsFrame>(&frame)) return on_stats();
             if (std::get_if<net::ByeFrame>(&frame)) {
                 close_ingestion();
                 state_ = State::Draining;
@@ -157,9 +179,10 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
     instances_ = hello.instances;
 
     event::ResultSink sink = [this](event::ComplexEvent&& ce) {
-        results_sent_.fetch_add(1, std::memory_order_relaxed);
+        const auto prev = results_sent_.fetch_add(1, std::memory_order_relaxed);
+        observe_result_latency(ce, prev);
         if (egress_append(net::SessionFrame{net::to_result_frame(ce)}))
-            counters_->results_emitted.fetch_add(1, std::memory_order_relaxed);
+            shard_->add(obs::Series{obs::sid::kResultsEmitted}, 1);
     };
     if (cq_->query().partition.active()) {
         // Partitioned query (§10): per-key lanes behind a ShardedEngine, one
@@ -171,9 +194,25 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
         cfg.batch_events = limits_.batch_events;
         sharded_ = std::make_unique<shard::ShardedEngine>(cq_.get(), cfg,
                                                           std::move(sink));
+        if (obs::enabled()) sharded_->bind_obs(shard_.get());
         tasks_expected_ = cfg.shards;
         shard_parked_input_ = std::make_unique<std::atomic<bool>[]>(cfg.shards);
         shard_parked_egress_ = std::make_unique<std::atomic<bool>[]>(cfg.shards);
+        shard_egress_stall_ = std::make_unique<std::uint64_t[]>(cfg.shards);
+        // Per-shard-index lane series (§12): the server pre-registered these
+        // names before any session shard existed, so add() only resolves ids.
+        lane_series_.reserve(cfg.shards);
+        for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+            const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+            LaneSeries ls;
+            ls.depth_peak = registry_->add("lane_depth_peak" + label, obs::Kind::PeakGauge);
+            ls.steps = registry_->add("lane_sched_steps" + label, obs::Kind::Counter);
+            ls.batch_events =
+                registry_->add("lane_sched_batch_events" + label, obs::Kind::Counter);
+            ls.wasted =
+                registry_->add("lane_sched_wasted_events" + label, obs::Kind::Counter);
+            lane_series_.push_back(ls);
+        }
         for (std::uint32_t s = 0; s < cfg.shards; ++s) {
             shard_parked_input_[s].store(false, std::memory_order_relaxed);
             shard_parked_egress_[s].store(false, std::memory_order_relaxed);
@@ -206,11 +245,27 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
             std::make_unique<model::MarkovModel>(cq_->min_length(),
                                                  model::MarkovParams{}));
         runtime_->set_result_sink(std::move(sink));
+        if (obs::enabled()) runtime_->bind_obs(shard_.get());
     }
     state_ = State::Streaming;
     task_registered_ = true;
     tasks_expected_ = 1;
     hooks_.register_task(id_, this);  // schedules the first quantum
+    return SessionStatus::Open;
+}
+
+SessionStatus ServerSession::on_stats() {
+    // §12: one flat JSON object per scope — the server-wide aggregate over
+    // every live shard plus the retained block, and this session's own shard
+    // (live counters and latency histograms). The reply rides the ordinary
+    // egress stream: a stats reply behind a full buffer waits like a RESULT.
+    std::string body = "{\"server\":";
+    body += obs::Registry::json(registry_->snapshot());
+    body += ",\"session\":";
+    body += obs::Registry::json(registry_->snapshot_of(*shard_));
+    body += '}';
+    egress_append(net::SessionFrame{net::StatsFrame{std::move(body)}});
+    egress_try_flush();
     return SessionStatus::Open;
 }
 
@@ -294,7 +349,66 @@ void ServerSession::count_failed_once() {
     // also count failed, and reactor-side vs worker-side failure paths must
     // not double-count — the single outcome latch settles both races.
     if (!outcome_counted_.exchange(true, std::memory_order_acq_rel))
-        counters_->sessions_failed.fetch_add(1, std::memory_order_relaxed);
+        shard_->add(obs::Series{obs::sid::kSessionsFailed}, 1);
+}
+
+// --- arrival clock (§12) ----------------------------------------------------
+
+void ServerSession::stamp_arrival() {
+    const std::uint64_t now = obs::now_ns();
+    if (now == 0) return;  // obs disabled
+    const std::lock_guard<std::mutex> lock(arrival_mutex_);
+    if (first_data_ns_ == 0) first_data_ns_ = now;
+    arrival_ns_.push_back(now);
+    if (arrival_ns_.size() > kArrivalCap) {
+        arrival_ns_.pop_front();
+        ++arrival_base_;
+    }
+}
+
+void ServerSession::observe_result_latency(const event::ComplexEvent& ce,
+                                           std::uint64_t prev_results) {
+    const std::uint64_t now = obs::now_ns();
+    if (now == 0 || ce.constituents.empty()) return;
+    std::uint64_t t0 = 0;
+    std::uint64_t first = 0;
+    {
+        const std::lock_guard<std::mutex> lock(arrival_mutex_);
+        // The last constituent is the window's max seq (constituents are
+        // ascending), i.e. the arrival that made this result completable.
+        const std::uint64_t seq = ce.constituents.back();
+        if (seq >= arrival_base_ && seq - arrival_base_ < arrival_ns_.size())
+            t0 = arrival_ns_[seq - arrival_base_];
+        first = first_data_ns_;
+    }
+    if (t0 != 0 && now >= t0)
+        shard_->observe(obs::Series{obs::sid::kResultLatencyNs}, now - t0);
+    if (prev_results == 0 && first != 0 && now >= first)
+        shard_->observe(obs::Series{obs::sid::kFirstResultLatencyNs}, now - first);
+}
+
+void ServerSession::sample_lane_skew() {
+    if (skew_countdown_ > 0) {
+        --skew_countdown_;
+        return;
+    }
+    skew_countdown_ = kSkewSampleEvery - 1;
+    std::size_t mn = ~std::size_t{0};
+    std::size_t mx = 0;
+    for (std::uint32_t s = 0; s < tasks_expected_; ++s) {
+        const std::size_t d = sharded_->shard_queue_depth(s);
+        mn = std::min(mn, d);
+        mx = std::max(mx, d);
+    }
+    if (mx >= mn) shard_->observe(obs::Series{obs::sid::kLaneSkew}, mx - mn);
+}
+
+void ServerSession::note_stall_end(std::uint64_t& stamp) {
+    if (stamp == 0) return;
+    const std::uint64_t now = obs::now_ns();
+    if (now > stamp)
+        shard_->observe(obs::Series{obs::sid::kEgressStallNs}, now - stamp);
+    stamp = 0;
 }
 
 // --- ingest queue -----------------------------------------------------------
@@ -349,21 +463,12 @@ bool ServerSession::ingest_above_low() const {
 
 // --- egress buffer ----------------------------------------------------------
 
-void ServerSession::account_egress(std::size_t before, std::size_t after) {
-    if (after > before) {
-        const std::size_t now =
-            counters_->egress_buffered_bytes.fetch_add(after - before,
-                                                       std::memory_order_relaxed) +
-            (after - before);
-        std::size_t peak = counters_->egress_peak_bytes.load(std::memory_order_relaxed);
-        while (now > peak &&
-               !counters_->egress_peak_bytes.compare_exchange_weak(
-                   peak, now, std::memory_order_relaxed)) {
-        }
-    } else if (before > after) {
-        counters_->egress_buffered_bytes.fetch_sub(before - after,
-                                                   std::memory_order_relaxed);
-    }
+void ServerSession::account_egress(std::size_t now_bytes) {
+    // Gauge: this session's current backlog (the server sums the gauges of
+    // live sessions). Peak: this session's high-water mark (the server takes
+    // the max over sessions — folded on retire, so it survives the session).
+    shard_->set(obs::Series{obs::sid::kEgressBufferedBytes}, now_bytes);
+    shard_->set_peak(obs::Series{obs::sid::kEgressPeakBytes}, now_bytes);
 }
 
 bool ServerSession::egress_append(const net::SessionFrame& frame) {
@@ -372,16 +477,14 @@ bool ServerSession::egress_append(const net::SessionFrame& frame) {
     net::encode_frame(frame, bytes);
     const std::lock_guard<std::mutex> lock(egress_mutex_);
     if (egress_dead_.load(std::memory_order_relaxed)) return false;
-    const std::size_t before = egress_.size() - egress_head_;
     egress_.insert(egress_.end(), bytes.begin(), bytes.end());
-    account_egress(before, before + bytes.size());
+    account_egress(egress_.size() - egress_head_);
     return true;
 }
 
 bool ServerSession::egress_try_flush() {
     const std::lock_guard<std::mutex> lock(egress_mutex_);
     if (egress_dead_.load(std::memory_order_relaxed)) return false;
-    const std::size_t before = egress_.size() - egress_head_;
     while (egress_head_ < egress_.size()) {
         const ssize_t w = ::send(fd_, egress_.data() + egress_head_,
                                  egress_.size() - egress_head_,
@@ -398,7 +501,7 @@ bool ServerSession::egress_try_flush() {
         // nobody can receive. The fail_counted latch coordinates with the
         // reactor's fail() so the session is counted failed exactly once
         // (and never after its BYE was buffered).
-        account_egress(before, 0);
+        account_egress(0);
         egress_.clear();
         egress_head_ = 0;
         egress_dead_.store(true, std::memory_order_release);
@@ -414,13 +517,13 @@ bool ServerSession::egress_try_flush() {
                       egress_.begin() + static_cast<std::ptrdiff_t>(egress_head_));
         egress_head_ = 0;
     }
-    account_egress(before, egress_.size() - egress_head_);
+    account_egress(egress_.size() - egress_head_);
     return true;
 }
 
 void ServerSession::egress_poison() {
     const std::lock_guard<std::mutex> lock(egress_mutex_);
-    account_egress(egress_.size() - egress_head_, 0);
+    account_egress(0);
     egress_.clear();
     egress_head_ = 0;
     egress_dead_.store(true, std::memory_order_release);
@@ -479,6 +582,7 @@ EngineTask::Quantum ServerSession::run_quantum() {
         return Quantum::Done;
     }
     try {
+        note_stall_end(egress_stall_ns_);
         for (std::size_t s = 0; s < limits_.quantum_steps; ++s) {
             if (abort_requested_.load(std::memory_order_acquire)) return Quantum::Done;
             // Egress credit gate (§9): a slow result reader parks this
@@ -490,7 +594,8 @@ EngineTask::Quantum ServerSession::run_quantum() {
                     if (egress_has_credit()) {  // flushed concurrently — race lost
                         parked_on_egress_.store(false, std::memory_order_relaxed);
                     } else {
-                        counters_->parks_egress.fetch_add(1, std::memory_order_relaxed);
+                        shard_->add(obs::Series{obs::sid::kParksEgress}, 1);
+                        egress_stall_ns_ = obs::now_ns();
                         request_watch_write();
                         return Quantum::Parked;
                     }
@@ -519,7 +624,7 @@ EngineTask::Quantum ServerSession::run_quantum() {
                 // flips the flag and re-queues us (no lost wakeup).
                 parked_on_input_.store(true, std::memory_order_release);
                 if (ingest_empty_and_open()) {
-                    counters_->parks_input.fetch_add(1, std::memory_order_relaxed);
+                    shard_->add(obs::Series{obs::sid::kParksInput}, 1);
                     egress_try_flush();
                     request_watch_write();
                     return Quantum::Parked;
@@ -539,30 +644,57 @@ EngineTask::Quantum ServerSession::run_quantum() {
 }
 
 void ServerSession::flush_sched_stats() {
-    // Worker-side only: finish_engine/engine_failed run on the pool worker
-    // that owns the final quantum, so reading the runtime is race-free.
-    if (!runtime_ || sched_flushed_.exchange(true, std::memory_order_acq_rel)) return;
-    const core::SchedStats s = runtime_->sched_stats();
-    counters_->sched_sessions.fetch_add(1, std::memory_order_relaxed);
-    counters_->sched_steps.fetch_add(s.steps, std::memory_order_relaxed);
-    counters_->sched_cycles.fetch_add(s.cycles, std::memory_order_relaxed);
-    counters_->sched_cycles_skipped.fetch_add(s.cycles_skipped, std::memory_order_relaxed);
-    counters_->sched_batches.fetch_add(s.batches, std::memory_order_relaxed);
-    counters_->sched_batch_events.fetch_add(s.batch_events, std::memory_order_relaxed);
-    counters_->sched_instances_retired.fetch_add(s.instances_retired,
-                                                 std::memory_order_relaxed);
-    counters_->sched_instances_cancelled.fetch_add(s.instances_cancelled,
-                                                   std::memory_order_relaxed);
-    counters_->sched_wasted_events.fetch_add(s.speculation_wasted_events,
-                                             std::memory_order_relaxed);
-    counters_->sched_ready_p50_milli.fetch_add(
-        static_cast<std::uint64_t>(s.ready_depth_p50 * 1000.0),
-        std::memory_order_relaxed);
-    auto& mx = counters_->sched_ready_depth_max;
-    std::uint64_t cur = mx.load(std::memory_order_relaxed);
-    while (s.ready_depth_max > cur &&
-           !mx.compare_exchange_weak(cur, s.ready_depth_max, std::memory_order_relaxed)) {
+    // Safe call sites only (header contract): the worker owning the final
+    // quantum, the BYE-winning shard task after all_finished, or the
+    // destructor — never while a sibling shard task may be stepping a lane.
+    if ((!runtime_ && !sharded_) ||
+        sched_flushed_.exchange(true, std::memory_order_acq_rel))
+        return;
+    core::SchedStats s;
+    core::SplitterMetrics m;
+    if (runtime_) {
+        s = runtime_->sched_stats();
+        m = runtime_->splitter_metrics();
+    } else {
+        // Sharded session (§10/§12): merge every shard's speculative lanes —
+        // these per-lane stats used to be dropped on the floor — and publish
+        // the per-shard-index breakdown on the bounded lane series.
+        s = sharded_->sched_stats();
+        m = sharded_->splitter_metrics();
+        for (std::uint32_t i = 0; i < tasks_expected_ && i < lane_series_.size(); ++i) {
+            const core::SchedStats ss = sharded_->shard_sched_stats(i);
+            shard_->add(lane_series_[i].steps, ss.steps);
+            shard_->add(lane_series_[i].batch_events, ss.batch_events);
+            shard_->add(lane_series_[i].wasted, ss.speculation_wasted_events);
+        }
     }
+    shard_->add(obs::Series{obs::sid::kSchedSessions}, 1);
+    shard_->add(obs::Series{obs::sid::kSchedSteps}, s.steps);
+    shard_->add(obs::Series{obs::sid::kSchedCycles}, s.cycles);
+    shard_->add(obs::Series{obs::sid::kSchedCyclesSkipped}, s.cycles_skipped);
+    shard_->add(obs::Series{obs::sid::kSchedBatches}, s.batches);
+    shard_->add(obs::Series{obs::sid::kSchedBatchEvents}, s.batch_events);
+    shard_->add(obs::Series{obs::sid::kSchedInstancesRetired}, s.instances_retired);
+    shard_->add(obs::Series{obs::sid::kSchedInstancesCancelled}, s.instances_cancelled);
+    shard_->add(obs::Series{obs::sid::kSchedWastedEvents}, s.speculation_wasted_events);
+    shard_->add(obs::Series{obs::sid::kSchedReadyP50Milli},
+                static_cast<std::uint64_t>(s.ready_depth_p50 * 1000.0));
+    shard_->set_peak(obs::Series{obs::sid::kSchedReadyDepthMax}, s.ready_depth_max);
+    shard_->add(obs::Series{obs::sid::kSplitterCycles}, m.cycles);
+    shard_->add(obs::Series{obs::sid::kWindowsOpened}, m.windows_opened);
+    shard_->add(obs::Series{obs::sid::kWindowsRetired}, m.windows_retired);
+    shard_->add(obs::Series{obs::sid::kGroupsCreated}, m.groups_created);
+    shard_->add(obs::Series{obs::sid::kGroupsCompleted}, m.groups_completed);
+    shard_->add(obs::Series{obs::sid::kGroupsAbandoned}, m.groups_abandoned);
+    shard_->add(obs::Series{obs::sid::kRollbacks}, m.rollbacks);
+    shard_->add(obs::Series{obs::sid::kLateValidations}, m.late_validations);
+    shard_->set_peak(obs::Series{obs::sid::kMaxTreeVersions}, m.max_tree_versions);
+    shard_->add(obs::Series{obs::sid::kVersionsDropped}, m.versions_dropped);
+    shard_->add(obs::Series{obs::sid::kCopiesCloned}, m.copies_cloned);
+    shard_->add(obs::Series{obs::sid::kCopiesFresh}, m.copies_fresh);
+    shard_->add(obs::Series{obs::sid::kUpdatesApplied}, m.updates_applied);
+    shard_->add(obs::Series{obs::sid::kStatsSamples}, m.stats_samples);
+    shard_->add(obs::Series{obs::sid::kComplexEvents}, m.complex_events);
 }
 
 EngineTask::Quantum ServerSession::finish_engine() {
@@ -570,7 +702,7 @@ EngineTask::Quantum ServerSession::finish_engine() {
     if (egress_append(net::SessionFrame{
             net::ByeFrame{results_sent_.load(std::memory_order_relaxed)}}) &&
         !outcome_counted_.exchange(true, std::memory_order_acq_rel)) {
-        counters_->sessions_completed.fetch_add(1, std::memory_order_relaxed);
+        shard_->add(obs::Series{obs::sid::kSessionsCompleted}, 1);
     }
     egress_try_flush();
     request_watch_write();
@@ -588,6 +720,7 @@ void ServerSession::maybe_resume_read_sharded() {
 EngineTask::Quantum ServerSession::run_shard_quantum(std::uint32_t shard) {
     if (abort_requested_.load(std::memory_order_acquire)) return Quantum::Done;
     try {
+        note_stall_end(shard_egress_stall_[shard]);
         for (std::size_t s = 0; s < limits_.quantum_steps; ++s) {
             if (abort_requested_.load(std::memory_order_acquire)) return Quantum::Done;
             // Egress credit gate (§9): the buffer is shared by all shard
@@ -600,7 +733,8 @@ EngineTask::Quantum ServerSession::run_shard_quantum(std::uint32_t shard) {
                     if (egress_has_credit()) {  // flushed concurrently — race lost
                         shard_parked_egress_[shard].store(false, std::memory_order_relaxed);
                     } else {
-                        counters_->parks_egress.fetch_add(1, std::memory_order_relaxed);
+                        shard_->add(obs::Series{obs::sid::kParksEgress}, 1);
+                        shard_egress_stall_[shard] = obs::now_ns();
                         request_watch_write();
                         return Quantum::Parked;
                     }
@@ -629,7 +763,7 @@ EngineTask::Quantum ServerSession::run_shard_quantum(std::uint32_t shard) {
                 // Park on input starvation, publish-then-recheck (§9).
                 shard_parked_input_[shard].store(true, std::memory_order_release);
                 if (sharded_->shard_idle(shard)) {
-                    counters_->parks_input.fetch_add(1, std::memory_order_relaxed);
+                    shard_->add(obs::Series{obs::sid::kParksInput}, 1);
                     egress_try_flush();
                     request_watch_write();
                     return Quantum::Parked;
@@ -646,7 +780,9 @@ EngineTask::Quantum ServerSession::run_shard_quantum(std::uint32_t shard) {
 }
 
 EngineTask::Quantum ServerSession::engine_failed(const std::string& what) {
-    flush_sched_stats();
+    // Sharded: sibling shard tasks may still be stepping their lanes, so the
+    // stats flush waits for the destructor (when every task is done).
+    if (!sharded_) flush_sched_stats();
     count_failed_once();
     egress_append(net::SessionFrame{net::ErrorFrame{std::string("engine error: ") + what}});
     egress_try_flush();

@@ -41,6 +41,7 @@
 #include "detect/compiled_query.hpp"
 #include "event/stream.hpp"
 #include "net/session.hpp"
+#include "obs/metrics.hpp"
 #include "sequential/seq_engine.hpp"
 #include "server/engine_pool.hpp"
 #include "shard/sharded_engine.hpp"
@@ -59,38 +60,12 @@ inline std::uint64_t session_of_task(std::uint64_t task_id) {
     return task_id & kTaskSessionMask;
 }
 
-// Server-wide counters, shared by all sessions (atomics: pool workers
-// update engine-side counters while the reactor updates ingestion).
-struct ServerCounters {
-    std::atomic<std::uint64_t> sessions_accepted{0};
-    std::atomic<std::uint64_t> sessions_completed{0};
-    std::atomic<std::uint64_t> sessions_failed{0};
-    std::atomic<std::uint64_t> events_ingested{0};
-    std::atomic<std::uint64_t> results_emitted{0};
-    // Backpressure observability (§9): cumulative park/pause decisions plus
-    // the current and peak bytes buffered for slow result readers.
-    std::atomic<std::uint64_t> parks_input{0};
-    std::atomic<std::uint64_t> parks_egress{0};
-    std::atomic<std::uint64_t> ingest_pauses{0};
-    std::atomic<std::size_t> egress_buffered_bytes{0};
-    std::atomic<std::size_t> egress_peak_bytes{0};
-    std::atomic<std::size_t> sessions_live{0};
-    // Ready-instance scheduler observability (§11): aggregated from each
-    // unsharded speculative session's SchedStats when its engine task ends
-    // (finished or failed), flushed exactly once per session by the worker
-    // that owns the final quantum.
-    std::atomic<std::uint64_t> sched_sessions{0};  // sessions that reported
-    std::atomic<std::uint64_t> sched_steps{0};
-    std::atomic<std::uint64_t> sched_cycles{0};
-    std::atomic<std::uint64_t> sched_cycles_skipped{0};
-    std::atomic<std::uint64_t> sched_batches{0};
-    std::atomic<std::uint64_t> sched_batch_events{0};
-    std::atomic<std::uint64_t> sched_ready_depth_max{0};  // max over sessions
-    std::atomic<std::uint64_t> sched_ready_p50_milli{0};  // Σ per-session p50 × 1000
-    std::atomic<std::uint64_t> sched_instances_retired{0};
-    std::atomic<std::uint64_t> sched_instances_cancelled{0};
-    std::atomic<std::uint64_t> sched_wasted_events{0};
-};
+// Server-wide counters live on the metrics plane (obs::Registry, DESIGN.md
+// §12): each session owns one obs::Shard whose cells both sides update
+// (the reactor writes ingest-side series, the session's current pool worker
+// writes engine-side series); the server aggregates every shard at scrape
+// time. The old ServerCounters struct of shared atomics is gone — its
+// fields map 1:1 onto the sid:: builtin schema.
 
 struct SessionLimits {
     int max_instances = 8;          // cap on HELLO's k
@@ -137,9 +112,12 @@ struct SessionHooks {
 
 class ServerSession final : public EngineTask {
 public:
-    // Takes ownership of `fd` (non-blocking).
-    ServerSession(std::uint64_t id, int fd, SessionLimits limits, ServerCounters* counters,
-                  SessionHooks hooks);
+    // Takes ownership of `fd` (non-blocking). `registry`/`shard` are the
+    // session's metrics scope (§12): `shard` must have been created from
+    // `registry` and the registry must outlive the session — the destructor
+    // retires the shard (folding its counters into the retained block).
+    ServerSession(std::uint64_t id, int fd, SessionLimits limits, obs::Registry* registry,
+                  obs::ShardPtr shard, SessionHooks hooks);
     ~ServerSession() override;  // closes the fd (callers stop the pool first)
 
     ServerSession(const ServerSession&) = delete;
@@ -231,6 +209,9 @@ private:
 
     SessionStatus dispatch(net::SessionFrame&& frame);
     SessionStatus on_hello(net::HelloFrame&& hello);
+    // STATS request (§12): buffers a StatsFrame reply carrying the server-wide
+    // registry aggregate plus this session's own shard, as one JSON object.
+    SessionStatus on_stats();
     SessionStatus on_end_of_input();
     // Fails the session: optionally buffers an ERROR frame (flushed
     // best-effort), poisons egress, closes ingestion, shuts the socket down
@@ -254,14 +235,33 @@ private:
     bool egress_try_flush();
     void egress_poison();
     bool egress_has_credit() const;
-    void account_egress(std::size_t before, std::size_t after);
+    // Publishes the session's current egress backlog (gauge + peak) after a
+    // buffer mutation; callers hold egress_mutex_.
+    void account_egress(std::size_t now_bytes);
+
+    // Result-latency clock (§12): the reactor stamps each DATA arrival by
+    // global seq; the worker-side result sink maps a complex event's last
+    // constituent back to its stamp. No-ops when obs is disabled.
+    void stamp_arrival();
+    void observe_result_latency(const event::ComplexEvent& ce,
+                                std::uint64_t prev_results);
+    // Max-min queued events over the session's shard lanes, sampled every
+    // kSkewSampleEvery-th ingest (reactor side, sharded sessions only).
+    void sample_lane_skew();
+    // Observes kEgressStallNs if the previous quantum parked on egress
+    // credit; the stamp is task-private (`shard` indexes the sharded array).
+    void note_stall_end(std::uint64_t& stamp);
 
     // run_quantum helpers.
     Quantum finish_engine();         // BYE, counters, Done
     Quantum engine_failed(const std::string& what);
     void request_watch_write();
-    // Adds this session's SchedStats into the server counters, once, from
-    // the worker side (the only side that may touch the runtime).
+    // Publishes this session's SchedStats + SplitterMetrics into its metrics
+    // shard, once. Safe call sites: the worker owning the final quantum
+    // (unsharded), the BYE-winning shard task after all_finished (sharded),
+    // or the destructor (no worker can be inside run_quantum by then) —
+    // sharded failure paths defer to the destructor because sibling shard
+    // tasks may still be stepping their lanes.
     void flush_sched_stats();
 
     // Sharded path (§10).
@@ -271,7 +271,8 @@ private:
     const std::uint64_t id_;
     const int fd_;
     const SessionLimits limits_;
-    ServerCounters* counters_;
+    obs::Registry* registry_;
+    obs::ShardPtr shard_;  // this session's metrics scope (§12)
     SessionHooks hooks_;
 
     State state_ = State::AwaitHello;
@@ -299,6 +300,14 @@ private:
     // Per-shard park/wake flags (§9 protocol, one lane per shard task).
     std::unique_ptr<std::atomic<bool>[]> shard_parked_input_;
     std::unique_ptr<std::atomic<bool>[]> shard_parked_egress_;
+    // Per-shard-index lane series (§12, bounded by max_shards): resolved at
+    // HELLO against names the server pre-registered, e.g.
+    // lane_depth_peak{shard="3"}. Written by the reactor (depth peak) and by
+    // flush_sched_stats (per-shard scheduler counts).
+    struct LaneSeries {
+        obs::Series depth_peak, steps, batch_events, wasted;
+    };
+    std::vector<LaneSeries> lane_series_;
     // Exactly one shard task sends the session's BYE (the one whose merge
     // observed completion first).
     std::atomic<bool> bye_sent_{false};
@@ -326,6 +335,24 @@ private:
     std::atomic<bool> parked_on_input_{false};
     std::atomic<bool> parked_on_egress_{false};
     std::atomic<bool> watch_write_requested_{false};
+
+    // Arrival clock ring (§12): reactor pushes one CLOCK_MONOTONIC stamp per
+    // DATA event (index = global seq - arrival_base_); the result sink looks
+    // stamps up under the same lock. Bounded: entries evicted past the cap
+    // simply miss their observation, they never block ingest. Empty when obs
+    // is disabled.
+    static constexpr std::size_t kArrivalCap = std::size_t{1} << 16;
+    static constexpr std::size_t kSkewSampleEvery = 64;
+    mutable std::mutex arrival_mutex_;
+    std::deque<std::uint64_t> arrival_ns_;
+    std::uint64_t arrival_base_ = 0;   // seq of arrival_ns_.front()
+    std::uint64_t first_data_ns_ = 0;  // first DATA arrival stamp
+    std::size_t skew_countdown_ = 0;   // reactor-only sampling counter
+
+    // Egress-credit stall stamps (§12), task-private: set when a quantum
+    // parks on credit, observed (stall duration) at that task's next quantum.
+    std::uint64_t egress_stall_ns_ = 0;                    // unsharded task
+    std::unique_ptr<std::uint64_t[]> shard_egress_stall_;  // one per shard task
 
     std::atomic<bool> abort_requested_{false};
     // Single-winner outcome latch: a session with an engine is counted

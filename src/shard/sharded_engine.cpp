@@ -135,6 +135,40 @@ std::uint32_t ShardedEngine::key_count() const {
     return static_cast<std::uint32_t>(key_shard_.size());
 }
 
+// Lane maps are task-private (header contract: call from the owning shard
+// task or once the engine finished), so these walk without the shard lock.
+core::SchedStats ShardedEngine::shard_sched_stats(std::uint32_t s) const {
+    core::SchedStats agg;
+    for (const auto& [key, lane] : shards_[s]->lanes)
+        if (lane->runtime) agg.merge(lane->runtime->sched_stats());
+    return agg;
+}
+
+core::SplitterMetrics ShardedEngine::shard_splitter_metrics(std::uint32_t s) const {
+    core::SplitterMetrics agg;
+    for (const auto& [key, lane] : shards_[s]->lanes)
+        if (lane->runtime) agg.merge(lane->runtime->splitter_metrics());
+    return agg;
+}
+
+core::SchedStats ShardedEngine::sched_stats() const {
+    core::SchedStats agg;
+    for (std::uint32_t s = 0; s < cfg_.shards; ++s) agg.merge(shard_sched_stats(s));
+    return agg;
+}
+
+core::SplitterMetrics ShardedEngine::splitter_metrics() const {
+    core::SplitterMetrics agg;
+    for (std::uint32_t s = 0; s < cfg_.shards; ++s)
+        agg.merge(shard_splitter_metrics(s));
+    return agg;
+}
+
+std::size_t ShardedEngine::shard_queue_depth(std::uint32_t s) const {
+    const std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    return shards_[s]->queue.size();
+}
+
 ShardedEngine::KeyLane& ShardedEngine::get_lane(ShardState& sh, std::uint32_t key) {
     auto it = sh.lanes.find(key);
     if (it == sh.lanes.end()) {
@@ -161,6 +195,7 @@ ShardedEngine::KeyLane& ShardedEngine::get_lane(ShardState& sh, std::uint32_t ke
                 std::make_unique<model::MarkovModel>(cq_->min_length(),
                                                      model::MarkovParams{}));
             lp->runtime->set_result_sink(std::move(lane_sink));
+            if (obs_) lp->runtime->bind_obs(obs_);
         }
         it = sh.lanes.emplace(key, std::move(lane)).first;
     }

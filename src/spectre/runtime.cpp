@@ -105,7 +105,11 @@ SpectreRuntime::StepProgress SpectreRuntime::step() {
     // budget exhaustion, completion, or a fixed point (quiescence).
     for (;;) {
         if (splitter_.needs_cycle()) {
+            const std::uint64_t cycle_t0 = obs_ ? obs::now_ns() : 0;
             splitter_.run_cycle();
+            if (cycle_t0 != 0)
+                obs_->observe(obs::Series{obs::sid::kSplitterCycleNs},
+                              obs::now_ns() - cycle_t0);
             ++sched_stats_.cycles;
             cycled = true;
             if (splitter_.done()) {

@@ -23,6 +23,7 @@
 
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "spectre/sched_graph.hpp"
 #include "spectre/splitter.hpp"
 
@@ -62,6 +63,28 @@ struct SchedStats {
     std::uint64_t instances_retired = 0;    // batches that finished their version
     std::uint64_t instances_cancelled = 0;  // batches that found dead speculation
     std::uint64_t speculation_wasted_events = 0;  // work on later-dropped versions
+
+    // Folds another scheduler's stats into this one (multi-lane aggregation,
+    // DESIGN.md §10/§12): counts sum, ready_depth_max takes the max, and the
+    // p50 becomes a step-weighted mean of the two medians (an approximation —
+    // exact pooling would need the underlying samples).
+    SchedStats& merge(const SchedStats& o) {
+        const std::uint64_t total = steps + o.steps;
+        if (total > 0)
+            ready_depth_p50 = (ready_depth_p50 * static_cast<double>(steps) +
+                               o.ready_depth_p50 * static_cast<double>(o.steps)) /
+                              static_cast<double>(total);
+        steps = total;
+        cycles += o.cycles;
+        cycles_skipped += o.cycles_skipped;
+        batches += o.batches;
+        batch_events += o.batch_events;
+        if (o.ready_depth_max > ready_depth_max) ready_depth_max = o.ready_depth_max;
+        instances_retired += o.instances_retired;
+        instances_cancelled += o.instances_cancelled;
+        speculation_wasted_events += o.speculation_wasted_events;
+        return *this;
+    }
 };
 
 struct RunResult {
@@ -135,6 +158,17 @@ public:
     // step()-driven run — threaded runs only fill the speculation waste).
     SchedStats sched_stats() const;
 
+    // Live splitter metrics (same caveats as sched_stats: read from the
+    // stepping thread, or after the run).
+    const SplitterMetrics& splitter_metrics() const noexcept {
+        return splitter_.metrics();
+    }
+
+    // Metrics plane (DESIGN.md §12): when bound, step() records each splitter
+    // cycle's duration into the shard's splitter_cycle_ns histogram. The
+    // shard must outlive the runtime; nullptr (the default) costs one branch.
+    void bind_obs(obs::Shard* shard) noexcept { obs_ = shard; }
+
 private:
     RunResult run_threads();
 
@@ -144,6 +178,7 @@ private:
     Splitter splitter_;
     InstanceScheduler sched_;
     SchedStats sched_stats_;
+    obs::Shard* obs_ = nullptr;
 };
 
 }  // namespace spectre::core

@@ -235,6 +235,43 @@ TEST(SessionFrame, CorruptLengthsThrow) {
     EXPECT_THROW(decode_frame(data, off), std::runtime_error);
 }
 
+TEST(SessionFrame, StatsFrameRoundTrips) {
+    // Response shape: a JSON body.
+    StatsFrame reply{"{\"server\":{\"events_ingested\":42},\"session\":{}}"};
+    EXPECT_EQ(std::get<StatsFrame>(round_trip(SessionFrame{reply})), reply);
+
+    // Request shape: zero-length body (the client asks, the server fills).
+    StatsFrame request{};
+    const auto back = std::get<StatsFrame>(round_trip(SessionFrame{request}));
+    EXPECT_EQ(back, request);
+    EXPECT_TRUE(back.json.empty());
+}
+
+TEST(SessionFrame, TruncatedStatsFrameReturnsNullopt) {
+    std::vector<std::uint8_t> buf;
+    encode_frame(SessionFrame{StatsFrame{"{\"events_ingested\":7}"}}, buf);
+    for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+        std::vector<std::uint8_t> partial(
+            buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+        std::size_t off = 0;
+        EXPECT_EQ(decode_frame(partial, off), std::nullopt) << "cut=" << cut;
+        EXPECT_EQ(off, 0u);
+    }
+}
+
+TEST(SessionFrame, CorruptStatsLengthThrows) {
+    // STATS whose body length exceeds kMaxStatsLength is corrupt, not
+    // incomplete: decode must throw, never wait for more bytes.
+    std::vector<std::uint8_t> buf;
+    encode_frame(SessionFrame{StatsFrame{"{}"}}, buf);
+    buf[1] = 0xff;  // length bytes sit right after the tag
+    buf[2] = 0xff;
+    buf[3] = 0xff;
+    buf[4] = 0x7f;
+    std::size_t off = 0;
+    EXPECT_THROW(decode_frame(buf, off), std::runtime_error);
+}
+
 TEST(SessionFrame, DecodeAdvancesAcrossMixedFrames) {
     std::vector<std::uint8_t> buf;
     encode_frame(SessionFrame{HelloFrame{"PATTERN (A)", 0, 0, ""}}, buf);

@@ -7,10 +7,19 @@
 // observably arrive before the client ends its stream (streaming egress).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/load_gen.hpp"
+#include "net/tcp.hpp"
 #include "server/cep_server.hpp"
 #include "server_test_util.hpp"
 
@@ -165,6 +174,146 @@ TEST(CepServer, InstancesBeyondServerLimitRejected) {
 
     EXPECT_FALSE(out.completed);
     EXPECT_NE(out.error.find("instances exceed"), std::string::npos) << out.error;
+    srv.stop();
+}
+
+// ---------------------------------------------------------------------------
+// The metrics plane (DESIGN.md §12): the in-band STATS frame and the
+// reactor-hosted admin scrape endpoint, both against a *live* server.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// High result volume per input event (the test_pool_stress shape): the
+// egress byte count dwarfs the shrunken socket buffers, so the slow-reader
+// session below parks on egress credit quickly.
+const char* kFatResultQuery =
+    "PATTERN (R1 R2) "
+    "DEFINE R1 AS R1.close > R1.open, R2 AS R2.close > R2.open "
+    "WITHIN 20 EVENTS FROM EVERY 2 EVENTS "
+    "EMIT open1 = R1.open, close1 = R1.close, open2 = R2.open, "
+    "     close2 = R2.close, gain = R2.close - R1.open, spread = R2.close - R2.open";
+
+// Minimal scrape client: one HTTP/1.0 GET against the admin port, response
+// read to EOF (the server closes once the body is flushed).
+std::string http_scrape(std::uint16_t port) {
+    net::TcpClient conn("127.0.0.1", port);
+    const std::string req = "GET /metrics HTTP/1.0\r\n\r\n";
+    conn.send_raw(reinterpret_cast<const std::uint8_t*>(req.data()), req.size());
+    std::string resp;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(conn.fd(), buf, sizeof(buf), 0);
+        if (n > 0) {
+            resp.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        break;
+    }
+    return resp;
+}
+
+// Value of an unlabeled series in a Prometheus text exposition; 0 if absent.
+std::uint64_t series_value(const std::string& text, const std::string& name) {
+    const auto pos = text.find("\n" + name + " ");
+    if (pos == std::string::npos) return 0;
+    return std::strtoull(text.c_str() + pos + 1 + name.size() + 1, nullptr, 10);
+}
+
+}  // namespace
+
+// A STATS request sent mid-stream gets a JSON reply riding the ordinary
+// egress stream — interleaved with RESULT frames, without perturbing the
+// byte-parity invariant.
+TEST(CepServer, StatsFrameAnswersMidStream) {
+    server::CepServer srv;
+    srv.start();
+
+    auto spec = make_session(kRisingTripleQuery, 2, wire_events(600, 77),
+                             /*wait_result_after=*/300);
+    spec.stats_after = 200;
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    const auto out = client.run_one(spec);
+
+    ASSERT_TRUE(out.completed) << out.error;
+    ASSERT_EQ(out.stats_json.size(), 1u);
+    const std::string& j = out.stats_json.front();
+    // Both scopes of the reply: server-wide aggregate + this session's own.
+    EXPECT_NE(j.find("\"server\":{"), std::string::npos) << j.substr(0, 200);
+    EXPECT_NE(j.find("\"session\":{"), std::string::npos) << j.substr(0, 200);
+    EXPECT_NE(j.find("\"events_ingested\":"), std::string::npos);
+    EXPECT_NE(j.find("\"result_latency_ns\":"), std::string::npos);
+
+    // The interleaved STATS exchange didn't perturb the RESULT stream.
+    expect_byte_identical(sequential_ground_truth(spec.query, spec.events),
+                          out.results, "stats-mid-stream");
+    srv.stop();
+}
+
+// Scraping the admin endpoint must work against a *live* loaded server —
+// here one whose only session is parked on egress backpressure — without
+// stopping any worker, and counters must be monotone between scrapes.
+TEST(CepServer, AdminScrapeIsLiveAndMonotoneDuringBackpressure) {
+    server::ServerConfig cfg;
+    cfg.pool_workers = 2;
+    cfg.session.egress_buffer_bytes = 2048;  // tiny credit: park quickly
+    cfg.session.quantum_windows = 1;
+    cfg.session_sndbuf = 8192;
+    server::CepServer srv(cfg);
+    srv.start();
+
+    auto gate = std::make_shared<std::atomic<bool>>(false);
+    auto spec = make_session(kFatResultQuery, 0, wire_events(1500, 11, 40, 0.7));
+    spec.read_gate = gate;
+    spec.rcvbuf = 8192;
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    harness::LoadGenOutcome out;
+    std::thread driver([&] { out = client.run_one(spec); });
+
+    // Wait until the session is parked on egress credit — the server is now
+    // "stuck" from the session's point of view, but the scrape must not be.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (srv.stats().parks_egress < 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_GE(srv.stats().parks_egress, 1u) << "session never parked on egress";
+
+    const std::string scrape1 = http_scrape(srv.admin_port());
+    EXPECT_NE(scrape1.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(scrape1.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(scrape1.find("# TYPE spectre_events_ingested counter"),
+              std::string::npos);
+    // Live-session series: the parked session is visible in the aggregate.
+    EXPECT_EQ(series_value(scrape1, "spectre_sessions_live"), 1u);
+    EXPECT_GE(series_value(scrape1, "spectre_parks_egress"), 1u);
+    EXPECT_GE(series_value(scrape1, "spectre_events_ingested"), 1u);
+    // The lifecycle histograms are exposed (results were emitted pre-park).
+    EXPECT_NE(scrape1.find("spectre_result_latency_ns_count"), std::string::npos);
+
+    const std::string scrape2 = http_scrape(srv.admin_port());
+    EXPECT_GE(series_value(scrape2, "spectre_events_ingested"),
+              series_value(scrape1, "spectre_events_ingested"))
+        << "counter went backwards between live scrapes";
+
+    // Unpark: the slow reader drains, the session completes, and a final
+    // scrape (still on the live server) stays monotone across the session's
+    // shard retirement — the fold must not lose counts.
+    gate->store(true, std::memory_order_release);
+    driver.join();
+    ASSERT_TRUE(out.completed) << out.error;
+
+    const std::string scrape3 = http_scrape(srv.admin_port());
+    EXPECT_GE(series_value(scrape3, "spectre_events_ingested"),
+              series_value(scrape2, "spectre_events_ingested"));
+    EXPECT_EQ(series_value(scrape3, "spectre_events_ingested"), 1500u);
+    EXPECT_EQ(series_value(scrape3, "spectre_sessions_completed"), 1u);
+    EXPECT_EQ(series_value(scrape3, "spectre_results_emitted"),
+              out.results.size());
+
     srv.stop();
 }
 
