@@ -60,6 +60,9 @@ NON_IDENTITY = {
     "result_latency_ns_p50", "result_latency_ns_p99", "first_result_ns_p50",
     "pool_queue_wait_ns_p50", "quantum_ns_p50", "egress_stall_ns_p99",
     "splitter_cycle_ns_p50",
+    # Elastic partitioning (DESIGN.md §13): migration ledger + balance, all
+    # measured — the E-shard-skew rows key by mode/shards only.
+    "steals", "keys_moved", "reshards", "hot_share",
 }
 
 WARN_BELOW = 0.75  # flag rows slower than this ratio (warn-only)

@@ -150,6 +150,7 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
             net::HelloFrame{spec.query, spec.instances, spec.shards, spec.partition_by}});
         d.first_data = Clock::now();
         bool corrupted = false;
+        bool stats_sent = spec.stats_after == SIZE_MAX;  // "never asked" latch
         for (std::size_t i = 0; i < spec.events.size() && !d.terminal; ++i) {
             if (i == spec.corrupt_after) {
                 // Fault injection: an invalid frame tag followed by noise.
@@ -165,6 +166,7 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
                 net::encode_frame(net::SessionFrame{spec.events[i]}, bytes);
                 d.conn->send_raw(bytes.data(), bytes.size() / 2);
                 d.conn->close();
+                d.out.stats_missed = !stats_sent;
                 d.out.wall_seconds = seconds_since(t0);
                 return std::move(d.out);
             }
@@ -173,8 +175,11 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
             else
                 d.send_frame(net::SessionFrame{spec.events[i]});
             ++d.out.events_sent;
-            if (d.out.events_sent == spec.stats_after) {
+            if (!stats_sent && d.out.events_sent >= spec.stats_after) {
                 // Mid-stream STATS request: the reply interleaves with RESULTs.
+                // Latched (>=, not ==): a stream shorter than stats_after must
+                // not silently skip the request.
+                stats_sent = true;
                 if (spec.read_gate)
                     d.send_frame_gated(*spec.read_gate,
                                        net::SessionFrame{net::StatsFrame{}});
@@ -187,11 +192,23 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
                 while (!d.terminal && d.out.results.empty()) d.read_blocking();
         }
         if (!d.terminal && !corrupted) {
+            if (!stats_sent) {
+                // The stream ended before stats_after events: honor the
+                // request anyway, right before BYE, so the caller still gets
+                // a reply instead of a silently empty stats_json.
+                stats_sent = true;
+                if (spec.read_gate)
+                    d.send_frame_gated(*spec.read_gate,
+                                       net::SessionFrame{net::StatsFrame{}});
+                else
+                    d.send_frame(net::SessionFrame{net::StatsFrame{}});
+            }
             if (spec.read_gate)
                 d.send_frame_gated(*spec.read_gate, net::SessionFrame{net::ByeFrame{}});
             else
                 d.send_frame(net::SessionFrame{net::ByeFrame{}});
         }
+        d.out.stats_missed = !stats_sent;
         d.out.results_before_bye = d.out.results.size();
         while (!d.terminal) {
             if (spec.read_gate && !spec.read_gate->load(std::memory_order_acquire)) {

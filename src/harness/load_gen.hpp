@@ -74,6 +74,11 @@ struct LoadGenOutcome {
     double first_result_seconds = -1.0;        // since first DATA; -1 = none
     double wall_seconds = 0.0;                 // connect → session end
     std::size_t events_sent = 0;
+    // stats_after was requested but the STATS frame could not be sent (the
+    // session died first, or fault injection cut the stream). Distinguishes
+    // "no reply yet" from "never asked" — callers used to silently get an
+    // empty stats_json when stats_after exceeded the events actually sent.
+    bool stats_missed = false;
 };
 
 class LoadGenClient {

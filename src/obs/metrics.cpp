@@ -98,6 +98,8 @@ constexpr BuiltinDef kBuiltins[] = {
     {"lane_depth", Kind::Histogram, "destination shard queue depth per ingest"},
     {"lane_skew", Kind::Histogram, "max-min lane queue depth, sampled"},
     {"detector_window_events", Kind::Histogram, "events fed per completed window"},
+    {"lane_migrations", Kind::Counter, "key lanes migrated between shards"},
+    {"reshards", Kind::Counter, "accepted re-shard routing epochs"},
 };
 static_assert(sizeof(kBuiltins) / sizeof(kBuiltins[0]) == sid::kCount,
               "sid:: and kBuiltins must stay parallel");

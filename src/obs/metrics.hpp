@@ -135,6 +135,9 @@ enum : std::uint32_t {
     kLaneDepth,             // destination shard's queued events, per ingest
     kLaneSkew,              // max-min queued over a session's lanes, sampled
     kDetectorWindowEvents,  // events fed per completed window
+    // --- elastic partitioning (DESIGN.md §13) -------------------------------
+    kLaneMigrations,  // key lanes handed between shards (steals + reshards)
+    kReshards,        // accepted reshard() routing-epoch changes
     kCount
 };
 }  // namespace sid

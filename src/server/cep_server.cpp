@@ -311,14 +311,24 @@ void CepServer::handle_admin_event(std::uint64_t id, std::uint32_t events) {
                 return;
             }
         }
-        // A live snapshot: aggregates every session/worker shard while they
-        // keep writing — no worker stops, no session pauses (§12).
-        const std::string body = registry_.prometheus();
-        conn.out = "HTTP/1.0 200 OK\r\n"
-                   "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-                   "Content-Length: " + std::to_string(body.size()) + "\r\n"
-                   "Connection: close\r\n\r\n";
-        conn.out += body;
+        // Method gate: only GET serves a scrape. A POST, a TLS ClientHello,
+        // or plain garbage followed by EOF used to fall through here and
+        // collect a 200 — now anything that doesn't start with "GET " gets a
+        // 400 and the close. (A bare "GET /\r\n\r\n" half-close still works.)
+        if (conn.in.rfind("GET ", 0) != 0) {
+            conn.out = "HTTP/1.0 400 Bad Request\r\n"
+                       "Content-Length: 0\r\n"
+                       "Connection: close\r\n\r\n";
+        } else {
+            // A live snapshot: aggregates every session/worker shard while
+            // they keep writing — no worker stops, no session pauses (§12).
+            const std::string body = registry_.prometheus();
+            conn.out = "HTTP/1.0 200 OK\r\n"
+                       "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                       "Content-Length: " + std::to_string(body.size()) + "\r\n"
+                       "Connection: close\r\n\r\n";
+            conn.out += body;
+        }
         epoll_event ev{};
         ev.events = EPOLLOUT;
         ev.data.u64 = id;

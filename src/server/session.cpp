@@ -107,10 +107,13 @@ SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
                     // (the router must see arrivals in global order, and this
                     // is the only thread that does). A worker-side abort may
                     // close the input before the reactor learns the session
-                    // failed — those trailing events are dropped, not fatal.
-                    if (sharded_->input_closed()) return SessionStatus::Open;
-                    stamp_arrival();
+                    // failed — the engine reports those trailing events as
+                    // dropped, and the session must not account for them: no
+                    // arrival stamp, no counters, no wakeup (the shard id of a
+                    // dropped event is meaningless).
                     const auto info = sharded_->ingest(net::from_wire(*quote, vocab_));
+                    if (info.dropped) return SessionStatus::Open;
+                    stamp_arrival();
                     shard_->add(obs::Series{obs::sid::kEventsIngested}, 1);
                     if (obs::enabled()) {
                         shard_->observe(obs::Series{obs::sid::kLaneDepth}, info.queued);
@@ -118,6 +121,13 @@ SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
                             shard_->set_peak(lane_series_[info.shard].depth_peak,
                                              info.queued);
                         sample_lane_skew();
+                    }
+                    // §13: adaptivity decisions run on the reactor (= the
+                    // feeder thread), so route-table edits are synchronous
+                    // with routing — no lock spans the decision.
+                    if (controller_ && --reshard_countdown_ == 0) {
+                        reshard_countdown_ = limits_.reshard.decide_every_events;
+                        apply_reshard_decision();
                     }
                     if (shard_parked_input_[info.shard].exchange(
                             false, std::memory_order_acq_rel))
@@ -192,17 +202,27 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
         cfg.shards = std::max<std::uint32_t>(hello.shards, 1);
         cfg.instances = instances_;
         cfg.batch_events = limits_.batch_events;
+        // Elastic partitioning (§13): with an active policy the engine gets
+        // slot capacity up to the server's shard cap so the controller can
+        // grow the active width mid-stream; off, capacity == shards (the
+        // static pre-§13 layout, no extra state).
+        const bool elastic = limits_.reshard.decide_every_events > 0;
+        if (elastic)
+            cfg.max_shards = static_cast<std::uint32_t>(limits_.max_shards);
         sharded_ = std::make_unique<shard::ShardedEngine>(cq_.get(), cfg,
                                                           std::move(sink));
         if (obs::enabled()) sharded_->bind_obs(shard_.get());
-        tasks_expected_ = cfg.shards;
-        shard_parked_input_ = std::make_unique<std::atomic<bool>[]>(cfg.shards);
-        shard_parked_egress_ = std::make_unique<std::atomic<bool>[]>(cfg.shards);
-        shard_egress_stall_ = std::make_unique<std::uint64_t[]>(cfg.shards);
+        const std::uint32_t slots = sharded_->shards();  // capacity, >= cfg.shards
+        tasks_expected_.store(cfg.shards, std::memory_order_relaxed);
+        // Per-slot state is allocated at full capacity up front: growth must
+        // never reallocate arrays that worker threads are reading.
+        shard_parked_input_ = std::make_unique<std::atomic<bool>[]>(slots);
+        shard_parked_egress_ = std::make_unique<std::atomic<bool>[]>(slots);
+        shard_egress_stall_ = std::make_unique<std::uint64_t[]>(slots);
         // Per-shard-index lane series (§12): the server pre-registered these
         // names before any session shard existed, so add() only resolves ids.
-        lane_series_.reserve(cfg.shards);
-        for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+        lane_series_.reserve(slots);
+        for (std::uint32_t s = 0; s < slots; ++s) {
             const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
             LaneSeries ls;
             ls.depth_peak = registry_->add("lane_depth_peak" + label, obs::Kind::PeakGauge);
@@ -213,13 +233,31 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
                 registry_->add("lane_sched_wasted_events" + label, obs::Kind::Counter);
             lane_series_.push_back(ls);
         }
-        for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+        for (std::uint32_t s = 0; s < slots; ++s) {
             shard_parked_input_[s].store(false, std::memory_order_relaxed);
             shard_parked_egress_[s].store(false, std::memory_order_relaxed);
+            shard_egress_stall_[s] = 0;
             auto task = std::make_unique<ShardSubTask>();
             task->session = this;
             task->shard = s;
             shard_tasks_.push_back(std::move(task));
+        }
+        // Lane handoffs are deposited by source shard tasks on worker
+        // threads; the waker follows the §9 exchange-before-notify protocol.
+        // Set before any task can run. A waker for a slot whose task is not
+        // registered yet is a harmless no-op notify; the task's first
+        // scheduled quantum installs the mailbox.
+        sharded_->set_shard_waker([this](std::uint32_t s) {
+            if (shard_parked_input_[s].exchange(false, std::memory_order_acq_rel))
+                hooks_.notify_task(shard_task_id(id_, s));
+        });
+        if (elastic && slots > 1 && obs::enabled()) {
+            std::vector<obs::Series> peaks;
+            peaks.reserve(slots);
+            for (const auto& ls : lane_series_) peaks.push_back(ls.depth_peak);
+            controller_ = std::make_unique<shard::ReshardController>(
+                shard_.get(), std::move(peaks), limits_.reshard);
+            reshard_countdown_ = limits_.reshard.decide_every_events;
         }
         state_ = State::Streaming;
         task_registered_ = true;
@@ -249,7 +287,7 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
     }
     state_ = State::Streaming;
     task_registered_ = true;
-    tasks_expected_ = 1;
+    tasks_expected_.store(1, std::memory_order_relaxed);
     hooks_.register_task(id_, this);  // schedules the first quantum
     return SessionStatus::Open;
 }
@@ -321,7 +359,8 @@ void ServerSession::close_ingestion() {
         // EOS drain (a task parking concurrently re-checks shard_idle, which
         // reads the closed flag — no lost wakeup either way).
         sharded_->close_input();
-        for (std::uint32_t s = 0; s < tasks_expected_; ++s)
+        const auto span = tasks_expected_.load(std::memory_order_acquire);
+        for (std::uint32_t s = 0; s < span; ++s)
             if (shard_parked_input_[s].exchange(false, std::memory_order_acq_rel))
                 hooks_.notify_task(shard_task_id(id_, s));
         return;
@@ -336,9 +375,11 @@ void ServerSession::abort() {
     abort_requested_.store(true, std::memory_order_release);
     ::shutdown(fd_, SHUT_RDWR);
     if (task_registered_) {
-        if (sharded_)
-            for (std::uint32_t s = 0; s < tasks_expected_; ++s)
+        if (sharded_) {
+            const auto span = tasks_expected_.load(std::memory_order_acquire);
+            for (std::uint32_t s = 0; s < span; ++s)
                 hooks_.notify_task(shard_task_id(id_, s));
+        }
         else
             hooks_.notify_task(id_);
     }
@@ -395,7 +436,8 @@ void ServerSession::sample_lane_skew() {
     skew_countdown_ = kSkewSampleEvery - 1;
     std::size_t mn = ~std::size_t{0};
     std::size_t mx = 0;
-    for (std::uint32_t s = 0; s < tasks_expected_; ++s) {
+    const auto span = tasks_expected_.load(std::memory_order_relaxed);
+    for (std::uint32_t s = 0; s < span; ++s) {
         const std::size_t d = sharded_->shard_queue_depth(s);
         mn = std::min(mn, d);
         mx = std::max(mx, d);
@@ -557,7 +599,8 @@ bool ServerSession::flush_egress() {
     }
     if (egress_has_credit()) {
         if (sharded_) {
-            for (std::uint32_t s = 0; s < tasks_expected_; ++s)
+            const auto span = tasks_expected_.load(std::memory_order_acquire);
+            for (std::uint32_t s = 0; s < span; ++s)
                 if (shard_parked_egress_[s].exchange(false, std::memory_order_acq_rel))
                     hooks_.notify_task(shard_task_id(id_, s));
         } else if (parked_on_egress_.exchange(false, std::memory_order_acq_rel)) {
@@ -661,12 +704,19 @@ void ServerSession::flush_sched_stats() {
         // the per-shard-index breakdown on the bounded lane series.
         s = sharded_->sched_stats();
         m = sharded_->splitter_metrics();
-        for (std::uint32_t i = 0; i < tasks_expected_ && i < lane_series_.size(); ++i) {
+        const auto span = tasks_expected_.load(std::memory_order_acquire);
+        for (std::uint32_t i = 0; i < span && i < lane_series_.size(); ++i) {
             const core::SchedStats ss = sharded_->shard_sched_stats(i);
             shard_->add(lane_series_[i].steps, ss.steps);
             shard_->add(lane_series_[i].batch_events, ss.batch_events);
             shard_->add(lane_series_[i].wasted, ss.speculation_wasted_events);
         }
+        // Elastic partitioning (§13): publish the migration ledger. Safe
+        // here for the same reason the per-shard stats are: the stream is
+        // closed, no wave can still be in flight.
+        const auto mig = sharded_->migration_stats();
+        shard_->add(obs::Series{obs::sid::kLaneMigrations}, mig.keys_moved);
+        shard_->add(obs::Series{obs::sid::kReshards}, mig.reshards);
     }
     shard_->add(obs::Series{obs::sid::kSchedSessions}, 1);
     shard_->add(obs::Series{obs::sid::kSchedSteps}, s.steps);
@@ -717,6 +767,34 @@ void ServerSession::maybe_resume_read_sharded() {
         hooks_.post(id_, SessionCmd::ResumeRead);
 }
 
+void ServerSession::apply_reshard_decision() {
+    const auto d = controller_->decide(sharded_->active_shards());
+    switch (d.kind) {
+        case shard::ReshardDecision::Kind::None:
+            return;
+        case shard::ReshardDecision::Kind::Steal:
+            // One hot key hops to the coldest slot; the engine refuses the
+            // wave if one is already in flight or the stream closed.
+            sharded_->steal_hottest(d.hot, d.cold);
+            return;
+        case shard::ReshardDecision::Kind::Grow: {
+            const auto target =
+                std::min<std::uint32_t>(d.new_shards, sharded_->shards());
+            if (!sharded_->reshard(target)) return;
+            // Register tasks for the newly active slots. Order matters: the
+            // engine already published the grown task span, and any handoff
+            // waker for an unregistered task is a no-op, so registering now
+            // (which schedules the first quantum) closes the gap.
+            const auto span = sharded_->task_span();
+            for (std::uint32_t s = tasks_expected_.load(std::memory_order_relaxed);
+                 s < span; ++s)
+                hooks_.register_task(shard_task_id(id_, s), shard_tasks_[s].get());
+            tasks_expected_.store(span, std::memory_order_release);
+            return;
+        }
+    }
+}
+
 EngineTask::Quantum ServerSession::run_shard_quantum(std::uint32_t shard) {
     if (abort_requested_.load(std::memory_order_acquire)) return Quantum::Done;
     try {
@@ -762,7 +840,7 @@ EngineTask::Quantum ServerSession::run_shard_quantum(std::uint32_t shard) {
             if (res.idle) {
                 // Park on input starvation, publish-then-recheck (§9).
                 shard_parked_input_[shard].store(true, std::memory_order_release);
-                if (sharded_->shard_idle(shard)) {
+                if (sharded_->shard_parkable(shard)) {
                     shard_->add(obs::Series{obs::sid::kParksInput}, 1);
                     egress_try_flush();
                     request_watch_write();

@@ -44,6 +44,7 @@
 #include "obs/metrics.hpp"
 #include "sequential/seq_engine.hpp"
 #include "server/engine_pool.hpp"
+#include "shard/reshard_controller.hpp"
 #include "shard/sharded_engine.hpp"
 #include "spectre/runtime.hpp"
 
@@ -84,6 +85,11 @@ struct SessionLimits {
     // Egress credit: while more than this many bytes are buffered for a slow
     // result reader, the engine task parks (§9 backpressure).
     std::size_t egress_buffer_bytes = 256 * 1024;
+    // Elastic partitioning (§13): when decide_every_events > 0, every
+    // sharded session gets slot capacity up to max_shards and a
+    // ReshardController driving steal/grow migrations off the live lane
+    // metrics. Default off — static hashing, the pre-§13 behavior.
+    shard::ReshardPolicy reshard{};
 };
 
 // What the reactor should do with the connection after feeding it input.
@@ -149,7 +155,8 @@ public:
     // returned (the TaskDone posts happen-after both).
     void note_task_done() noexcept { ++tasks_done_; }
     bool task_done() const noexcept {
-        return tasks_expected_ > 0 && tasks_done_ >= tasks_expected_;
+        const auto expected = tasks_expected_.load(std::memory_order_relaxed);
+        return expected > 0 && tasks_done_ >= expected;
     }
     // Reap gate: nothing left to send (or nobody to send it to).
     bool egress_idle() const;
@@ -267,6 +274,11 @@ private:
     // Sharded path (§10).
     Quantum run_shard_quantum(std::uint32_t shard);
     void maybe_resume_read_sharded();
+    // Elastic partitioning (§13, reactor thread — the reactor IS the
+    // feeder): ask the controller for a decision over the last window and
+    // apply it (steal a lane, or grow the active width and register the new
+    // slots' tasks on the pool).
+    void apply_reshard_decision();
 
     const std::uint64_t id_;
     const int fd_;
@@ -277,9 +289,11 @@ private:
 
     State state_ = State::AwaitHello;
     net::FrameReader reader_;
-    // Reactor-thread-only bookkeeping (no locks needed).
+    // Reactor-thread-only bookkeeping (no locks needed) — except
+    // tasks_expected_, which worker-side teardown loops also read while the
+    // reactor may be growing it (§13), hence the atomic.
     bool input_done_ = false;
-    std::uint32_t tasks_expected_ = 0;  // 1, or the shard count (§10)
+    std::atomic<std::uint32_t> tasks_expected_{0};  // 1, or the live shard-task count (§10/§13)
     std::uint32_t tasks_done_ = 0;
     std::uint32_t armed_mask_ = 0;
 
@@ -308,6 +322,11 @@ private:
         obs::Series depth_peak, steps, batch_events, wasted;
     };
     std::vector<LaneSeries> lane_series_;
+    // Elastic partitioning (§13): reactor-owned migration policy over the
+    // windowed lane_depth_peak series; null when the policy is off or the
+    // session is unsharded.
+    std::unique_ptr<shard::ReshardController> controller_;
+    std::size_t reshard_countdown_ = 0;  // reactor-only decision pacing
     // Exactly one shard task sends the session's BYE (the one whose merge
     // observed completion first).
     std::atomic<bool> bye_sent_{false};

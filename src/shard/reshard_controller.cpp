@@ -1,0 +1,56 @@
+#include "shard/reshard_controller.hpp"
+
+#include <algorithm>
+
+namespace spectre::shard {
+
+ReshardController::ReshardController(obs::Shard* scope,
+                                     std::vector<obs::Series> lane_depth_peak,
+                                     ReshardPolicy policy)
+    : scope_(scope), peaks_(std::move(lane_depth_peak)), policy_(policy) {}
+
+ReshardDecision ReshardController::decide(std::uint32_t active_shards) {
+    ReshardDecision d;
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::size_t>(active_shards, peaks_.size()));
+    if (!scope_ || n < 2) return d;
+
+    std::uint64_t hot_peak = 0;
+    std::uint64_t cold_peak = ~std::uint64_t{0};
+    std::uint32_t hot = 0;
+    std::uint32_t cold = 0;
+    bool all_saturated = true;
+    for (std::uint32_t s = 0; s < n; ++s) {
+        const std::uint64_t v = scope_->value(peaks_[s]);
+        scope_->set(peaks_[s], 0);  // next window starts now
+        if (v > hot_peak) {
+            hot_peak = v;
+            hot = s;
+        }
+        if (v < cold_peak) {
+            cold_peak = v;
+            cold = s;
+        }
+        if (v < policy_.grow_min_peak) all_saturated = false;
+    }
+    ++decisions_;
+
+    // Uniform overload first: stealing shuffles keys between equally-hot
+    // slots for nothing — more slots is the only lever.
+    if (policy_.grow_shards_to > active_shards && all_saturated &&
+        n == active_shards) {
+        d.kind = ReshardDecision::Kind::Grow;
+        d.new_shards = policy_.grow_shards_to;
+        return d;
+    }
+    if (hot != cold && hot_peak >= policy_.steal_min_peak &&
+        static_cast<double>(hot_peak) >=
+            policy_.steal_skew_ratio * static_cast<double>(cold_peak)) {
+        d.kind = ReshardDecision::Kind::Steal;
+        d.hot = hot;
+        d.cold = cold;
+    }
+    return d;
+}
+
+}  // namespace spectre::shard

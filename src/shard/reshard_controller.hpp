@@ -1,0 +1,71 @@
+// Metrics-driven elastic-partitioning policy (DESIGN.md §13). The controller
+// never runs its own sampling: its only input is the live per-shard-index
+// `lane_depth_peak{shard=...}` series that the ingest path already publishes
+// into the §12 obs::Registry. Each decide() call reads the peaks accumulated
+// since the previous call, zeroes them (turning the lifetime peak cells into
+// a windowed signal), and proposes at most one action — a key-skew lane
+// steal from the hottest slot to the coldest, or a grow-reshard when every
+// active slot is saturated. The caller (the feeder thread: the server
+// reactor or a bench/test driver) applies the decision through
+// ShardedEngine::steal_hottest() / reshard(), which enforce the actual
+// migration-safety rules (one wave at a time, never after close).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace spectre::shard {
+
+struct ReshardPolicy {
+    // Pacing: callers invoke decide() about every this-many ingested events.
+    // 0 disables the controller entirely (static hashing, the pre-§13
+    // behavior).
+    std::size_t decide_every_events = 0;
+    // Steal when the hottest slot's windowed depth peak reaches this many
+    // queued events…
+    std::uint64_t steal_min_peak = 256;
+    // …and is at least this many times the coldest slot's peak.
+    double steal_skew_ratio = 4.0;
+    // Grow the active shard count to this width (0 = never grow) once every
+    // active slot's windowed peak reaches grow_min_peak — skew stealing
+    // can't help when all slots are hot.
+    std::uint32_t grow_shards_to = 0;
+    std::uint64_t grow_min_peak = 1024;
+};
+
+struct ReshardDecision {
+    enum class Kind { None, Steal, Grow };
+    Kind kind = Kind::None;
+    std::uint32_t hot = 0;         // Steal: source slot
+    std::uint32_t cold = 0;        // Steal: destination slot
+    std::uint32_t new_shards = 0;  // Grow: target active width
+};
+
+class ReshardController {
+public:
+    // `scope` is the metrics shard the ingest path writes its per-slot
+    // depth peaks into (one series per slot index, in slot order); both must
+    // outlive the controller. A null scope or empty series set yields
+    // Kind::None forever — so does SPECTRE_OBS_OFF, which zeroes the
+    // signal: the kill switch also switches adaptivity off.
+    ReshardController(obs::Shard* scope,
+                      std::vector<obs::Series> lane_depth_peak,
+                      ReshardPolicy policy);
+
+    // One decision over the window since the previous call, resetting the
+    // windowed peaks. Call from the feeder thread.
+    ReshardDecision decide(std::uint32_t active_shards);
+
+    const ReshardPolicy& policy() const noexcept { return policy_; }
+    std::uint64_t decisions() const noexcept { return decisions_; }
+
+private:
+    obs::Shard* scope_;
+    std::vector<obs::Series> peaks_;
+    ReshardPolicy policy_;
+    std::uint64_t decisions_ = 0;
+};
+
+}  // namespace spectre::shard

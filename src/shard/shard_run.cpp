@@ -9,7 +9,8 @@ namespace spectre::shard {
 std::vector<event::ComplexEvent> run_sharded_inline(
     const detect::CompiledQuery& cq, ShardedConfig cfg,
     const std::vector<event::Event>& events, std::size_t feed_chunk,
-    std::size_t step_events) {
+    std::size_t step_events,
+    const std::function<void(ShardedEngine&, std::size_t)>& schedule) {
     std::vector<event::ComplexEvent> out;
     ShardedEngine engine(&cq, cfg,
                          [&out](event::ComplexEvent&& ce) { out.push_back(std::move(ce)); });
@@ -17,6 +18,7 @@ std::vector<event::ComplexEvent> run_sharded_inline(
     while (fed < events.size()) {
         const std::size_t end = std::min(events.size(), fed + std::max<std::size_t>(feed_chunk, 1));
         for (; fed < end; ++fed) engine.ingest(events[fed]);
+        if (schedule) schedule(engine, fed);
         for (std::uint32_t s = 0; s < engine.shards(); ++s)
             engine.step_shard(s, step_events);
     }
@@ -35,7 +37,7 @@ server::EngineTask::Quantum PooledShardRun::Task::run_quantum() {
         // close between the idle observation and the park flips the flag and
         // re-queues us — no lost wakeup.
         run->parked_[shard].store(true, std::memory_order_release);
-        if (run->engine_->shard_idle(shard)) return Quantum::Parked;
+        if (run->engine_->shard_parkable(shard)) return Quantum::Parked;
         run->parked_[shard].store(false, std::memory_order_relaxed);
     }
     return Quantum::MoreWork;
@@ -62,6 +64,13 @@ PooledShardRun::~PooledShardRun() = default;
 void PooledShardRun::start() {
     SPECTRE_REQUIRE(!started_, "PooledShardRun::start called twice");
     started_ = true;
+    // Lane handoffs (§13) are deposited by source shard tasks; the waker
+    // runs on those worker threads and must flip the destination's park
+    // flag before notifying — same protocol as the feeder-side wakeups.
+    engine_->set_shard_waker([this](std::uint32_t s) {
+        if (parked_[s].exchange(false, std::memory_order_acq_rel))
+            pool_->notify(id_base_ + s);
+    });
     for (std::uint32_t s = 0; s < engine_->shards(); ++s) {
         pool_->add(id_base_ + s, tasks_[s].get(), [this](std::uint64_t) {
             {
@@ -73,10 +82,13 @@ void PooledShardRun::start() {
     }
 }
 
-void PooledShardRun::ingest(event::Event e) {
+ShardedEngine::IngestInfo PooledShardRun::ingest(event::Event e) {
     const auto info = engine_->ingest(std::move(e));
-    if (parked_[info.shard].exchange(false, std::memory_order_acq_rel))
+    // A dropped event (benign abort race) enqueued nothing: no wakeup.
+    if (!info.dropped &&
+        parked_[info.shard].exchange(false, std::memory_order_acq_rel))
         pool_->notify(id_base_ + info.shard);
+    return info;
 }
 
 void PooledShardRun::close() {

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -20,10 +21,14 @@ namespace spectre::shard {
 // `feed_chunk` events, round-robin one bounded step per shard, repeat; then
 // close and step until finished. Exercises every merge-bound path without
 // threads — output must be byte-identical to reference_partitioned_run.
+// `schedule`, when set, runs on the feeder between feed chunks (with the
+// number of events fed so far) so tests can inject reshard()/migrate_key()
+// waves at chosen stream positions — the §13 migration differential.
 std::vector<event::ComplexEvent> run_sharded_inline(
     const detect::CompiledQuery& cq, ShardedConfig cfg,
     const std::vector<event::Event>& events, std::size_t feed_chunk = 7,
-    std::size_t step_events = 3);
+    std::size_t step_events = 3,
+    const std::function<void(ShardedEngine&, std::size_t)>& schedule = {});
 
 // Runs a ShardedEngine's S shards as cooperative tasks on an existing
 // (started) EnginePool. The feeder thread calls ingest()/close(); wait()
@@ -42,7 +47,9 @@ public:
     void start();
 
     // Feeder side (one thread): route an event and wake its shard's task.
-    void ingest(event::Event e);
+    // Returns the engine's routing info (shard, depth, dropped) so callers
+    // can publish lane-depth metrics and drive a ReshardController.
+    ShardedEngine::IngestInfo ingest(event::Event e);
     // End-of-stream: wake every shard for its EOS drain.
     void close();
     // Blocks until all shard tasks returned Done. The pool must stay alive.

@@ -1,5 +1,6 @@
 #include "shard/sharded_engine.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <iterator>
 
@@ -28,17 +29,27 @@ std::uint64_t key_bits(const event::Event& e, const query::PartitionBy& part) {
 }  // namespace
 
 // One key's independent sub-stream and engine — the semantic unit of
-// partitioned detection. Owned and driven by exactly one shard task.
+// partitioned detection, and the unit of migration (§13): the whole object
+// moves between shards, MappedStore and stepper/runtime state intact. Owned
+// and driven by exactly one shard task at a time; `owner` names it.
 struct ShardedEngine::KeyLane {
     std::uint32_t key = 0;
+    ShardState* owner = nullptr;  // result sink targets the current owner
     event::MappedStore store;
     std::unique_ptr<sequential::SeqStepper> stepper;  // instances == 0
     std::unique_ptr<core::SpectreRuntime> runtime;    // instances > 0
 };
 
 struct ShardedEngine::Pending {
+    enum class Kind : std::uint8_t {
+        Arrival,  // one routed event
+        Migrate,  // hand lane `key` to shard `to` (consumes no g)
+    };
+    Kind kind = Kind::Arrival;
     event::Seq g = 0;
     std::uint32_t key = 0;
+    std::uint32_t to = 0;     // Migrate only: destination slot
+    std::uint32_t epoch = 0;  // routing epoch that enqueued this entry
     event::Event e;
 };
 
@@ -49,7 +60,7 @@ struct ShardedEngine::TaggedResult {
 
 struct ShardedEngine::ShardState {
     // `mutex` guards the feeder↔task queue, the merger-visible progress
-    // fields, and the task→merger result buffer.
+    // fields, the task→merger result buffer, and the migration mailbox.
     mutable std::mutex mutex;
     std::deque<Pending> queue;
     // Authoritative end-of-input gate for THIS shard's queue: set under the
@@ -63,6 +74,11 @@ struct ShardedEngine::ShardState {
     bool eos_done = false;
     std::uint32_t eos_key = 0;  // lower bound on future EOS tags
     std::deque<TaggedResult> results;
+    // Migration handoff (§13), both mutex-guarded: keys whose lane is in
+    // transit toward this shard (their arrivals must not be processed yet),
+    // and the mailbox the source task deposits the lane into.
+    std::unordered_set<std::uint32_t> awaited;
+    std::vector<std::unique_ptr<KeyLane>> incoming;
 
     // Task-private (only the owning shard task touches these; the lane sinks
     // run on the task thread during a drain).
@@ -73,15 +89,22 @@ struct ShardedEngine::ShardState {
 
 ShardedEngine::ShardedEngine(const detect::CompiledQuery* cq, ShardedConfig cfg,
                              event::ResultSink sink)
-    : cq_(cq), cfg_(cfg), sink_(std::move(sink)) {
+    : cq_(cq),
+      cfg_(cfg),
+      slot_count_(std::max(cfg.shards, cfg.max_shards)),
+      sink_(std::move(sink)),
+      active_shards_(cfg.shards),
+      task_span_(cfg.shards) {
     SPECTRE_REQUIRE(cq_ != nullptr, "ShardedEngine needs a compiled query");
     SPECTRE_REQUIRE(cq_->query().partition.active(),
                     "ShardedEngine needs a query with PARTITION BY");
     SPECTRE_REQUIRE(cfg_.shards >= 1, "ShardedEngine needs at least one shard");
     SPECTRE_REQUIRE(static_cast<bool>(sink_), "ShardedEngine needs a result sink");
-    shards_.reserve(cfg_.shards);
-    for (std::uint32_t s = 0; s < cfg_.shards; ++s)
+    shards_.reserve(slot_count_);
+    for (std::size_t s = 0; s < slot_count_; ++s)
         shards_.push_back(std::make_unique<ShardState>());
+    shard_heat_.assign(slot_count_, 0);
+    epochs_.push_back(EpochRecord{0, cfg_.shards});
 }
 
 ShardedEngine::~ShardedEngine() = default;
@@ -91,9 +114,14 @@ ShardedEngine::IngestInfo ShardedEngine::ingest(event::Event e) {
     const auto [it, fresh] =
         key_index_.try_emplace(bits, static_cast<std::uint32_t>(key_index_.size()));
     const std::uint32_t key = it->second;
-    if (fresh)
-        key_shard_.push_back(static_cast<std::uint32_t>(splitmix64(bits) % cfg_.shards));
-    const std::uint32_t shard = key_shard_[key];
+    if (fresh) {
+        const std::uint32_t active = active_shards_.load(std::memory_order_relaxed);
+        key_route_.push_back(RouteEntry{
+            static_cast<std::uint32_t>(splitmix64(bits) % active), epoch_});
+        key_bits_.push_back(bits);
+        key_heat_.push_back(0);
+    }
+    const std::uint32_t shard = key_route_[key].shard;
     event::Seq g;
     {
         const std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
@@ -101,11 +129,20 @@ ShardedEngine::IngestInfo ShardedEngine::ingest(event::Event e) {
         // feeder (server failure paths); the per-shard gate makes the race
         // benign — a trailing event is dropped, never enqueued behind an
         // EOS drain (which would break merge-tag ordering) and never fatal.
-        if (shards_[shard]->input_closed)
-            return IngestInfo{shard, queued_.load(std::memory_order_acquire)};
+        // The `dropped` flag tells the caller nothing was enqueued, so it
+        // must not notify the shard task or stamp an arrival.
+        if (shards_[shard]->input_closed) {
+            IngestInfo info{shard, queued_.load(std::memory_order_acquire)};
+            info.dropped = true;
+            return info;
+        }
         g = next_g_++;
-        shards_[shard]->queue.push_back(Pending{g, key, std::move(e)});
+        shards_[shard]->queue.push_back(Pending{Pending::Kind::Arrival, g, key,
+                                                0, key_route_[key].epoch,
+                                                std::move(e)});
     }
+    ++key_heat_[key];
+    ++shard_heat_[shard];
     const std::size_t queued = queued_.fetch_add(1, std::memory_order_acq_rel) + 1;
     // Publish after the push: a merger that reads frontier_ >= g+1 and finds
     // the shard's queue empty knows event g was already processed.
@@ -125,14 +162,165 @@ void ShardedEngine::close_input() {
     }
 }
 
-bool ShardedEngine::shard_idle(std::uint32_t s) const {
+// --- elastic partitioning (feeder thread; DESIGN.md §13) --------------------
+
+bool ShardedEngine::migrations_allowed() const {
+    // One wave at a time: a reshard racing a lane still in transit could
+    // strand it (the in-flight lane's destination decision predates the new
+    // epoch). And never after close: the EOS drains are placement-final.
+    return migrations_inflight_.load(std::memory_order_acquire) == 0 &&
+           !input_closed();
+}
+
+bool ShardedEngine::arm_migration(std::uint32_t key, std::uint32_t to) {
+    const std::uint32_t from = key_route_[key].shard;
+    if (from == to) return false;
+    // Destination first: the awaited entry must exist before the source task
+    // can possibly deposit the lane, or the install could race ahead of it
+    // and leave the key blocked forever.
+    {
+        const std::lock_guard<std::mutex> lock(shards_[to]->mutex);
+        shards_[to]->awaited.insert(key);
+    }
+    migrations_inflight_.fetch_add(1, std::memory_order_acq_rel);
+    bool armed = false;
+    {
+        const std::lock_guard<std::mutex> lock(shards_[from]->mutex);
+        if (!shards_[from]->input_closed) {
+            Pending marker;
+            marker.kind = Pending::Kind::Migrate;
+            // Markers consume no g (g values must match the reference run
+            // event-for-event); next_g_ is a sound merge lower bound for a
+            // FIFO position ahead of every future arrival.
+            marker.g = next_g_;
+            marker.key = key;
+            marker.to = to;
+            marker.epoch = epoch_;
+            shards_[from]->queue.push_back(std::move(marker));
+            armed = true;
+        }
+    }
+    if (!armed) {
+        // Input closed under us (worker-side abort racing the feeder): roll
+        // back; the lane finishes where it is. Wake the destination — it may
+        // already be parked waiting on the awaited entry at EOS.
+        {
+            const std::lock_guard<std::mutex> lock(shards_[to]->mutex);
+            shards_[to]->awaited.erase(key);
+        }
+        migrations_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        if (waker_) waker_(to);
+        return false;
+    }
+    key_route_[key] = RouteEntry{to, epoch_};
+    const std::uint64_t h = key_heat_[key];
+    shard_heat_[from] -= std::min(shard_heat_[from], h);
+    shard_heat_[to] += h;
+    ++keys_moved_;
+    if (waker_) waker_(from);  // the marker is work even if no arrival follows
+    return true;
+}
+
+bool ShardedEngine::reshard(std::uint32_t new_shards) {
+    if (new_shards == 0 || new_shards > shards()) return false;
+    if (new_shards == active_shards_.load(std::memory_order_relaxed)) return false;
+    if (!migrations_allowed()) return false;
+    ++epoch_;
+    // Span before routing: the merger loads frontier (acquire) before span,
+    // so any event it can see routed under the new width also shows it the
+    // grown span.
+    if (new_shards > task_span_.load(std::memory_order_relaxed))
+        task_span_.store(new_shards, std::memory_order_release);
+    active_shards_.store(new_shards, std::memory_order_release);
+    epochs_.push_back(EpochRecord{next_g_, new_shards});
+    for (std::uint32_t k = 0; k < key_route_.size(); ++k) {
+        const auto to =
+            static_cast<std::uint32_t>(splitmix64(key_bits_[k]) % new_shards);
+        if (to != key_route_[k].shard) arm_migration(k, to);
+    }
+    ++reshards_;
+    return true;
+}
+
+bool ShardedEngine::steal_hottest(std::uint32_t from, std::uint32_t to) {
+    const std::uint32_t span = task_span();
+    if (from >= span || to >= span || from == to) return false;
+    if (!migrations_allowed()) return false;
+    // Only a key lighter than the load gap improves the max: moving one
+    // hotter just re-pins `to`. An 80%-hot key is therefore never bounced;
+    // its cold co-residents drain away until it holds the shard alone.
+    const std::uint64_t gap = shard_heat_[from] > shard_heat_[to]
+                                  ? shard_heat_[from] - shard_heat_[to]
+                                  : 0;
+    std::uint32_t best = kNoKey;
+    std::uint64_t best_heat = 0;
+    for (std::uint32_t k = 0; k < key_route_.size(); ++k) {
+        if (key_route_[k].shard != from) continue;
+        const std::uint64_t h = key_heat_[k];
+        if (h >= gap) continue;
+        if (best == kNoKey || h > best_heat) {
+            best = k;
+            best_heat = h;
+        }
+    }
+    decay_heat();  // heat is a windowed signal: halve at every decision
+    if (best == kNoKey) return false;
+    ++epoch_;
+    if (!arm_migration(best, to)) return false;
+    epochs_.push_back(
+        EpochRecord{next_g_, active_shards_.load(std::memory_order_relaxed)});
+    ++steals_;
+    return true;
+}
+
+bool ShardedEngine::migrate_key(std::uint32_t key, std::uint32_t to) {
+    if (key >= key_route_.size() || to >= task_span()) return false;
+    if (key_route_[key].shard == to) return false;
+    if (!migrations_allowed()) return false;
+    ++epoch_;
+    if (!arm_migration(key, to)) return false;
+    epochs_.push_back(
+        EpochRecord{next_g_, active_shards_.load(std::memory_order_relaxed)});
+    ++steals_;
+    return true;
+}
+
+void ShardedEngine::decay_heat() {
+    // Recompute shard sums from the halved key heats so per-shard residue
+    // can never outlive the keys that produced it.
+    std::fill(shard_heat_.begin(), shard_heat_.end(), 0);
+    for (std::uint32_t k = 0; k < key_heat_.size(); ++k) {
+        key_heat_[k] >>= 1;
+        shard_heat_[key_route_[k].shard] += key_heat_[k];
+    }
+}
+
+ShardedEngine::MigrationStats ShardedEngine::migration_stats() const noexcept {
+    MigrationStats m;
+    m.reshards = reshards_;
+    m.steals = steals_;
+    m.keys_moved = keys_moved_;
+    m.epoch = epoch_;
+    return m;
+}
+
+bool ShardedEngine::shard_parkable(std::uint32_t s) const {
     const ShardState& sh = *shards_[s];
     const std::lock_guard<std::mutex> lock(sh.mutex);
-    return sh.queue.empty() && !sh.input_closed;
+    if (!sh.incoming.empty()) return false;  // lanes ready to install
+    if (!sh.queue.empty()) {
+        // Only a head arrival blocked on a lane in transit may park; the
+        // deposit wakes the task through the shard waker.
+        const Pending& h = sh.queue.front();
+        return h.kind == Pending::Kind::Arrival && sh.awaited.count(h.key) != 0;
+    }
+    if (!sh.input_closed) return true;   // idle: ingest/close will wake
+    if (!sh.awaited.empty()) return true;  // handoff in flight: waker will wake
+    return sh.eos_done;  // EOS work remains → keep running
 }
 
 std::uint32_t ShardedEngine::key_count() const {
-    return static_cast<std::uint32_t>(key_shard_.size());
+    return static_cast<std::uint32_t>(key_route_.size());
 }
 
 // Lane maps are task-private (header contract: call from the owning shard
@@ -153,13 +341,14 @@ core::SplitterMetrics ShardedEngine::shard_splitter_metrics(std::uint32_t s) con
 
 core::SchedStats ShardedEngine::sched_stats() const {
     core::SchedStats agg;
-    for (std::uint32_t s = 0; s < cfg_.shards; ++s) agg.merge(shard_sched_stats(s));
+    for (std::uint32_t s = 0; s < shards_.size(); ++s)
+        agg.merge(shard_sched_stats(s));
     return agg;
 }
 
 core::SplitterMetrics ShardedEngine::splitter_metrics() const {
     core::SplitterMetrics agg;
-    for (std::uint32_t s = 0; s < cfg_.shards; ++s)
+    for (std::uint32_t s = 0; s < shards_.size(); ++s)
         agg.merge(shard_splitter_metrics(s));
     return agg;
 }
@@ -169,37 +358,82 @@ std::size_t ShardedEngine::shard_queue_depth(std::uint32_t s) const {
     return shards_[s]->queue.size();
 }
 
+std::unique_ptr<ShardedEngine::KeyLane> ShardedEngine::make_lane(
+    ShardState& owner, std::uint32_t key) {
+    auto lane = std::make_unique<KeyLane>();
+    KeyLane* lp = lane.get();
+    lp->key = key;
+    lp->owner = &owner;
+    // The lane sink runs on the owning shard task's thread mid-drain:
+    // translate constituents back to global stream positions, then hand the
+    // result to the merger tagged with the trigger currently being
+    // processed. `owner` is re-pointed on migration (by the source task,
+    // before the deposit), so a moved lane's results land in its new
+    // shard's buffer under that shard's tags.
+    event::ResultSink lane_sink = [lp](event::ComplexEvent&& ce) {
+        lp->store.translate(ce.constituents);
+        ShardState* sh = lp->owner;
+        const std::lock_guard<std::mutex> lock(sh->mutex);
+        sh->results.push_back(TaggedResult{sh->current_tag, std::move(ce)});
+    };
+    if (cfg_.instances == 0) {
+        lp->stepper = std::make_unique<sequential::SeqStepper>(
+            cq_, &lp->store.store(), std::move(lane_sink));
+    } else {
+        core::RuntimeConfig rc;
+        rc.splitter.instances = static_cast<int>(cfg_.instances);
+        rc.batch_events = cfg_.batch_events;
+        lp->runtime = std::make_unique<core::SpectreRuntime>(
+            &lp->store.store(), cq_, rc,
+            std::make_unique<model::MarkovModel>(cq_->min_length(),
+                                                 model::MarkovParams{}));
+        lp->runtime->set_result_sink(std::move(lane_sink));
+        if (obs_) lp->runtime->bind_obs(obs_);
+    }
+    return lane;
+}
+
 ShardedEngine::KeyLane& ShardedEngine::get_lane(ShardState& sh, std::uint32_t key) {
     auto it = sh.lanes.find(key);
-    if (it == sh.lanes.end()) {
-        auto lane = std::make_unique<KeyLane>();
-        KeyLane* lp = lane.get();
-        lp->key = key;
-        // The lane sink runs on the shard task thread mid-drain: translate
-        // constituents back to global stream positions, then hand the result
-        // to the merger tagged with the trigger currently being processed.
-        event::ResultSink lane_sink = [this, &sh, lp](event::ComplexEvent&& ce) {
-            lp->store.translate(ce.constituents);
-            const std::lock_guard<std::mutex> lock(sh.mutex);
-            sh.results.push_back(TaggedResult{sh.current_tag, std::move(ce)});
-        };
-        if (cfg_.instances == 0) {
-            lp->stepper = std::make_unique<sequential::SeqStepper>(
-                cq_, &lp->store.store(), std::move(lane_sink));
-        } else {
-            core::RuntimeConfig rc;
-            rc.splitter.instances = static_cast<int>(cfg_.instances);
-            rc.batch_events = cfg_.batch_events;
-            lp->runtime = std::make_unique<core::SpectreRuntime>(
-                &lp->store.store(), cq_, rc,
-                std::make_unique<model::MarkovModel>(cq_->min_length(),
-                                                     model::MarkovParams{}));
-            lp->runtime->set_result_sink(std::move(lane_sink));
-            if (obs_) lp->runtime->bind_obs(obs_);
-        }
-        it = sh.lanes.emplace(key, std::move(lane)).first;
-    }
+    if (it == sh.lanes.end())
+        it = sh.lanes.emplace(key, make_lane(sh, key)).first;
     return *it->second;
+}
+
+void ShardedEngine::install_incoming(ShardState& sh) {
+    std::vector<std::unique_ptr<KeyLane>> arrived;
+    {
+        const std::lock_guard<std::mutex> lock(sh.mutex);
+        if (sh.incoming.empty()) return;
+        arrived.swap(sh.incoming);
+        for (const auto& lane : arrived) sh.awaited.erase(lane->key);
+    }
+    for (auto& lane : arrived) {
+        sh.lanes[lane->key] = std::move(lane);
+        migrations_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+}
+
+void ShardedEngine::migrate_out(ShardState& sh, const Pending& p) {
+    std::unique_ptr<KeyLane> lane;
+    const auto it = sh.lanes.find(p.key);
+    if (it != sh.lanes.end()) {
+        lane = std::move(it->second);
+        sh.lanes.erase(it);
+    } else {
+        // Key routed here but no arrival processed yet (all still queued at
+        // the destination): hand over a fresh empty lane.
+        lane = make_lane(sh, p.key);
+    }
+    ShardState& dest = *shards_[p.to];
+    // Re-point before the deposit: the destination's mutex publishes the
+    // write, and only the destination task touches the lane afterwards.
+    lane->owner = &dest;
+    {
+        const std::lock_guard<std::mutex> lock(dest.mutex);
+        dest.incoming.push_back(std::move(lane));
+    }
+    if (waker_) waker_(p.to);
 }
 
 void ShardedEngine::drain_lane_quiescent(KeyLane& lane) {
@@ -274,20 +508,42 @@ ShardedEngine::StepResult ShardedEngine::step_shard(std::uint32_t s,
     ShardState& sh = *shards_[s];
     std::size_t budget = max_events > 0 ? max_events : 1;
     while (budget > 0) {
+        install_incoming(sh);
         bool have = false;
+        bool blocked = false;
         Pending p;
         {
             const std::lock_guard<std::mutex> lock(sh.mutex);
             if (!sh.queue.empty()) {
-                p = std::move(sh.queue.front());
-                sh.queue.pop_front();
-                // Visible to the merger before the queue entry disappears:
-                // results for p.g are still pending until we clear this.
-                sh.inflight = MergeTag{p.g, p.key};
-                have = true;
+                Pending& head = sh.queue.front();
+                if (head.kind == Pending::Kind::Arrival &&
+                    sh.awaited.count(head.key) != 0) {
+                    // This key's lane is still in transit toward us;
+                    // processing the arrival on a fresh lane would fork the
+                    // sub-stream. Park — the deposit wakes us.
+                    blocked = true;
+                } else {
+                    p = std::move(head);
+                    sh.queue.pop_front();
+                    if (p.kind == Pending::Kind::Arrival)
+                        // Visible to the merger before the queue entry
+                        // disappears: results for p.g are still pending
+                        // until we clear this.
+                        sh.inflight = MergeTag{p.g, p.key};
+                    have = true;
+                }
             }
         }
+        if (blocked) {
+            r.blocked = true;
+            r.idle = true;
+            break;
+        }
         if (have) {
+            if (p.kind == Pending::Kind::Migrate) {
+                migrate_out(sh, p);  // markers are budget-free
+                continue;
+            }
             process_event(sh, std::move(p));
             {
                 const std::lock_guard<std::mutex> lock(sh.mutex);
@@ -305,20 +561,31 @@ ShardedEngine::StepResult ShardedEngine::step_shard(std::uint32_t s,
         bool done = false;
         bool can_eos = false;
         bool queue_empty = true;
+        bool handoff_pending = false;
+        bool mailbox_full = false;
         {
             const std::lock_guard<std::mutex> lock(sh.mutex);
             done = sh.eos_done;
             queue_empty = sh.queue.empty();
+            handoff_pending = !sh.awaited.empty();
+            mailbox_full = !sh.incoming.empty();
             // The per-shard gate, not the engine-level flag, authorizes the
             // EOS drain: once it is set (under this lock) no ingest can
             // enqueue here, so an EOS tag can never be followed by a
-            // smaller arrival tag.
-            can_eos = sh.input_closed && queue_empty;
+            // smaller arrival tag. A lane still in transit toward us also
+            // vetoes EOS — its (EOS, key) results must not be skipped.
+            can_eos = sh.input_closed && queue_empty && !handoff_pending &&
+                      !mailbox_full;
             if (!done && can_eos) sh.eos_started = true;
         }
         if (done) break;
         if (!can_eos) {
-            if (!queue_empty) continue;  // an arrival raced in — go pop it
+            if (!queue_empty || mailbox_full) continue;  // raced-in work — go take it
+            if (handoff_pending) {
+                r.blocked = true;  // deposit (or rollback) wakes us
+                r.idle = true;
+                break;
+            }
             r.idle = true;  // close in flight, gate not set yet — re-run on notify
             break;
         }
@@ -334,10 +601,13 @@ ShardedEngine::StepResult ShardedEngine::step_shard(std::uint32_t s,
 
 void ShardedEngine::merge_locked(StepResult& r) {
     const std::lock_guard<std::mutex> merge_lock(merge_mutex_);
-    // Frontier before queues: an event routed before this load is either
-    // still queued/inflight (bounding below) or fully processed (its results
-    // already pushed).
+    // Frontier before queues AND before the span: an event routed before
+    // this load is either still queued/inflight (bounding below) or fully
+    // processed (its results already pushed) — and because the feeder grows
+    // task_span_ before routing anything to a new slot, any such event's
+    // slot is inside the span loaded next.
     const event::Seq frontier = frontier_.load(std::memory_order_acquire);
+    const std::uint32_t span = task_span_.load(std::memory_order_acquire);
     const bool closed = input_closed();
 
     // One lock round per shard: compute its lower bound AND splice off the
@@ -346,10 +616,10 @@ void ShardedEngine::merge_locked(StepResult& r) {
     // whole buffer here and merging locally keeps the release loop lock-free
     // — O(results) work under merge_mutex_ only, not O(results × shards)
     // lock traffic.
-    std::vector<std::deque<TaggedResult>> pending(shards_.size());
+    std::vector<std::deque<TaggedResult>> pending(span);
     MergeTag min_bound = kInfTag;
     bool eos_all_done = closed;
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
+    for (std::size_t i = 0; i < span; ++i) {
         ShardState& t = *shards_[i];
         MergeTag b = kInfTag;
         const std::lock_guard<std::mutex> lock(t.mutex);
@@ -389,7 +659,7 @@ void ShardedEngine::merge_locked(StepResult& r) {
         sink_(std::move(tr.ce));
     }
     bool buffers_empty = true;
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
+    for (std::size_t i = 0; i < pending.size(); ++i) {
         if (pending[i].empty()) continue;
         ShardState& t = *shards_[i];
         const std::lock_guard<std::mutex> lock(t.mutex);

@@ -1,4 +1,4 @@
-// Partition-parallel sharded detection (DESIGN.md §10).
+// Partition-parallel sharded detection (DESIGN.md §10, §13).
 //
 // A query that declares PARTITION BY (query::PartitionBy) applies
 // independently to each distinct key value's sub-stream. That independence is
@@ -25,15 +25,27 @@
 // and emits in ascending tag order. Constituent seqs are translated back to
 // global stream positions on the way out (event::MappedStore), so the output
 // is indistinguishable from an engine that saw the whole stream.
+//
+// Elastic partitioning (§13) builds on the same tags: because a tag names a
+// (global seq, key) trigger and never a shard, a lane can MOVE between shards
+// mid-stream without perturbing the merged output. The feeder keeps a
+// versioned key→shard routing table (each update is a *routing epoch*); a
+// migration enqueues a marker in the source shard's FIFO, the source task
+// hands the whole lane object to the destination's mailbox, and the
+// destination blocks that key's arrivals until the lane is installed. The
+// protocol serves both re-sharding (grow/shrink the active shard count and
+// re-route every key) and key-skew lane stealing (move one hot/cold key).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "detect/compiled_query.hpp"
@@ -46,6 +58,10 @@ namespace spectre::shard {
 
 struct ShardedConfig {
     std::uint32_t shards = 1;
+    // Slot capacity for online growth: reshard() can raise the active shard
+    // count up to this many slots. 0 means "== shards" (no growth headroom,
+    // the pre-elastic behavior). Drivers create one task per slot.
+    std::uint32_t max_shards = 0;
     // Per-lane engine: 0 = sequential stepper (the throughput path);
     // > 0 = cooperative SpectreRuntime with that many operator instances.
     std::uint32_t instances = 0;
@@ -65,13 +81,30 @@ public:
     ShardedEngine(const ShardedEngine&) = delete;
     ShardedEngine& operator=(const ShardedEngine&) = delete;
 
-    std::uint32_t shards() const noexcept { return cfg_.shards; }
+    // Slot capacity (max(shards, max_shards)): how many shard tasks a driver
+    // must create so every slot reshard() may ever route to has a stepper.
+    std::uint32_t shards() const noexcept {
+        return static_cast<std::uint32_t>(slot_count_);
+    }
+    // Current routing width: fresh keys hash over [0, active_shards).
+    std::uint32_t active_shards() const noexcept {
+        return active_shards_.load(std::memory_order_acquire);
+    }
+    // Slots the merger consults (monotone: grows with reshard, never
+    // shrinks while running — a shrunk-away slot still drains its EOS).
+    std::uint32_t task_span() const noexcept {
+        return task_span_.load(std::memory_order_acquire);
+    }
 
     // --- feeder side (exactly one thread) -----------------------------------
 
     struct IngestInfo {
-        std::uint32_t shard = 0;     // where the event went (notify its task)
-        std::size_t queued = 0;      // total pending events after the push
+        std::uint32_t shard = 0;  // where the event went (notify its task)
+        std::size_t queued = 0;   // total pending events after the push
+        // The benign abort-race drop: input closed under the feeder, the
+        // event was NOT enqueued. Callers must skip wakeup / arrival-stamp /
+        // backpressure bookkeeping for this event.
+        bool dropped = false;
     };
     // Routes one event to its key's shard. Must not be called after
     // close_input().
@@ -89,24 +122,77 @@ public:
         return queued_.load(std::memory_order_acquire);
     }
 
+    // --- elastic partitioning (feeder thread; DESIGN.md §13) ----------------
+
+    // Re-route every key under a new active shard count (hash % new_shards)
+    // and migrate the lanes whose placement changed. One routing-epoch bump;
+    // refused (returns false) while a previous migration wave is still in
+    // flight, after close_input, or when new_shards exceeds the slot
+    // capacity. Growing raises task_span(); shrinking leaves the old slots
+    // stepping until they drain at EOS.
+    bool reshard(std::uint32_t new_shards);
+
+    // Key-skew lane stealing: move the hottest key of `from` that is
+    // *lighter than the load gap* to `to` — a key hotter than the gap would
+    // just re-pin the destination (ping-pong), so an 80%-hot key stays put
+    // and the cold keys drain off its shard instead. Heat is a decayed
+    // per-key arrival count maintained by ingest(). Same refusal rules as
+    // reshard(); returns false when no key improves the balance.
+    bool steal_hottest(std::uint32_t from, std::uint32_t to);
+
+    // Move one specific key's lane (tests / explicit schedules). Same
+    // refusal rules; `to` must be inside task_span().
+    bool migrate_key(std::uint32_t key, std::uint32_t to);
+
+    // True once every armed migration's lane is installed at its
+    // destination. New waves are refused until then (one wave at a time
+    // keeps a reshard from racing a lane that is still in transit).
+    bool migration_idle() const noexcept {
+        return migrations_inflight_.load(std::memory_order_acquire) == 0;
+    }
+
+    struct MigrationStats {
+        std::uint64_t reshards = 0;    // accepted reshard() calls
+        std::uint64_t steals = 0;      // accepted steal/migrate calls
+        std::uint64_t keys_moved = 0;  // lanes armed for migration
+        std::uint32_t epoch = 0;       // current routing epoch
+    };
+    // Feeder-thread read (same thread that ingests / migrates).
+    MigrationStats migration_stats() const noexcept;
+
+    // Feeder-thread read of key `k`'s current route (tests).
+    std::uint32_t key_route(std::uint32_t key) const {
+        return key_route_[key].shard;
+    }
+
+    // Called (from a shard task) when a migration deposits a lane into shard
+    // `s`'s mailbox or a rolled-back wave un-blocks it: the driver must wake
+    // shard `s`'s task. Set before the shard tasks start; may be invoked
+    // from any shard task thread.
+    void set_shard_waker(std::function<void(std::uint32_t)> waker) {
+        waker_ = std::move(waker);
+    }
+
     // --- shard task side (one logical caller per shard) ---------------------
 
     struct StepResult {
         std::size_t events = 0;      // arrivals processed this call
-        bool idle = false;           // no pending work and input still open
+        bool idle = false;           // nothing to do until woken
+        bool blocked = false;        // head arrival waits on a lane in transit
         bool shard_finished = false; // this shard fully drained incl. EOS
         bool all_finished = false;   // every shard done and every result merged
     };
-    // One bounded quantum of shard `s`: process up to `max_events` pending
-    // arrivals (append to lane, drain lane to quiescence, tag results), run
-    // the end-of-stream drains once the input closed, then merge. Never
-    // blocks on I/O; serialize calls per shard (the pool's task state machine
+    // One bounded quantum of shard `s`: install any migrated-in lanes,
+    // process up to `max_events` pending arrivals (append to lane, drain
+    // lane to quiescence, tag results), hand off migrated-out lanes, run the
+    // end-of-stream drains once the input closed, then merge. Never blocks
+    // on I/O; serialize calls per shard (the pool's task state machine
     // already does).
     StepResult step_shard(std::uint32_t s, std::size_t max_events);
 
-    // Park predicate for shard `s`'s task: nothing to do until more input
-    // arrives or the input closes.
-    bool shard_idle(std::uint32_t s) const;
+    // Park predicate for shard `s`'s task: nothing to do until an ingest, a
+    // close, or a lane handoff (waker) arrives.
+    bool shard_parkable(std::uint32_t s) const;
 
     bool finished() const noexcept {
         return all_finished_.load(std::memory_order_acquire);
@@ -136,7 +222,7 @@ public:
     core::SplitterMetrics splitter_metrics() const;
 
     // Pending arrivals queued on shard `s` right now (lock-taken; the live
-    // lane-depth signal adaptive re-sharding will consume).
+    // lane-depth signal adaptive re-sharding consumes).
     std::size_t shard_queue_depth(std::uint32_t s) const;
 
 private:
@@ -152,12 +238,24 @@ private:
     };
     static constexpr std::uint64_t kEosG = ~std::uint64_t{0} - 1;
     static constexpr MergeTag kInfTag{~std::uint64_t{0}, ~std::uint32_t{0}};
+    static constexpr std::uint32_t kNoKey = ~std::uint32_t{0};
 
     struct KeyLane;
     struct Pending;
     struct TaggedResult;
     struct ShardState;
 
+    // Key → current shard, stamped with the routing epoch that placed it.
+    struct RouteEntry {
+        std::uint32_t shard = 0;
+        std::uint32_t epoch = 0;
+    };
+    struct EpochRecord {
+        event::Seq boundary_g = 0;  // first g routed under this epoch
+        std::uint32_t width = 0;    // active shard count of this epoch
+    };
+
+    std::unique_ptr<KeyLane> make_lane(ShardState& owner, std::uint32_t key);
     KeyLane& get_lane(ShardState& sh, std::uint32_t key);
     void process_event(ShardState& sh, Pending&& p);
     void drain_lane_quiescent(KeyLane& lane);
@@ -165,21 +263,41 @@ private:
     // once the budget is exhausted with work left.
     bool eos_step(ShardState& sh, std::size_t& budget);
     void merge_locked(StepResult& r);
+    // Migration plumbing: install mailbox lanes (destination task), hand a
+    // lane off (source task), arm one key's move (feeder).
+    void install_incoming(ShardState& sh);
+    void migrate_out(ShardState& sh, const Pending& p);
+    bool arm_migration(std::uint32_t key, std::uint32_t to);
+    bool migrations_allowed() const;
+    void decay_heat();
 
     const detect::CompiledQuery* cq_;
     const ShardedConfig cfg_;
+    const std::size_t slot_count_;
     event::ResultSink sink_;
     obs::Shard* obs_ = nullptr;
     std::vector<std::unique_ptr<ShardState>> shards_;
+    std::function<void(std::uint32_t)> waker_;
 
     // Feeder-private router state.
     std::unordered_map<std::uint64_t, std::uint32_t> key_index_;  // bits → dense
-    std::vector<std::uint32_t> key_shard_;                        // dense → shard
+    std::vector<RouteEntry> key_route_;                           // dense → route
+    std::vector<std::uint64_t> key_bits_;                         // dense → bits
+    std::vector<std::uint64_t> key_heat_;    // decayed arrival counts
+    std::vector<std::uint64_t> shard_heat_;  // per-slot sum of key heat
+    std::vector<EpochRecord> epochs_;        // routing-epoch history
+    std::uint32_t epoch_ = 0;
+    std::uint64_t reshards_ = 0;
+    std::uint64_t steals_ = 0;
+    std::uint64_t keys_moved_ = 0;
     event::Seq next_g_ = 0;
 
     // Published router frontier: every event with g < frontier_ is visible in
     // its shard's queue (or beyond); idle shards can produce nothing below it.
     std::atomic<event::Seq> frontier_{0};
+    std::atomic<std::uint32_t> active_shards_;
+    std::atomic<std::uint32_t> task_span_;
+    std::atomic<std::uint32_t> migrations_inflight_{0};
     std::atomic<bool> closed_{false};
     std::atomic<std::size_t> queued_{0};
     std::atomic<std::uint64_t> emitted_{0};
@@ -191,8 +309,9 @@ private:
 // The parity oracle: the unsharded sequential run of a partitioned query —
 // per-key SeqStepper lanes driven single-threadedly in global arrival order,
 // end-of-stream drains in key-first-appearance order. A sharded run of any
-// shard count reproduces this byte-identically; on a single-key stream it is
-// itself byte-identical to SequentialEngine::run over the whole input.
+// shard count AND any migration schedule reproduces this byte-identically; on
+// a single-key stream it is itself byte-identical to SequentialEngine::run
+// over the whole input.
 std::vector<event::ComplexEvent> reference_partitioned_run(
     const detect::CompiledQuery& cq, const std::vector<event::Event>& events);
 

@@ -317,6 +317,142 @@ TEST(CepServer, AdminScrapeIsLiveAndMonotoneDuringBackpressure) {
     srv.stop();
 }
 
+// The admin endpoint is an HTTP server, not an echo chamber: anything that
+// is not a GET — a POST, a stray TLS ClientHello, plain garbage — gets a 400
+// and the close, never a 200 with a metrics body. (It used to answer any
+// EOF'd garbage with the full scrape.)
+TEST(CepServer, AdminScrapeRejectsNonGetRequests) {
+    server::CepServer srv;
+    srv.start();
+
+    const auto send_raw_expect = [&](const std::string& req) {
+        net::TcpClient conn("127.0.0.1", srv.admin_port());
+        conn.send_raw(reinterpret_cast<const std::uint8_t*>(req.data()), req.size());
+        ::shutdown(conn.fd(), SHUT_WR);  // EOF the request side
+        std::string resp;
+        char buf[4096];
+        for (;;) {
+            const ssize_t n = ::recv(conn.fd(), buf, sizeof(buf), 0);
+            if (n > 0) {
+                resp.append(buf, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR) continue;
+            break;
+        }
+        return resp;
+    };
+
+    const std::string post = send_raw_expect("POST /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(post.find("HTTP/1.0 400"), std::string::npos) << post.substr(0, 120);
+    EXPECT_EQ(post.find("spectre_"), std::string::npos) << "400 carried a body";
+
+    const std::string garbage = send_raw_expect("\x16\x03\x01\x02garbage");
+    EXPECT_NE(garbage.find("HTTP/1.0 400"), std::string::npos)
+        << garbage.substr(0, 120);
+
+    // The half-close tolerance the fix must preserve: a bare GET with no
+    // headers, EOF'd immediately, still gets the scrape.
+    const std::string bare = send_raw_expect("GET /\r\n");
+    EXPECT_NE(bare.find("HTTP/1.0 200 OK"), std::string::npos) << bare.substr(0, 120);
+    EXPECT_NE(bare.find("spectre_events_ingested"), std::string::npos);
+
+    srv.stop();
+}
+
+// stats_after beyond the stream length used to silently skip the STATS
+// request (the latch compared with == on the way past). Now the request is
+// honored just before BYE and the reply still arrives.
+TEST(CepServer, StatsRequestedBeyondStreamStillAnswered) {
+    server::CepServer srv;
+    srv.start();
+
+    auto spec = make_session(kRisingTripleQuery, 2, wire_events(200, 31));
+    spec.stats_after = 100000;  // > events.size(): fires on the pre-BYE latch
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    const auto out = client.run_one(spec);
+
+    ASSERT_TRUE(out.completed) << out.error;
+    EXPECT_FALSE(out.stats_missed);
+    ASSERT_EQ(out.stats_json.size(), 1u);
+    EXPECT_NE(out.stats_json.front().find("\"events_ingested\":"), std::string::npos);
+    expect_byte_identical(sequential_ground_truth(spec.query, spec.events),
+                          out.results, "stats-beyond-stream");
+    srv.stop();
+}
+
+// When fault injection kills the stream before the STATS request could be
+// sent, the outcome must say so instead of leaving an empty stats_json that
+// reads like "no reply yet".
+TEST(CepServer, StatsMissReportedWhenStreamTruncates) {
+    server::CepServer srv;
+    srv.start();
+
+    auto spec = make_session(kRisingPairQuery, 0, wire_events(200, 13));
+    spec.truncate_frame_at_event = 50;  // die mid-frame at event 50
+    spec.stats_after = 120;             // never reached
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    const auto out = client.run_one(spec);
+
+    EXPECT_FALSE(out.completed);
+    EXPECT_TRUE(out.stats_missed);
+    EXPECT_TRUE(out.stats_json.empty());
+    // The client returns the instant it hard-closes; the server notices the
+    // mid-frame death asynchronously.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (srv.stats().sessions_failed < 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(srv.stats().sessions_failed, 1u);
+    srv.stop();
+}
+
+// Elastic partitioning end to end (§13): a sharded session under an active
+// ReshardPolicy — grow and steal waves firing off live lane metrics while a
+// skewed stream (one symbol dominating) flows — must stay byte-identical to
+// the partitioned oracle. Adaptivity may only move lanes, never results.
+TEST(CepServer, AdaptiveReshardingSessionStaysByteIdentical) {
+    server::ServerConfig cfg;
+    cfg.pool_workers = 2;
+    cfg.session.quantum_steps = 4;
+    cfg.session.reshard.decide_every_events = 50;  // policy ON
+    cfg.session.reshard.steal_min_peak = 1;
+    cfg.session.reshard.steal_skew_ratio = 1.5;
+    cfg.session.reshard.grow_shards_to = 4;
+    cfg.session.reshard.grow_min_peak = 4;
+    server::CepServer srv(cfg);
+    srv.start();
+
+    const char* kPartitioned =
+        "PATTERN (R1 R2) DEFINE R1 AS R1.close > R1.open, R2 AS R2.close > R2.open "
+        "WITHIN 12 EVENTS FROM EVERY 4 EVENTS PARTITION BY SUBJECT CONSUME ALL";
+    // Skewed input: few symbols means one shard starts with most of the
+    // load under S=2 static hashing — exactly what the controller targets.
+    auto spec = make_session(kPartitioned, 1, wire_events(1200, 555, /*symbols=*/6));
+    spec.shards = 2;
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    const auto out = client.run_one(spec);
+
+    ASSERT_TRUE(out.error.empty()) << out.error;
+    ASSERT_TRUE(out.completed);
+    expect_byte_identical(
+        harness::partitioned_oracle(spec.query, spec.events, /*hello_key=*/""),
+        out.results, "adaptive-resharding");
+
+    // The migration ledger is published on the unified metrics plane.
+    const std::string scrape = http_scrape(srv.admin_port());
+    EXPECT_NE(scrape.find("spectre_lane_migrations"), std::string::npos);
+    EXPECT_NE(scrape.find("spectre_reshards"), std::string::npos);
+
+    srv.stop();
+    EXPECT_EQ(srv.stats().sessions_failed, 0u);
+    EXPECT_EQ(srv.stats().sessions_completed, 1u);
+}
+
 // Same input + same query through the sequential (k=0) and speculative (k>0)
 // engines, concurrently, over the wire: the parity invariant end to end.
 TEST(CepServer, SequentialAndSpectreSessionsAgree) {
