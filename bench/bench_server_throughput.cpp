@@ -13,13 +13,18 @@
 // A parity break or an incomplete session fails the bench (non-zero exit) —
 // this is the §9 acceptance gate, run in ctest at SPECTRE_BENCH_SCALE=0.05.
 // One JSON line per row for scripts.
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 #include "bench_workloads.hpp"
 #include "harness/load_gen.hpp"
 #include "harness/oracle.hpp"
+#include "net/tcp.hpp"
 #include "obs/metrics.hpp"
 #include "server/cep_server.hpp"
 #include "util/stats.hpp"
@@ -54,6 +59,25 @@ const char* kQueries[] = {
 };
 
 constexpr int kPoolWorkers = 4;
+
+// Resident set size in KiB (/proc/self/statm, Linux-only like the reactor).
+long rss_kb() {
+    long pages = 0, resident = 0;
+    if (FILE* f = std::fopen("/proc/self/statm", "r")) {
+        if (std::fscanf(f, "%ld %ld", &pages, &resident) != 2) resident = 0;
+        std::fclose(f);
+    }
+    return resident * (sysconf(_SC_PAGESIZE) / 1024);
+}
+
+// Both ends of every idle connection live in this process, so each session
+// costs two fds; leave headroom for the active sessions and the runtime.
+std::size_t fd_budget_sessions() {
+    rlimit rl{};
+    if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return 256;
+    const auto soft = static_cast<std::size_t>(rl.rlim_cur);
+    return soft > 512 ? (soft - 256) / 2 : 128;
+}
 
 }  // namespace
 
@@ -184,6 +208,132 @@ int main() {
     }
 
     table.print();
+    std::printf("\n");
+
+    // Connection-scale rows (DESIGN.md §14): a large mostly-idle session
+    // population — connect + HELLO, engine task parked on input — alongside a
+    // handful of active streams. Reports what scaling connections actually
+    // costs: accept+HELLO setup time per session, resident memory per idle
+    // session, and whether the active sessions' throughput (and the one-copy
+    // ingest invariant, bytes copied per event) survives the crowd. The idle
+    // count follows the paper-scale 10k target through SPECTRE_BENCH_SCALE,
+    // capped by RLIMIT_NOFILE (both connection ends are in-process).
+    const std::size_t idle_target =
+        std::min<std::size_t>(bench::scaled(10'000), fd_budget_sessions());
+    harness::Table scale_table({"idle sessions", "active", "accept us/conn",
+                                "rss KiB/conn", "active eps", "copied B/event",
+                                "parity"});
+    for (const std::size_t n_idle : {std::size_t{0}, idle_target}) {
+        constexpr std::size_t kActive = 8;
+        const std::uint64_t active_events = bench::scaled(10'000);
+
+        server::ServerConfig cfg;
+        cfg.pool_workers = kPoolWorkers;
+        server::CepServer srv(cfg);
+        srv.start();
+
+        const long rss_before = rss_kb();
+        const auto t_accept = std::chrono::steady_clock::now();
+        std::vector<std::unique_ptr<net::TcpClient>> idle;
+        idle.reserve(n_idle);
+        std::vector<std::uint8_t> hello;
+        net::encode_frame(net::SessionFrame{net::HelloFrame{kQueries[0], 0, 0, ""}},
+                          hello);
+        for (std::size_t i = 0; i < n_idle; ++i) {
+            idle.push_back(std::make_unique<net::TcpClient>("127.0.0.1", srv.port()));
+            idle.back()->send_raw(hello.data(), hello.size());
+        }
+        // Setup cost includes the reactor registering every session: wait for
+        // the accept counter, not just connect() returning.
+        while (srv.stats().sessions_accepted < n_idle)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        const double accept_us =
+            n_idle == 0 ? 0.0
+                        : std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t_accept)
+                                  .count() /
+                              static_cast<double>(n_idle);
+        const double rss_per_conn =
+            n_idle == 0 ? 0.0
+                        : static_cast<double>(rss_kb() - rss_before) /
+                              static_cast<double>(n_idle);
+
+        std::vector<harness::LoadGenSession> specs(kActive);
+        std::vector<std::vector<event::ComplexEvent>> active_expected(kActive);
+        for (std::size_t i = 0; i < kActive; ++i) {
+            specs[i].query = kQueries[i % (sizeof(kQueries) / sizeof(kQueries[0]))];
+            specs[i].events = day(active_events, 9000 + i);
+            specs[i].instances = 2;
+            active_expected[i] = harness::sequential_oracle(specs[i].query, specs[i].events);
+        }
+        harness::LoadGenClient client("127.0.0.1", srv.port());
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto outcomes = client.run(specs);
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+        bool parity_ok = true;
+        std::uint64_t total_events = 0;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            total_events += outcomes[i].events_sent;
+            if (!outcomes[i].completed || !outcomes[i].error.empty() ||
+                !harness::results_identical(active_expected[i], outcomes[i].results)) {
+                parity_ok = false;
+                std::fprintf(stderr, "PARITY BREAK: active session %zu (idle=%zu)\n", i,
+                             n_idle);
+            }
+        }
+        all_parity_ok = all_parity_ok && parity_ok;
+
+        // §12 byte accounting over the whole run (idle HELLOs included —
+        // they are a rounding error next to the active DATA streams).
+        const auto snap = srv.registry().snapshot();
+        const auto counter = [&snap](std::uint32_t sid) {
+            return snap.value(obs::Series{sid});
+        };
+        const double copied_per_event =
+            total_events
+                ? static_cast<double>(counter(obs::sid::kIngestCopiedBytes)) /
+                      static_cast<double>(total_events)
+                : 0.0;
+        const double wire_per_event =
+            total_events
+                ? static_cast<double>(counter(obs::sid::kIngestWireBytes)) /
+                      static_cast<double>(total_events)
+                : 0.0;
+        const double reads_per_event =
+            total_events
+                ? static_cast<double>(counter(obs::sid::kIngestReads)) /
+                      static_cast<double>(total_events)
+                : 0.0;
+
+        idle.clear();  // closes the client ends; stop() aborts whatever remains
+        srv.stop();
+
+        const double eps = wall > 0 ? static_cast<double>(total_events) / wall : 0;
+        scale_table.row({std::to_string(n_idle), std::to_string(kActive),
+                         harness::fmt_double(accept_us, 1),
+                         harness::fmt_double(rss_per_conn, 1), harness::fmt_eps(eps),
+                         harness::fmt_double(copied_per_event, 1),
+                         parity_ok ? "ok" : "BROKEN"});
+        // `shape` is the scale-invariant row identity (the idle count itself
+        // tracks SPECTRE_BENCH_SCALE and the fd limit, so it cannot key the
+        // committed-vs-smoke comparison in perf_trend.py).
+        json_rows.emplace_back(harness::JsonLine("E-server-scale")
+                                   .field("shape", n_idle ? "idle-crowd" : "no-idle")
+                                   .field("idle_sessions", static_cast<int>(n_idle))
+                                   .field("active_sessions", static_cast<int>(kActive))
+                                   .field("pool_workers", kPoolWorkers)
+                                   .field("events_per_session", active_events)
+                                   .field("eps", eps)
+                                   .field("accept_us_per_conn", accept_us)
+                                   .field("rss_kb_per_conn", rss_per_conn)
+                                   .field("copied_bytes_per_event", copied_per_event)
+                                   .field("wire_bytes_per_event", wire_per_event)
+                                   .field("reads_per_event", reads_per_event)
+                                   .field("parity_ok", parity_ok ? 1 : 0));
+    }
+    scale_table.print();
     std::printf("\n");
     for (const auto& row : json_rows) row.print();
     std::printf(

@@ -63,6 +63,11 @@ NON_IDENTITY = {
     # Elastic partitioning (DESIGN.md §13): migration ledger + balance, all
     # measured — the E-shard-skew rows key by mode/shards only.
     "steals", "keys_moved", "reshards", "hot_share",
+    # Connection-scale rows (DESIGN.md §14): the idle-session count follows
+    # SPECTRE_BENCH_SCALE and RLIMIT_NOFILE, so the scale-invariant `shape`
+    # field keys the row and everything else is measured.
+    "idle_sessions", "accept_us_per_conn", "rss_kb_per_conn",
+    "copied_bytes_per_event", "wire_bytes_per_event", "reads_per_event",
 }
 
 WARN_BELOW = 0.75  # flag rows slower than this ratio (warn-only)

@@ -53,7 +53,7 @@ EventStore::~EventStore() { free_chunks(); }
 
 void EventStore::free_chunks() noexcept {
     if (!chunks_) return;
-    const std::size_t n = size_.load(std::memory_order_acquire);
+    const std::size_t n = size_.load(std::memory_order_acquire) + pending_;
     const std::size_t used = (n + kChunkSize - 1) >> kChunkShift;
     for (std::size_t i = 0; i < used; ++i) delete[] chunks_[i].load(std::memory_order_relaxed);
 }
@@ -61,9 +61,11 @@ void EventStore::free_chunks() noexcept {
 EventStore::EventStore(EventStore&& other) noexcept
     : chunks_(std::move(other.chunks_)),
       size_(other.size_.load(std::memory_order_relaxed)),
+      pending_(other.pending_),
       closed_(other.closed_.load(std::memory_order_relaxed)) {
     other.chunks_ = std::make_unique<std::atomic<Event*>[]>(kMaxChunks);
     other.size_.store(0, std::memory_order_relaxed);
+    other.pending_ = 0;
     other.closed_.store(false, std::memory_order_relaxed);
 }
 
@@ -72,16 +74,18 @@ EventStore& EventStore::operator=(EventStore&& other) noexcept {
     free_chunks();
     chunks_ = std::move(other.chunks_);
     size_.store(other.size_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    pending_ = other.pending_;
     closed_.store(other.closed_.load(std::memory_order_relaxed), std::memory_order_relaxed);
     other.chunks_ = std::make_unique<std::atomic<Event*>[]>(kMaxChunks);
     other.size_.store(0, std::memory_order_relaxed);
+    other.pending_ = 0;
     other.closed_.store(false, std::memory_order_relaxed);
     return *this;
 }
 
-Seq EventStore::append(Event e) {
+Event& EventStore::append_slot() {
     SPECTRE_REQUIRE(!closed(), "append on a closed EventStore");
-    const std::size_t n = size_.load(std::memory_order_relaxed);  // writer-owned
+    const std::size_t n = size_.load(std::memory_order_relaxed) + pending_;  // writer-owned
     const std::size_t chunk_index = n >> kChunkShift;
     SPECTRE_REQUIRE(chunk_index < kMaxChunks, "EventStore capacity exceeded");
     Event* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
@@ -89,11 +93,20 @@ Seq EventStore::append(Event e) {
         chunk = new Event[kChunkSize];
         chunks_[chunk_index].store(chunk, std::memory_order_relaxed);
     }
+    ++pending_;
+    Event& slot = chunk[n & (kChunkSize - 1)];
+    slot.seq = n;
+    return slot;
+}
+
+Seq EventStore::append(Event e) {
+    Event& slot = append_slot();
+    const Seq n = slot.seq;
     e.seq = n;
-    chunk[n & (kChunkSize - 1)] = e;
+    slot = e;
     // Release-publish the frontier: readers that acquire size() > n also see
     // the chunk pointer and the event bytes written above.
-    size_.store(n + 1, std::memory_order_release);
+    publish_appends();
     return n;
 }
 

@@ -146,6 +146,23 @@ public:
     // Writer-side only; must not be called after close().
     Seq append(Event e);
 
+    // In-place append for the scatter-decode ingest path (DESIGN.md §14):
+    // returns the next slot with `seq` pre-assigned and the other fields
+    // default-initialized; the caller fills it and later calls
+    // publish_appends() to release-publish every slot taken since the last
+    // publish in one frontier store. Until then readers cannot see the
+    // pending slots — size() still returns the published frontier. Writer-
+    // side only; must not be called after close(); do not interleave with
+    // append() while slots are unpublished.
+    Event& append_slot();
+    std::size_t pending_appends() const noexcept { return pending_; }
+    void publish_appends() noexcept {
+        if (pending_ == 0) return;
+        size_.store(size_.load(std::memory_order_relaxed) + pending_,
+                    std::memory_order_release);
+        pending_ = 0;
+    }
+
     // Drains an entire stream into the store.
     void append_all(EventStream& stream);
 
@@ -173,6 +190,7 @@ private:
 
     std::unique_ptr<std::atomic<Event*>[]> chunks_;
     std::atomic<std::size_t> size_{0};
+    std::size_t pending_ = 0;  // writer-thread only: slots taken, unpublished
     std::atomic<bool> closed_{false};
 };
 

@@ -37,9 +37,30 @@ struct Driver {
     }
 
     void send_frame(const net::SessionFrame& f) {
+        flush_batch();  // keep the byte stream in frame order
         std::vector<std::uint8_t> bytes;
         net::encode_frame(f, bytes);
         conn->send_raw(bytes.data(), bytes.size());
+    }
+
+    // Batched DATA path (ungated sessions): encode_frame appends, so many
+    // frames accumulate into one send. The wire bytes are identical to the
+    // per-frame path — TCP carries no frame boundaries — but the client stops
+    // being one syscall per event, which on a shared core starves the server.
+    // Every ordering-sensitive point (control frames, fault injection,
+    // blocking waits) flushes first.
+    static constexpr std::size_t kBatchBytes = 32 * 1024;
+    std::vector<std::uint8_t> batch;
+
+    void send_frame_batched(const net::SessionFrame& f) {
+        net::encode_frame(f, batch);
+        if (batch.size() >= kBatchBytes) flush_batch();
+    }
+
+    void flush_batch() {
+        if (batch.empty()) return;
+        conn->send_raw(batch.data(), batch.size());
+        batch.clear();
     }
 
     // Send for a read-gated (slow-consumer) session. A blocking send could
@@ -154,6 +175,7 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
         for (std::size_t i = 0; i < spec.events.size() && !d.terminal; ++i) {
             if (i == spec.corrupt_after) {
                 // Fault injection: an invalid frame tag followed by noise.
+                d.flush_batch();
                 const std::uint8_t garbage[16] = {0xff, 0xde, 0xad, 0xbe, 0xef};
                 d.conn->send_raw(garbage, sizeof(garbage));
                 corrupted = true;
@@ -162,6 +184,7 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
             if (i == spec.truncate_frame_at_event) {
                 // Fault injection: die mid-frame — send a partial DATA frame
                 // then hard-close the socket.
+                d.flush_batch();
                 std::vector<std::uint8_t> bytes;
                 net::encode_frame(net::SessionFrame{spec.events[i]}, bytes);
                 d.conn->send_raw(bytes.data(), bytes.size() / 2);
@@ -173,7 +196,7 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
             if (spec.read_gate)
                 d.send_frame_gated(*spec.read_gate, net::SessionFrame{spec.events[i]});
             else
-                d.send_frame(net::SessionFrame{spec.events[i]});
+                d.send_frame_batched(net::SessionFrame{spec.events[i]});
             ++d.out.events_sent;
             if (!stats_sent && d.out.events_sent >= spec.stats_after) {
                 // Mid-stream STATS request: the reply interleaves with RESULTs.
@@ -188,8 +211,10 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
             }
             if (!spec.read_gate || spec.read_gate->load(std::memory_order_acquire))
                 d.drain_nonblocking();
-            if (i == spec.wait_result_after)
+            if (i == spec.wait_result_after) {
+                d.flush_batch();  // the result may hinge on a buffered event
                 while (!d.terminal && d.out.results.empty()) d.read_blocking();
+            }
         }
         if (!d.terminal && !corrupted) {
             if (!stats_sent) {

@@ -1,0 +1,95 @@
+#include "net/egress_ring.hpp"
+
+#include <cerrno>
+
+namespace spectre::net {
+
+namespace {
+constexpr std::size_t kMaxFreeBlocks = 4;
+}
+
+std::vector<std::uint8_t>& EgressRing::tail_for_append() {
+    // A block accepts frames until it reaches the target size; one frame may
+    // run past it (frames are never split across blocks), which just makes
+    // that block's final size a little larger.
+    if (blocks_.empty() || blocks_.back().data.size() >= block_bytes_) {
+        Block b;
+        if (!free_.empty()) {
+            b.data = std::move(free_.back());
+            free_.pop_back();
+            b.data.clear();
+        } else {
+            b.data.reserve(block_bytes_);
+        }
+        blocks_.push_back(std::move(b));
+    }
+    return blocks_.back().data;
+}
+
+void EgressRing::append(const SessionFrame& f) {
+    auto& tail = tail_for_append();
+    const std::size_t before = tail.size();
+    encode_frame(f, tail);
+    bytes_ += tail.size() - before;
+}
+
+void EgressRing::clear() {
+    for (auto& b : blocks_)
+        if (free_.size() < kMaxFreeBlocks) free_.push_back(std::move(b.data));
+    blocks_.clear();
+    bytes_ = 0;
+}
+
+int EgressRing::gather(struct iovec* iov, int cap) const {
+    int n = 0;
+    for (const Block& b : blocks_) {
+        if (n >= cap) break;
+        const std::size_t avail = b.data.size() - b.head;
+        if (avail == 0) continue;  // only possible for the front block
+        iov[n].iov_base = const_cast<std::uint8_t*>(b.data.data() + b.head);
+        iov[n].iov_len = avail;
+        ++n;
+    }
+    return n;
+}
+
+void EgressRing::consume(std::size_t n) {
+    bytes_ -= n;
+    while (n > 0) {
+        Block& b = blocks_.front();
+        const std::size_t avail = b.data.size() - b.head;
+        if (n < avail) {
+            b.head += n;
+            return;
+        }
+        n -= avail;
+        if (free_.size() < kMaxFreeBlocks) free_.push_back(std::move(b.data));
+        blocks_.pop_front();
+    }
+}
+
+EgressRing::FlushResult EgressRing::flush(const SendvFn& sendv) {
+    FlushResult result;
+    while (bytes_ > 0) {
+        struct iovec iov[kMaxIov];
+        const int cnt = gather(iov, kMaxIov);
+        const ssize_t n = sendv(iov, cnt);
+        if (n > 0) {
+            consume(static_cast<std::size_t>(n));
+            result.sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            result.status = FlushStatus::Blocked;
+            return result;
+        }
+        result.status = FlushStatus::Error;
+        result.error = n < 0 ? errno : EIO;
+        return result;
+    }
+    result.status = FlushStatus::Drained;
+    return result;
+}
+
+}  // namespace spectre::net

@@ -1,0 +1,135 @@
+// EpollBackend: the default/reference IoBackend (DESIGN.md §14).
+//
+// A thin shim over the level-triggered epoll loop CepServer used to inline:
+// add/mod/del are epoll_ctl, wait() is epoll_wait, read() is one recv() into
+// a backend-owned 64 KiB buffer. The buffer is sized so one wakeup usually
+// drains a whole burst (the pre-§14 loop recv'd 16 KiB at a time); callers
+// loop read() until Again, so syscalls-per-event is recv count, not wakeup
+// count. The wake eventfd lives inside the backend — it owns registration
+// and draining, and reports the reserved kWakeTag.
+#include "net/io_backend.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace spectre::net {
+
+namespace {
+
+class EpollBackend final : public IoBackend {
+public:
+    static constexpr std::size_t kReadBufferBytes = 64 * 1024;
+
+    EpollBackend() : buffer_(kReadBufferBytes) {
+        epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+        SPECTRE_REQUIRE(epoll_fd_ >= 0, "epoll_create1 failed");
+        wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+        SPECTRE_REQUIRE(wake_fd_ >= 0, "eventfd failed");
+        struct epoll_event ev {};
+        ev.events = EPOLLIN;
+        ev.data.u64 = kWakeTag;
+        SPECTRE_REQUIRE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
+                        "epoll_ctl(wake) failed");
+    }
+
+    ~EpollBackend() override {
+        ::close(wake_fd_);
+        ::close(epoll_fd_);
+    }
+
+    const char* name() const noexcept override { return "epoll"; }
+
+    bool add(int fd, std::uint64_t tag, std::uint32_t interest) override {
+        struct epoll_event ev {};
+        ev.events = translate(interest);
+        ev.data.u64 = tag;
+        return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+    }
+
+    bool mod(int fd, std::uint64_t tag, std::uint32_t interest) override {
+        struct epoll_event ev {};
+        ev.events = translate(interest);
+        ev.data.u64 = tag;
+        return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+    }
+
+    void del(int fd) override {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    }
+
+    int wait(IoEvent* out, int cap) override {
+        if (static_cast<int>(scratch_.size()) < cap) scratch_.resize(static_cast<std::size_t>(cap));
+        const int n = ::epoll_wait(epoll_fd_, scratch_.data(), cap, -1);
+        if (n < 0) return errno == EINTR ? 0 : -1;
+        int produced = 0;
+        for (int i = 0; i < n; ++i) {
+            const auto& ev = scratch_[static_cast<std::size_t>(i)];
+            if (ev.data.u64 == kWakeTag) {
+                std::uint64_t token = 0;
+                while (::read(wake_fd_, &token, sizeof(token)) > 0) {
+                }
+                out[produced++] = IoEvent{kWakeTag, false, false, false};
+                continue;
+            }
+            IoEvent e;
+            e.tag = ev.data.u64;
+            e.readable = (ev.events & EPOLLIN) != 0;
+            e.writable = (ev.events & EPOLLOUT) != 0;
+            e.err_hup = (ev.events & (EPOLLERR | EPOLLHUP)) != 0;
+            out[produced++] = e;
+        }
+        return produced;
+    }
+
+    void wake() override {
+        const std::uint64_t one = 1;
+        [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+    }
+
+    ReadStatus read(int fd, ReadView& view) override {
+        for (;;) {
+            const ssize_t n = ::recv(fd, buffer_.data(), buffer_.size(), 0);
+            if (n > 0) {
+                view = ReadView{buffer_.data(), static_cast<std::size_t>(n)};
+                return ReadStatus::Data;
+            }
+            if (n == 0) return ReadStatus::Eof;
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::Again;
+            read_errno_ = errno;
+            return ReadStatus::Error;
+        }
+    }
+
+    int read_error() const noexcept override { return read_errno_; }
+
+private:
+    static std::uint32_t translate(std::uint32_t interest) noexcept {
+        std::uint32_t events = 0;
+        if (interest & kRead) events |= EPOLLIN;
+        if (interest & kWrite) events |= EPOLLOUT;
+        return events;  // kStream is a read()-path hint; epoll ignores it
+    }
+
+    int epoll_fd_ = -1;
+    int wake_fd_ = -1;
+    int read_errno_ = 0;
+    std::vector<std::uint8_t> buffer_;
+    std::vector<struct epoll_event> scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<IoBackend> make_epoll_backend() {
+    return std::make_unique<EpollBackend>();
+}
+
+}  // namespace spectre::net

@@ -24,8 +24,7 @@ void encode(const WireQuote& q, std::vector<std::uint8_t>& out) {
 
 std::optional<WireQuote> decode(const std::vector<std::uint8_t>& buffer,
                                 std::size_t& offset) {
-    constexpr std::size_t kHeader = 8 + 8 + 8 + 8 + 4;
-    if (buffer.size() - offset < kHeader) return std::nullopt;
+    if (buffer.size() - offset < kWireQuoteHeaderBytes) return std::nullopt;
     std::size_t off = offset;
     WireQuote q;
     q.ts = static_cast<std::int64_t>(get<std::uint64_t>(buffer, off));

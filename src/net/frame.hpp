@@ -39,6 +39,11 @@ std::optional<WireQuote> decode(const std::vector<std::uint8_t>& buffer, std::si
 
 inline constexpr std::size_t kMaxSymbolLength = 64;
 
+// Fixed-size prefix of an encoded WireQuote: ts + open + close + volume +
+// symbol length (the symbol bytes follow). Shared by decode() and the §14
+// scatter path, which parses the same layout from a raw pointer.
+inline constexpr std::size_t kWireQuoteHeaderBytes = 8 + 8 + 8 + 8 + 4;
+
 // Conversions to/from the engine representation.
 WireQuote to_wire(const event::Event& e, const data::StockVocab& vocab);
 event::Event from_wire(const WireQuote& q, const data::StockVocab& vocab);
@@ -76,6 +81,26 @@ T get(const std::vector<std::uint8_t>& buf, std::size_t& off) {
 
 inline double get_double(const std::vector<std::uint8_t>& buf, std::size_t& off) {
     const auto bits = get<std::uint64_t>(buf, off);
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+// Raw-pointer variants for the scatter-decode path (DESIGN.md §14), which
+// parses frames in place from a backend-owned read view rather than from a
+// staged vector. The caller bounds-checks `p + sizeof(T)`.
+template <typename T>
+T get_raw(const std::uint8_t* p) {
+    std::uint64_t bits = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    T value;
+    std::memcpy(&value, &bits, sizeof(T));
+    return value;
+}
+
+inline double get_double_raw(const std::uint8_t* p) {
+    const auto bits = get_raw<std::uint64_t>(p);
     double value;
     std::memcpy(&value, &bits, sizeof(value));
     return value;

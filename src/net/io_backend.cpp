@@ -1,0 +1,33 @@
+#include "net/io_backend.hpp"
+
+#include <sys/socket.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace spectre::net {
+
+ssize_t IoBackend::writev(int fd, const struct iovec* iov, int iovcnt) {
+    // Shared default: one non-blocking vectored send. Deliberately a plain
+    // syscall on both backends — egress credit accounting (DESIGN.md §9)
+    // consumes the byte count synchronously, and sendmsg is thread-safe, so
+    // pool workers may flush without touching reactor state. Batching comes
+    // from the iovec, not from a submission queue.
+    struct msghdr msg {};
+    msg.msg_iov = const_cast<struct iovec*>(iov);
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    return ::sendmsg(fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+}
+
+std::unique_ptr<IoBackend> make_io_backend(IoBackendKind kind) {
+    if (const char* env = std::getenv("SPECTRE_IO_BACKEND")) {
+        if (std::strcmp(env, "uring") == 0) kind = IoBackendKind::Uring;
+        else if (std::strcmp(env, "epoll") == 0) kind = IoBackendKind::Epoll;
+    }
+    if (kind == IoBackendKind::Uring) {
+        if (auto backend = make_uring_backend()) return backend;
+    }
+    return make_epoll_backend();
+}
+
+}  // namespace spectre::net

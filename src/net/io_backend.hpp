@@ -1,0 +1,111 @@
+// IoBackend: the reactor's I/O engine behind an interface (DESIGN.md §14).
+//
+// CepServer's event loop used to be epoll calls inline; extracting them lets
+// the same reactor run over two data planes:
+//
+//   EpollBackend — the default and the reference. Readiness via level-
+//     triggered epoll; read() is one recv() into a backend-owned 64 KiB
+//     buffer (right-sized so a single wakeup drains a burst, the pre-§14
+//     loop issued 16 KiB recvs); writev() is one non-blocking sendmsg().
+//   UringBackend — io_uring over raw syscalls (the container has the kernel
+//     UAPI header but no liburing): multishot IORING_OP_RECV with a provided
+//     buffer ring for session fds, oneshot poll for listen/wake/admin fds
+//     and write interest. read() pops completed buffers without a syscall.
+//     Feature-detected at configure time (SPECTRE_HAVE_IO_URING) and probed
+//     at runtime — make_io_backend(Uring) falls back to epoll when the
+//     kernel (or a seccomp sandbox) refuses io_uring_setup.
+//
+// The contract both implement (and CepServer/ServerSession assume):
+//   * Level-triggered semantics: while interest includes kRead/kWrite and
+//     the fd is ready, wait() keeps reporting it. Backends built on oneshot
+//     primitives (uring poll) re-arm internally.
+//   * read(fd) returns a view of bytes the CALLER must fully consume before
+//     the next read() on the same fd — the storage is recycled then. Views
+//     are backend-owned; nothing is allocated per call.
+//   * writev() is synchronous and non-blocking on both backends (egress
+//     credit accounting needs the byte count now, not a completion later);
+//     batching comes from the iovec, not from submission queues.
+//   * wake() is callable from any thread; wait() then reports one event
+//     with tag kWakeTag (the backend owns and drains the eventfd).
+//   * One reactor thread: every method except wake() must be called from
+//     the thread that calls wait().
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstdint>
+#include <memory>
+
+namespace spectre::net {
+
+struct IoEvent {
+    std::uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    bool err_hup = false;
+};
+
+class IoBackend {
+public:
+    // Interest mask bits for add()/mod().
+    static constexpr std::uint32_t kRead = 1u << 0;
+    static constexpr std::uint32_t kWrite = 1u << 1;
+    // Registration hint: this fd streams bulk data through read() — backends
+    // may bind it to their buffered receive path (uring: multishot recv with
+    // a provided buffer ring). Without it the fd is plain readiness-polled
+    // and the caller does its own recv/accept (listen sockets, admin conns).
+    static constexpr std::uint32_t kStream = 1u << 2;
+
+    // Reserved tag wait() reports after a wake() (never a caller fd's tag).
+    static constexpr std::uint64_t kWakeTag = ~std::uint64_t{0};
+
+    virtual ~IoBackend() = default;
+
+    virtual const char* name() const noexcept = 0;
+
+    // Registers `fd` under `tag`. Returns false on failure (caller drops the
+    // connection; the reactor must survive).
+    virtual bool add(int fd, std::uint64_t tag, std::uint32_t interest) = 0;
+    // Updates the interest mask (kStream is fixed at add()). May fail after
+    // the peer hung up — harmless, the fd delivers nothing further.
+    virtual bool mod(int fd, std::uint64_t tag, std::uint32_t interest) = 0;
+    virtual void del(int fd) = 0;
+
+    // Blocks until at least one event (or a wake). Returns events written to
+    // `out` (≤ cap), 0 on EINTR. Negative means the backend is unusable.
+    virtual int wait(IoEvent* out, int cap) = 0;
+
+    // Any-thread: make wait() return with a kWakeTag event.
+    virtual void wake() = 0;
+
+    enum class ReadStatus { Data, Again, Eof, Error };
+    struct ReadView {
+        const std::uint8_t* data = nullptr;
+        std::size_t size = 0;
+    };
+    // Next burst of bytes from a kStream fd. Data: `view` is valid until the
+    // next read() on this fd. Again: nothing buffered/readable now. Error:
+    // transport error (errno-equivalent in read_error()).
+    virtual ReadStatus read(int fd, ReadView& view) = 0;
+    // errno of the last ReadStatus::Error from read() on this backend.
+    virtual int read_error() const noexcept = 0;
+
+    // Non-blocking vectored write (MSG_NOSIGNAL | MSG_DONTWAIT semantics):
+    // bytes written, or -1 with errno (EAGAIN/EPIPE/...). Synchronous on
+    // both backends by contract (see header comment).
+    virtual ssize_t writev(int fd, const struct iovec* iov, int iovcnt);
+};
+
+enum class IoBackendKind { Epoll, Uring };
+
+std::unique_ptr<IoBackend> make_epoll_backend();
+// nullptr when compiled out or the runtime probe fails (kernel/sandbox).
+std::unique_ptr<IoBackend> make_uring_backend();
+// True when make_uring_backend() would succeed (probe result is cached).
+bool uring_supported() noexcept;
+
+// Kind requested + env override SPECTRE_IO_BACKEND=epoll|uring; Uring falls
+// back to epoll when unsupported. Never returns nullptr.
+std::unique_ptr<IoBackend> make_io_backend(IoBackendKind kind);
+
+}  // namespace spectre::net

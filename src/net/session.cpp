@@ -158,6 +158,87 @@ event::ComplexEvent from_result_frame(const ResultFrame& r) {
     return ce;
 }
 
+ScatterStatus scatter_data(const std::uint8_t* data, std::size_t size, std::size_t& pos,
+                           DataFrameView& dv) {
+    if (data[pos] != static_cast<std::uint8_t>(FrameType::Data)) return ScatterStatus::Control;
+    if (size - pos < 1 + kWireQuoteHeaderBytes) return ScatterStatus::NeedMore;
+    const std::uint8_t* p = data + pos + 1;
+    const auto len = detail::get_raw<std::uint32_t>(p + 32);
+    if (len > kMaxSymbolLength) throw std::runtime_error("corrupt frame: symbol too long");
+    if (size - pos < 1 + kWireQuoteHeaderBytes + len) return ScatterStatus::NeedMore;
+    dv.ts = static_cast<std::int64_t>(detail::get_raw<std::uint64_t>(p));
+    dv.open = detail::get_double_raw(p + 8);
+    dv.close = detail::get_double_raw(p + 16);
+    dv.volume = detail::get_double_raw(p + 24);
+    dv.symbol = reinterpret_cast<const char*>(p + kWireQuoteHeaderBytes);
+    dv.symbol_len = len;
+    pos += 1 + kWireQuoteHeaderBytes + len;
+    return ScatterStatus::Data;
+}
+
+std::size_t FrameReader::tail_need() const {
+    const std::size_t avail = buffer_.size() - offset_;
+    if (avail == 0) return 0;
+    // Mirrors decode_frame's field walk, tracking sizes only. Returns the
+    // bytes missing for the next decode step — a lower bound the caller can
+    // feed exactly and recompute; it reaches the frame end in O(fields)
+    // iterations, never dragging unrelated bytes through the staging copy.
+    const auto want = [avail](std::size_t o, std::size_t n) -> std::size_t {
+        return avail < o + n ? o + n - avail : 0;
+    };
+    const auto u32 = [this](std::size_t o) -> std::uint32_t {
+        std::uint32_t v = 0;
+        for (std::size_t i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(buffer_[offset_ + o + i]) << (8 * i);
+        return v;
+    };
+    // Length-prefixed string at body offset `o`: advances `o` past it, or
+    // returns the missing byte count. Oversized lengths are poll()'s problem
+    // (it throws corrupt-frame as soon as the length field is readable).
+    const auto string_need = [&](std::size_t& o) -> std::size_t {
+        if (const auto n = want(o, 4)) return n;
+        const std::size_t len = u32(o);
+        o += 4;
+        if (const auto n = want(o, len)) return n;
+        o += len;
+        return 0;
+    };
+    std::size_t need = 0;
+    std::size_t o = 1;  // past the tag byte
+    switch (static_cast<FrameType>(buffer_[offset_])) {
+        case FrameType::Hello:
+            if ((need = string_need(o))) return need;  // query
+            if ((need = want(o, 8))) return need;      // instances + shards
+            o += 8;
+            return string_need(o);  // partition key
+        case FrameType::Data: {
+            if ((need = want(o, kWireQuoteHeaderBytes))) return need;
+            return want(o + kWireQuoteHeaderBytes, u32(o + 32));
+        }
+        case FrameType::Result: {
+            if ((need = want(o, 12))) return need;  // window id + #constituents
+            const std::size_t nc = u32(o + 8);
+            o += 12;
+            if ((need = want(o, nc * 8 + 4))) return need;
+            o += nc * 8;
+            const std::uint32_t np = u32(o);
+            o += 4;
+            for (std::uint32_t i = 0; i < np; ++i) {
+                if ((need = string_need(o))) return need;
+                if ((need = want(o, 8))) return need;
+                o += 8;
+            }
+            return 0;
+        }
+        case FrameType::Bye:
+            return want(o, 8);
+        case FrameType::Error:
+        case FrameType::Stats:
+            return string_need(o);
+    }
+    return 1;  // unknown tag: stage it and let poll() throw
+}
+
 void FrameReader::feed(const std::uint8_t* data, std::size_t n) {
     // Compact consumed bytes occasionally so the buffer stays small.
     if (offset_ > 1 << 16) {

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -134,6 +135,14 @@ event::ComplexEvent from_result_frame(const ResultFrame& r);
 // Incremental frame decoder: feed() raw bytes as they arrive, poll() decoded
 // frames until nullopt (read more). Consumed bytes are compacted away
 // periodically so the buffer stays bounded by one frame plus one read chunk.
+//
+// Scatter mode (DESIGN.md §14): the reader is also the *staging* half of the
+// zero-copy ingest path. While empty(), the caller decodes DATA frames in
+// place from its backend-owned read view with scatter_data() below; only
+// control frames and the partial frame at a view's tail are fed here. The
+// invariant that keeps the two paths equivalent: bytes enter the reader in
+// wire order and the caller never scatters while empty() is false, so frame
+// boundaries are identical whichever path decodes them.
 class FrameReader {
 public:
     void feed(const std::uint8_t* data, std::size_t n);
@@ -147,9 +156,44 @@ public:
     // peer died mid-frame (truncated frame, a stream error).
     bool mid_frame() const noexcept { return offset_ < buffer_.size(); }
 
+    // True when no undecoded bytes are staged: the caller may scatter-decode
+    // directly from its own buffer without reordering the stream.
+    bool empty() const noexcept { return offset_ == buffer_.size(); }
+
+    // Bytes missing for the staged partial frame's next decode step (a lower
+    // bound; 0 when nothing is staged or the frame looks complete). Lets the
+    // §14 ingest loop feed exactly what finishes the split frame and return
+    // to the scatter path, instead of staging whole chunks of the view.
+    std::size_t tail_need() const;
+
 private:
     std::vector<std::uint8_t> buffer_;
     std::size_t offset_ = 0;
 };
+
+// In-place view of one DATA frame's payload (scatter decode): numeric fields
+// are decoded into the struct, the symbol stays a pointer into the caller's
+// buffer — valid only until the buffer is recycled, i.e. consume immediately.
+struct DataFrameView {
+    std::int64_t ts = 0;
+    double open = 0, close = 0, volume = 0;
+    const char* symbol = nullptr;
+    std::uint32_t symbol_len = 0;
+
+    std::string_view symbol_view() const noexcept { return {symbol, symbol_len}; }
+};
+
+enum class ScatterStatus {
+    Data,      // `dv` filled; `pos` advanced past the frame
+    Control,   // not a DATA frame: stage the rest of the view for poll()
+    NeedMore,  // DATA frame truncated by the view: stage the tail, read more
+};
+
+// Examines the frame starting at data[pos] (requires pos < size). On Data the
+// view is filled and pos advances past the frame; Control/NeedMore leave pos
+// untouched. Throws std::runtime_error on a corrupt DATA frame (symbol length
+// beyond kMaxSymbolLength), exactly like decode() on the staged path.
+ScatterStatus scatter_data(const std::uint8_t* data, std::size_t size, std::size_t& pos,
+                           DataFrameView& dv);
 
 }  // namespace spectre::net

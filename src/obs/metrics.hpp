@@ -138,6 +138,19 @@ enum : std::uint32_t {
     // --- elastic partitioning (DESIGN.md §13) -------------------------------
     kLaneMigrations,  // key lanes handed between shards (steals + reshards)
     kReshards,        // accepted reshard() routing-epoch changes
+    // --- zero-copy ingest / vectored egress (DESIGN.md §14) -----------------
+    // The byte-accounting pair: wire bytes are every DATA-path byte read off
+    // a session socket; copied bytes are the subset that took a staging copy
+    // through FrameReader (control frames + partial frames at view tails).
+    // copied ≪ wire is the "one copy off the socket" invariant, asserted by
+    // the server tests.
+    kIngestWireBytes,
+    kIngestCopiedBytes,
+    kIngestReads,          // backend read() calls that returned data
+    kIngestFramesScatter,  // DATA frames decoded in place from a read view
+    kIngestFramesStaged,   // frames decoded via the FrameReader staging path
+    kEgressWritevs,        // vectored egress flush syscalls
+    kEgressBytesSent,      // bytes written to session sockets
     kCount
 };
 }  // namespace sid

@@ -1,8 +1,6 @@
 #include "server/cep_server.hpp"
 
 #include <fcntl.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -21,7 +19,6 @@ namespace spectre::server {
 namespace {
 
 constexpr std::uint64_t kListenTag = 0;
-constexpr std::uint64_t kWakeTag = 1;
 constexpr std::uint64_t kAdminListenTag = 2;
 
 // Admin request bytes tolerated before the connection is dropped (a scrape
@@ -65,28 +62,20 @@ CepServer::CepServer(ServerConfig config)
         net::listen_loopback(config_.admin_port, config_.backlog, admin_port_);
     set_nonblocking(admin_listen_fd_);
 
-    epoll_fd_ = ::epoll_create1(0);
-    if (epoll_fd_ < 0) fail("epoll_create1");
-    wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
-    if (wake_fd_ < 0) fail("eventfd");
-
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = kListenTag;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) fail("epoll_ctl(listen)");
-    ev.data.u64 = kWakeTag;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) fail("epoll_ctl(wake)");
-    ev.data.u64 = kAdminListenTag;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, admin_listen_fd_, &ev) < 0)
-        fail("epoll_ctl(admin listen)");
+    // The I/O engine (§14): epoll by default; Uring probes at runtime and
+    // falls back, so construction never fails over the backend choice.
+    io_ = net::make_io_backend(config_.io_backend);
+    if (!io_->add(listen_fd_, kListenTag, net::IoBackend::kRead))
+        fail("IoBackend add(listen)");
+    if (!io_->add(admin_listen_fd_, kAdminListenTag, net::IoBackend::kRead))
+        fail("IoBackend add(admin listen)");
 }
 
 CepServer::~CepServer() {
     stop();
     for (auto& [id, conn] : admin_conns_) ::close(conn.fd);
     admin_conns_.clear();
-    if (epoll_fd_ >= 0) ::close(epoll_fd_);
-    if (wake_fd_ >= 0) ::close(wake_fd_);
+    io_.reset();  // before the fds it may still reference
     if (listen_fd_ >= 0) ::close(listen_fd_);
     if (admin_listen_fd_ >= 0) ::close(admin_listen_fd_);
 }
@@ -160,12 +149,7 @@ ServerStats CepServer::stats() const {
     return s;
 }
 
-void CepServer::wake() {
-    const std::uint64_t one = 1;
-    // Best-effort: the eventfd is only ever full when the reactor already has
-    // a pending wakeup, which is all we need.
-    [[maybe_unused]] const ssize_t w = ::write(wake_fd_, &one, sizeof(one));
-}
+void CepServer::wake() { io_->wake(); }
 
 void CepServer::post_cmd(std::uint64_t id, SessionCmd cmd) {
     {
@@ -176,26 +160,22 @@ void CepServer::post_cmd(std::uint64_t id, SessionCmd cmd) {
 }
 
 void CepServer::reactor_loop() {
-    std::array<epoll_event, 64> events;
+    std::array<net::IoEvent, 64> events;
     while (!stopping_.load(std::memory_order_acquire)) {
-        const int n = ::epoll_wait(epoll_fd_, events.data(),
-                                   static_cast<int>(events.size()), -1);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            break;  // epoll fd gone — shutting down
-        }
+        const int n = io_->wait(events.data(), static_cast<int>(events.size()));
+        if (n < 0) break;  // backend unusable — shutting down
         for (int i = 0; i < n; ++i) {
-            const auto tag = events[i].data.u64;
-            if (tag == kListenTag)
-                accept_clients();
-            else if (tag == kWakeTag)
+            const net::IoEvent& ev = events[static_cast<std::size_t>(i)];
+            if (ev.tag == net::IoBackend::kWakeTag)
                 drain_wake_and_commands();
-            else if (tag == kAdminListenTag)
+            else if (ev.tag == kListenTag)
+                accept_clients();
+            else if (ev.tag == kAdminListenTag)
                 accept_admin_clients();
-            else if (admin_conns_.count(tag))
-                handle_admin_event(tag, events[i].events);
+            else if (admin_conns_.count(ev.tag))
+                handle_admin_event(ev.tag, ev);
             else
-                handle_session_event(tag, events[i].events);
+                handle_session_event(ev.tag, ev);
         }
     }
 }
@@ -232,14 +212,13 @@ void CepServer::accept_clients() {
         auto session = std::make_unique<ServerSession>(
             id, fd, config_.session, &registry_, registry_.make_shard(),
             std::move(hooks));
-        epoll_event ev{};
-        ev.events = EPOLLIN;
-        ev.data.u64 = id;
-        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+        // kStream binds the fd to the backend's buffered ingest path (§14):
+        // uring arms multishot recv into its provided buffer ring here.
+        if (!io_->add(fd, id, net::IoBackend::kRead | net::IoBackend::kStream)) {
             // Registration failed — drop the connection, keep the server.
             continue;  // session destructor closes fd (and retires the shard)
         }
-        session->set_armed_mask(EPOLLIN);
+        session->set_armed_mask(net::IoBackend::kRead);
         server_shard_->add(obs::Series{obs::sid::kSessionsAccepted}, 1);
         server_shard_->add(obs::Series{obs::sid::kSessionsLive}, 1);
         sessions_.emplace(id, std::move(session));
@@ -256,10 +235,7 @@ void CepServer::accept_admin_clients() {
             return;  // EAGAIN or a transient failure — nothing to accept
         }
         const auto id = next_session_id_++;
-        epoll_event ev{};
-        ev.events = EPOLLIN;
-        ev.data.u64 = id;
-        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+        if (!io_->add(fd, id, net::IoBackend::kRead)) {
             ::close(fd);
             continue;
         }
@@ -272,17 +248,16 @@ void CepServer::accept_admin_clients() {
 void CepServer::close_admin(std::uint64_t id) {
     const auto it = admin_conns_.find(id);
     if (it == admin_conns_.end()) return;
-    epoll_event ev{};
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, &ev);
+    io_->del(it->second.fd);
     ::close(it->second.fd);
     admin_conns_.erase(it);
 }
 
-void CepServer::handle_admin_event(std::uint64_t id, std::uint32_t events) {
+void CepServer::handle_admin_event(std::uint64_t id, const net::IoEvent& event) {
     const auto it = admin_conns_.find(id);
     if (it == admin_conns_.end()) return;
     AdminConn& conn = it->second;
-    if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) && conn.out.empty()) {
+    if ((event.readable || event.err_hup) && conn.out.empty()) {
         bool eof = false;
         char chunk[4096];
         for (;;) {
@@ -329,10 +304,7 @@ void CepServer::handle_admin_event(std::uint64_t id, std::uint32_t events) {
                        "Connection: close\r\n\r\n";
             conn.out += body;
         }
-        epoll_event ev{};
-        ev.events = EPOLLOUT;
-        ev.data.u64 = id;
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+        io_->mod(conn.fd, id, net::IoBackend::kWrite);
     }
     if (conn.out.empty()) return;
     // Flush the response; close when done (Connection: close semantics).
@@ -345,25 +317,24 @@ void CepServer::handle_admin_event(std::uint64_t id, std::uint32_t events) {
             continue;
         }
         if (w < 0 && errno == EINTR) continue;
-        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // EPOLLOUT armed
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // write armed
         close_admin(id);
         return;
     }
     close_admin(id);
 }
 
-void CepServer::handle_session_event(std::uint64_t id, std::uint32_t events) {
-    if (events & EPOLLOUT) handle_writable(id);
-    if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) handle_readable(id);
+void CepServer::handle_session_event(std::uint64_t id, const net::IoEvent& event) {
+    if (event.writable) handle_writable(id);
+    if (event.readable || event.err_hup) handle_readable(id);
     // A hung-up fd with a live engine would re-report ERR/HUP every wait
     // (level-triggered) — detach it; completion still arrives via TaskDone.
-    if (events & (EPOLLERR | EPOLLHUP)) {
+    if (event.err_hup) {
         const auto it = sessions_.find(id);
         if (it == sessions_.end()) return;
         ServerSession& s = *it->second;
         if (!s.egress_pending()) {
-            epoll_event ev{};
-            ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, s.fd(), &ev);
+            io_->del(s.fd());
             s.set_armed_mask(0);
         }
     }
@@ -374,7 +345,9 @@ void CepServer::handle_readable(std::uint64_t id) {
     if (it == sessions_.end()) return;  // reaped earlier this batch
     ServerSession& s = *it->second;
     if (s.input_done()) return;
-    for (;;) switch (s.on_readable()) {
+    // on_readable drains the backend until Again (scatter-decoding DATA
+    // frames straight into the session's store, §14).
+    for (;;) switch (s.on_readable(*io_)) {
         case SessionStatus::Open:
             update_interest(s);
             return;
@@ -383,7 +356,7 @@ void CepServer::handle_readable(std::uint64_t id) {
             // once it drains below the low watermark (§9 backpressure).
             // Publish the pause, then re-check the queue level: the task may
             // have drained past the watermark (and missed the flag) between
-            // the push that tripped the limit and now — pausing then would
+            // the append that tripped the limit and now — pausing then would
             // strand a session the task has already parked.
             s.set_read_paused(true);
             if (!s.ingest_above_low()) {
@@ -417,9 +390,6 @@ void CepServer::handle_writable(std::uint64_t id) {
 }
 
 void CepServer::drain_wake_and_commands() {
-    std::uint64_t buf;
-    while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
-    }
     std::vector<std::pair<std::uint64_t, SessionCmd>> cmds;
     {
         const std::lock_guard<std::mutex> lock(cmd_mutex_);
@@ -443,7 +413,7 @@ void CepServer::drain_wake_and_commands() {
                 break;
             case SessionCmd::WatchWrite:
                 s.ack_watch_write();
-                // Opportunistic flush first — often drains without epoll.
+                // Opportunistic flush first — often drains without polling.
                 s.flush_egress();
                 maybe_reap(sid);
                 break;
@@ -470,24 +440,19 @@ void CepServer::maybe_reap(std::uint64_t id) {
 }
 
 void CepServer::destroy_session(SessionMap::iterator it) {
-    epoll_event ev{};
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd(), &ev);  // may ENOENT
+    io_->del(it->second->fd());  // may already be detached — harmless
     server_shard_->sub(obs::Series{obs::sid::kSessionsLive}, 1);
     sessions_.erase(it);
 }
 
 void CepServer::update_interest(ServerSession& s) {
     std::uint32_t mask = 0;
-    if (!s.input_done() && !s.read_paused()) mask |= EPOLLIN;
-    if (s.egress_pending()) mask |= EPOLLOUT;
+    if (!s.input_done() && !s.read_paused()) mask |= net::IoBackend::kRead;
+    if (s.egress_pending()) mask |= net::IoBackend::kWrite;
     if (mask == s.armed_mask()) return;
-    epoll_event ev{};
-    ev.events = mask;
-    ev.data.u64 = s.id();
-    // MOD may fail with ENOENT after an ERR/HUP detach; that fd is done
+    // mod may fail with ENOENT after an ERR/HUP detach; that fd is done
     // delivering events, so the stale mask is harmless.
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, s.fd(), &ev) == 0)
-        s.set_armed_mask(mask);
+    if (io_->mod(s.fd(), s.id(), mask)) s.set_armed_mask(mask);
 }
 
 }  // namespace spectre::server

@@ -8,12 +8,13 @@
 // Architecture (one box per thread):
 //
 //    ┌ reactor ───────────────────────────────┐   ┌ engine pool ───────────┐
-//    │ epoll: listen fd, wake eventfd, every  │   │ N workers multiplexing │
-//    │ session fd. Accepts clients, reads     │──▶│ every session's engine │
-//    │ bytes, decodes typed frames, drives    │   │ task in bounded quanta │
-//    │ each session's state machine, flushes  │◀──│ (§9); a waiting task   │
-//    │ egress on EPOLLOUT, reaps done ones.   │   │ parks, not a worker.   │
-//    └────────────────────────────────────────┘   └────────────────────────┘
+//    │ IoBackend (epoll or io_uring, §14):    │   │ N workers multiplexing │
+//    │ listen fd, wake, every session fd.     │──▶│ every session's engine │
+//    │ Accepts clients, reads bytes, decodes  │   │ task in bounded quanta │
+//    │ typed frames, drives each session's    │◀──│ (§9); a waiting task   │
+//    │ state machine, flushes egress on       │   │ parks, not a worker.   │
+//    │ writable, reaps done sessions.         │   └────────────────────────┘
+//    └────────────────────────────────────────┘
 //
 // The reactor never blocks on a session: fds are non-blocking, corrupt input
 // fails only the offending session (ERROR frame + disconnect), and pool
@@ -23,7 +24,7 @@
 // sessions share the pool's N workers, ingest is bounded per session (a full
 // queue pauses that socket's reads — TCP backpressure), and egress is
 // bounded per session (an over-cap buffer parks that session's task until
-// EPOLLOUT drains it). The per-session ordering guarantee — RESULT stream
+// write readiness drains it). The per-session ordering guarantee — RESULT stream
 // byte-identical to a sequential run of that session's input — is inherited
 // from the engines' retirement order (§8) and is independent of pool size.
 #pragma once
@@ -36,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/io_backend.hpp"
 #include "obs/metrics.hpp"
 #include "server/engine_pool.hpp"
 #include "server/session.hpp"
@@ -56,6 +58,9 @@ struct ServerConfig {
     // (auto-tuned). Tests shrink it so egress backpressure engages at the
     // configured cap instead of hiding inside megabytes of socket buffer.
     int session_sndbuf = 0;
+    // Reactor I/O engine (§14). Uring falls back to epoll when the kernel
+    // (or sandbox) refuses io_uring; SPECTRE_IO_BACKEND=epoll|uring overrides.
+    net::IoBackendKind io_backend = net::IoBackendKind::Epoll;
     SessionLimits session{};
 };
 
@@ -118,6 +123,10 @@ public:
     // tests may snapshot it directly instead of going through a socket.
     obs::Registry& registry() noexcept { return registry_; }
 
+    // The I/O engine actually driving the reactor ("epoll" or "io_uring") —
+    // a Uring request that fell back reports "epoll" here.
+    const char* io_backend_name() const noexcept { return io_->name(); }
+
     // Spawns the reactor thread and the engine pool. Call once.
     void start();
 
@@ -144,9 +153,9 @@ private:
     void reactor_loop();
     void accept_clients();
     void accept_admin_clients();
-    void handle_admin_event(std::uint64_t id, std::uint32_t events);
+    void handle_admin_event(std::uint64_t id, const net::IoEvent& ev);
     void close_admin(std::uint64_t id);
-    void handle_session_event(std::uint64_t id, std::uint32_t events);
+    void handle_session_event(std::uint64_t id, const net::IoEvent& ev);
     void handle_readable(std::uint64_t id);
     void handle_writable(std::uint64_t id);
     void drain_wake_and_commands();
@@ -159,10 +168,13 @@ private:
     ServerConfig config_;
     int listen_fd_ = -1;
     int admin_listen_fd_ = -1;
-    int epoll_fd_ = -1;
-    int wake_fd_ = -1;
     std::uint16_t port_ = 0;
     std::uint16_t admin_port_ = 0;
+
+    // The reactor's I/O engine (§14). Owns the readiness primitive, the wake
+    // channel and the ingest read buffers; the reactor thread is the only
+    // caller of everything except wake().
+    std::unique_ptr<net::IoBackend> io_;
 
     // Declared before the pool and the sessions: both hold shards of (and
     // pointers into) the registry, so it must be destroyed last. The server

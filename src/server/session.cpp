@@ -5,11 +5,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include "model/markov_model.hpp"
-#include "net/tcp.hpp"
 #include "query/parser.hpp"
 
 namespace spectre::server {
@@ -35,7 +35,13 @@ ServerSession::ServerSession(std::uint64_t id, int fd, SessionLimits limits,
                              obs::Registry* registry, obs::ShardPtr shard,
                              SessionHooks hooks)
     : id_(id), fd_(fd), limits_(sanitized(limits)), registry_(registry),
-      shard_(std::move(shard)), hooks_(std::move(hooks)) {}
+      shard_(std::move(shard)), hooks_(std::move(hooks)),
+      sendv_([fd](const struct iovec* iov, int iovcnt) -> ssize_t {
+          struct msghdr msg {};
+          msg.msg_iov = const_cast<struct iovec*>(iov);
+          msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+          return ::sendmsg(fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+      }) {}
 
 ServerSession::~ServerSession() {
     // Callers guarantee no worker is inside run_quantum (the task finished,
@@ -44,7 +50,6 @@ ServerSession::~ServerSession() {
         const std::lock_guard<std::mutex> lock(egress_mutex_);
         account_egress(0);
         egress_.clear();
-        egress_head_ = 0;
     }
     // Last chance to publish engine stats (§12): covers sharded failure
     // paths and server-stop teardown, where no worker-side flush point was
@@ -55,14 +60,13 @@ ServerSession::~ServerSession() {
     ::close(fd_);
 }
 
-// --- reactor side: ingest --------------------------------------------------
+// --- reactor side: ingest (§14 scatter path) --------------------------------
 
-SessionStatus ServerSession::on_readable() {
-    std::uint8_t chunk[16384];
+SessionStatus ServerSession::on_readable(net::IoBackend& io) {
     for (;;) {
-        // Frames already buffered first: a ResumeRead re-entry must not wait
+        // Frames already staged first: a ResumeRead re-entry must not wait
         // for new bytes to dispatch what was decoded before the pause.
-        for (;;) {
+        while (!reader_.empty()) {
             std::optional<net::SessionFrame> frame;
             try {
                 frame = reader_.poll();
@@ -71,22 +75,129 @@ SessionStatus ServerSession::on_readable() {
                 // unrecoverable — but only this session (ERROR + disconnect).
                 return fail(std::string("corrupt frame: ") + e.what(), /*send_error=*/true);
             }
-            if (!frame) break;
+            if (!frame) break;  // mid-frame tail — need more bytes
+            shard_->add(obs::Series{obs::sid::kIngestFramesStaged}, 1);
             const auto status = dispatch(std::move(*frame));
             if (status != SessionStatus::Open) return status;
         }
-        ssize_t n;
-        try {
-            n = net::read_some(fd_, chunk, sizeof(chunk));
-        } catch (const std::exception& e) {
+        net::IoBackend::ReadView view;
+        const auto rs = io.read(fd_, view);
+        if (rs == net::IoBackend::ReadStatus::Again)
+            return SessionStatus::Open;  // drained for now
+        if (rs == net::IoBackend::ReadStatus::Eof) return on_end_of_input();
+        if (rs == net::IoBackend::ReadStatus::Error)
             // Peer reset / transport error: the client is gone, so there is
             // nobody to send ERROR to.
-            return fail(std::string("read failed: ") + e.what(), /*send_error=*/false);
-        }
-        if (n < 0) return SessionStatus::Open;  // EAGAIN — drained for now
-        if (n == 0) return on_end_of_input();
-        reader_.feed(chunk, static_cast<std::size_t>(n));
+            return fail(std::string("read failed: ") + std::strerror(io.read_error()),
+                        /*send_error=*/false);
+        shard_->add(obs::Series{obs::sid::kIngestReads}, 1);
+        shard_->add(obs::Series{obs::sid::kIngestWireBytes}, view.size);
+        const auto status = consume_view(view.data, view.size);
+        if (status != SessionStatus::Open) return status;
     }
+}
+
+void ServerSession::stage_tail(const std::uint8_t* data, std::size_t size,
+                               std::size_t& pos) {
+    if (pos >= size) return;
+    reader_.feed(data + pos, size - pos);
+    shard_->add(obs::Series{obs::sid::kIngestCopiedBytes}, size - pos);
+    pos = size;
+}
+
+SessionStatus ServerSession::consume_view(const std::uint8_t* data, std::size_t size) {
+    // Bounded staging feed: a lone control frame must not drag the rest of
+    // the view through the copy path — feed one chunk, poll it, and return
+    // to the scatter fast path as soon as the reader drains.
+    constexpr std::size_t kStageChunk = 4096;
+    std::size_t pos = 0;
+    std::size_t appended = 0;     // unsharded scatter slots pending publish
+    std::uint64_t scattered = 0;  // DATA frames decoded in place (§12)
+    const auto flush_counters = [this, &scattered] {
+        if (scattered == 0) return;
+        shard_->add(obs::Series{obs::sid::kIngestFramesScatter}, scattered);
+        scattered = 0;
+    };
+    while (pos < size) {
+        if (state_ == State::Streaming && reader_.empty()) {
+            net::DataFrameView dv;
+            net::ScatterStatus st;
+            try {
+                st = net::scatter_data(data, size, pos, dv);
+            } catch (const std::exception& e) {
+                publish_ingest(appended);
+                flush_counters();
+                return fail(std::string("corrupt frame: ") + e.what(), /*send_error=*/true);
+            }
+            if (st == net::ScatterStatus::Data) {
+                ++scattered;
+                // The symbol view points into the backend's buffer — intern
+                // it now; nothing of the view outlives this iteration.
+                event::Event ev = data::make_quote(
+                    vocab_, dv.ts, vocab_.schema->intern_subject(dv.symbol_view()),
+                    dv.open, dv.close, dv.volume);
+                SessionStatus status;
+                if (sharded_) {
+                    status = ingest_sharded(std::move(ev));
+                } else {
+                    status = ingest_store(std::move(ev));
+                    ++appended;
+                }
+                if (status != SessionStatus::Open) {
+                    // Pausing mid-view: the unread tail must survive until
+                    // ResumeRead — stage it (the one place the bulk path
+                    // still copies, and only under backpressure).
+                    stage_tail(data, size, pos);
+                    publish_ingest(appended);
+                    flush_counters();
+                    return status;
+                }
+                continue;
+            }
+            if (st == net::ScatterStatus::NeedMore) {
+                stage_tail(data, size, pos);
+                break;
+            }
+            // Control frame — decode it on the staged path below.
+        }
+        // Feed only what the staged frame needs: with a partial tail,
+        // tail_need() names the exact completion bytes, so the reader drains
+        // right at the frame boundary and the loop returns to scatter — a
+        // split frame costs one staged frame, never the rest of the view. A
+        // fresh control frame starts from its tag byte and converges the
+        // same way; kStageChunk is only the can't-tell fallback.
+        std::size_t chunk = reader_.empty() ? 1 : reader_.tail_need();
+        if (chunk == 0) chunk = kStageChunk;
+        chunk = std::min(size - pos, chunk);
+        reader_.feed(data + pos, chunk);
+        shard_->add(obs::Series{obs::sid::kIngestCopiedBytes}, chunk);
+        pos += chunk;
+        for (;;) {
+            std::optional<net::SessionFrame> frame;
+            try {
+                frame = reader_.poll();
+            } catch (const std::exception& e) {
+                publish_ingest(appended);
+                flush_counters();
+                return fail(std::string("corrupt frame: ") + e.what(), /*send_error=*/true);
+            }
+            if (!frame) break;  // partial — feed the next chunk
+            shard_->add(obs::Series{obs::sid::kIngestFramesStaged}, 1);
+            // Control frames may close the store (BYE) or snapshot counters
+            // (STATS): publish the scatter slots first so they observe them.
+            publish_ingest(appended);
+            const auto status = dispatch(std::move(*frame));
+            if (status != SessionStatus::Open) {
+                flush_counters();
+                if (status == SessionStatus::Paused) stage_tail(data, size, pos);
+                return status;
+            }
+            if (reader_.empty()) break;  // back to the scatter fast path
+        }
+    }
+    publish_ingest(appended);
+    flush_counters();
+    return SessionStatus::Open;
 }
 
 SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
@@ -100,58 +211,19 @@ SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
             return fail("protocol error: expected HELLO", /*send_error=*/true);
         case State::Streaming:
             if (const auto* quote = std::get_if<net::WireQuote>(&frame)) {
-                // Symbol interning stays on the reactor thread (§8): the
-                // engine only ever sees interned ids.
-                if (sharded_) {
-                    // §10: the reactor routes straight into the shard queues
-                    // (the router must see arrivals in global order, and this
-                    // is the only thread that does). A worker-side abort may
-                    // close the input before the reactor learns the session
-                    // failed — the engine reports those trailing events as
-                    // dropped, and the session must not account for them: no
-                    // arrival stamp, no counters, no wakeup (the shard id of a
-                    // dropped event is meaningless).
-                    const auto info = sharded_->ingest(net::from_wire(*quote, vocab_));
-                    if (info.dropped) return SessionStatus::Open;
-                    stamp_arrival();
-                    shard_->add(obs::Series{obs::sid::kEventsIngested}, 1);
-                    if (obs::enabled()) {
-                        shard_->observe(obs::Series{obs::sid::kLaneDepth}, info.queued);
-                        if (info.shard < lane_series_.size())
-                            shard_->set_peak(lane_series_[info.shard].depth_peak,
-                                             info.queued);
-                        sample_lane_skew();
-                    }
-                    // §13: adaptivity decisions run on the reactor (= the
-                    // feeder thread), so route-table edits are synchronous
-                    // with routing — no lock spans the decision.
-                    if (controller_ && --reshard_countdown_ == 0) {
-                        reshard_countdown_ = limits_.reshard.decide_every_events;
-                        apply_reshard_decision();
-                    }
-                    if (shard_parked_input_[info.shard].exchange(
-                            false, std::memory_order_acq_rel))
-                        hooks_.notify_task(shard_task_id(id_, info.shard));
-                    if (info.queued >= limits_.ingest_queue_events) {
-                        shard_->add(obs::Series{obs::sid::kIngestPauses}, 1);
-                        return SessionStatus::Paused;
-                    }
-                    return SessionStatus::Open;
-                }
-                stamp_arrival();
-                const bool room = ingest_push(net::from_wire(*quote, vocab_));
-                shard_->add(obs::Series{obs::sid::kEventsIngested}, 1);
-                if (!room) {
-                    // High watermark hit: stop reading this socket — TCP
-                    // pushes back on the client while the task catches up.
-                    shard_->add(obs::Series{obs::sid::kIngestPauses}, 1);
-                    return SessionStatus::Paused;
-                }
-                return SessionStatus::Open;
+                // Staged-path DATA (rare: a frame split across reads, or one
+                // riding behind a control frame). Symbol interning stays on
+                // the reactor thread (§8) either way: the engine only ever
+                // sees interned ids. Accounting matches the scatter path.
+                if (sharded_) return ingest_sharded(net::from_wire(*quote, vocab_));
+                const auto status = ingest_store(net::from_wire(*quote, vocab_));
+                std::size_t one = 1;
+                publish_ingest(one);
+                return status;
             }
             if (std::get_if<net::StatsFrame>(&frame)) return on_stats();
             if (std::get_if<net::ByeFrame>(&frame)) {
-                close_ingestion();
+                close_ingestion(/*close_store=*/true);
                 state_ = State::Draining;
                 return SessionStatus::Open;  // keep watching: detect client death
             }
@@ -163,6 +235,74 @@ SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
             return SessionStatus::Finished;
     }
     return SessionStatus::Finished;  // unreachable
+}
+
+SessionStatus ServerSession::ingest_store(event::Event&& ev) {
+    stamp_arrival();
+    // §14 scatter append: fill the store's next slot in place; the frontier
+    // is published in batches by publish_ingest (the caller owns the cadence).
+    event::Event& slot = store_.append_slot();
+    ev.seq = slot.seq;
+    slot = std::move(ev);
+    const std::uint64_t in_flight = store_.size() + store_.pending_appends() -
+                                    accepted_.load(std::memory_order_relaxed);
+    if (in_flight >= limits_.ingest_queue_events) {
+        // High watermark hit: stop reading this socket — TCP pushes back on
+        // the client while the task catches up.
+        shard_->add(obs::Series{obs::sid::kIngestPauses}, 1);
+        return SessionStatus::Paused;
+    }
+    return SessionStatus::Open;
+}
+
+SessionStatus ServerSession::ingest_sharded(event::Event&& ev) {
+    // §10: the reactor routes straight into the shard queues (the router
+    // must see arrivals in global order, and this is the only thread that
+    // does). A worker-side abort may close the input before the reactor
+    // learns the session failed — the engine reports those trailing events
+    // as dropped, and the session must not account for them: no arrival
+    // stamp, no counters, no wakeup (the shard id of a dropped event is
+    // meaningless).
+    const auto info = sharded_->ingest(std::move(ev));
+    if (info.dropped) return SessionStatus::Open;
+    stamp_arrival();
+    shard_->add(obs::Series{obs::sid::kEventsIngested}, 1);
+    if (obs::enabled()) {
+        shard_->observe(obs::Series{obs::sid::kLaneDepth}, info.queued);
+        if (info.shard < lane_series_.size())
+            shard_->set_peak(lane_series_[info.shard].depth_peak, info.queued);
+        sample_lane_skew();
+    }
+    // §13: adaptivity decisions run on the reactor (= the feeder thread), so
+    // route-table edits are synchronous with routing — no lock spans the
+    // decision.
+    if (controller_ && --reshard_countdown_ == 0) {
+        reshard_countdown_ = limits_.reshard.decide_every_events;
+        apply_reshard_decision();
+    }
+    if (shard_parked_input_[info.shard].exchange(false, std::memory_order_acq_rel))
+        hooks_.notify_task(shard_task_id(id_, info.shard));
+    if (info.queued >= limits_.ingest_queue_events) {
+        shard_->add(obs::Series{obs::sid::kIngestPauses}, 1);
+        return SessionStatus::Paused;
+    }
+    return SessionStatus::Open;
+}
+
+void ServerSession::publish_ingest(std::size_t& appended) {
+    if (appended == 0) return;
+    store_.publish_appends();
+    shard_->add(obs::Series{obs::sid::kEventsIngested}, appended);
+    appended = 0;
+    // §9 handshake barrier: the task publishes parked_on_input_ and then
+    // re-checks the frontier under this mutex; we publish the frontier and
+    // then exchange the flag, also passing through the mutex. The critical
+    // sections are totally ordered, so either the task's re-check sees the
+    // new frontier (it doesn't park) or our exchange sees the parked flag
+    // (we wake it) — a plain store-load pair would guarantee neither.
+    { const std::lock_guard<std::mutex> lock(ingest_mutex_); }
+    if (parked_on_input_.exchange(false, std::memory_order_acq_rel))
+        hooks_.notify_task(id_);
 }
 
 SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
@@ -315,12 +455,13 @@ SessionStatus ServerSession::on_end_of_input() {
         case State::Streaming:
             if (reader_.mid_frame())
                 // Death mid-frame: the truncated final event must surface as
-                // a stream error, not be silently dropped.
+                // a stream error, not be silently dropped. Scatter keeps
+                // this observable: a partial DATA tail is always staged.
                 return fail("connection closed mid-frame (truncated event)",
                             /*send_error=*/true);
             // Clean EOF at a frame boundary is an implicit BYE — clients may
             // simply shutdown(SHUT_WR) and keep reading results.
-            close_ingestion();
+            close_ingestion(/*close_store=*/true);
             state_ = State::Draining;
             return SessionStatus::Finished;
         case State::Draining:
@@ -348,7 +489,7 @@ SessionStatus ServerSession::fail(const std::string& message, bool send_error) {
     return SessionStatus::Finished;
 }
 
-void ServerSession::close_ingestion() {
+void ServerSession::close_ingestion(bool close_store) {
     {
         const std::lock_guard<std::mutex> lock(ingest_mutex_);
         if (ingest_closed_) return;
@@ -365,13 +506,20 @@ void ServerSession::close_ingestion() {
                 hooks_.notify_task(shard_task_id(id_, s));
         return;
     }
+    if (close_store) {
+        // Reactor dispatch paths only (BYE / clean EOF): the sole appender
+        // closes its own store — the stepper's completion check needs the
+        // final length. Abort paths leave it open (header contract).
+        store_.publish_appends();
+        store_.close();
+    }
     if (parked_on_input_.exchange(false, std::memory_order_acq_rel))
         hooks_.notify_task(id_);
 }
 
 void ServerSession::abort() {
     egress_poison();
-    close_ingestion();
+    close_ingestion(/*close_store=*/false);
     abort_requested_.store(true, std::memory_order_release);
     ::shutdown(fd_, SHUT_RDWR);
     if (task_registered_) {
@@ -453,57 +601,34 @@ void ServerSession::note_stall_end(std::uint64_t& stamp) {
     stamp = 0;
 }
 
-// --- ingest queue -----------------------------------------------------------
+// --- ingest pacing (§14) ----------------------------------------------------
 
-bool ServerSession::ingest_push(event::Event e) {
-    std::size_t size;
-    {
-        const std::lock_guard<std::mutex> lock(ingest_mutex_);
-        ingest_.push_back(std::move(e));
-        size = ingest_.size();
-    }
-    if (parked_on_input_.exchange(false, std::memory_order_acq_rel))
-        hooks_.notify_task(id_);
-    return size < limits_.ingest_queue_events;
-}
-
-std::size_t ServerSession::pull_ingest() {
-    // Worker-only scratch; clear() keeps capacity across the (hot) steps.
-    pull_scratch_.clear();
-    bool close_store = false;
-    bool resume = false;
-    {
-        const std::lock_guard<std::mutex> lock(ingest_mutex_);
-        const std::size_t n = std::min(ingest_.size(), limits_.batch_events);
-        pull_scratch_.reserve(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            pull_scratch_.push_back(std::move(ingest_.front()));
-            ingest_.pop_front();
-        }
-        close_store = ingest_closed_ && ingest_.empty();
-        resume = ingest_.size() < limits_.ingest_queue_events / 2;
-    }
-    for (auto& e : pull_scratch_) store_.append(std::move(e));
-    if (close_store && !store_.closed()) store_.close();
+std::size_t ServerSession::accept_ingest() {
+    const std::uint64_t frontier = store_.size();
+    const std::uint64_t accepted = accepted_.load(std::memory_order_relaxed);
+    const std::uint64_t n =
+        std::min<std::uint64_t>(frontier - accepted, limits_.batch_events);
+    if (n > 0) accepted_.store(accepted + n, std::memory_order_release);
     // Below the low watermark: hand the reactor its read interest back
     // (exactly once per pause — the exchange is the dedup).
-    if (resume && read_paused_.exchange(false, std::memory_order_acq_rel))
+    if (frontier - (accepted + n) < limits_.ingest_queue_events / 2 &&
+        read_paused_.exchange(false, std::memory_order_acq_rel))
         hooks_.post(id_, SessionCmd::ResumeRead);
-    return pull_scratch_.size();
+    return static_cast<std::size_t>(n);
 }
 
 bool ServerSession::ingest_empty_and_open() {
     const std::lock_guard<std::mutex> lock(ingest_mutex_);
-    return ingest_.empty() && !ingest_closed_;
+    return store_.size() == accepted_.load(std::memory_order_relaxed) && !ingest_closed_;
 }
 
 bool ServerSession::ingest_above_low() const {
     if (sharded_) return sharded_->queued_total() >= limits_.ingest_queue_events / 2;
-    const std::lock_guard<std::mutex> lock(ingest_mutex_);
-    return ingest_.size() >= limits_.ingest_queue_events / 2;
+    return store_.size() - accepted_.load(std::memory_order_acquire) >=
+           limits_.ingest_queue_events / 2;
 }
 
-// --- egress buffer ----------------------------------------------------------
+// --- egress ring (§14) ------------------------------------------------------
 
 void ServerSession::account_egress(std::size_t now_bytes) {
     // Gauge: this session's current backlog (the server sums the gauges of
@@ -515,51 +640,41 @@ void ServerSession::account_egress(std::size_t now_bytes) {
 
 bool ServerSession::egress_append(const net::SessionFrame& frame) {
     if (egress_dead_.load(std::memory_order_acquire)) return false;
-    std::vector<std::uint8_t> bytes;
-    net::encode_frame(frame, bytes);
     const std::lock_guard<std::mutex> lock(egress_mutex_);
     if (egress_dead_.load(std::memory_order_relaxed)) return false;
-    egress_.insert(egress_.end(), bytes.begin(), bytes.end());
-    account_egress(egress_.size() - egress_head_);
+    // §14: encode_frame writes directly into the ring's tail block — frame
+    // bytes are produced exactly once, already in wire order.
+    egress_.append(frame);
+    account_egress(egress_.bytes());
     return true;
 }
 
 bool ServerSession::egress_try_flush() {
     const std::lock_guard<std::mutex> lock(egress_mutex_);
     if (egress_dead_.load(std::memory_order_relaxed)) return false;
-    while (egress_head_ < egress_.size()) {
-        const ssize_t w = ::send(fd_, egress_.data() + egress_head_,
-                                 egress_.size() - egress_head_,
-                                 MSG_NOSIGNAL | MSG_DONTWAIT);
-        if (w > 0) {
-            egress_head_ += static_cast<std::size_t>(w);
-            continue;
+    if (!egress_.empty()) {
+        const auto r = egress_.flush([this](const struct iovec* iov, int iovcnt) {
+            shard_->add(obs::Series{obs::sid::kEgressWritevs}, 1);
+            return sendv_(iov, iovcnt);
+        });
+        if (r.sent > 0)
+            shard_->add(obs::Series{obs::sid::kEgressBytesSent}, r.sent);
+        if (r.status == net::EgressRing::FlushStatus::Error) {
+            // Transport error (EPIPE, ECONNRESET, …): the peer is
+            // unreachable — poison the path, drop what it will never read,
+            // and abort the engine so the task stops burning pool quanta
+            // computing results nobody can receive. The outcome latch
+            // coordinates with the reactor's fail() so the session is
+            // counted failed exactly once (and never after its BYE).
+            account_egress(0);
+            egress_.clear();
+            egress_dead_.store(true, std::memory_order_release);
+            abort_requested_.store(true, std::memory_order_release);
+            count_failed_once();
+            return false;
         }
-        if (w < 0 && errno == EINTR) continue;
-        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-        // Transport error (EPIPE, ECONNRESET, …): the peer is unreachable —
-        // poison the path, drop what it will never read, and abort the
-        // engine so the task stops burning pool quanta computing results
-        // nobody can receive. The fail_counted latch coordinates with the
-        // reactor's fail() so the session is counted failed exactly once
-        // (and never after its BYE was buffered).
-        account_egress(0);
-        egress_.clear();
-        egress_head_ = 0;
-        egress_dead_.store(true, std::memory_order_release);
-        abort_requested_.store(true, std::memory_order_release);
-        count_failed_once();
-        return false;
     }
-    if (egress_head_ == egress_.size()) {
-        egress_.clear();
-        egress_head_ = 0;
-    } else if (egress_head_ >= 64 * 1024) {
-        egress_.erase(egress_.begin(),
-                      egress_.begin() + static_cast<std::ptrdiff_t>(egress_head_));
-        egress_head_ = 0;
-    }
-    account_egress(egress_.size() - egress_head_);
+    account_egress(egress_.bytes());
     return true;
 }
 
@@ -567,26 +682,25 @@ void ServerSession::egress_poison() {
     const std::lock_guard<std::mutex> lock(egress_mutex_);
     account_egress(0);
     egress_.clear();
-    egress_head_ = 0;
     egress_dead_.store(true, std::memory_order_release);
 }
 
 bool ServerSession::egress_has_credit() const {
     if (egress_dead_.load(std::memory_order_acquire)) return true;  // sink discards
     const std::lock_guard<std::mutex> lock(egress_mutex_);
-    return egress_.size() - egress_head_ <= limits_.egress_buffer_bytes;
+    return egress_.bytes() <= limits_.egress_buffer_bytes;
 }
 
 bool ServerSession::egress_idle() const {
     if (egress_dead_.load(std::memory_order_acquire)) return true;
     const std::lock_guard<std::mutex> lock(egress_mutex_);
-    return egress_head_ == egress_.size();
+    return egress_.empty();
 }
 
 bool ServerSession::egress_pending() const {
     if (egress_dead_.load(std::memory_order_acquire)) return false;
     const std::lock_guard<std::mutex> lock(egress_mutex_);
-    return egress_head_ != egress_.size();
+    return !egress_.empty();
 }
 
 bool ServerSession::flush_egress() {
@@ -644,7 +758,7 @@ EngineTask::Quantum ServerSession::run_quantum() {
                     }
                 }
             }
-            const std::size_t pulled = pull_ingest();
+            const std::size_t pulled = accept_ingest();
             bool done = false;
             bool quiescent = false;  // no further progress at this frontier
             if (stepper_) {
@@ -657,14 +771,15 @@ EngineTask::Quantum ServerSession::run_quantum() {
                 // step() reports quiescence explicitly: the scheduling loop
                 // reached a fixed point for the current frontier. With fresh
                 // appends the windows may not be discovered yet, so only an
-                // empty pull counts toward parking.
+                // empty accept counts toward parking.
                 quiescent = pulled == 0 && p.quiescent;
             }
             if (done) return finish_engine();
             if (quiescent) {
                 // Park on input starvation. Publish intent first, then
-                // re-check: a reactor push between the check and the park
-                // flips the flag and re-queues us (no lost wakeup).
+                // re-check under the ingest mutex: a reactor publish between
+                // the check and the park flips the flag and re-queues us
+                // (no lost wakeup — see publish_ingest).
                 parked_on_input_.store(true, std::memory_order_release);
                 if (ingest_empty_and_open()) {
                     shard_->add(obs::Series{obs::sid::kParksInput}, 1);

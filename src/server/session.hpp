@@ -17,15 +17,23 @@
 // protocol violation, death mid-frame — fails only this session; the reactor
 // loop never sees an exception (§8 session lifecycle).
 //
-// Threading (§9): the reactor runs on_readable()/flush_egress()/abort(); one
-// pool worker at a time runs run_quantum() (serialized by the pool's task
-// state machine — the engine state needs no locks). The two sides meet at
-// the bounded ingest queue (reactor pushes decoded events, the task drains
-// them into the store; a full queue pauses the *reader*, never a thread) and
-// at the bounded egress buffer (the task appends encoded RESULT/BYE frames
-// when it has credit, both sides flush non-blockingly; an over-cap buffer
-// parks the *task*, never a worker). Nothing in this file blocks on a
-// socket, and no per-session thread exists.
+// Threading (§9/§14): the reactor runs on_readable()/flush_egress()/abort();
+// one pool worker at a time runs run_quantum() (serialized by the pool's
+// task state machine — the engine state needs no locks). The two sides meet:
+//
+//   * Ingest (§14 scatter path): the reactor decodes DATA frames straight out
+//     of the backend's read view into the session's EventStore — one copy off
+//     the socket, no intermediate event queue. Backpressure is a pacing
+//     counter: the worker advances `accepted_` by at most a batch per step;
+//     when the frontier runs ahead of it by the high watermark the reactor
+//     pauses the *reader*, never a thread. Control frames and partial frame
+//     tails still stage through the FrameReader (the copied-byte path, which
+//     the §12 counters keep visibly rare).
+//   * Egress: the task appends encoded RESULT/BYE frames into an EgressRing
+//     when it has credit; both sides flush non-blockingly with one vectored
+//     send per burst; an over-cap ring parks the *task*, never a worker.
+//
+// Nothing in this file blocks on a socket, and no per-session thread exists.
 #pragma once
 
 #include <atomic>
@@ -40,6 +48,8 @@
 #include "data/stock.hpp"
 #include "detect/compiled_query.hpp"
 #include "event/stream.hpp"
+#include "net/egress_ring.hpp"
+#include "net/io_backend.hpp"
 #include "net/session.hpp"
 #include "obs/metrics.hpp"
 #include "sequential/seq_engine.hpp"
@@ -71,16 +81,17 @@ inline std::uint64_t session_of_task(std::uint64_t task_id) {
 struct SessionLimits {
     int max_instances = 8;          // cap on HELLO's k
     int max_shards = 16;            // cap on HELLO's shard count (§10)
-    std::size_t batch_events = 64;  // engine batch + per-step ingest drain
+    std::size_t batch_events = 64;  // engine batch + per-step ingest pacing
     // Pool scheduling quantum (§9): engine steps per run_quantum() — the
     // slice after which a runnable session yields its worker.
     std::size_t quantum_steps = 32;
     // Sequential-engine windows per step; bounds the egress burst one credit
     // check can miss (SPECTRE's burst is bounded by the splitter lookahead).
     std::size_t quantum_windows = 4;
-    // Ingest-queue high watermark: at or above this many queued events the
-    // reactor stops reading the session's socket (TCP backpressure to the
-    // client); reading resumes below half of it.
+    // Ingest high watermark: once the store frontier runs this many events
+    // ahead of the task's accepted counter the reactor stops reading the
+    // session's socket (TCP backpressure to the client); reading resumes
+    // below half of it.
     std::size_t ingest_queue_events = 1024;
     // Egress credit: while more than this many bytes are buffered for a slow
     // result reader, the engine task parks (§9 backpressure).
@@ -95,15 +106,15 @@ struct SessionLimits {
 // What the reactor should do with the connection after feeding it input.
 enum class SessionStatus {
     Open,      // keep watching the fd for input
-    Paused,    // ingest queue full — stop reading until the task drains it
+    Paused,    // ingest ran ahead — stop reading until the task accepts it
     Finished,  // stop watching; egress (if an engine runs) continues
 };
 
 // Commands a session posts to the reactor from a pool worker (applied on the
-// reactor thread, which owns the epoll set).
+// reactor thread, which owns the backend's interest sets).
 enum class SessionCmd : std::uint8_t {
-    ResumeRead,  // ingest queue drained below the low watermark
-    WatchWrite,  // egress bytes pending — arm EPOLLOUT
+    ResumeRead,  // ingest drained below the low watermark
+    WatchWrite,  // egress bytes pending — arm write interest
     TaskDone,    // engine task finished — reap once egress drains
 };
 
@@ -135,9 +146,10 @@ public:
     // --- reactor side --------------------------------------------------------
 
     // The fd is readable (or a ResumeRead re-entry): polls frames already
-    // buffered, then drains the fd (non-blocking), dispatching each decoded
-    // frame. Never throws — any failure fails this session only.
-    SessionStatus on_readable();
+    // staged, then drains the backend's read views for this fd (§14 scatter
+    // decode), dispatching every frame. Never throws — any failure fails
+    // this session only.
+    SessionStatus on_readable(net::IoBackend& io);
 
     // The fd is writable: flush buffered egress bytes. Returns true when the
     // flush made credit available or emptied the buffer (the reactor then
@@ -173,15 +185,15 @@ public:
         return read_paused_.load(std::memory_order_acquire);
     }
     // Pause double-check (§9, reactor side): after publishing read_paused,
-    // the reactor verifies the queue is still at or above the low watermark —
-    // the task may have drained it (and missed the flag) in between. Below
-    // the watermark the reactor unpauses and keeps reading instead.
+    // the reactor verifies ingest still sits at or above the low watermark —
+    // the task may have accepted past it (and missed the flag) in between.
+    // Below the watermark the reactor unpauses and keeps reading instead.
     bool ingest_above_low() const;
 
     // Reactor bookkeeping: input side finished (EOF / BYE'd out / failed).
     bool input_done() const noexcept { return input_done_; }
     void set_input_done() noexcept { input_done_ = true; }
-    // Epoll interest currently armed for this fd.
+    // Backend interest currently armed for this fd (IoBackend mask bits).
     std::uint32_t armed_mask() const noexcept { return armed_mask_; }
     void set_armed_mask(std::uint32_t mask) noexcept { armed_mask_ = mask; }
     // The reactor handled this session's WatchWrite command; the task may
@@ -195,12 +207,16 @@ public:
     // the server thread at any point; idempotent.
     void abort();
 
+    // Test seam: replaces the vectored-send function the egress ring flushes
+    // through (default: sendmsg on the session fd). Call before any egress.
+    void set_sendv_for_test(net::EgressRing::SendvFn fn) { sendv_ = std::move(fn); }
+
     // --- pool worker side ----------------------------------------------------
 
-    // One bounded engine quantum (EngineTask). Pulls ingest into the store,
-    // steps the engine, emits results into the egress buffer; parks on input
-    // starvation or missing egress credit (§9). Unsharded sessions only —
-    // sharded ones schedule one ShardSubTask per shard instead (§10).
+    // One bounded engine quantum (EngineTask). Accepts ingest, steps the
+    // engine, emits results into the egress ring; parks on input starvation
+    // or missing egress credit (§9). Unsharded sessions only — sharded ones
+    // schedule one ShardSubTask per shard instead (§10).
     Quantum run_quantum() override;
 
 private:
@@ -224,21 +240,45 @@ private:
     // best-effort), poisons egress, closes ingestion, shuts the socket down
     // and wakes the task so it can abandon its engine.
     SessionStatus fail(const std::string& message, bool send_error);
-    void close_ingestion();
+    // `close_store` only from reactor dispatch paths (BYE / clean EOF): the
+    // reactor is the sole appender, so no append can race the close. Abort
+    // paths (worker-side engine failure, server stop) never close the store
+    // — their task exits via abort_requested_, not engine completion.
+    void close_ingestion(bool close_store);
     // sessions_failed exactly once per session, and never after its BYE.
     void count_failed_once();
 
-    // Ingest queue (reactor → task).
-    bool ingest_push(event::Event e);  // false once the high watermark is hit
-    // Moves up to `max_events` into the store; closes the store once the
-    // queue is both closed and drained. Returns events appended.
-    std::size_t pull_ingest();
-    bool ingest_empty_and_open();  // park predicate, under the queue lock
+    // Scatter ingest (§14, reactor thread).
+    // Walks one backend read view: DATA frames decode in place into the
+    // store (unsharded) or a stack event routed to the sharded engine;
+    // control frames and partial tails stage through reader_.
+    SessionStatus consume_view(const std::uint8_t* data, std::size_t size);
+    // Stages view bytes [pos, size) into reader_, counting the copy (§12).
+    void stage_tail(const std::uint8_t* data, std::size_t size, std::size_t& pos);
+    // Appends one decoded quote into the store as an unpublished slot.
+    // Returns Paused once in-flight (frontier + pending - accepted) hits the
+    // high watermark.
+    SessionStatus ingest_store(event::Event&& ev);
+    // Routes one decoded quote into the sharded engine's lanes (§10), with
+    // the per-lane accounting, reshard pacing (§13) and park/wake protocol.
+    SessionStatus ingest_sharded(event::Event&& ev);
+    // Release-publishes `appended` scatter slots and wakes a parked task.
+    // The empty ingest_mutex_ section is the §9 handshake barrier: it orders
+    // this publish against the task's publish-park-then-recheck (both sides
+    // pass through the mutex, so either the task sees the new frontier or
+    // this thread sees the parked flag — never neither).
+    void publish_ingest(std::size_t& appended);
+    bool ingest_empty_and_open();  // park predicate (frontier == accepted)
 
-    // Egress buffer (task → reactor/socket).
+    // Worker side: advances accepted_ by at most batch_events toward the
+    // frontier (ingest pacing); posts ResumeRead once in-flight drops below
+    // the low watermark. Returns slots accepted this call.
+    std::size_t accept_ingest();
+
+    // Egress ring (task → reactor/socket).
     bool egress_append(const net::SessionFrame& frame);  // false when poisoned
-    // Non-blocking flush of buffered bytes into the socket; returns false on
-    // a transport error (egress poisoned). Either side may call it.
+    // Non-blocking vectored flush of buffered bytes into the socket; returns
+    // false on a transport error (egress poisoned). Either side may call it.
     bool egress_try_flush();
     void egress_poison();
     bool egress_has_credit() const;
@@ -331,21 +371,21 @@ private:
     // observed completion first).
     std::atomic<bool> bye_sent_{false};
 
-    // Ingest queue: reactor pushes decoded events, the task drains them into
-    // the store. Bounded by the high watermark (soft — the reactor finishes
-    // decoding the chunk in flight, then pauses reading).
+    // Ingest pacing (§14, unsharded): the reactor appends straight into
+    // store_ (frontier = store_.size()); the worker advances accepted_ by at
+    // most a batch per step. in-flight = frontier - accepted_ is the queue
+    // depth the watermarks bound. ingest_mutex_ orders the park handshake
+    // (see publish_ingest) and guards ingest_closed_.
     mutable std::mutex ingest_mutex_;
-    std::deque<event::Event> ingest_;
     bool ingest_closed_ = false;
+    std::atomic<std::uint64_t> accepted_{0};
     std::atomic<bool> read_paused_{false};
-    // Worker-only drain scratch (outside the lock), reused across steps.
-    std::vector<event::Event> pull_scratch_;
 
-    // Egress buffer: encoded frames waiting for the socket. `egress_head_`
-    // is the flushed prefix (compacted periodically).
+    // Egress ring (§14): encoded frames waiting for the socket, flushed with
+    // vectored sends. sendv_ defaults to sendmsg on fd_; injectable by tests.
     mutable std::mutex egress_mutex_;
-    std::vector<std::uint8_t> egress_;
-    std::size_t egress_head_ = 0;
+    net::EgressRing egress_;
+    net::EgressRing::SendvFn sendv_;
     std::atomic<bool> egress_dead_{false};
 
     // Park/wake handshake (§9): the task publishes why it parked; producers

@@ -14,8 +14,15 @@
 #include "harness/load_gen.hpp"
 #include "harness/oracle.hpp"
 #include "net/session.hpp"
+#include "obs/metrics.hpp"
 
 namespace spectre::testing {
+
+// Aggregated value of one built-in §12 series in a registry snapshot (the
+// sid:: ids double as Series indices).
+inline std::uint64_t counter(const obs::Snapshot& snap, std::uint32_t sid) {
+    return snap.value(obs::Series{sid});
+}
 
 // Builds the common session spec without positional aggregate init (the
 // struct keeps growing — HELLO sharding fields arrived with DESIGN.md §10).
