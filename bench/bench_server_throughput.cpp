@@ -27,6 +27,7 @@
 #include "net/tcp.hpp"
 #include "obs/metrics.hpp"
 #include "server/cep_server.hpp"
+#include "server/config.hpp"
 #include "util/stats.hpp"
 
 using namespace spectre;
@@ -104,8 +105,8 @@ int main() {
         }
 
         for (const std::uint32_t k : {0u, 2u}) {  // sequential vs SPECTRE engines
-            server::ServerConfig cfg;
-            cfg.pool_workers = kPoolWorkers;
+            const server::ServerConfig cfg =
+                server::ServerConfigBuilder{}.pool_workers(kPoolWorkers).build();
             server::CepServer srv(cfg);
             srv.start();
 
@@ -227,8 +228,8 @@ int main() {
         constexpr std::size_t kActive = 8;
         const std::uint64_t active_events = bench::scaled(10'000);
 
-        server::ServerConfig cfg;
-        cfg.pool_workers = kPoolWorkers;
+        const server::ServerConfig cfg =
+            server::ServerConfigBuilder{}.pool_workers(kPoolWorkers).build();
         server::CepServer srv(cfg);
         srv.start();
 

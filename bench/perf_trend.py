@@ -68,6 +68,9 @@ NON_IDENTITY = {
     # field keys the row and everything else is measured.
     "idle_sessions", "accept_us_per_conn", "rss_kb_per_conn",
     "copied_bytes_per_event", "wire_bytes_per_event", "reads_per_event",
+    # Shared ingest plane (DESIGN.md §15): E-multi-query rows key by
+    # fanout/mode; everything below is measured.
+    "rss_delta_kb", "compile_hits", "compile_misses", "hub_chunks_reclaimed",
 }
 
 WARN_BELOW = 0.75  # flag rows slower than this ratio (warn-only)

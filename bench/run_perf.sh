@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Performance sweep for the hot-path record (DESIGN.md §5.1 methodology):
 # runs the detector microbench plus the macro benches (streaming ingest,
-# server throughput, shard scaling) and collects every JSON-lines row into
-# BENCH_hotpath.json at the repo root.
+# server throughput, shard scaling, shared-plane multi-query) and collects
+# every JSON-lines row into BENCH_hotpath.json at the repo root.
 #
 #   bench/run_perf.sh [build-dir] [output-json] [scale]
 #
@@ -42,6 +42,7 @@ SPECTRE_OBS_OFF=1 run bench_detect_hot
 run bench_streaming_ingest
 run bench_server_throughput
 run bench_shard_scaling
+run bench_multi_query
 
 python3 - "$tmp" >&2 <<'EOF' || true
 import json, sys

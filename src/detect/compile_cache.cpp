@@ -1,0 +1,233 @@
+#include "detect/compile_cache.hpp"
+
+#include <bit>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace spectre::detect {
+
+namespace {
+
+// The dump is a nested S-expression-ish text form. Field order is fixed and
+// every field is emitted (including defaults) so the signature is total: any
+// AST difference — however small — changes the text.
+
+void dump_expr(std::string& out, const query::Expr& e) {
+    using Kind = query::ExprNode::Kind;
+    if (!e) {
+        out += "nil";
+        return;
+    }
+    out += '(';
+    switch (e->kind) {
+        case Kind::Const: {
+            // Exact bit pattern: 1.0 vs 1.0+ulp must differ, -0.0 vs 0.0 too.
+            out += "const:";
+            char buf[17];
+            std::snprintf(buf, sizeof buf, "%016llx",
+                          static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(e->value)));
+            out += buf;
+            break;
+        }
+        case Kind::Attr:
+            out += "attr:";
+            out += std::to_string(e->slot);
+            break;
+        case Kind::BoundAttr:
+            out += "bound:";
+            out += std::to_string(e->element);
+            out += ':';
+            out += std::to_string(e->slot);
+            break;
+        case Kind::SubjectIn:
+            out += "subj_in:";
+            for (const auto s : e->subjects) {
+                out += std::to_string(s);
+                out += ',';
+            }
+            break;
+        case Kind::TypeIs:
+            out += "type_is:";
+            out += std::to_string(e->type);
+            break;
+        case Kind::Binary:
+            out += "bin:";
+            out += std::to_string(static_cast<int>(e->bop));
+            out += ' ';
+            dump_expr(out, e->lhs);
+            out += ' ';
+            dump_expr(out, e->rhs);
+            break;
+        case Kind::Unary:
+            out += "un:";
+            out += std::to_string(static_cast<int>(e->uop));
+            out += ' ';
+            dump_expr(out, e->lhs);
+            break;
+    }
+    out += ')';
+}
+
+void dump_string(std::string& out, const std::string& s) {
+    // Length prefix keeps concatenated names unambiguous ("ab"+"c" != "a"+"bc").
+    out += std::to_string(s.size());
+    out += ':';
+    out += s;
+}
+
+void dump_window(std::string& out, const query::WindowSpec& w) {
+    out += "window(";
+    out += std::to_string(static_cast<int>(w.kind));
+    out += ',';
+    out += std::to_string(w.size);
+    out += ',';
+    out += std::to_string(w.slide);
+    out += ',';
+    out += std::to_string(w.duration);
+    out += ',';
+    out += std::to_string(w.time_slide);
+    out += ',';
+    out += std::to_string(static_cast<int>(w.extent));
+    out += ',';
+    dump_expr(out, w.open_pred);
+    out += ')';
+}
+
+void dump_pattern(std::string& out, const query::Pattern& p) {
+    out += "pattern[";
+    for (const auto& el : p.elements) {
+        out += "elem(";
+        dump_string(out, el.name);
+        out += ',';
+        out += std::to_string(static_cast<int>(el.kind));
+        out += ',';
+        out += el.sticky ? '1' : '0';
+        out += ',';
+        dump_expr(out, el.pred);
+        out += ',';
+        dump_expr(out, el.guard);
+        out += ",members[";
+        for (const auto& m : el.members) {
+            out += '(';
+            dump_string(out, m.name);
+            out += ',';
+            dump_expr(out, m.pred);
+            out += ')';
+        }
+        out += "])";
+    }
+    out += ']';
+}
+
+}  // namespace
+
+std::string structural_signature(const query::Query& q) {
+    std::string out;
+    out.reserve(256);
+    out += "query{";
+    dump_window(out, q.window);
+    dump_pattern(out, q.pattern);
+    out += "sel:";
+    out += std::to_string(static_cast<int>(q.selection));
+    out += ";cons:";
+    out += std::to_string(static_cast<int>(q.consumption.kind));
+    out += '[';
+    for (const auto& name : q.consumption.elements) dump_string(out, name);
+    out += "];payload[";
+    for (const auto& pd : q.payload) {
+        out += '(';
+        dump_string(out, pd.name);
+        out += ',';
+        dump_expr(out, pd.expr);
+        out += ')';
+    }
+    out += "];part:";
+    out += std::to_string(static_cast<int>(q.partition.kind));
+    out += ':';
+    out += std::to_string(q.partition.slot);
+    out += ";max:";
+    out += std::to_string(q.max_matches_per_window);
+    out += '}';
+    return out;
+}
+
+CompileCache::CompileCache(unsigned hash_bits)
+    : hash_mask_(hash_bits >= 64 ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << hash_bits) - 1)) {
+    SPECTRE_REQUIRE(hash_bits >= 1 && hash_bits <= 64,
+                    "CompileCache hash_bits must be in [1, 64]");
+}
+
+std::uint64_t CompileCache::bucket_hash(const std::string& signature) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64
+    for (const unsigned char c : signature) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h & hash_mask_;
+}
+
+std::shared_ptr<const CompiledQuery> CompileCache::get(query::Query q) {
+    std::string sig = structural_signature(q);
+    const std::uint64_t h = bucket_hash(sig);
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, end] = entries_.equal_range(h);
+        for (; it != end; ++it) {
+            // Exact-hit confirmation: truncated-hash collisions fall through
+            // to the next bucket entry (or to a miss) here.
+            if (it->second.schema == q.schema && it->second.signature == sig) {
+                ++stats_.hits;
+                return it->second.artifact;
+            }
+        }
+        ++stats_.misses;
+    }
+
+    // Compile outside the lock — compilation can be slow and is pure.
+    auto artifact =
+        std::make_shared<const CompiledQuery>(CompiledQuery::compile(std::move(q)));
+    const auto& compiled_q = artifact->query();
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.size() >= kMaxEntries) {
+        // Prefer evicting entries whose schema the cache alone keeps alive —
+        // their stream is gone, no future subscriber can hit them. The cache
+        // contributes two schema references per entry (Entry::schema and the
+        // copy inside the artifact's Query); an artifact an engine still
+        // holds pins its schema live, and so does any other external
+        // reference (the stream's vocab).
+        std::unordered_map<const event::Schema*, std::pair<long, bool>> refs;
+        for (const auto& [key, e] : entries_) {
+            auto& [internal, live] = refs[e.schema.get()];
+            internal += 2;
+            if (e.artifact.use_count() > 1) live = true;
+        }
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            const auto& [internal, live] = refs[it->second.schema.get()];
+            if (!live && it->second.schema.use_count() == internal)
+                it = entries_.erase(it);
+            else
+                ++it;
+        }
+    }
+    if (entries_.size() < kMaxEntries) {
+        entries_.emplace(h, Entry{compiled_q.schema, std::move(sig), artifact});
+    }
+    // else: hand back an uncached artifact; correctness is unaffected.
+    return artifact;
+}
+
+CompileCache::Stats CompileCache::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t CompileCache::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+}  // namespace spectre::detect

@@ -1,0 +1,86 @@
+// CompileCache: structural sharing of compiled query artifacts (DESIGN.md §15).
+//
+// Many subscriber sessions on one published stream frequently submit the same
+// predicate program (dashboards fan the same alert out per user; a load
+// generator opens N identical monitors). Compilation is pure — CompiledQuery
+// is a deterministic function of (Query AST, Schema) — so identical queries
+// can share one immutable artifact across every engine that runs them.
+//
+// Sharing is keyed on a *structural signature*: a canonical, exhaustive dump
+// of the whole Query AST (window spec, pattern elements with predicates,
+// guards and Set members, selection/consumption policies, payload
+// definitions, partitioning, match limits — double constants rendered as
+// exact bit patterns). Two queries with equal signatures compiled against the
+// same Schema object produce identical artifacts by construction, so a cache
+// hit is exact, never heuristic.
+//
+// Lookups hash the signature (FNV-1a, truncated to `hash_bits` — the
+// truncation knob exists so tests can force bucket collisions) and confirm a
+// hit by full signature comparison plus Schema pointer identity. Schema
+// identity (not structural equality) is deliberate: interned attribute slots
+// and type ids inside the compiled programs are only meaningful against the
+// schema that interned them, so a "same-looking" schema from another stream
+// must not share artifacts. Replacing a stream's schema therefore invalidates
+// its cached entries naturally — the new shared_ptr never matches.
+//
+// Thread safety: all methods take an internal mutex. Entries are
+// shared_ptr<const CompiledQuery>; eviction only drops the cache's reference,
+// engines holding the artifact keep it alive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "detect/compiled_query.hpp"
+#include "query/query.hpp"
+
+namespace spectre::detect {
+
+// Canonical text dump of the Query AST; equal dumps + same schema object ⇒
+// compile() yields an identical artifact. Exposed for the differential tests.
+std::string structural_signature(const query::Query& q);
+
+class CompileCache {
+public:
+    // `hash_bits` truncates the 64-bit signature hash used for bucketing
+    // (1..64). Collisions are still resolved by full signature compare —
+    // small values only exercise that path, they never produce false hits.
+    explicit CompileCache(unsigned hash_bits = 64);
+
+    CompileCache(const CompileCache&) = delete;
+    CompileCache& operator=(const CompileCache&) = delete;
+
+    // Returns the shared compiled artifact for `q`, compiling on miss. The
+    // query's own `schema` field keys the entry (see file comment).
+    std::shared_ptr<const CompiledQuery> get(query::Query q);
+
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+    Stats stats() const;
+    std::size_t size() const;
+
+    // Entries beyond this are handled by eviction (stale-schema entries
+    // first) or compiled uncached; the cache never grows unboundedly.
+    static constexpr std::size_t kMaxEntries = 256;
+
+private:
+    struct Entry {
+        std::shared_ptr<const event::Schema> schema;
+        std::string signature;
+        std::shared_ptr<const CompiledQuery> artifact;
+    };
+
+    std::uint64_t bucket_hash(const std::string& signature) const noexcept;
+
+    const std::uint64_t hash_mask_;
+    mutable std::mutex mutex_;
+    std::unordered_multimap<std::uint64_t, Entry> entries_;
+    Stats stats_;
+};
+
+}  // namespace spectre::detect

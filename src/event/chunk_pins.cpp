@@ -1,0 +1,50 @@
+#include "event/chunk_pins.hpp"
+
+#include <algorithm>
+
+namespace spectre::event {
+
+ChunkPins::Cursor ChunkPins::attach() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (reclaimed_until_ > 0) return kInvalidCursor;
+    next_needed_.push_back(0);
+    ++live_;
+    return next_needed_.size() - 1;
+}
+
+std::size_t ChunkPins::advance(Cursor cursor, Seq next_needed) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (cursor >= next_needed_.size() || next_needed_[cursor] == kDetached) return 0;
+    if (next_needed <= next_needed_[cursor]) return 0;  // monotone; ignore regressions
+    next_needed_[cursor] = next_needed;
+    return reclaim_locked();
+}
+
+std::size_t ChunkPins::detach(Cursor cursor) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (cursor >= next_needed_.size() || next_needed_[cursor] == kDetached) return 0;
+    next_needed_[cursor] = kDetached;
+    --live_;
+    // The last reader's departure retains history (late-attach replay);
+    // otherwise the remaining minimum may have risen — reclaim.
+    if (live_ == 0) return 0;
+    return reclaim_locked();
+}
+
+std::size_t ChunkPins::reclaim_locked() {
+    Seq min_needed = kDetached;
+    for (const Seq s : next_needed_)
+        if (s != kDetached) min_needed = std::min(min_needed, s);
+    if (min_needed == kDetached) return 0;
+    // Only whole chunks below the minimum are reclaimable; stop early when
+    // the watermark hasn't crossed a chunk boundary since the last reclaim.
+    const Seq chunk_floor = (min_needed >> EventStore::kChunkShift)
+                            << EventStore::kChunkShift;
+    if (chunk_floor <= reclaimed_until_) return 0;
+    const std::size_t freed = store_->release_chunks_below(chunk_floor);
+    reclaimed_until_ = chunk_floor;
+    chunks_reclaimed_ += freed;
+    return freed;
+}
+
+}  // namespace spectre::event

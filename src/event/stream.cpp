@@ -1,5 +1,7 @@
 #include "event/stream.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace spectre::event {
@@ -112,6 +114,20 @@ Seq EventStore::append(Event e) {
 
 void EventStore::append_all(EventStream& stream) {
     while (auto e = stream.next()) append(*e);
+}
+
+std::size_t EventStore::release_chunks_below(Seq seq) noexcept {
+    const std::size_t frontier = size_.load(std::memory_order_acquire);
+    const std::size_t limit = std::min<std::size_t>(seq, frontier) >> kChunkShift;
+    std::size_t freed = 0;
+    for (std::size_t i = 0; i < limit; ++i) {
+        Event* chunk = chunks_[i].exchange(nullptr, std::memory_order_relaxed);
+        if (chunk != nullptr) {
+            delete[] chunk;
+            ++freed;
+        }
+    }
+    return freed;
 }
 
 const Event& EventStore::at(Seq seq) const {

@@ -175,6 +175,15 @@ public:
     std::size_t size() const noexcept { return size_.load(std::memory_order_acquire); }
     bool empty() const noexcept { return size() == 0; }
 
+    // Reclamation hook for shared multi-reader stores (DESIGN.md §15): frees
+    // the chunk arrays whose entire seq range lies below min(seq, frontier).
+    // Returns the number of chunks freed. Caller contract (event::ChunkPins
+    // enforces it): calls are serialized, and no reader will ever again
+    // address a seq below `seq` — the "addresses stable forever" guarantee
+    // narrows to the unreclaimed suffix. The writer is unaffected: it only
+    // touches the frontier chunk, which is never below the frontier.
+    std::size_t release_chunks_below(Seq seq) noexcept;
+
     // Range [first, last] inclusive; valid across concurrent append().
     EventRange range(Seq first, Seq last) const;
 

@@ -92,8 +92,13 @@ struct Driver {
         }
     }
 
+    // HELLO v2 capability echo (§15); arrives before any RESULT byte.
+    std::optional<net::Hello2Frame> hello2;
+
     void handle(net::SessionFrame&& f) {
-        if (auto* result = std::get_if<net::ResultFrame>(&f)) {
+        if (auto* echo = std::get_if<net::Hello2Frame>(&f)) {
+            hello2 = std::move(*echo);
+        } else if (auto* result = std::get_if<net::ResultFrame>(&f)) {
             if (out.results.empty()) out.first_result_seconds = seconds_since(first_data);
             out.results.push_back(net::from_result_frame(*result));
         } else if (const auto* bye = std::get_if<net::ByeFrame>(&f)) {
@@ -251,7 +256,135 @@ LoadGenOutcome drive(const std::string& host, std::uint16_t port,
     return std::move(d.out);
 }
 
+// Shared handshake for the §15 clients: connect, send the v2 HELLO, block
+// until the capability echo (the server buffers it before any RESULT byte)
+// or a terminal frame/transport failure. Rejects land in out.error.
+bool handshake_v2(Driver& d, const std::string& host, std::uint16_t port,
+                  int rcvbuf, net::Hello2Frame&& hello) {
+    try {
+        d.connect(host, port, rcvbuf);
+        d.send_frame(net::SessionFrame{std::move(hello)});
+        while (!d.terminal && !d.hello2) d.read_blocking();
+    } catch (const std::exception& e) {
+        if (d.out.error.empty()) d.out.error = e.what();
+        d.terminal = true;
+    }
+    return d.hello2.has_value() && d.out.error.empty();
+}
+
 }  // namespace
+
+// --- PublisherClient (§15) --------------------------------------------------
+
+struct PublisherClient::Impl {
+    Driver d;
+    Clock::time_point t0 = Clock::now();
+    bool ok = false;
+};
+
+PublisherClient::PublisherClient(const std::string& host, std::uint16_t port,
+                                 std::string stream)
+    : impl_(std::make_unique<Impl>()) {
+    net::Hello2Frame hello;
+    hello.set("role", "publish");
+    hello.set("stream", std::move(stream));
+    impl_->ok = handshake_v2(impl_->d, host, port, 0, std::move(hello));
+    impl_->d.first_data = Clock::now();
+}
+
+PublisherClient::~PublisherClient() = default;
+PublisherClient::PublisherClient(PublisherClient&&) noexcept = default;
+PublisherClient& PublisherClient::operator=(PublisherClient&&) noexcept = default;
+
+bool PublisherClient::ok() const { return impl_->ok; }
+const std::string& PublisherClient::error() const { return impl_->d.out.error; }
+const net::Hello2Frame& PublisherClient::capabilities() const {
+    return *impl_->d.hello2;
+}
+
+void PublisherClient::publish(const std::vector<net::WireQuote>& events) {
+    if (!impl_->ok || impl_->d.terminal) return;
+    try {
+        for (const auto& q : events) {
+            if (impl_->d.terminal) break;
+            impl_->d.send_frame_batched(net::SessionFrame{q});
+            ++impl_->d.out.events_sent;
+        }
+        impl_->d.flush_batch();
+        // The only egress a live publisher has is an ERROR — catch it early
+        // rather than on finish().
+        impl_->d.drain_nonblocking();
+    } catch (const std::exception& e) {
+        if (impl_->d.out.error.empty()) impl_->d.out.error = e.what();
+        impl_->d.terminal = true;
+    }
+}
+
+bool PublisherClient::finish() {
+    Driver& d = impl_->d;
+    if (impl_->ok && !d.terminal) {
+        try {
+            d.send_frame(net::SessionFrame{net::ByeFrame{}});
+            while (!d.terminal) d.read_blocking();
+        } catch (const std::exception& e) {
+            if (d.out.error.empty()) d.out.error = e.what();
+            d.terminal = true;
+        }
+    }
+    d.out.wall_seconds = seconds_since(impl_->t0);
+    return d.out.completed && d.out.error.empty();
+}
+
+// --- SubscriberClient (§15) -------------------------------------------------
+
+struct SubscriberClient::Impl {
+    Driver d;
+    Clock::time_point t0 = Clock::now();
+    std::shared_ptr<std::atomic<bool>> read_gate;
+    bool ok = false;
+};
+
+SubscriberClient::SubscriberClient(const std::string& host, std::uint16_t port,
+                                   Spec spec)
+    : impl_(std::make_unique<Impl>()) {
+    impl_->read_gate = std::move(spec.read_gate);
+    net::Hello2Frame hello;
+    hello.set("role", "subscribe");
+    hello.set("stream", std::move(spec.stream));
+    hello.set("query", std::move(spec.query));
+    if (spec.instances > 0) hello.set("instances", std::to_string(spec.instances));
+    impl_->ok = handshake_v2(impl_->d, host, port, spec.rcvbuf, std::move(hello));
+    // Results start flowing as soon as the publisher's data does; measure
+    // first-result latency from attach.
+    impl_->d.first_data = Clock::now();
+}
+
+SubscriberClient::~SubscriberClient() = default;
+SubscriberClient::SubscriberClient(SubscriberClient&&) noexcept = default;
+SubscriberClient& SubscriberClient::operator=(SubscriberClient&&) noexcept = default;
+
+bool SubscriberClient::ok() const { return impl_->ok; }
+const std::string& SubscriberClient::error() const { return impl_->d.out.error; }
+const net::Hello2Frame& SubscriberClient::capabilities() const {
+    return *impl_->d.hello2;
+}
+
+LoadGenOutcome SubscriberClient::run() {
+    Driver& d = impl_->d;
+    while (!d.terminal) {
+        if (impl_->read_gate &&
+            !impl_->read_gate->load(std::memory_order_acquire)) {
+            // Slow consumer: hold the connection open without reading a byte
+            // until the gate opens (§9 backpressure must stay per-session).
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            continue;
+        }
+        d.read_blocking();
+    }
+    d.out.results_before_bye = d.out.results.size();
+    d.out.wall_seconds = seconds_since(impl_->t0);
+    return std::move(d.out);
+}
 
 LoadGenClient::LoadGenClient(std::string host, std::uint16_t port)
     : host_(std::move(host)), port_(port) {}

@@ -81,6 +81,67 @@ struct LoadGenOutcome {
     bool stats_missed = false;
 };
 
+// Shared-ingest-plane clients (DESIGN.md §15, HELLO v2). A PublisherClient
+// owns a named stream and carries only DATA; SubscriberClients attach queries
+// to it. Construction performs the versioned handshake and blocks until the
+// server's capability echo arrives (or the session fails — captured in
+// error(), never thrown for protocol-level rejects), so a test that
+// constructs its subscribers before the publisher sends data *knows* they
+// were attached before any history chunk could be reclaimed.
+class PublisherClient {
+public:
+    PublisherClient(const std::string& host, std::uint16_t port,
+                    std::string stream);
+    ~PublisherClient();
+    PublisherClient(PublisherClient&&) noexcept;
+    PublisherClient& operator=(PublisherClient&&) noexcept;
+
+    bool ok() const;                  // handshake echo received, no error
+    const std::string& error() const;
+    const net::Hello2Frame& capabilities() const;  // valid when ok()
+
+    // Batched DATA frames; flushes at the end of the call.
+    void publish(const std::vector<net::WireQuote>& events);
+    // End the stream: BYE, then block for the server's acknowledging BYE.
+    // Subscribers keep running — the stream's end-of-stream is what lets
+    // their engines drain to completion. False = session failed (see error()).
+    bool finish();
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+class SubscriberClient {
+public:
+    struct Spec {
+        std::string stream;           // published stream to attach to
+        std::string query;            // query::parse_query text
+        std::uint32_t instances = 0;  // k; 0 = sequential engine
+        // Slow-consumer gate, same contract as LoadGenSession::read_gate.
+        std::shared_ptr<std::atomic<bool>> read_gate = nullptr;
+        int rcvbuf = 0;
+    };
+
+    SubscriberClient(const std::string& host, std::uint16_t port, Spec spec);
+    ~SubscriberClient();
+    SubscriberClient(SubscriberClient&&) noexcept;
+    SubscriberClient& operator=(SubscriberClient&&) noexcept;
+
+    bool ok() const;                  // handshake echo received, no error
+    const std::string& error() const;
+    const net::Hello2Frame& capabilities() const;  // valid when ok()
+
+    // Blocks until the server ends the session — BYE once the stream closed
+    // and the query drained, or ERROR — and returns the RESULT stream in
+    // arrival order. A failed handshake returns its outcome immediately.
+    LoadGenOutcome run();
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
 class LoadGenClient {
 public:
     LoadGenClient(std::string host, std::uint16_t port);

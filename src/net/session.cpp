@@ -65,6 +65,17 @@ void encode_frame(const SessionFrame& f, std::vector<std::uint8_t>& out) {
     } else if (const auto* stats = std::get_if<StatsFrame>(&f)) {
         out.push_back(static_cast<std::uint8_t>(FrameType::Stats));
         put_string(out, stats->json, kMaxStatsLength, "stats body");
+    } else if (const auto* hello2 = std::get_if<Hello2Frame>(&f)) {
+        if (hello2->kv.size() > kMaxHelloPairs)
+            throw std::runtime_error("encode: too many HELLO keys");
+        out.push_back(static_cast<std::uint8_t>(FrameType::Hello2));
+        put(out, static_cast<std::uint32_t>(hello2->kv.size()));
+        for (const auto& [key, value] : hello2->kv) {
+            put_string(out, key, kMaxHelloKeyLength, "HELLO key");
+            // Values are bounded by the largest thing that rides one (the
+            // query text); every defined key is far smaller.
+            put_string(out, value, kMaxQueryLength, "HELLO value");
+        }
     } else {
         const auto& error = std::get<ErrorFrame>(f);
         out.push_back(static_cast<std::uint8_t>(FrameType::Error));
@@ -141,6 +152,23 @@ std::optional<SessionFrame> decode_frame(const std::vector<std::uint8_t>& buffer
             if (!json) return std::nullopt;
             offset = off;
             return SessionFrame{StatsFrame{std::move(*json)}};
+        }
+        case FrameType::Hello2: {
+            if (!have(buffer, off, sizeof(std::uint32_t))) return std::nullopt;
+            const auto pairs = get<std::uint32_t>(buffer, off);
+            if (pairs > kMaxHelloPairs)
+                throw std::runtime_error("corrupt frame: too many HELLO keys");
+            Hello2Frame hello2;
+            hello2.kv.reserve(pairs);
+            for (std::uint32_t i = 0; i < pairs; ++i) {
+                auto key = get_string(buffer, off, kMaxHelloKeyLength, "HELLO key");
+                if (!key) return std::nullopt;
+                auto value = get_string(buffer, off, kMaxQueryLength, "HELLO value");
+                if (!value) return std::nullopt;
+                hello2.kv.emplace_back(std::move(*key), std::move(*value));
+            }
+            offset = off;
+            return SessionFrame{std::move(hello2)};
         }
     }
     throw std::runtime_error("corrupt frame: unknown frame type " + std::to_string(tag));
@@ -235,6 +263,16 @@ std::size_t FrameReader::tail_need() const {
         case FrameType::Error:
         case FrameType::Stats:
             return string_need(o);
+        case FrameType::Hello2: {
+            if ((need = want(o, 4))) return need;  // pair count
+            const std::uint32_t pairs = u32(o);
+            o += 4;
+            for (std::uint32_t i = 0; i < pairs; ++i) {
+                if ((need = string_need(o))) return need;  // key
+                if ((need = string_need(o))) return need;  // value
+            }
+            return 0;
+        }
     }
     return 1;  // unknown tag: stage it and let poll() throw
 }

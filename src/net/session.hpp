@@ -46,7 +46,10 @@
 
 namespace spectre::net {
 
-// Frame tag bytes on the wire. Values are part of the protocol; never renumber.
+// Frame tag bytes on the wire. Values are part of the protocol; never renumber
+// and never reuse — protocol evolution appends new tags (see DESIGN.md §8,
+// "wire versioning rule"). Hello2 is the versioned successor of Hello: v1
+// clients keep speaking tag 1 unchanged, v2-aware peers use tag 7.
 enum class FrameType : std::uint8_t {
     Hello = 1,
     Data = 2,
@@ -54,6 +57,7 @@ enum class FrameType : std::uint8_t {
     Bye = 4,
     Error = 5,
     Stats = 6,
+    Hello2 = 7,
 };
 
 struct HelloFrame {
@@ -71,6 +75,44 @@ struct HelloFrame {
     std::string partition_by;
 
     bool operator==(const HelloFrame&) const = default;
+};
+
+// HELLO v2 (DESIGN.md §15): an extensible key-value handshake replacing the
+// closed positional HelloFrame. The body is an ordered list of string pairs;
+// unknown keys are ignored by both sides, so either end can add keys without
+// a protocol bump. Defined keys (client → server):
+//
+//   role         "standalone" (default) | "publish" | "subscribe"
+//   stream       published stream name (publish/subscribe roles)
+//   query        query::parse_query text (standalone/subscribe)
+//   instances    k operator instances; "0"/absent = sequential engine
+//   shards       shard count (standalone role only, DESIGN.md §10)
+//   partition_by partition key override (standalone role only)
+//
+// The server replies to an accepted v2 HELLO with its own Hello2 frame — the
+// capability echo: proto=2, role (as resolved), stream, max_instances,
+// max_shards. A v1 HelloFrame gets no echo (v1 clients don't read one); the
+// server maps it to role=standalone internally (compat shim).
+struct Hello2Frame {
+    std::vector<std::pair<std::string, std::string>> kv;
+
+    // First value for `key`, or "" when absent (absent and empty-valued keys
+    // are deliberately indistinguishable: defaults apply to both).
+    std::string_view get(std::string_view key) const noexcept {
+        for (const auto& [k, v] : kv)
+            if (k == key) return v;
+        return {};
+    }
+    bool has(std::string_view key) const noexcept {
+        for (const auto& [k, v] : kv)
+            if (k == key) return true;
+        return false;
+    }
+    void set(std::string key, std::string value) {
+        kv.emplace_back(std::move(key), std::move(value));
+    }
+
+    bool operator==(const Hello2Frame&) const = default;
 };
 
 // One complex event streamed back to the owning client. Mirrors
@@ -106,13 +148,15 @@ struct StatsFrame {
 };
 
 // DATA frames reuse WireQuote as their body.
-using SessionFrame =
-    std::variant<HelloFrame, WireQuote, ResultFrame, ByeFrame, ErrorFrame, StatsFrame>;
+using SessionFrame = std::variant<HelloFrame, WireQuote, ResultFrame, ByeFrame,
+                                  ErrorFrame, StatsFrame, Hello2Frame>;
 
 // Sanity bounds; decode throws std::runtime_error beyond them (corrupt frame).
 inline constexpr std::size_t kMaxQueryLength = 1 << 16;
 inline constexpr std::size_t kMaxErrorLength = 1 << 16;
 inline constexpr std::size_t kMaxPartitionKeyLength = 256;
+inline constexpr std::size_t kMaxHelloPairs = 64;
+inline constexpr std::size_t kMaxHelloKeyLength = 64;
 inline constexpr std::size_t kMaxResultConstituents = 1 << 20;
 inline constexpr std::size_t kMaxResultPayload = 1 << 10;
 inline constexpr std::size_t kMaxPayloadNameLength = 256;

@@ -107,6 +107,12 @@ constexpr BuiltinDef kBuiltins[] = {
     {"ingest_frames_staged", Kind::Counter, "frames decoded via the staging path"},
     {"egress_writevs", Kind::Counter, "vectored egress flush syscalls"},
     {"egress_bytes_sent", Kind::Counter, "bytes written to session sockets"},
+    {"hub_streams", Kind::Gauge, "published streams currently registered"},
+    {"hub_subscribers", Kind::Gauge, "subscriber sessions currently attached"},
+    {"hub_subscribers_total", Kind::Counter, "subscriber attaches, lifetime"},
+    {"hub_chunks_reclaimed", Kind::Counter, "shared-store chunks freed behind all frontiers"},
+    {"compile_cache_hits", Kind::Counter, "subscriber queries served a shared artifact"},
+    {"compile_cache_misses", Kind::Counter, "subscriber queries compiled fresh"},
 };
 static_assert(sizeof(kBuiltins) / sizeof(kBuiltins[0]) == sid::kCount,
               "sid:: and kBuiltins must stay parallel");

@@ -151,6 +151,13 @@ enum : std::uint32_t {
     kIngestFramesStaged,   // frames decoded via the FrameReader staging path
     kEgressWritevs,        // vectored egress flush syscalls
     kEgressBytesSent,      // bytes written to session sockets
+    // --- shared multi-query ingest plane (DESIGN.md §15) --------------------
+    kHubStreams,            // published streams currently registered
+    kHubSubscribers,        // subscriber sessions currently attached
+    kHubSubscribersTotal,   // subscriber attaches, lifetime
+    kHubChunksReclaimed,    // shared-store chunks freed behind all frontiers
+    kCompileCacheHits,      // subscriber queries served a shared artifact
+    kCompileCacheMisses,    // subscriber queries compiled fresh
     kCount
 };
 }  // namespace sid

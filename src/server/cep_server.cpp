@@ -54,6 +54,7 @@ CepServer::CepServer(ServerConfig config)
                       "dead-speculation work on this shard index's lanes");
     }
     server_shard_ = registry_.make_shard();
+    hub_.bind_obs(server_shard_.get());
     pool_.bind_obs(&registry_);
 
     listen_fd_ = net::listen_loopback(config_.port, config_.backlog, port_);
@@ -211,7 +212,7 @@ void CepServer::accept_clients() {
         hooks.notify_task = [this](std::uint64_t sid) { pool_.notify(sid); };
         auto session = std::make_unique<ServerSession>(
             id, fd, config_.session, &registry_, registry_.make_shard(),
-            std::move(hooks));
+            std::move(hooks), &hub_, &compile_cache_);
         // kStream binds the fd to the backend's buffered ingest path (§14):
         // uring arms multishot recv into its provided buffer ring here.
         if (!io_->add(fd, id, net::IoBackend::kRead | net::IoBackend::kStream)) {
@@ -371,7 +372,17 @@ void CepServer::handle_readable(std::uint64_t id) {
             // may still be running; the session stays until its task is done
             // and its buffer drained.
             if (!s.task_registered()) {
-                destroy_session(it);
+                // Task-less sessions (AwaitHello rejects, §15 publishers) may
+                // still owe buffered egress — a publisher's BYE reply, a
+                // reject's ERROR that didn't flush in one send. Failed
+                // sessions poisoned their egress (idle), so they still die
+                // here immediately; otherwise maybe_reap finishes the job
+                // once the buffer drains.
+                if (s.egress_idle()) {
+                    destroy_session(it);
+                    return;
+                }
+                update_interest(s);
                 return;
             }
             maybe_reap(id);
@@ -432,7 +443,11 @@ void CepServer::maybe_reap(std::uint64_t id) {
     const auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     ServerSession& s = *it->second;
-    if (s.task_registered() && s.task_done() && s.egress_idle()) {
+    // With a task: done means every task reported TaskDone. Without one (§15
+    // publishers, rejected handshakes): done means the input side ended —
+    // never true while a healthy session still awaits its HELLO.
+    const bool done = s.task_registered() ? s.task_done() : s.input_done();
+    if (done && s.egress_idle()) {
         destroy_session(it);
         return;
     }
@@ -440,9 +455,18 @@ void CepServer::maybe_reap(std::uint64_t id) {
 }
 
 void CepServer::destroy_session(SessionMap::iterator it) {
+    // §15: leaving the hub may orphan subscribers (publisher died before
+    // closing its stream) — fail each one after the erase, so a subscriber
+    // reaped inside the loop can't invalidate our iterator.
+    const std::vector<ServerSession*> to_fail = it->second->hub_detach();
     io_->del(it->second->fd());  // may already be detached — harmless
     server_shard_->sub(obs::Series{obs::sid::kSessionsLive}, 1);
     sessions_.erase(it);
+    for (ServerSession* sub : to_fail) {
+        const std::uint64_t sid = sub->id();
+        sub->fail_publisher_gone();  // sets input_done; task exits via abort
+        maybe_reap(sid);
+    }
 }
 
 void CepServer::update_interest(ServerSession& s) {

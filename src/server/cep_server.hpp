@@ -182,6 +182,12 @@ private:
     obs::Registry registry_;
     obs::ShardPtr server_shard_;
 
+    // Shared ingest plane (§15). Declared before sessions_: session
+    // destructors detach from the hub, so it must outlive them. The compile
+    // cache holds only immutable artifacts; sessions share them by shared_ptr.
+    StreamHub hub_;
+    detect::CompileCache compile_cache_;
+
     EnginePool pool_;
     std::thread reactor_;
     std::atomic<bool> stopping_{false};

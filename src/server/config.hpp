@@ -1,0 +1,149 @@
+// Builder-style configuration surface for the CEP server (DESIGN.md §15's
+// API-redesign sweep). The raw structs — ServerConfig, SessionLimits, and
+// shard::ReshardPolicy nested inside it — stay plain aggregates so existing
+// code keeps compiling, but new code should come through ServerConfigBuilder:
+// one fluent chain covering every knob, with build() validating the combined
+// result once instead of each call site re-learning which field combinations
+// are nonsense (a quantum of zero steps, an ingest watermark of zero, a
+// reshard grow target below the starting width, ...).
+//
+// How the layers map at runtime:
+//   ServerConfig            → reactor + pool shape (ports, backlog, workers,
+//                             socket buffers, io backend).
+//   SessionLimits           → per-session engine shape; ServerSession turns
+//                             batch_events into core::RuntimeConfig
+//                             .batch_events and quantum_windows into
+//                             .quantum_budget for the SPECTRE runtime, so one
+//                             builder chain reaches all three config structs.
+//   SessionLimits.reshard   → §13 elastic partitioning policy (default off).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "server/cep_server.hpp"
+
+namespace spectre::server {
+
+class ServerConfigBuilder {
+public:
+    // --- reactor / pool (ServerConfig) -----------------------------------
+    ServerConfigBuilder& port(std::uint16_t p) {
+        cfg_.port = p;
+        return *this;
+    }
+    ServerConfigBuilder& admin_port(std::uint16_t p) {
+        cfg_.admin_port = p;
+        return *this;
+    }
+    ServerConfigBuilder& backlog(int n) {
+        cfg_.backlog = n;
+        return *this;
+    }
+    ServerConfigBuilder& pool_workers(int n) {
+        cfg_.pool_workers = n;
+        return *this;
+    }
+    ServerConfigBuilder& session_sndbuf(int bytes) {
+        cfg_.session_sndbuf = bytes;
+        return *this;
+    }
+    ServerConfigBuilder& io_backend(net::IoBackendKind k) {
+        cfg_.io_backend = k;
+        return *this;
+    }
+
+    // --- per-session engine shape (SessionLimits) ------------------------
+    ServerConfigBuilder& max_instances(int n) {
+        cfg_.session.max_instances = n;
+        return *this;
+    }
+    ServerConfigBuilder& max_shards(int n) {
+        cfg_.session.max_shards = n;
+        return *this;
+    }
+    ServerConfigBuilder& batch_events(std::size_t n) {
+        cfg_.session.batch_events = n;
+        return *this;
+    }
+    ServerConfigBuilder& quantum_steps(std::size_t n) {
+        cfg_.session.quantum_steps = n;
+        return *this;
+    }
+    ServerConfigBuilder& quantum_windows(std::size_t n) {
+        cfg_.session.quantum_windows = n;
+        return *this;
+    }
+    ServerConfigBuilder& ingest_queue_events(std::size_t n) {
+        cfg_.session.ingest_queue_events = n;
+        return *this;
+    }
+    ServerConfigBuilder& egress_buffer_bytes(std::size_t n) {
+        cfg_.session.egress_buffer_bytes = n;
+        return *this;
+    }
+
+    // --- §13 elastic partitioning (SessionLimits.reshard) ----------------
+    ServerConfigBuilder& reshard_every_events(std::size_t n) {
+        cfg_.session.reshard.decide_every_events = n;
+        return *this;
+    }
+    ServerConfigBuilder& reshard_steal(std::uint64_t min_peak, double ratio) {
+        cfg_.session.reshard.steal_min_peak = min_peak;
+        cfg_.session.reshard.steal_skew_ratio = ratio;
+        return *this;
+    }
+    ServerConfigBuilder& reshard_grow(std::uint32_t shards_to,
+                                      std::uint64_t min_peak) {
+        cfg_.session.reshard.grow_shards_to = shards_to;
+        cfg_.session.reshard.grow_min_peak = min_peak;
+        return *this;
+    }
+    ServerConfigBuilder& reshard_shrink(std::uint64_t max_peak,
+                                        std::uint32_t after_windows) {
+        cfg_.session.reshard.shrink_max_peak = max_peak;
+        cfg_.session.reshard.shrink_after_windows = after_windows;
+        return *this;
+    }
+
+    // Validate the combined result. Throws std::invalid_argument naming the
+    // offending knob — configuration mistakes should fail at construction,
+    // not as a wedged server or a silently static shard layout.
+    ServerConfig build() const {
+        const SessionLimits& s = cfg_.session;
+        require(cfg_.backlog > 0, "backlog must be positive");
+        require(cfg_.pool_workers > 0, "pool_workers must be positive");
+        require(cfg_.session_sndbuf >= 0, "session_sndbuf must be >= 0");
+        require(s.max_instances > 0, "max_instances must be positive");
+        require(s.max_shards > 0, "max_shards must be positive");
+        require(s.batch_events > 0, "batch_events must be positive");
+        require(s.quantum_steps > 0, "quantum_steps must be positive");
+        require(s.quantum_windows > 0, "quantum_windows must be positive");
+        require(s.ingest_queue_events > 0,
+                "ingest_queue_events must be positive");
+        require(s.egress_buffer_bytes > 0,
+                "egress_buffer_bytes must be positive");
+        const shard::ReshardPolicy& r = s.reshard;
+        if (r.decide_every_events > 0) {
+            require(r.steal_skew_ratio >= 1.0,
+                    "reshard steal_skew_ratio must be >= 1.0");
+            require(r.grow_shards_to == 0 ||
+                        r.grow_shards_to <=
+                            static_cast<std::uint32_t>(s.max_shards),
+                    "reshard grow_shards_to exceeds max_shards");
+            require(r.shrink_max_peak == 0 || r.shrink_after_windows > 0,
+                    "reshard shrink_after_windows must be positive when "
+                    "shrinking is enabled");
+        }
+        return cfg_;
+    }
+
+private:
+    static void require(bool ok, const char* what) {
+        if (!ok) throw std::invalid_argument(std::string("ServerConfig: ") + what);
+    }
+
+    ServerConfig cfg_{};
+};
+
+}  // namespace spectre::server

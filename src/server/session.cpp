@@ -6,7 +6,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "model/markov_model.hpp"
@@ -33,9 +35,10 @@ SessionLimits sanitized(SessionLimits limits) {
 
 ServerSession::ServerSession(std::uint64_t id, int fd, SessionLimits limits,
                              obs::Registry* registry, obs::ShardPtr shard,
-                             SessionHooks hooks)
+                             SessionHooks hooks, StreamHub* hub,
+                             detect::CompileCache* cache)
     : id_(id), fd_(fd), limits_(sanitized(limits)), registry_(registry),
-      shard_(std::move(shard)), hooks_(std::move(hooks)),
+      shard_(std::move(shard)), hooks_(std::move(hooks)), hub_(hub), cache_(cache),
       sendv_([fd](const struct iovec* iov, int iovcnt) -> ssize_t {
           struct msghdr msg {};
           msg.msg_iov = const_cast<struct iovec*>(iov);
@@ -46,6 +49,10 @@ ServerSession::ServerSession(std::uint64_t id, int fd, SessionLimits limits,
 ServerSession::~ServerSession() {
     // Callers guarantee no worker is inside run_quantum (the task finished,
     // or the pool was stopped first).
+    // Quiet hub detach (§15): drops the pin / marks the publisher gone. The
+    // returned fail list is ignored — this path is server-stop teardown
+    // (destroy_session detaches explicitly first and handles the list).
+    hub_detach();
     {
         const std::lock_guard<std::mutex> lock(egress_mutex_);
         account_egress(0);
@@ -119,7 +126,10 @@ SessionStatus ServerSession::consume_view(const std::uint8_t* data, std::size_t 
         scattered = 0;
     };
     while (pos < size) {
-        if (state_ == State::Streaming && reader_.empty()) {
+        // Subscribers never carry DATA — route everything through the staged
+        // decode so a stray DATA frame surfaces as a protocol error below.
+        if (state_ == State::Streaming && role_ != SessionRole::Subscriber &&
+            reader_.empty()) {
             net::DataFrameView dv;
             net::ScatterStatus st;
             try {
@@ -205,12 +215,17 @@ SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
         case State::AwaitHello:
             if (auto* hello = std::get_if<net::HelloFrame>(&frame))
                 return on_hello(std::move(*hello));
+            if (auto* hello2 = std::get_if<net::Hello2Frame>(&frame))
+                return on_hello2(std::move(*hello2));
             // A pure monitoring client may query server-wide stats without
             // ever subscribing a query (§12).
             if (std::get_if<net::StatsFrame>(&frame)) return on_stats();
             return fail("protocol error: expected HELLO", /*send_error=*/true);
         case State::Streaming:
             if (const auto* quote = std::get_if<net::WireQuote>(&frame)) {
+                if (role_ == SessionRole::Subscriber)
+                    return fail("protocol error: DATA on a subscriber session",
+                                /*send_error=*/true);
                 // Staged-path DATA (rare: a frame split across reads, or one
                 // riding behind a control frame). Symbol interning stays on
                 // the reactor thread (§8) either way: the engine only ever
@@ -223,7 +238,29 @@ SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
             }
             if (std::get_if<net::StatsFrame>(&frame)) return on_stats();
             if (std::get_if<net::ByeFrame>(&frame)) {
+                if (role_ == SessionRole::Subscriber) {
+                    // Early unsubscribe: the client no longer wants results.
+                    // Latch the BYE (the engine's finish path must not send a
+                    // second one), reply with what was sent, abandon the task.
+                    if (!bye_sent_.exchange(true, std::memory_order_acq_rel)) {
+                        if (egress_append(net::SessionFrame{net::ByeFrame{
+                                results_sent_.load(std::memory_order_relaxed)}}) &&
+                            !outcome_counted_.exchange(true, std::memory_order_acq_rel))
+                            shard_->add(obs::Series{obs::sid::kSessionsCompleted}, 1);
+                    }
+                    abort_requested_.store(true, std::memory_order_release);
+                    hooks_.notify_task(id_);
+                    egress_try_flush();
+                    state_ = State::Draining;
+                    return SessionStatus::Open;  // keep watching: detect client death
+                }
                 close_ingestion(/*close_store=*/true);
+                if (role_ == SessionRole::Publisher) {
+                    // No engine task exists: the stream is closed for every
+                    // subscriber; acknowledge the publisher with BYE{0} now.
+                    egress_append(net::SessionFrame{net::ByeFrame{0}});
+                    egress_try_flush();
+                }
                 state_ = State::Draining;
                 return SessionStatus::Open;  // keep watching: detect client death
             }
@@ -238,13 +275,22 @@ SessionStatus ServerSession::dispatch(net::SessionFrame&& frame) {
 }
 
 SessionStatus ServerSession::ingest_store(event::Event&& ev) {
-    stamp_arrival();
     // §14 scatter append: fill the store's next slot in place; the frontier
     // is published in batches by publish_ingest (the caller owns the cadence).
-    event::Event& slot = store_.append_slot();
+    event::EventStore& st = ingest_target();
+    event::Event& slot = st.append_slot();
     ev.seq = slot.seq;
     slot = std::move(ev);
-    const std::uint64_t in_flight = store_.size() + store_.pending_appends() -
+    if (role_ == SessionRole::Publisher) {
+        // A published stream is unpaced (§15 honest limit): there is no
+        // single `accepted_` to pace against — each subscriber reads at its
+        // own frontier, and a lagging one must never stall the publisher or
+        // its siblings. The store capacity bound (SPECTRE_REQUIRE in
+        // append_slot) is the hard stop.
+        return SessionStatus::Open;
+    }
+    stamp_arrival();
+    const std::uint64_t in_flight = st.size() + st.pending_appends() -
                                     accepted_.load(std::memory_order_relaxed);
     if (in_flight >= limits_.ingest_queue_events) {
         // High watermark hit: stop reading this socket — TCP pushes back on
@@ -291,9 +337,17 @@ SessionStatus ServerSession::ingest_sharded(event::Event&& ev) {
 
 void ServerSession::publish_ingest(std::size_t& appended) {
     if (appended == 0) return;
-    store_.publish_appends();
+    ingest_target().publish_appends();
     shard_->add(obs::Series{obs::sid::kEventsIngested}, appended);
     appended = 0;
+    if (role_ == SessionRole::Publisher) {
+        // §15 fan-out: one frontier publish wakes every parked subscriber
+        // engine. Each wake passes the §9 barrier on that subscriber's own
+        // ingest mutex (see notify_shared_ingest) — per-subscriber, because
+        // each parks independently at its own read frontier.
+        for (ServerSession* sub : hub_entry_->subscribers) sub->notify_shared_ingest();
+        return;
+    }
     // §9 handshake barrier: the task publishes parked_on_input_ and then
     // re-checks the frontier under this mutex; we publish the frontier and
     // then exchange the flag, also passing through the mutex. The critical
@@ -305,7 +359,18 @@ void ServerSession::publish_ingest(std::size_t& appended) {
         hooks_.notify_task(id_);
 }
 
-SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
+void ServerSession::notify_shared_ingest() {
+    // §9 barrier on THIS subscriber's mutex: the publisher published the
+    // shared frontier before calling here; passing through the mutex orders
+    // that publish against this task's park re-check (publish_ingest's
+    // argument, verbatim — the producer is just another session now).
+    { const std::lock_guard<std::mutex> lock(ingest_mutex_); }
+    if (parked_on_input_.exchange(false, std::memory_order_acq_rel))
+        hooks_.notify_task(id_);
+}
+
+SessionStatus ServerSession::on_hello(net::HelloFrame&& hello,
+                                      const net::Hello2Frame* echo) {
     if (hello.instances > static_cast<std::uint32_t>(limits_.max_instances))
         return fail("HELLO rejected: instances exceed server limit",
                     /*send_error=*/true);
@@ -321,7 +386,7 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
                                                            *vocab_.schema);
         if (hello.shards > 1 && !query.partition.active())
             throw std::invalid_argument("shards > 1 needs a partition key");
-        cq_ = std::make_unique<detect::CompiledQuery>(
+        cq_ = std::make_shared<const detect::CompiledQuery>(
             detect::CompiledQuery::compile(std::move(query)));
     } catch (const std::exception& e) {
         return fail(std::string("HELLO rejected: ") + e.what(), /*send_error=*/true);
@@ -400,6 +465,9 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
             reshard_countdown_ = limits_.reshard.decide_every_events;
         }
         state_ = State::Streaming;
+        // The capability echo (if this was a v2 HELLO) must be buffered
+        // before the first task can run — RESULT bytes follow it.
+        if (echo) egress_append(net::SessionFrame{*echo});
         task_registered_ = true;
         for (std::uint32_t s = 0; s < cfg.shards; ++s)
             hooks_.register_task(shard_task_id(id_, s), shard_tasks_[s].get());
@@ -426,6 +494,182 @@ SessionStatus ServerSession::on_hello(net::HelloFrame&& hello) {
         if (obs::enabled()) runtime_->bind_obs(shard_.get());
     }
     state_ = State::Streaming;
+    if (echo) egress_append(net::SessionFrame{*echo});
+    task_registered_ = true;
+    tasks_expected_.store(1, std::memory_order_relaxed);
+    hooks_.register_task(id_, this);  // schedules the first quantum
+    return SessionStatus::Open;
+}
+
+// --- HELLO v2 (§15) ---------------------------------------------------------
+
+namespace {
+
+// Numeric HELLO v2 values are strict decimal u32 — anything else rejects the
+// handshake (unknown KEYS are ignored; malformed VALUES for known keys are
+// errors, per the append-only versioning rule in DESIGN.md §15).
+bool parse_u32(std::string_view s, std::uint32_t& out) {
+    if (s.empty() || s.size() > 10) return false;
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9') return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (v > std::numeric_limits<std::uint32_t>::max()) return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+}  // namespace
+
+void ServerSession::send_hello2_echo(std::string_view role, const std::string& stream) {
+    net::Hello2Frame echo;
+    echo.set("proto", "2");
+    echo.set("role", std::string(role));
+    if (!stream.empty()) echo.set("stream", stream);
+    echo.set("max_instances", std::to_string(limits_.max_instances));
+    echo.set("max_shards", std::to_string(limits_.max_shards));
+    egress_append(net::SessionFrame{std::move(echo)});
+    egress_try_flush();
+}
+
+SessionStatus ServerSession::on_hello2(net::Hello2Frame&& hello) {
+    const std::string_view role = hello.has("role") ? hello.get("role") : "standalone";
+    const std::string stream(hello.get("stream"));
+    if (role == "publish") return on_hello2_publish(hello, stream);
+    if (role == "subscribe") return on_hello2_subscribe(std::move(hello), stream);
+    if (role != "standalone")
+        return fail("HELLO rejected: unknown role '" + std::string(role) + "'",
+                    /*send_error=*/true);
+    // Compat shim: a v2 standalone HELLO is the v1 handshake with an echo —
+    // same keys, same engine selection, byte-identical RESULT stream.
+    net::HelloFrame v1;
+    v1.query = std::string(hello.get("query"));
+    v1.partition_by = std::string(hello.get("partition_by"));
+    std::uint32_t instances = 0;
+    std::uint32_t shards = 0;
+    if (hello.has("instances") && !parse_u32(hello.get("instances"), instances))
+        return fail("HELLO rejected: bad instances value", /*send_error=*/true);
+    if (hello.has("shards") && !parse_u32(hello.get("shards"), shards))
+        return fail("HELLO rejected: bad shards value", /*send_error=*/true);
+    v1.instances = instances;
+    v1.shards = shards;
+    net::Hello2Frame echo;
+    echo.set("proto", "2");
+    echo.set("role", "standalone");
+    echo.set("max_instances", std::to_string(limits_.max_instances));
+    echo.set("max_shards", std::to_string(limits_.max_shards));
+    return on_hello(std::move(v1), &echo);
+}
+
+SessionStatus ServerSession::on_hello2_publish(const net::Hello2Frame& hello,
+                                               const std::string& stream) {
+    if (!hub_)
+        return fail("HELLO rejected: this server has no stream hub", /*send_error=*/true);
+    if (stream.empty())
+        return fail("HELLO rejected: publish needs stream=<name>", /*send_error=*/true);
+    if (hello.has("query"))
+        return fail("HELLO rejected: publisher sessions carry no query",
+                    /*send_error=*/true);
+    auto entry = hub_->publish(stream, id_);
+    if (!entry)
+        return fail("HELLO rejected: stream '" + stream + "' already published",
+                    /*send_error=*/true);
+    role_ = SessionRole::Publisher;
+    hub_entry_ = std::move(entry);
+    // The stream's vocab interns DATA symbols on this reactor thread (§8's
+    // interning rule is unchanged — one thread, now shared by N readers that
+    // only ever see interned ids).
+    vocab_ = hub_entry_->vocab;
+    state_ = State::Streaming;
+    send_hello2_echo("publish", stream);
+    // No engine, no task: the reaper gates on input_done + egress drained.
+    return SessionStatus::Open;
+}
+
+SessionStatus ServerSession::on_hello2_subscribe(net::Hello2Frame&& hello,
+                                                 const std::string& stream) {
+    if (!hub_)
+        return fail("HELLO rejected: this server has no stream hub", /*send_error=*/true);
+    if (stream.empty())
+        return fail("HELLO rejected: subscribe needs stream=<name>", /*send_error=*/true);
+    std::uint32_t instances = 0;
+    if (hello.has("instances") && !parse_u32(hello.get("instances"), instances))
+        return fail("HELLO rejected: bad instances value", /*send_error=*/true);
+    if (instances > static_cast<std::uint32_t>(limits_.max_instances))
+        return fail("HELLO rejected: instances exceed server limit", /*send_error=*/true);
+    std::uint32_t shards = 0;
+    if (hello.has("shards") && !parse_u32(hello.get("shards"), shards))
+        return fail("HELLO rejected: bad shards value", /*send_error=*/true);
+    if (shards > 0 || hello.has("partition_by"))
+        // §15 honest limit: partitioned/sharded engines re-materialize the
+        // stream into per-key lanes — that defeats the shared-store point.
+        // Run those as standalone sessions instead.
+        return fail("HELLO rejected: subscriber sessions cannot shard or partition",
+                    /*send_error=*/true);
+    auto entry = hub_->find(stream);
+    if (!entry)
+        return fail("HELLO rejected: unknown stream '" + stream + "'",
+                    /*send_error=*/true);
+    if (entry->failed)
+        return fail("HELLO rejected: " + entry->fail_reason, /*send_error=*/true);
+    const auto cursor = entry->pins.attach();
+    if (cursor == event::ChunkPins::kInvalidCursor)
+        return fail("HELLO rejected: stream '" + stream + "' history already reclaimed",
+                    /*send_error=*/true);
+    // Parse against the STREAM's schema: the query's interned slots/types
+    // must resolve against the vocab the publisher's events were interned
+    // with. Reactor thread, so interning query atoms is §8-safe.
+    vocab_ = entry->vocab;
+    try {
+        auto query = query::parse_query(std::string(hello.get("query")), vocab_.schema);
+        if (query.partition.active())
+            throw std::invalid_argument(
+                "subscriber queries cannot use PARTITION BY (standalone sessions can)");
+        if (cache_) {
+            const auto before = cache_->stats();
+            cq_ = cache_->get(std::move(query));
+            const auto after = cache_->stats();
+            shard_->add(obs::Series{obs::sid::kCompileCacheHits}, after.hits - before.hits);
+            shard_->add(obs::Series{obs::sid::kCompileCacheMisses},
+                        after.misses - before.misses);
+        } else {
+            cq_ = std::make_shared<const detect::CompiledQuery>(
+                detect::CompiledQuery::compile(std::move(query)));
+        }
+    } catch (const std::exception& e) {
+        entry->pins.detach(cursor);
+        return fail(std::string("HELLO rejected: ") + e.what(), /*send_error=*/true);
+    }
+    role_ = SessionRole::Subscriber;
+    hub_entry_ = entry;
+    pin_cursor_ = cursor;
+    instances_ = instances;
+    hub_->subscribe(entry, this);
+
+    event::ResultSink sink = [this](event::ComplexEvent&& ce) {
+        const auto prev = results_sent_.fetch_add(1, std::memory_order_relaxed);
+        observe_result_latency(ce, prev);
+        if (egress_append(net::SessionFrame{net::to_result_frame(ce)}))
+            shard_->add(obs::Series{obs::sid::kResultsEmitted}, 1);
+    };
+    if (instances_ == 0) {
+        stepper_ = std::make_unique<sequential::SeqStepper>(cq_.get(), &hub_entry_->store,
+                                                            std::move(sink));
+    } else {
+        core::RuntimeConfig cfg;
+        cfg.splitter.instances = static_cast<int>(instances_);
+        cfg.batch_events = limits_.batch_events;
+        cfg.quantum_budget = limits_.batch_events;
+        runtime_ = std::make_unique<core::SpectreRuntime>(
+            &hub_entry_->store, cq_.get(), cfg,
+            std::make_unique<model::MarkovModel>(cq_->min_length(),
+                                                 model::MarkovParams{}));
+        runtime_->set_result_sink(std::move(sink));
+        if (obs::enabled()) runtime_->bind_obs(shard_.get());
+    }
+    state_ = State::Streaming;
+    send_hello2_echo("subscribe", stream);
     task_registered_ = true;
     tasks_expected_.store(1, std::memory_order_relaxed);
     hooks_.register_task(id_, this);  // schedules the first quantum
@@ -461,6 +705,18 @@ SessionStatus ServerSession::on_end_of_input() {
                             /*send_error=*/true);
             // Clean EOF at a frame boundary is an implicit BYE — clients may
             // simply shutdown(SHUT_WR) and keep reading results.
+            if (role_ == SessionRole::Subscriber) {
+                // The subscriber's input side was only ever the HELLO; its
+                // engine keeps running until the published stream ends.
+                state_ = State::Draining;
+                return SessionStatus::Finished;
+            }
+            if (role_ == SessionRole::Publisher)
+                // NOT an implicit BYE: N subscribers cannot tell a truncated
+                // stream from a complete one, so only an explicit BYE closes
+                // a published stream cleanly. The hub detach sees the store
+                // un-closed and fails every attached subscriber.
+                return fail("publisher disconnected without BYE", /*send_error=*/false);
             close_ingestion(/*close_store=*/true);
             state_ = State::Draining;
             return SessionStatus::Finished;
@@ -510,8 +766,18 @@ void ServerSession::close_ingestion(bool close_store) {
         // Reactor dispatch paths only (BYE / clean EOF): the sole appender
         // closes its own store — the stepper's completion check needs the
         // final length. Abort paths leave it open (header contract).
-        store_.publish_appends();
-        store_.close();
+        event::EventStore& st = ingest_target();
+        st.publish_appends();
+        st.close();
+        if (role_ == SessionRole::Publisher) {
+            // End-of-stream fan-out (§15): every subscriber engine must
+            // observe closed() to finish. Each wake passes that subscriber's
+            // §9 barrier — a concurrently-parking task re-checks closed()
+            // under its own mutex, so the wakeup is never lost.
+            for (ServerSession* sub : hub_entry_->subscribers)
+                sub->notify_shared_ingest();
+            return;
+        }
     }
     if (parked_on_input_.exchange(false, std::memory_order_acq_rel))
         hooks_.notify_task(id_);
@@ -531,6 +797,36 @@ void ServerSession::abort() {
         else
             hooks_.notify_task(id_);
     }
+}
+
+// --- shared ingest plane (§15) ----------------------------------------------
+
+std::vector<ServerSession*> ServerSession::hub_detach() {
+    std::vector<ServerSession*> to_fail;
+    if (!hub_entry_) return to_fail;
+    // Move the entry out first: the detach must be idempotent (destroy paths
+    // and the destructor both call it), and ingest_target() must fall back to
+    // the private store the moment the session leaves the plane.
+    StreamHub::EntryPtr entry = std::move(hub_entry_);
+    hub_entry_.reset();
+    if (role_ == SessionRole::Subscriber) {
+        const std::size_t freed = entry->pins.detach(pin_cursor_);
+        if (freed > 0) shard_->add(obs::Series{obs::sid::kHubChunksReclaimed}, freed);
+        if (hub_) hub_->unsubscribe(entry, this);
+    } else if (role_ == SessionRole::Publisher) {
+        if (hub_) to_fail = hub_->publisher_gone(entry);
+        // The failure reason lives on the entry; each subscriber still holds
+        // its own reference, so fail_publisher_gone can read it after we drop
+        // ours here.
+    }
+    return to_fail;
+}
+
+void ServerSession::fail_publisher_gone() {
+    const std::string reason = hub_entry_ && hub_entry_->failed
+                                   ? hub_entry_->fail_reason
+                                   : std::string("published stream lost");
+    fail(reason, /*send_error=*/true);
 }
 
 void ServerSession::count_failed_once() {
@@ -604,7 +900,7 @@ void ServerSession::note_stall_end(std::uint64_t& stamp) {
 // --- ingest pacing (§14) ----------------------------------------------------
 
 std::size_t ServerSession::accept_ingest() {
-    const std::uint64_t frontier = store_.size();
+    const std::uint64_t frontier = ingest_target().size();
     const std::uint64_t accepted = accepted_.load(std::memory_order_relaxed);
     const std::uint64_t n =
         std::min<std::uint64_t>(frontier - accepted, limits_.batch_events);
@@ -618,13 +914,19 @@ std::size_t ServerSession::accept_ingest() {
 }
 
 bool ServerSession::ingest_empty_and_open() {
+    const event::EventStore& st = ingest_target();
     const std::lock_guard<std::mutex> lock(ingest_mutex_);
-    return store_.size() == accepted_.load(std::memory_order_relaxed) && !ingest_closed_;
+    // A subscriber's ingest_closed_ never flips — the publisher ends its
+    // stream by closing the shared store instead, so the closed() check is
+    // what lets a subscriber refuse to park once end-of-stream is published
+    // (the close path passes this same mutex via notify_shared_ingest).
+    return st.size() == accepted_.load(std::memory_order_relaxed) && !ingest_closed_ &&
+           !st.closed();
 }
 
 bool ServerSession::ingest_above_low() const {
     if (sharded_) return sharded_->queued_total() >= limits_.ingest_queue_events / 2;
-    return store_.size() - accepted_.load(std::memory_order_acquire) >=
+    return ingest_target().size() - accepted_.load(std::memory_order_acquire) >=
            limits_.ingest_queue_events / 2;
 }
 
@@ -864,6 +1166,17 @@ void ServerSession::flush_sched_stats() {
 
 EngineTask::Quantum ServerSession::finish_engine() {
     flush_sched_stats();
+    if (role_ == SessionRole::Subscriber && hub_entry_) {
+        // Engine done: this reader will never address the stream again —
+        // raise its pin to the frontier so chunks the last laggard was
+        // holding can be reclaimed (§15). Completion-time granularity is an
+        // honest limit: the engines don't expose a mid-stream low watermark,
+        // so the memory win is one shared store vs N copies, not early
+        // chunk turnover within a run.
+        const std::size_t freed =
+            hub_entry_->pins.advance(pin_cursor_, hub_entry_->store.size());
+        if (freed > 0) shard_->add(obs::Series{obs::sid::kHubChunksReclaimed}, freed);
+    }
     if (egress_append(net::SessionFrame{
             net::ByeFrame{results_sent_.load(std::memory_order_relaxed)}}) &&
         !outcome_counted_.exchange(true, std::memory_order_acq_rel)) {
@@ -907,6 +1220,13 @@ void ServerSession::apply_reshard_decision() {
             tasks_expected_.store(span, std::memory_order_release);
             return;
         }
+        case shard::ReshardDecision::Kind::Shrink:
+            // Routing-only change (§13): new keys hash over the narrower
+            // width; the slots above it keep their tasks and drain whatever
+            // they already queued (task_span stays monotone — tasks_expected_
+            // is untouched, the drained slots just finish and park for good).
+            sharded_->reshard(d.new_shards);
+            return;
     }
 }
 

@@ -46,7 +46,9 @@
 #include <vector>
 
 #include "data/stock.hpp"
+#include "detect/compile_cache.hpp"
 #include "detect/compiled_query.hpp"
+#include "event/chunk_pins.hpp"
 #include "event/stream.hpp"
 #include "net/egress_ring.hpp"
 #include "net/io_backend.hpp"
@@ -54,6 +56,7 @@
 #include "obs/metrics.hpp"
 #include "sequential/seq_engine.hpp"
 #include "server/engine_pool.hpp"
+#include "server/stream_hub.hpp"
 #include "shard/reshard_controller.hpp"
 #include "shard/sharded_engine.hpp"
 #include "spectre/runtime.hpp"
@@ -103,6 +106,12 @@ struct SessionLimits {
     shard::ReshardPolicy reshard{};
 };
 
+// What a session is to the shared ingest plane (DESIGN.md §15). HELLO v1 and
+// a v2 `role=standalone` both yield Standalone — the pre-§15 private-stream
+// session. `role=publish` owns a named StreamHub entry and carries only DATA;
+// `role=subscribe` attaches a query to a published stream and carries none.
+enum class SessionRole : std::uint8_t { Standalone, Publisher, Subscriber };
+
 // What the reactor should do with the connection after feeding it input.
 enum class SessionStatus {
     Open,      // keep watching the fd for input
@@ -133,8 +142,11 @@ public:
     // session's metrics scope (§12): `shard` must have been created from
     // `registry` and the registry must outlive the session — the destructor
     // retires the shard (folding its counters into the retained block).
+    // `hub`/`cache` wire the session into the shared ingest plane (§15); null
+    // disables HELLO v2 publish/subscribe roles (standalone still works).
     ServerSession(std::uint64_t id, int fd, SessionLimits limits, obs::Registry* registry,
-                  obs::ShardPtr shard, SessionHooks hooks);
+                  obs::ShardPtr shard, SessionHooks hooks, StreamHub* hub = nullptr,
+                  detect::CompileCache* cache = nullptr);
     ~ServerSession() override;  // closes the fd (callers stop the pool first)
 
     ServerSession(const ServerSession&) = delete;
@@ -207,6 +219,19 @@ public:
     // the server thread at any point; idempotent.
     void abort();
 
+    // --- shared ingest plane (§15, reactor thread) ---------------------------
+
+    SessionRole role() const noexcept { return role_; }
+    // Detaches from the stream hub (idempotent). A subscriber drops its chunk
+    // pin and leaves the entry's wake list; a publisher marks the stream gone
+    // and returns the subscribers the caller must fail (mid-stream death) —
+    // the destructor also detaches but ignores that list (server-stop
+    // teardown destroys everyone anyway).
+    std::vector<ServerSession*> hub_detach();
+    // Reactor-side error injection for those returned subscribers: fails the
+    // session with the hub entry's recorded reason (ERROR frame + teardown).
+    void fail_publisher_gone();
+
     // Test seam: replaces the vectored-send function the egress ring flushes
     // through (default: sendmsg on the session fd). Call before any egress.
     void set_sendv_for_test(net::EgressRing::SendvFn fn) { sendv_ = std::move(fn); }
@@ -231,7 +256,17 @@ private:
     };
 
     SessionStatus dispatch(net::SessionFrame&& frame);
-    SessionStatus on_hello(net::HelloFrame&& hello);
+    // `echo` (v2 compat shim): buffered as the capability reply right before
+    // the engine task registers, so it precedes every RESULT byte. Null for
+    // a v1 HELLO — v1 clients get no echo.
+    SessionStatus on_hello(net::HelloFrame&& hello, const net::Hello2Frame* echo = nullptr);
+    // HELLO v2 (§15): role-dispatched handshake. `role=standalone` maps onto
+    // on_hello; publish/subscribe attach the session to the stream hub.
+    SessionStatus on_hello2(net::Hello2Frame&& hello);
+    SessionStatus on_hello2_publish(const net::Hello2Frame& hello, const std::string& stream);
+    SessionStatus on_hello2_subscribe(net::Hello2Frame&& hello, const std::string& stream);
+    // Buffers the server capability echo for an accepted v2 HELLO.
+    void send_hello2_echo(std::string_view role, const std::string& stream);
     // STATS request (§12): buffers a StatsFrame reply carrying the server-wide
     // registry aggregate plus this session's own shard, as one JSON object.
     SessionStatus on_stats();
@@ -269,6 +304,17 @@ private:
     // this thread sees the parked flag — never neither).
     void publish_ingest(std::size_t& appended);
     bool ingest_empty_and_open();  // park predicate (frontier == accepted)
+    // The store this session appends to / steps over: the hub entry's shared
+    // store for publisher and subscriber roles, the private store_ otherwise.
+    event::EventStore& ingest_target() noexcept {
+        return hub_entry_ ? hub_entry_->store : store_;
+    }
+    const event::EventStore& ingest_target() const noexcept {
+        return hub_entry_ ? hub_entry_->store : store_;
+    }
+    // A publisher appended to the shared store: pass the §9 wakeup barrier
+    // for THIS subscriber (each subscriber parks on its own ingest_mutex_).
+    void notify_shared_ingest();
 
     // Worker side: advances accepted_ by at most batch_events toward the
     // frontier (ingest pacing); posts ResumeRead once in-flight drops below
@@ -337,11 +383,21 @@ private:
     std::uint32_t tasks_done_ = 0;
     std::uint32_t armed_mask_ = 0;
 
-    // Set on HELLO.
+    // Set on HELLO. cq_ is shared: subscriber sessions may hold the same
+    // compiled artifact as their siblings via the server's CompileCache (§15)
+    // — it is immutable after construction, so sharing is free.
     data::StockVocab vocab_;
-    std::unique_ptr<detect::CompiledQuery> cq_;
+    std::shared_ptr<const detect::CompiledQuery> cq_;
     std::uint32_t instances_ = 0;
     bool task_registered_ = false;
+
+    // Shared ingest plane (§15). hub_entry_ is held for the session's whole
+    // life — the shared store must outlive the engine stepping it.
+    StreamHub* hub_;
+    detect::CompileCache* cache_;
+    SessionRole role_ = SessionRole::Standalone;
+    StreamHub::EntryPtr hub_entry_;
+    event::ChunkPins::Cursor pin_cursor_ = event::ChunkPins::kInvalidCursor;
 
     // Engine: exactly one of the three after HELLO. Unsharded sessions step
     // stepper_/runtime_ from run_quantum; a partitioned query gets a

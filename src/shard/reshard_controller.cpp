@@ -20,6 +20,7 @@ ReshardDecision ReshardController::decide(std::uint32_t active_shards) {
     std::uint32_t hot = 0;
     std::uint32_t cold = 0;
     bool all_saturated = true;
+    bool all_quiet = policy_.shrink_max_peak > 0;
     for (std::uint32_t s = 0; s < n; ++s) {
         const std::uint64_t v = scope_->value(peaks_[s]);
         scope_->set(peaks_[s], 0);  // next window starts now
@@ -32,8 +33,10 @@ ReshardDecision ReshardController::decide(std::uint32_t active_shards) {
             cold = s;
         }
         if (v < policy_.grow_min_peak) all_saturated = false;
+        if (v >= policy_.shrink_max_peak) all_quiet = false;
     }
     ++decisions_;
+    quiet_windows_ = all_quiet ? quiet_windows_ + 1 : 0;
 
     // Uniform overload first: stealing shuffles keys between equally-hot
     // slots for nothing — more slots is the only lever.
@@ -49,6 +52,17 @@ ReshardDecision ReshardController::decide(std::uint32_t active_shards) {
         d.kind = ReshardDecision::Kind::Steal;
         d.hot = hot;
         d.cold = cold;
+        return d;
+    }
+    // Low-watermark shrink (§13, closes the ROADMAP "never shrinks" limit):
+    // a sustained quiet streak halves the active width. The engine's
+    // reshard() remaps routing only — old slots keep draining what they
+    // already queued, so correctness is untouched (the parity test pins it).
+    if (quiet_windows_ >= policy_.shrink_after_windows && active_shards >= 2 &&
+        n == active_shards) {
+        d.kind = ReshardDecision::Kind::Shrink;
+        d.new_shards = active_shards / 2;
+        quiet_windows_ = 0;  // restart the streak at the new width
     }
     return d;
 }

@@ -33,14 +33,21 @@ struct ReshardPolicy {
     // can't help when all slots are hot.
     std::uint32_t grow_shards_to = 0;
     std::uint64_t grow_min_peak = 1024;
+    // Shrink the active width to half once EVERY active slot's windowed peak
+    // stayed below shrink_max_peak for shrink_after_windows consecutive
+    // decide() windows — sustained idleness, not one quiet window, releases
+    // slots (grow/steal pressure resets the streak). 0 disables shrinking
+    // (the pre-shrink behavior; ROADMAP's "never shrinks" honest limit).
+    std::uint64_t shrink_max_peak = 0;
+    std::uint32_t shrink_after_windows = 4;
 };
 
 struct ReshardDecision {
-    enum class Kind { None, Steal, Grow };
+    enum class Kind { None, Steal, Grow, Shrink };
     Kind kind = Kind::None;
     std::uint32_t hot = 0;         // Steal: source slot
     std::uint32_t cold = 0;        // Steal: destination slot
-    std::uint32_t new_shards = 0;  // Grow: target active width
+    std::uint32_t new_shards = 0;  // Grow / Shrink: target active width
 };
 
 class ReshardController {
@@ -66,6 +73,7 @@ private:
     std::vector<obs::Series> peaks_;
     ReshardPolicy policy_;
     std::uint64_t decisions_ = 0;
+    std::uint32_t quiet_windows_ = 0;  // consecutive all-below-low windows
 };
 
 }  // namespace spectre::shard

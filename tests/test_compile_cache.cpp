@@ -1,0 +1,151 @@
+// CompileCache (DESIGN.md §15): structural sharing of compiled query
+// artifacts across subscriber sessions. The two properties the shared plane
+// leans on:
+//   * a hit is exact — truncated-hash bucket collisions are resolved by full
+//     signature compare, so a tiny hash can never hand back the wrong
+//     artifact (differential against the full-width cache pins this);
+//   * schema identity keys the entry — the "same" query against a different
+//     stream's schema compiles fresh, and replacing a stream's schema
+//     invalidates its cached artifacts naturally.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/compile_cache.hpp"
+#include "event/event.hpp"
+#include "query/parser.hpp"
+
+namespace spectre {
+namespace {
+
+std::shared_ptr<event::Schema> make_schema() {
+    return std::make_shared<event::Schema>();
+}
+
+// Distinct-by-structure queries: the window length constant differs.
+std::string query_text(int within) {
+    return "PATTERN (R1 R2) "
+           "DEFINE R1 AS R1.close > R1.open, R2 AS R2.close > R2.open "
+           "WITHIN " + std::to_string(within) + " EVENTS FROM EVERY 10 EVENTS "
+           "CONSUME ALL";
+}
+
+TEST(CompileCache, IdenticalQueriesShareOneArtifact) {
+    const auto schema = make_schema();
+    detect::CompileCache cache;
+
+    const auto a = cache.get(query::parse_query(query_text(40), schema));
+    const auto b = cache.get(query::parse_query(query_text(40), schema));
+    EXPECT_EQ(a.get(), b.get()) << "same structure + schema must share";
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    const auto c = cache.get(query::parse_query(query_text(41), schema));
+    EXPECT_NE(a.get(), c.get()) << "different window constant must not share";
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CompileCache, StructuralSignatureSeparatesConstantsAndPolicies) {
+    const auto schema = make_schema();
+    const auto sig = [&](const std::string& text) {
+        return detect::structural_signature(query::parse_query(text, schema));
+    };
+    EXPECT_EQ(sig(query_text(40)), sig(query_text(40)));
+    EXPECT_NE(sig(query_text(40)), sig(query_text(41)));
+    // Consumption policy is part of the structure.
+    EXPECT_NE(sig("PATTERN (R1 R2) "
+                  "DEFINE R1 AS R1.close > R1.open, R2 AS R2.close > R2.open "
+                  "WITHIN 40 EVENTS FROM EVERY 10 EVENTS CONSUME ALL"),
+              sig("PATTERN (R1 R2) "
+                  "DEFINE R1 AS R1.close > R1.open, R2 AS R2.close > R2.open "
+                  "WITHIN 40 EVENTS FROM EVERY 10 EVENTS CONSUME (R1)"));
+    // Payload definitions are part of the structure.
+    EXPECT_NE(sig(query_text(40)),
+              sig(query_text(40) + " EMIT gain = R2.close - R1.open"));
+}
+
+// The collision differential the truncation knob exists for: a 1-bit hash
+// (two buckets) forces nearly every lookup through the full-signature
+// confirm path. Behavior — which artifact each query maps to, and the
+// hit/miss totals — must be identical to the full 64-bit cache.
+TEST(CompileCache, TruncatedHashCollisionsNeverProduceFalseHits) {
+    const auto schema = make_schema();
+    detect::CompileCache tiny(1);
+    detect::CompileCache full(64);
+
+    constexpr int kQueries = 24;
+    std::vector<std::shared_ptr<const detect::CompiledQuery>> tiny_first;
+    std::vector<std::shared_ptr<const detect::CompiledQuery>> full_first;
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < kQueries; ++i) {
+            const auto t = tiny.get(query::parse_query(query_text(10 + i), schema));
+            const auto f = full.get(query::parse_query(query_text(10 + i), schema));
+            // The artifact must be the one compiled from *this* structure —
+            // colliding buckets may share a chain, never an artifact.
+            EXPECT_EQ(detect::structural_signature(t->query()),
+                      detect::structural_signature(f->query()))
+                << "i=" << i;
+            if (round == 0) {
+                tiny_first.push_back(t);
+                full_first.push_back(f);
+            } else {
+                EXPECT_EQ(t.get(), tiny_first[static_cast<std::size_t>(i)].get());
+                EXPECT_EQ(f.get(), full_first[static_cast<std::size_t>(i)].get());
+            }
+        }
+    }
+    EXPECT_EQ(tiny.stats().hits, full.stats().hits);
+    EXPECT_EQ(tiny.stats().misses, full.stats().misses);
+    EXPECT_EQ(tiny.size(), static_cast<std::size_t>(kQueries));
+}
+
+TEST(CompileCache, SchemaIdentityKeysTheEntry) {
+    detect::CompileCache cache;
+    const auto schema_a = make_schema();
+    const auto schema_b = make_schema();  // structurally identical, distinct object
+
+    const auto a = cache.get(query::parse_query(query_text(40), schema_a));
+    const auto b = cache.get(query::parse_query(query_text(40), schema_b));
+    EXPECT_NE(a.get(), b.get())
+        << "same text against another stream's schema must compile fresh";
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+
+    // Each schema's artifact stays independently cached.
+    EXPECT_EQ(cache.get(query::parse_query(query_text(40), schema_a)).get(), a.get());
+    EXPECT_EQ(cache.get(query::parse_query(query_text(40), schema_b)).get(), b.get());
+    EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+// Dropping a stream's schema (the last external reference) makes its entries
+// evictable; a full cache sheds them instead of refusing new work.
+TEST(CompileCache, StaleSchemaEntriesAreEvictedUnderPressure) {
+    detect::CompileCache cache;
+    auto stale = make_schema();
+    const auto live = make_schema();
+
+    cache.get(query::parse_query(query_text(40), stale));
+    cache.get(query::parse_query(query_text(41), stale));
+    EXPECT_EQ(cache.size(), 2u);
+    stale.reset();  // the cache now holds the only references
+
+    // Fill to capacity with live-schema entries; the stale ones must make
+    // room rather than block caching.
+    for (std::size_t i = 0; i < detect::CompileCache::kMaxEntries; ++i) {
+        cache.get(query::parse_query(
+            query_text(100 + static_cast<int>(i)), live));
+    }
+    EXPECT_LE(cache.size(), detect::CompileCache::kMaxEntries);
+    // Live entries inserted after the evictions still hit.
+    const auto before = cache.stats().hits;
+    cache.get(query::parse_query(
+        query_text(100 + static_cast<int>(detect::CompileCache::kMaxEntries) - 1),
+        live));
+    EXPECT_EQ(cache.stats().hits, before + 1);
+}
+
+}  // namespace
+}  // namespace spectre

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <random>
 #include <thread>
 
 #include "data/nyse_synth.hpp"
@@ -828,5 +829,142 @@ TEST(FrameReader, TailNeedNamesExactCompletionBytes) {
         EXPECT_TRUE(r.poll().has_value()) << "frame " << fi;
         EXPECT_TRUE(r.empty()) << "frame " << fi;
         EXPECT_EQ(r.tail_need(), 0u) << "frame " << fi;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HELLO v2 (DESIGN.md §15): the versioned key-value handshake frame, and the
+// fuzz-style sweep over the whole frame catalogue that the append-only wire
+// versioning rule is pinned by.
+// ---------------------------------------------------------------------------
+
+TEST(SessionFrame, Hello2RoundTrips) {
+    Hello2Frame hello;
+    hello.set("role", "subscribe");
+    hello.set("stream", "nyse");
+    hello.set("query", "PATTERN (A B) DEFINE A AS A.close > A.open");
+    hello.set("instances", "4");
+    hello.set("empty", "");  // empty values survive
+    EXPECT_EQ(std::get<Hello2Frame>(round_trip(SessionFrame{hello})), hello);
+
+    Hello2Frame none;  // zero pairs is a valid (if useless) v2 HELLO
+    EXPECT_EQ(std::get<Hello2Frame>(round_trip(SessionFrame{none})), none);
+
+    // Unknown keys ride along untouched — that's the extensibility contract.
+    Hello2Frame future;
+    future.set("role", "publish");
+    future.set("stream", "s");
+    future.set("some_future_knob", "whatever");
+    const auto back = std::get<Hello2Frame>(round_trip(SessionFrame{future}));
+    EXPECT_EQ(back.get("some_future_knob"), "whatever");
+}
+
+TEST(SessionFrame, Hello2PartialReturnsNulloptAndBoundsReject) {
+    Hello2Frame hello;
+    hello.set("role", "subscribe");
+    hello.set("stream", "nyse");
+    std::vector<std::uint8_t> buf;
+    encode_frame(SessionFrame{hello}, buf);
+    for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+        std::size_t off = 0;
+        const std::vector<std::uint8_t> partial(
+            buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+        EXPECT_EQ(decode_frame(partial, off), std::nullopt) << "cut=" << cut;
+        EXPECT_EQ(off, 0u);
+    }
+
+    // Pair count beyond the sanity bound throws (framing is lost). Patched
+    // at the byte level — the encoder refuses to produce such a frame.
+    auto fat = buf;
+    fat[1] = 0xff;  // pair count sits right after the tag
+    fat[2] = 0xff;
+    fat[3] = 0xff;
+    fat[4] = 0xff;
+    std::size_t off = 0;
+    EXPECT_THROW(decode_frame(fat, off), std::runtime_error);
+
+    // So does a key length beyond its bound.
+    auto long_key = buf;
+    long_key[5] = 0xff;  // first key's length field
+    long_key[6] = 0xff;
+    off = 0;
+    EXPECT_THROW(decode_frame(long_key, off), std::runtime_error);
+}
+
+namespace {
+
+// One of each catalogued frame kind (tags 1..7), with representative payloads.
+std::vector<SessionFrame> frame_catalogue() {
+    std::vector<SessionFrame> frames;
+    frames.push_back(SessionFrame{HelloFrame{"PATTERN (A B) DEFINE ...", 2, 4, "SUBJECT"}});
+    WireQuote q;
+    q.ts = 77;
+    q.symbol = "MSFT";
+    frames.push_back(SessionFrame{q});
+    frames.push_back(SessionFrame{ResultFrame{9, {4, 5, 6}, {{"gain", 0.5}}}});
+    frames.push_back(SessionFrame{ByeFrame{123}});
+    frames.push_back(SessionFrame{ErrorFrame{"bad things"}});
+    frames.push_back(SessionFrame{StatsFrame{"{\"x\":1}"}});
+    Hello2Frame h2;
+    h2.set("role", "subscribe");
+    h2.set("stream", "nyse");
+    h2.set("query", "PATTERN (A)");
+    frames.push_back(SessionFrame{h2});
+    return frames;
+}
+
+}  // namespace
+
+// Fuzz-style sweep: random interleavings of every frame kind, fed to a
+// FrameReader in random-size slices, must decode to exactly the encoded
+// sequence; random single-byte corruptions of the same stream must either
+// decode, stall awaiting more bytes, or throw — never mis-frame silently
+// into a *different* valid frame sequence of equal length.
+TEST(FrameReader, FuzzedSplitsAndCorruptionsNeverSilentlyMisframe) {
+    std::mt19937 rng(20260808);
+    const auto kinds = frame_catalogue();
+    for (int iter = 0; iter < 200; ++iter) {
+        // A random message sequence over the full catalogue.
+        std::vector<SessionFrame> sent;
+        std::vector<std::uint8_t> wire;
+        const std::size_t count = 1 + rng() % 12;
+        for (std::size_t i = 0; i < count; ++i) {
+            sent.push_back(kinds[rng() % kinds.size()]);
+            encode_frame(sent.back(), wire);
+        }
+
+        // Random split schedule: any slicing decodes to the same frames.
+        FrameReader r;
+        std::vector<SessionFrame> got;
+        std::size_t fed = 0;
+        while (fed < wire.size()) {
+            const std::size_t n =
+                std::min<std::size_t>(1 + rng() % 23, wire.size() - fed);
+            r.feed(wire.data() + fed, n);
+            fed += n;
+            while (auto f = r.poll()) got.push_back(std::move(*f));
+        }
+        ASSERT_EQ(got.size(), sent.size()) << "iter=" << iter;
+        for (std::size_t i = 0; i < sent.size(); ++i)
+            EXPECT_EQ(got[i], sent[i]) << "iter=" << iter << " frame=" << i;
+        EXPECT_TRUE(r.empty()) << "iter=" << iter;
+
+        // Single-byte corruption: whatever still decodes must be a prefix
+        // that re-encodes into the bytes it was decoded from (no silent
+        // misframing); everything else throws or stalls.
+        auto mutated = wire;
+        const std::size_t at = rng() % mutated.size();
+        mutated[at] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+        FrameReader m;
+        m.feed(mutated.data(), mutated.size());
+        std::vector<std::uint8_t> reencoded;
+        try {
+            while (auto f = m.poll()) encode_frame(*f, reencoded);
+        } catch (const std::runtime_error&) {
+            continue;  // corruption detected — the desired outcome
+        }
+        ASSERT_LE(reencoded.size(), mutated.size()) << "iter=" << iter;
+        EXPECT_TRUE(std::equal(reencoded.begin(), reencoded.end(), mutated.begin()))
+            << "iter=" << iter << ": decoded frames disagree with their own bytes";
     }
 }

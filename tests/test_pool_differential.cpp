@@ -17,6 +17,7 @@
 
 #include "harness/load_gen.hpp"
 #include "server/cep_server.hpp"
+#include "server/config.hpp"
 #include "server_test_util.hpp"
 
 using namespace spectre;
@@ -52,16 +53,18 @@ TEST(PoolDifferential, FiftyRandomSessionsMatchSequentialForEveryPoolSize) {
 
     std::size_t combo_index = 0;
     for (std::size_t p = 0; p < 4; ++p) {
-        server::ServerConfig cfg;
-        cfg.pool_workers = pool_sizes[p];
         // Shake the scheduler: small quanta maximize session interleaving,
         // small queues/buffers force the backpressure paths; the output must
         // not depend on any of it.
-        cfg.session.quantum_steps = (p % 2 == 0) ? 4 : 32;
-        cfg.session.quantum_windows = (p % 2 == 0) ? 1 : 4;
-        cfg.session.batch_events = (p % 2 == 0) ? 16 : 64;
-        cfg.session.ingest_queue_events = (p % 2 == 0) ? 48 : 1024;
-        cfg.session.egress_buffer_bytes = (p % 2 == 0) ? 4096 : 256 * 1024;
+        const server::ServerConfig cfg =
+            server::ServerConfigBuilder{}
+                .pool_workers(pool_sizes[p])
+                .quantum_steps((p % 2 == 0) ? 4 : 32)
+                .quantum_windows((p % 2 == 0) ? 1 : 4)
+                .batch_events((p % 2 == 0) ? 16 : 64)
+                .ingest_queue_events((p % 2 == 0) ? 48 : 1024)
+                .egress_buffer_bytes((p % 2 == 0) ? 4096 : 256 * 1024)
+                .build();
         server::CepServer srv(cfg);
         srv.start();
 
@@ -116,9 +119,8 @@ TEST(PoolDifferential, FiftyRandomSessionsMatchSequentialForEveryPoolSize) {
 // single worker still multiplex (no per-session thread exists to save them)
 // and still match the oracle byte for byte.
 TEST(PoolDifferential, TwentyFourSessionsOnOneWorker) {
-    server::ServerConfig cfg;
-    cfg.pool_workers = 1;
-    cfg.session.quantum_steps = 8;
+    const server::ServerConfig cfg =
+        server::ServerConfigBuilder{}.pool_workers(1).quantum_steps(8).build();
     server::CepServer srv(cfg);
     srv.start();
 

@@ -16,6 +16,7 @@
 #include "harness/load_gen.hpp"
 #include "net/tcp.hpp"
 #include "server/cep_server.hpp"
+#include "server/config.hpp"
 #include "server_test_util.hpp"
 
 using namespace spectre;
@@ -56,11 +57,12 @@ const char* kFatResultQuery =
 // ---------------------------------------------------------------------------
 
 TEST(PoolStress, SlowConsumerParksOnlyItsOwnSession) {
-    server::ServerConfig cfg;
-    cfg.pool_workers = 2;
-    cfg.session.egress_buffer_bytes = 2048;  // tiny credit: park quickly
-    cfg.session.quantum_windows = 1;
-    cfg.session_sndbuf = 8192;  // keep result bytes out of auto-tuned buffers
+    const server::ServerConfig cfg = server::ServerConfigBuilder{}
+                                         .pool_workers(2)
+                                         .egress_buffer_bytes(2048)  // tiny credit: park quickly
+                                         .quantum_windows(1)
+                                         .session_sndbuf(8192)  // keep result bytes out of auto-tuned buffers
+                                         .build();
     server::CepServer srv(cfg);
     srv.start();
 
@@ -124,9 +126,8 @@ TEST(PoolStress, SlowConsumerParksOnlyItsOwnSession) {
 // ---------------------------------------------------------------------------
 
 TEST(PoolStress, SessionChurnLeavesZeroLeakedTasks) {
-    server::ServerConfig cfg;
-    cfg.pool_workers = 2;
-    cfg.session.quantum_steps = 8;
+    const server::ServerConfig cfg =
+        server::ServerConfigBuilder{}.pool_workers(2).quantum_steps(8).build();
     server::CepServer srv(cfg);
     srv.start();
 
@@ -193,10 +194,12 @@ TEST(PoolStress, SessionChurnLeavesZeroLeakedTasks) {
 // ---------------------------------------------------------------------------
 
 TEST(PoolStress, QuantumBudgetKeepsSpeculativeSessionsFair) {
-    server::ServerConfig cfg;
-    cfg.pool_workers = 1;           // everyone shares a single worker
-    cfg.session.batch_events = 16;  // quantum_budget follows batch_events (§11)
-    cfg.session.quantum_steps = 8;
+    const server::ServerConfig cfg =
+        server::ServerConfigBuilder{}
+            .pool_workers(1)    // everyone shares a single worker
+            .batch_events(16)   // quantum_budget follows batch_events (§11)
+            .quantum_steps(8)
+            .build();
     server::CepServer srv(cfg);
     srv.start();
 
@@ -251,11 +254,12 @@ TEST(PoolStress, QuantumBudgetKeepsSpeculativeSessionsFair) {
 // ---------------------------------------------------------------------------
 
 TEST(PoolStress, StopWhileParkedOnEgressReturnsPromptly) {
-    server::ServerConfig cfg;
-    cfg.pool_workers = 2;
-    cfg.session.egress_buffer_bytes = 1024;  // park fast
-    cfg.session.quantum_windows = 1;
-    cfg.session_sndbuf = 8192;
+    const server::ServerConfig cfg = server::ServerConfigBuilder{}
+                                         .pool_workers(2)
+                                         .egress_buffer_bytes(1024)  // park fast
+                                         .quantum_windows(1)
+                                         .session_sndbuf(8192)
+                                         .build();
     auto srv = std::make_unique<server::CepServer>(cfg);
     srv->start();
 
@@ -284,8 +288,8 @@ TEST(PoolStress, StopWhileParkedOnEgressReturnsPromptly) {
 }
 
 TEST(PoolStress, StopWhileParkedOnInputReturnsPromptly) {
-    server::ServerConfig cfg;
-    cfg.pool_workers = 2;
+    const server::ServerConfig cfg =
+        server::ServerConfigBuilder{}.pool_workers(2).build();
     auto srv = std::make_unique<server::CepServer>(cfg);
     srv->start();
 

@@ -24,6 +24,7 @@
 #include "harness/load_gen.hpp"
 #include "net/tcp.hpp"
 #include "server/cep_server.hpp"
+#include "server/config.hpp"
 #include "server_test_util.hpp"
 
 using namespace spectre;
@@ -77,6 +78,50 @@ TEST(CepServer, FourConcurrentSessionsMatchSequentialByteForByte) {
     EXPECT_EQ(stats.tasks_finished, 4u);
     EXPECT_EQ(stats.tasks_live, 0u);
     EXPECT_EQ(stats.sessions_live, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Handshake versioning (§15): v1 HELLO sessions are untouched by the v2
+// handshake — same engine selection, no capability echo injected into their
+// RESULT stream, byte-identical output — even while v2 publisher/subscriber
+// sessions share the same server.
+// ---------------------------------------------------------------------------
+
+TEST(CepServer, HelloV1SessionsUnchangedAlongsideV2Sessions) {
+    server::CepServer srv;
+    srv.start();
+
+    const auto shared_wire = wire_events(500, 91);
+    harness::PublisherClient pub("127.0.0.1", srv.port(), "v2stream");
+    ASSERT_TRUE(pub.ok()) << pub.error();
+    harness::SubscriberClient::Spec spec;
+    spec.stream = "v2stream";
+    spec.query = kRisingPairQuery;
+    harness::SubscriberClient sub("127.0.0.1", srv.port(), std::move(spec));
+    ASSERT_TRUE(sub.ok()) << sub.error();
+
+    harness::LoadGenOutcome sub_out;
+    std::thread sub_thread([&] { sub_out = sub.run(); });
+
+    // The v1 session runs concurrently with the v2 pair. Its outcome is the
+    // pre-§15 contract verbatim: HELLO → RESULTs → BYE, nothing else (the
+    // LoadGen driver rejects any unexpected frame as a protocol error).
+    const auto v1_wire = wire_events(600, 92);
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    const auto v1_out = client.run_one(make_session(kRisingTripleQuery, 2, v1_wire));
+
+    pub.publish(shared_wire);
+    EXPECT_TRUE(pub.finish()) << pub.error();
+    sub_thread.join();
+
+    EXPECT_TRUE(v1_out.error.empty()) << v1_out.error;
+    EXPECT_TRUE(v1_out.completed);
+    expect_byte_identical(sequential_ground_truth(kRisingTripleQuery, v1_wire),
+                          v1_out.results, "v1 session");
+    EXPECT_TRUE(sub_out.completed) << sub_out.error;
+    expect_byte_identical(sequential_ground_truth(kRisingPairQuery, shared_wire),
+                          sub_out.results, "v2 subscriber");
+    srv.stop();
 }
 
 // ---------------------------------------------------------------------------
@@ -163,8 +208,8 @@ TEST(CepServer, MalformedQueryGetsErrorFrame) {
 }
 
 TEST(CepServer, InstancesBeyondServerLimitRejected) {
-    server::ServerConfig cfg;
-    cfg.session.max_instances = 2;
+    const server::ServerConfig cfg =
+        server::ServerConfigBuilder{}.max_instances(2).build();
     server::CepServer srv(cfg);
     srv.start();
 
@@ -259,11 +304,12 @@ TEST(CepServer, StatsFrameAnswersMidStream) {
 // here one whose only session is parked on egress backpressure — without
 // stopping any worker, and counters must be monotone between scrapes.
 TEST(CepServer, AdminScrapeIsLiveAndMonotoneDuringBackpressure) {
-    server::ServerConfig cfg;
-    cfg.pool_workers = 2;
-    cfg.session.egress_buffer_bytes = 2048;  // tiny credit: park quickly
-    cfg.session.quantum_windows = 1;
-    cfg.session_sndbuf = 8192;
+    const server::ServerConfig cfg = server::ServerConfigBuilder{}
+                                          .pool_workers(2)
+                                          .egress_buffer_bytes(2048)  // tiny credit: park quickly
+                                          .quantum_windows(1)
+                                          .session_sndbuf(8192)
+                                          .build();
     server::CepServer srv(cfg);
     srv.start();
 
@@ -418,14 +464,13 @@ TEST(CepServer, StatsMissReportedWhenStreamTruncates) {
 // skewed stream (one symbol dominating) flows — must stay byte-identical to
 // the partitioned oracle. Adaptivity may only move lanes, never results.
 TEST(CepServer, AdaptiveReshardingSessionStaysByteIdentical) {
-    server::ServerConfig cfg;
-    cfg.pool_workers = 2;
-    cfg.session.quantum_steps = 4;
-    cfg.session.reshard.decide_every_events = 50;  // policy ON
-    cfg.session.reshard.steal_min_peak = 1;
-    cfg.session.reshard.steal_skew_ratio = 1.5;
-    cfg.session.reshard.grow_shards_to = 4;
-    cfg.session.reshard.grow_min_peak = 4;
+    const server::ServerConfig cfg = server::ServerConfigBuilder{}
+                                          .pool_workers(2)
+                                          .quantum_steps(4)
+                                          .reshard_every_events(50)  // policy ON
+                                          .reshard_steal(1, 1.5)
+                                          .reshard_grow(4, 4)
+                                          .build();
     server::CepServer srv(cfg);
     srv.start();
 
@@ -454,6 +499,39 @@ TEST(CepServer, AdaptiveReshardingSessionStaysByteIdentical) {
     srv.stop();
     EXPECT_EQ(srv.stats().sessions_failed, 0u);
     EXPECT_EQ(srv.stats().sessions_completed, 1u);
+}
+
+// The §13 shrink leg end to end: a generous shrink policy (every window is
+// "quiet") keeps halving the active width while grow pressure pushes it back
+// up — the width oscillates, the results must not move. Closes ROADMAP's
+// "controller never shrinks" honest limit.
+TEST(CepServer, ShrinkEnabledAdaptiveSessionStaysByteIdentical) {
+    const server::ServerConfig cfg = server::ServerConfigBuilder{}
+                                         .pool_workers(2)
+                                         .quantum_steps(4)
+                                         .reshard_every_events(40)   // policy ON
+                                         .reshard_grow(4, 2)
+                                         .reshard_shrink(1 << 20, 2) // everything is quiet
+                                         .build();
+    server::CepServer srv(cfg);
+    srv.start();
+
+    const char* kPartitioned =
+        "PATTERN (R1 R2) DEFINE R1 AS R1.close > R1.open, R2 AS R2.close > R2.open "
+        "WITHIN 12 EVENTS FROM EVERY 4 EVENTS PARTITION BY SUBJECT CONSUME ALL";
+    auto spec = make_session(kPartitioned, 1, wire_events(1500, 777, /*symbols=*/8));
+    spec.shards = 4;
+
+    harness::LoadGenClient client("127.0.0.1", srv.port());
+    const auto out = client.run_one(spec);
+
+    ASSERT_TRUE(out.error.empty()) << out.error;
+    ASSERT_TRUE(out.completed);
+    expect_byte_identical(
+        harness::partitioned_oracle(spec.query, spec.events, /*hello_key=*/""),
+        out.results, "shrink-enabled");
+    srv.stop();
+    EXPECT_EQ(srv.stats().sessions_failed, 0u);
 }
 
 // Same input + same query through the sequential (k=0) and speculative (k>0)
@@ -486,13 +564,14 @@ TEST(CepServer, SequentialAndSpectreSessionsAgree) {
 
 TEST(CepServer, ScatterIngestTakesOneCopyOffTheSocket) {
     constexpr std::uint64_t kEvents = 4000;
-    server::ServerConfig cfg;
     // The one-copy invariant is a *hot-path* property: an ingest pause must
     // stage the view's unread tail (the backend recycles its buffer on the
     // next read), which is a deliberate copy under backpressure. Keep the
     // watermark above the whole burst so this test measures the un-paused
     // path the counters are meant to assert.
-    cfg.session.ingest_queue_events = 2 * kEvents;
+    const server::ServerConfig cfg = server::ServerConfigBuilder{}
+                                         .ingest_queue_events(2 * kEvents)
+                                         .build();
     server::CepServer srv(cfg);
     srv.start();
 
@@ -528,8 +607,9 @@ TEST(CepServer, ScatterIngestTakesOneCopyOffTheSocket) {
 
 TEST(CepServer, UringBackendMatchesSequentialByteForByte) {
     if (!net::uring_supported()) GTEST_SKIP() << "io_uring unavailable on this kernel";
-    server::ServerConfig cfg;
-    cfg.io_backend = net::IoBackendKind::Uring;
+    const server::ServerConfig cfg = server::ServerConfigBuilder{}
+                                         .io_backend(net::IoBackendKind::Uring)
+                                         .build();
     server::CepServer srv(cfg);
     ASSERT_STREQ(srv.io_backend_name(), "io_uring");
     srv.start();
@@ -563,8 +643,9 @@ TEST(CepServer, UringBackendMatchesSequentialByteForByte) {
 
 TEST(CepServer, UringBackendIsolatesCorruptSessions) {
     if (!net::uring_supported()) GTEST_SKIP() << "io_uring unavailable on this kernel";
-    server::ServerConfig cfg;
-    cfg.io_backend = net::IoBackendKind::Uring;
+    const server::ServerConfig cfg = server::ServerConfigBuilder{}
+                                         .io_backend(net::IoBackendKind::Uring)
+                                         .build();
     server::CepServer srv(cfg);
     srv.start();
 

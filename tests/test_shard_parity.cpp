@@ -22,9 +22,11 @@
 #include "harness/oracle.hpp"
 #include "query/parser.hpp"
 #include "server/cep_server.hpp"
+#include "server/config.hpp"
 #include "server/engine_pool.hpp"
 #include "server_test_util.hpp"
 #include "shard/shard_run.hpp"
+#include "shard/reshard_controller.hpp"
 #include "shard/sharded_engine.hpp"
 
 using namespace spectre;
@@ -179,9 +181,10 @@ TEST(ShardParity, PooledShardedRunsMatchReference) {
 // and with unsharded sessions, every RESULT stream byte-identical to its
 // oracle. One session partitions via the HELLO field instead of query text.
 TEST(ShardParity, ShardedServerSessionsMatchOracle) {
-    server::ServerConfig cfg;
-    cfg.pool_workers = 4;
-    cfg.session.quantum_steps = 4;  // shake the scheduler
+    const server::ServerConfig cfg = server::ServerConfigBuilder{}
+                                         .pool_workers(4)
+                                         .quantum_steps(4)  // shake the scheduler
+                                         .build();
     server::CepServer srv(cfg);
     srv.start();
 
@@ -448,4 +451,52 @@ TEST(ShardParity, TotalSkewOneHotShardStaysCorrect) {
     cfg.shards = 8;
     const auto got = run_pooled(cq, cfg, events, /*workers=*/4);
     expect_identical(ref, got, "total skew S=8 workers=4");
+}
+
+// ---------------------------------------------------------------------------
+// ReshardController low-watermark shrink (§13): off by default; when enabled,
+// only a *sustained* all-quiet streak proposes halving the active width, and
+// any loud window — or a fired decision — restarts the streak.
+// ---------------------------------------------------------------------------
+
+TEST(ShardParity, ControllerShrinkRequiresSustainedQuietStreak) {
+    if (!obs::enabled()) GTEST_SKIP() << "metrics disabled via SPECTRE_OBS_OFF";
+    using Kind = shard::ReshardDecision::Kind;
+    obs::Registry reg;
+    std::vector<obs::Series> peaks;
+    for (int s = 0; s < 4; ++s)
+        peaks.push_back(reg.add("test_lane_peak" + std::to_string(s),
+                                obs::Kind::PeakGauge));
+    const auto scope = reg.make_shard();
+
+    shard::ReshardPolicy policy;
+    policy.shrink_max_peak = 10;
+    policy.shrink_after_windows = 3;
+    shard::ReshardController ctl(scope.get(), peaks, policy);
+
+    const auto window = [&](std::initializer_list<std::uint64_t> vs) {
+        std::size_t s = 0;
+        for (const auto v : vs) scope->set_peak(peaks[s++], v);
+        return ctl.decide(4);
+    };
+
+    EXPECT_EQ(window({1, 2, 3, 4}).kind, Kind::None);  // quiet #1
+    EXPECT_EQ(window({0, 0, 1, 2}).kind, Kind::None);  // quiet #2
+    EXPECT_EQ(window({55, 0, 0, 0}).kind, Kind::None); // loud slot: streak resets
+    EXPECT_EQ(window({1, 1, 1, 1}).kind, Kind::None);  // quiet #1 again
+    EXPECT_EQ(window({2, 2, 2, 2}).kind, Kind::None);  // quiet #2
+    const auto d = window({3, 3, 3, 3});               // quiet #3 → shrink
+    EXPECT_EQ(d.kind, Kind::Shrink);
+    EXPECT_EQ(d.new_shards, 2u);
+    // The streak restarted with the decision: the very next quiet window
+    // must not fire again.
+    EXPECT_EQ(window({0, 0, 0, 0}).kind, Kind::None);
+
+    // Default policy (shrink_max_peak == 0): dead-quiet forever, no shrink —
+    // the pre-§13-shrink behavior is the default.
+    shard::ReshardController off(scope.get(), peaks, shard::ReshardPolicy{});
+    for (int w = 0; w < 16; ++w) {
+        for (auto& p : peaks) scope->set_peak(p, 0);
+        EXPECT_EQ(off.decide(4).kind, Kind::None) << "off w=" << w;
+    }
 }
